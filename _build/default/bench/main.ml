@@ -1,0 +1,149 @@
+(* Benchmark harness.
+
+   Two layers:
+   1. The paper harness: for every table and figure of the paper's §8
+      (Table 1, Figures A-F) plus the analytic validations, print the
+      same rows/series the paper reports (running time as % of
+      Naive-Sample, and the scale-independent work model). This is the
+      default output.
+   2. Bechamel micro-benchmarks — one Test.make per paper artifact —
+      timing the kernel of the strategy/black box each figure exercises,
+      plus ablations (binomial sampler variants, reservoir vs known-n
+      black boxes, hash vs btree probes, CF skipping).
+
+   Environment knobs: RSJ_N1, RSJ_N2, RSJ_DOMAIN, RSJ_SCALE, RSJ_SEED,
+   RSJ_REPS (paper harness); RSJ_BENCH_QUOTA (seconds per bechamel
+   test, default 0.5); RSJ_SKIP_MICRO=1 to skip layer 2;
+   RSJ_SKIP_PAPER=1 to skip layer 1. *)
+
+open Bechamel
+open Toolkit
+module Strategy = Rsj_core.Strategy
+module Black_box = Rsj_core.Black_box
+module Zipf_tables = Rsj_workload.Zipf_tables
+module Stream0 = Rsj_relation.Stream0
+
+(* A small standing workload shared by the micro benches. *)
+let micro_env ~z1 ~z2 =
+  let pair = Zipf_tables.make_pair ~seed:42 ~n1:2_000 ~n2:8_000 ~z1 ~z2 ~domain:400 () in
+  Strategy.make_env ~seed:42 ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+    ~right_key:Zipf_tables.col2 ()
+
+let strategy_kernel env strategy ~r () = ignore (Strategy.run env strategy ~r)
+
+let micro_tests () =
+  let env_uniform = micro_env ~z1:0. ~z2:0. in
+  let env_skewed = micro_env ~z1:2. ~z2:3. in
+  (* Force auxiliary structures outside the timed region. *)
+  ignore (Strategy.env_right_index env_uniform);
+  ignore (Strategy.env_right_index env_skewed);
+  ignore (Strategy.env_histogram env_uniform);
+  ignore (Strategy.env_histogram env_skewed);
+  let r_uniform = max 1 (Strategy.env_join_size env_uniform / 100) in
+  let r_skewed = max 1 (Strategy.env_join_size env_skewed / 1000) in
+  let rng = Rsj_util.Prng.create ~seed:7 () in
+  let stream_of_ints n = Stream0.of_array (Array.init n Fun.id) in
+  let fps_threshold_test =
+    let pair = Zipf_tables.make_pair ~seed:42 ~n1:2_000 ~n2:8_000 ~z1:2. ~z2:3. ~domain:400 () in
+    let env =
+      Strategy.make_env ~seed:42 ~histogram_fraction:0.02 ~left:pair.outer ~right:pair.inner
+        ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
+    in
+    ignore (Strategy.env_histogram env);
+    Test.make ~name:"figF/fps-threshold-2pct"
+      (Staged.stage (strategy_kernel env Strategy.Frequency_partition ~r:r_skewed))
+  in
+  let hash_probe_test =
+    let idx = Strategy.env_right_index env_skewed in
+    Test.make ~name:"ablation/hash-index-probe"
+      (Staged.stage (fun () ->
+           ignore
+             (Rsj_index.Hash_index.multiplicity idx
+                (Rsj_relation.Value.Int (1 + Rsj_util.Prng.int rng 400)))))
+  in
+  let btree_probe_test =
+    let bt = Rsj_index.Btree.build (Strategy.env_right env_skewed) ~key:Zipf_tables.col2 in
+    Test.make ~name:"ablation/btree-probe"
+      (Staged.stage (fun () ->
+           ignore
+             (Rsj_index.Btree.multiplicity bt
+                (Rsj_relation.Value.Int (1 + Rsj_util.Prng.int rng 400)))))
+  in
+  [
+    (* Table 1 is about requirements, not speed; its micro bench times
+       the cheapest strategy satisfying the Case B row at z=(0,0). *)
+    Test.make ~name:"table1/stream-sample"
+      (Staged.stage (strategy_kernel env_uniform Strategy.Stream ~r:r_uniform));
+    Test.make ~name:"figA/naive-z00"
+      (Staged.stage (strategy_kernel env_uniform Strategy.Naive ~r:r_uniform));
+    Test.make ~name:"figA/stream-z00"
+      (Staged.stage (strategy_kernel env_uniform Strategy.Stream ~r:r_uniform));
+    Test.make ~name:"figB/naive-z23"
+      (Staged.stage (strategy_kernel env_skewed Strategy.Naive ~r:r_skewed));
+    Test.make ~name:"figB/fps-z23"
+      (Staged.stage (strategy_kernel env_skewed Strategy.Frequency_partition ~r:r_skewed));
+    Test.make ~name:"figC/olken-z23"
+      (Staged.stage (strategy_kernel env_skewed Strategy.Olken ~r:r_skewed));
+    Test.make ~name:"figD/stream-z23"
+      (Staged.stage (strategy_kernel env_skewed Strategy.Stream ~r:r_skewed));
+    Test.make ~name:"figE/fps-noindex-z23"
+      (Staged.stage (strategy_kernel env_skewed Strategy.Hybrid_count ~r:r_skewed));
+    fps_threshold_test;
+    (* Ablations *)
+    Test.make ~name:"ablation/u1-known-n"
+      (Staged.stage (fun () ->
+           ignore (Stream0.to_array (Black_box.u1 rng ~n:10_000 ~r:100 (stream_of_ints 10_000)))));
+    Test.make ~name:"ablation/u2-reservoir"
+      (Staged.stage (fun () -> ignore (Black_box.u2 rng ~r:100 (stream_of_ints 10_000))));
+    Test.make ~name:"ablation/cf-per-tuple"
+      (Staged.stage (fun () ->
+           ignore (Stream0.length (Black_box.coin_flip rng ~f:0.01 (stream_of_ints 10_000)))));
+    Test.make ~name:"ablation/cf-skip"
+      (Staged.stage (fun () ->
+           ignore (Stream0.length (Black_box.coin_flip_skip rng ~f:0.01 (stream_of_ints 10_000)))));
+    Test.make ~name:"ablation/binomial-small-mean"
+      (Staged.stage (fun () -> ignore (Rsj_util.Dist.binomial rng ~n:1000 ~p:0.001)));
+    Test.make ~name:"ablation/binomial-large-mean"
+      (Staged.stage (fun () -> ignore (Rsj_util.Dist.binomial rng ~n:100_000 ~p:0.4)));
+    hash_probe_test;
+    btree_probe_test;
+    (let paged =
+       Rsj_relation.Paged.create ~tuples_per_page:100 (Strategy.env_right env_skewed)
+     in
+     Test.make ~name:"ablation/paged-scan-sample"
+       (Staged.stage (fun () -> ignore (Rsj_core.Block_sample.scan_sample rng ~r:50 paged))));
+    (let paged =
+       Rsj_relation.Paged.create ~tuples_per_page:100 (Strategy.env_right env_skewed)
+     in
+     Test.make ~name:"ablation/paged-block-sample"
+       (Staged.stage (fun () -> ignore (Rsj_core.Block_sample.u1_paged rng ~r:50 paged))));
+  ]
+
+let run_micro () =
+  let quota =
+    match Sys.getenv_opt "RSJ_BENCH_QUOTA" with
+    | Some s -> ( match float_of_string_opt s with Some q when q > 0. -> q | _ -> 0.5)
+    | None -> 0.5
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:None () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  print_endline "";
+  print_endline "== Bechamel micro-benchmarks (one Test.make per paper artifact + ablations) ==";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let tbl = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with Some (x :: _) -> x | _ -> nan
+          in
+          Printf.printf "  %-36s %14.1f ns/run\n%!" name est)
+        tbl)
+    (micro_tests ())
+
+let () =
+  let skip name = Sys.getenv_opt name = Some "1" in
+  if not (skip "RSJ_SKIP_PAPER") then Rsj_harness.Experiments.run_all Format.std_formatter;
+  if not (skip "RSJ_SKIP_MICRO") then run_micro ()

@@ -1,0 +1,249 @@
+(* rsj — command-line front end for the join-sampling library.
+
+   Subcommands:
+     generate    write a Zipfian table (paper §8.1) to CSV
+     sample      sample a join of two CSV tables with a chosen strategy
+     query       run a SQL query with an optional SAMPLE clause
+     experiment  run one of the paper's figures/tables or everything
+     validate    run the analytic validations (alphas, uniformity,
+                 negative results)
+     explain     show the strategy requirement table (Table 1) *)
+
+open Cmdliner
+module Zipf_tables = Rsj_workload.Zipf_tables
+module Strategy = Rsj_core.Strategy
+module Experiments = Rsj_harness.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let seed_arg =
+  let doc = "PRNG seed (all commands are reproducible from it)." in
+  Arg.(value & opt int 0x5EED & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate_cmd =
+  let rows =
+    Arg.(value & opt int 10_000 & info [ "rows"; "n" ] ~docv:"N" ~doc:"Number of tuples.")
+  in
+  let z = Arg.(value & opt float 1. & info [ "z" ] ~docv:"Z" ~doc:"Zipf parameter (0 = uniform).") in
+  let domain =
+    Arg.(value & opt int 1_000 & info [ "domain" ] ~docv:"D" ~doc:"Distinct join values.")
+  in
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.csv" ~doc:"Output path.")
+  in
+  let run rows z domain seed out =
+    if rows <= 0 then `Error (false, "--rows must be positive")
+    else if domain <= 0 then `Error (false, "--domain must be positive")
+    else if z < 0. then `Error (false, "--z must be non-negative")
+    else begin
+      let rel =
+        Zipf_tables.make ~seed ~name:(Filename.basename out) ~rows ~z ~domain ()
+      in
+      Rsj_relation.Csv_io.save ~path:out rel;
+      Printf.printf "wrote %d rows (z=%g, domain=%d, seed=%#x) to %s\n" rows z domain seed out;
+      `Ok ()
+    end
+  in
+  let info =
+    Cmd.info "generate" ~doc:"Generate a Zipfian experiment table (paper \xc2\xa78.1) as CSV."
+  in
+  Cmd.v info Term.(ret (const run $ rows $ z $ domain $ seed_arg $ out))
+
+(* ------------------------------------------------------------------ *)
+(* sample                                                              *)
+
+let strategy_conv =
+  let parse s =
+    match Strategy.of_name s with
+    | Some st -> Ok st
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown strategy %S (try: %s)" s
+               (String.concat ", " (List.map Strategy.name Strategy.all))))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Strategy.name s))
+
+let sample_cmd =
+  let left =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT.csv" ~doc:"Outer relation R1.")
+  in
+  let right =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT.csv" ~doc:"Inner relation R2.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Strategy.Stream
+      & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc:"Sampling strategy.")
+  in
+  let r = Arg.(value & opt int 10 & info [ "r" ] ~docv:"R" ~doc:"Sample size (WR semantics).") in
+  let wor =
+    Arg.(value & flag & info [ "without-replacement" ] ~doc:"Convert to WoR semantics (\xc2\xa73).")
+  in
+  let show_metrics = Arg.(value & flag & info [ "metrics" ] ~doc:"Print the work counters.") in
+  let run left right strategy r wor show_metrics seed =
+    if r < 0 then `Error (false, "--r must be non-negative")
+    else begin
+      try
+        let l = Rsj_relation.Csv_io.load ~path:left Zipf_tables.schema in
+        let rt = Rsj_relation.Csv_io.load ~path:right Zipf_tables.schema in
+        let env =
+          Strategy.make_env ~seed ~left:l ~right:rt ~left_key:Zipf_tables.col2
+            ~right_key:Zipf_tables.col2 ()
+        in
+        let result = if wor then Strategy.run_wor env strategy ~r else Strategy.run env strategy ~r in
+        Array.iter
+          (fun t -> print_endline (Rsj_relation.Tuple.to_string t))
+          result.Strategy.sample;
+        Printf.eprintf "# %s: %d tuples in %.4fs (join size %d)\n" (Strategy.name strategy)
+          (Array.length result.Strategy.sample)
+          result.Strategy.elapsed_seconds (Strategy.env_join_size env);
+        if show_metrics then
+          Format.eprintf "%a@." Rsj_exec.Metrics.pp result.Strategy.metrics;
+        `Ok ()
+      with
+      | Failure msg -> `Error (false, msg)
+      | Invalid_argument msg -> `Error (false, msg)
+    end
+  in
+  let info =
+    Cmd.info "sample"
+      ~doc:
+        "Sample the equi-join of two CSV tables (on col2) without computing the full join."
+  in
+  Cmd.v
+    info
+    Term.(ret (const run $ left $ right $ strategy $ r $ wor $ show_metrics $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let which =
+    let doc = "Which experiment: table1, A, B, C, D, E, F, or all." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"WHICH" ~doc)
+  in
+  let run which =
+    let cfg = Experiments.config_from_env () in
+    let ppf = Format.std_formatter in
+    match String.lowercase_ascii which with
+    | "all" ->
+        Experiments.run_all ppf;
+        `Ok ()
+    | "table1" ->
+        Rsj_harness.Report.render ppf (Experiments.table1 ());
+        `Ok ()
+    | "a" -> Experiments.render_figure ppf (Experiments.figure_a cfg); `Ok ()
+    | "b" -> Experiments.render_figure ppf (Experiments.figure_b cfg); `Ok ()
+    | "c" -> Experiments.render_figure ppf (Experiments.figure_c cfg); `Ok ()
+    | "d" -> Experiments.render_figure ppf (Experiments.figure_d cfg); `Ok ()
+    | "e" -> Experiments.render_figure ppf (Experiments.figure_e cfg); `Ok ()
+    | "f" -> Experiments.render_figure ppf (Experiments.figure_f cfg); `Ok ()
+    | other -> `Error (false, Printf.sprintf "unknown experiment %S" other)
+  in
+  let info =
+    Cmd.info "experiment"
+      ~doc:
+        "Re-run the paper's evaluation (Table 1, Figures A-F). Scale via RSJ_N1/RSJ_N2/\
+         RSJ_DOMAIN/RSJ_SCALE/RSJ_REPS."
+  in
+  Cmd.v info Term.(ret (const run $ which))
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+
+let validate_cmd =
+  let run () =
+    let cfg = Experiments.config_from_env () in
+    let ppf = Format.std_formatter in
+    Rsj_harness.Report.render ppf (Experiments.validate_alphas cfg);
+    Rsj_harness.Report.render ppf (Experiments.validate_uniformity ());
+    Rsj_harness.Report.render ppf (Experiments.negative_demo ());
+    `Ok ()
+  in
+  let info =
+    Cmd.info "validate"
+      ~doc:
+        "Validate the analytic results: Theorems 5/7/8/9 cost formulas, chi-square \
+         uniformity of every strategy, and the \xc2\xa77 negative results."
+  in
+  Cmd.v info Term.(ret (const run $ const ()))
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+
+let query_cmd =
+  let tables =
+    let doc = "Bind a table: NAME=PATH.csv (repeatable). Tables use the \xc2\xa78.1 schema." in
+    Arg.(value & opt_all string [] & info [ "table"; "t" ] ~docv:"NAME=PATH" ~doc)
+  in
+  let sql =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query text.")
+  in
+  let explain = Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan, not the rows.") in
+  let run tables sql explain seed =
+    try
+      let catalog =
+        List.map
+          (fun binding ->
+            match String.index_opt binding '=' with
+            | Some i ->
+                let name = String.sub binding 0 i in
+                let path = String.sub binding (i + 1) (String.length binding - i - 1) in
+                (name, Rsj_relation.Csv_io.load ~path Zipf_tables.schema)
+            | None -> failwith (Printf.sprintf "bad --table binding %S (want NAME=PATH)" binding))
+          tables
+      in
+      match Rsj_sql.Engine.run ~seed catalog sql with
+      | Error msg -> `Error (false, msg)
+      | Ok result ->
+          if explain then
+            Format.printf "%a@." Rsj_exec.Plan.explain result.Rsj_sql.Engine.plan
+          else begin
+            let schema = result.Rsj_sql.Engine.schema in
+            let header =
+              Array.to_list (Rsj_relation.Schema.columns schema)
+              |> List.map (fun (c : Rsj_relation.Schema.column) -> c.name)
+              |> String.concat " | "
+            in
+            print_endline header;
+            List.iter
+              (fun row -> print_endline (Rsj_relation.Tuple.to_string row))
+              result.Rsj_sql.Engine.rows;
+            Printf.eprintf "# %d rows, work=%d\n"
+              (List.length result.Rsj_sql.Engine.rows)
+              (Rsj_exec.Metrics.total_work result.Rsj_sql.Engine.metrics)
+          end;
+          `Ok ()
+    with Failure msg -> `Error (false, msg)
+  in
+  let info =
+    Cmd.info "query"
+      ~doc:
+        "Run a SQL query with optional SAMPLE clause, e.g. 'select * from t1, t2 where \
+         t1.col2 = t2.col2 sample 10 using stream'."
+  in
+  Cmd.v info Term.(ret (const run $ tables $ sql $ explain $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let run () =
+    Rsj_harness.Report.print (Experiments.table1 ());
+    `Ok ()
+  in
+  let info = Cmd.info "explain" ~doc:"Show which information each strategy requires (Table 1)." in
+  Cmd.v info Term.(ret (const run $ const ()))
+
+let main =
+  let doc = "Random sampling over joins (Chaudhuri, Motwani, Narasayya; SIGMOD 1999)" in
+  let info = Cmd.info "rsj" ~version:"1.0.0" ~doc in
+  Cmd.group info [ generate_cmd; sample_cmd; query_cmd; experiment_cmd; validate_cmd; explain_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/aqp_aggregation.ml: Float List Printf Relation Rsj_core Rsj_exec Rsj_relation Rsj_workload Stream0 Tuple Unix Value

@@ -1,0 +1,1 @@
+examples/aqp_aggregation.mli:

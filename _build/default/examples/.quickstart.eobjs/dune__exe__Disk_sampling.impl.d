@@ -1,0 +1,1 @@
+examples/disk_sampling.ml: Array Filename Fun Printf Relation Rsj_core Rsj_exec Rsj_index Rsj_relation Rsj_stats Rsj_storage Rsj_util Rsj_workload Schema Sys Value

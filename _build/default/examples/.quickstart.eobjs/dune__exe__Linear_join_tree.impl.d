@@ -1,0 +1,1 @@
+examples/linear_join_tree.ml: Array Format Printf Relation Rsj_core Rsj_exec Rsj_relation Rsj_util Schema Tuple Unix Value

@@ -1,0 +1,1 @@
+examples/olap_star_join.ml: List Printf Relation Rsj_core Rsj_relation Rsj_util Schema Tuple Unix Value

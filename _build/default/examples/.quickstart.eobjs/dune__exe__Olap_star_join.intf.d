@@ -1,0 +1,1 @@
+examples/olap_star_join.mli:

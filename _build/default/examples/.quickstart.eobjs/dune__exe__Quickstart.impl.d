@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Relation Rsj_core Rsj_exec Rsj_relation Rsj_util Schema Tuple Value

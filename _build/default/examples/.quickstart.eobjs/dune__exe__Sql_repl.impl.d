@@ -1,0 +1,1 @@
+examples/sql_repl.ml: Array Format List Printf Rsj_exec Rsj_relation Rsj_sql Rsj_workload String Unix

@@ -1,0 +1,86 @@
+(* Approximate query processing over a skewed join: how estimate error
+   and cost scale with the sample size.
+
+   The workload is the paper's own (§8.1): a 1%-skewed outer table
+   joined with a heavily skewed inner table. We answer
+
+     SELECT AVG(t1.rid), COUNT of even t1.rid
+     FROM t1 JOIN t2 ON t1.col2 = t2.col2
+
+   from Stream-Sample samples of growing size and compare against the
+   exact answers, reporting the work saved.
+
+   Run with: dune exec examples/aqp_aggregation.exe *)
+
+open Rsj_relation
+module Strategy = Rsj_core.Strategy
+module Aqp = Rsj_core.Aqp
+module Metrics = Rsj_exec.Metrics
+module Zipf_tables = Rsj_workload.Zipf_tables
+
+let () =
+  let pair = Zipf_tables.make_pair ~seed:1999 ~n1:2_000 ~n2:10_000 ~z1:1. ~z2:2. ~domain:500 () in
+  let env =
+    Strategy.make_env ~seed:1999 ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+      ~right_key:Zipf_tables.col2 ()
+  in
+  let n = Strategy.env_join_size env in
+  Printf.printf "workload: %d x %d tuples, z = (1, 2), |J| = %d\n\n"
+    (Relation.cardinality pair.outer)
+    (Relation.cardinality pair.inner)
+    n;
+
+  (* Exact answers via the full join (the cost AQP avoids). *)
+  let metrics = Metrics.create () in
+  let exact_sum = ref 0. and exact_count = ref 0 and exact_even = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let naive = Strategy.run env Strategy.Naive ~r:1 in
+  ignore naive;
+  (* run the actual exact aggregation over a fresh full join stream *)
+  let plan =
+    Rsj_exec.Plan.Join
+      {
+        Rsj_exec.Plan.algorithm = Rsj_exec.Plan.Hash;
+        left = Rsj_exec.Plan.Scan pair.outer;
+        right = Rsj_exec.Plan.Scan pair.inner;
+        left_key = Zipf_tables.col2;
+        right_key = Zipf_tables.col2;
+      }
+  in
+  Stream0.iter
+    (fun t ->
+      let rid = Value.to_int_exn (Tuple.get t 0) in
+      exact_sum := !exact_sum +. float_of_int rid;
+      incr exact_count;
+      if rid mod 2 = 0 then incr exact_even)
+    (Rsj_exec.Plan.run ~metrics plan);
+  let exact_time = Unix.gettimeofday () -. t0 in
+  let exact_avg = !exact_sum /. float_of_int !exact_count in
+  Printf.printf "exact: AVG = %.2f, COUNT(even) = %d  (%.3fs, %d tuples processed)\n\n"
+    exact_avg !exact_even exact_time (Metrics.total_work metrics);
+
+  Printf.printf "%8s  %12s  %18s  %10s  %8s\n" "r" "AVG (CI)" "COUNT even (CI)" "work" "time";
+  List.iter
+    (fun r ->
+      let res = Strategy.run env Strategy.Stream ~r in
+      let sample = res.Strategy.sample in
+      let avg = Aqp.avg ~sample ~col:0 in
+      let count =
+        Aqp.count_where ~sample ~n ~pred:(fun t ->
+            Value.to_int_exn (Tuple.get t 0) mod 2 = 0)
+      in
+      Printf.printf "%8d  %6.2f ±%5.2f  %10.0f ±%7.0f  %10d  %.4fs\n" r avg.Aqp.value
+        (avg.Aqp.ci_high -. avg.Aqp.value)
+        count.Aqp.value
+        (count.Aqp.ci_high -. count.Aqp.value)
+        (Metrics.total_work res.Strategy.metrics)
+        res.Strategy.elapsed_seconds;
+      (* sanity: the truth should usually be inside the interval *)
+      if Float.abs (avg.Aqp.value -. exact_avg) > 4. *. Float.max (avg.Aqp.ci_high -. avg.Aqp.value) 1e-9
+      then Printf.printf "          (AVG estimate unusually far off)\n")
+    [ 100; 400; 1_600; 6_400; 25_600 ];
+
+  Printf.printf
+    "\nThe estimate tightens as sqrt(r) while the sampling work grows only linearly in r\n\
+     and never approaches the %d tuples of the full join.\n"
+    n

@@ -1,0 +1,98 @@
+(* A miniature SQL shell over generated Zipfian tables, demonstrating
+   the paper's proposal of SAMPLE as a language primitive.
+
+   Two tables (t1: 5 000 rows z=1, t2: 20 000 rows z=2, domain 500) are
+   generated at startup. Reads one query per line; `\q` quits;
+   `\explain <query>` shows the plan. When run non-interactively
+   (stdin closed), it executes a scripted demo session instead.
+
+   Run with:  dune exec examples/sql_repl.exe
+   Try:       select * from t1, t2 where t1.col2 = t2.col2 sample 5 using stream
+              select t1.col2, count(rid) from t1, t2
+                where t1.col2 = t2.col2 sample 2000 using fps group by t1.col2 limit 5 *)
+
+module Zipf_tables = Rsj_workload.Zipf_tables
+module Engine = Rsj_sql.Engine
+
+let catalog () =
+  [
+    ("t1", Zipf_tables.make ~seed:11 ~name:"t1" ~rows:5_000 ~z:1. ~domain:500 ());
+    ("t2", Zipf_tables.make ~seed:12 ~name:"t2" ~rows:20_000 ~z:2. ~domain:500 ());
+  ]
+
+let print_result (r : Engine.query_result) =
+  let cols =
+    Array.to_list (Rsj_relation.Schema.columns r.Engine.schema)
+    |> List.map (fun (c : Rsj_relation.Schema.column) -> c.name)
+  in
+  print_endline (String.concat " | " cols);
+  let shown = ref 0 in
+  List.iter
+    (fun row ->
+      if !shown < 20 then begin
+        print_endline (Rsj_relation.Tuple.to_string row);
+        incr shown
+      end)
+    r.Engine.rows;
+  let total = List.length r.Engine.rows in
+  if total > 20 then Printf.printf "... (%d more rows)\n" (total - 20);
+  Printf.printf "-- %d rows, work=%d\n%!" total
+    (Rsj_exec.Metrics.total_work r.Engine.metrics)
+
+let execute catalog line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line = "\\q" then raise Exit
+  else begin
+    let explain, query_text =
+      if String.length line > 9 && String.sub line 0 9 = "\\explain " then
+        (true, String.sub line 9 (String.length line - 9))
+      else (false, line)
+    in
+    match Engine.run catalog query_text with
+    | Error msg -> Printf.printf "error: %s\n%!" msg
+    | Ok r ->
+        if explain then Format.printf "%a@." Rsj_exec.Plan.explain r.Engine.plan
+        else print_result r
+  end
+
+let demo_session =
+  [
+    "select count(*) from t1";
+    "select * from t1, t2 where t1.col2 = t2.col2 sample 5 using stream";
+    "select t1.col2, count(*) from t1, t2 where t1.col2 = t2.col2 sample 2000 using fps \
+     group by t1.col2 limit 5";
+    "\\explain select * from t1, t2 where t1.col2 = t2.col2 sample 3";
+    "select max(col2) from t1 where col2 < 100";
+  ]
+
+let () =
+  let catalog = catalog () in
+  print_endline "rsj SQL shell — tables t1 (5k rows, z=1) and t2 (20k rows, z=2) are loaded.";
+  print_endline "Enter a query per line; \\explain <query> shows the plan; \\q quits.";
+  let interactive = Unix.isatty Unix.stdin in
+  try
+    if interactive then
+      while true do
+        print_string "rsj> ";
+        execute catalog (input_line stdin)
+      done
+    else begin
+      (* Scripted demo: run stdin lines if any, else the canned session. *)
+      let ran = ref false in
+      (try
+         while true do
+           let line = input_line stdin in
+           ran := true;
+           Printf.printf "rsj> %s\n" line;
+           execute catalog line
+         done
+       with End_of_file -> ());
+      if not !ran then
+        List.iter
+          (fun q ->
+            Printf.printf "rsj> %s\n" q;
+            execute catalog q)
+          demo_session
+    end
+  with Exit | End_of_file -> print_endline "bye"

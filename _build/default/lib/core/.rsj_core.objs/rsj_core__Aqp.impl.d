@@ -1,0 +1,1 @@
+lib/core/aqp.ml: Array Float Hashtbl List Rsj_relation Rsj_util Tuple Value

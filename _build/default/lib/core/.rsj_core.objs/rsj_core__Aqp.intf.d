@@ -1,0 +1,1 @@
+lib/core/aqp.mli: Rsj_relation Tuple Value

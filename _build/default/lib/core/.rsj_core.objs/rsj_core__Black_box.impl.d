@@ -1,0 +1,1 @@
+lib/core/black_box.ml: Array Dist Float Prng Reservoir Rsj_relation Rsj_util Stream0

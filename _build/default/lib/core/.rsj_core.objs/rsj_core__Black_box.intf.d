@@ -1,0 +1,1 @@
+lib/core/black_box.mli: Prng Rsj_relation Rsj_util Stream0

@@ -1,0 +1,1 @@
+lib/core/block_sample.ml: Array Black_box Paged Prng Rsj_relation Rsj_util

@@ -1,0 +1,1 @@
+lib/core/block_sample.mli: Paged Prng Rsj_relation Rsj_util Tuple

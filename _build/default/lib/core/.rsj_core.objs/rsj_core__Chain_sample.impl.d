@@ -1,0 +1,1 @@
+lib/core/chain_sample.ml: Array Internals List Metrics Option Printf Relation Rsj_exec Rsj_relation Rsj_util Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/chain_sample.mli: Metrics Relation Rsj_exec Rsj_relation Rsj_util Tuple

@@ -1,0 +1,1 @@
+lib/core/convert.ml: Array Float Fun Hashtbl List Prng Rsj_util

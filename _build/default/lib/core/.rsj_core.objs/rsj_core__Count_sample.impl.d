@@ -1,0 +1,1 @@
+lib/core/count_sample.ml: Array Black_box Internals Metrics Rsj_exec Rsj_relation Rsj_stats Tuple

@@ -1,0 +1,1 @@
+lib/core/count_sample.mli: Metrics Relation Rsj_exec Rsj_relation Rsj_stats Rsj_util Stream0 Tuple

@@ -1,0 +1,1 @@
+lib/core/frequency_partition.ml: Array Internals Metrics Reservoir Rsj_exec Rsj_relation Rsj_stats Rsj_util Stream0 Tuple Value

@@ -1,0 +1,1 @@
+lib/core/group_sample.ml: Array Black_box Internals List Metrics Relation Reservoir Rsj_exec Rsj_relation Rsj_stats Tuple Value

@@ -1,0 +1,1 @@
+lib/core/hybrid_count.ml: Array Frequency_partition Internals Metrics Option Reservoir Rsj_exec Rsj_relation Rsj_stats Stream0 Tuple Value

@@ -1,0 +1,1 @@
+lib/core/index_sample.ml: Array Frequency_partition Internals Metrics Reservoir Rsj_exec Rsj_index Rsj_relation Rsj_stats Stream0 Tuple Value

@@ -1,0 +1,1 @@
+lib/core/internals.ml: Array Hashtbl List Metrics Relation Rsj_exec Rsj_relation Rsj_util Tuple Value

@@ -1,0 +1,1 @@
+lib/core/join_tree.ml: Black_box List Plan Printf Relation Rsj_exec Rsj_index Rsj_relation Rsj_stats Schema Stream_sample

@@ -1,0 +1,1 @@
+lib/core/join_tree.mli: Metrics Plan Relation Rsj_exec Rsj_relation Rsj_util Schema Tuple

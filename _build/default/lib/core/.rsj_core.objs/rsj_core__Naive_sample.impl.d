@@ -1,0 +1,1 @@
+lib/core/naive_sample.ml: Array Black_box Internals Metrics Rsj_exec Rsj_relation Stream0 Tuple

@@ -1,0 +1,1 @@
+lib/core/naive_sample.mli: Metrics Relation Rsj_exec Rsj_relation Rsj_util Stream0 Tuple

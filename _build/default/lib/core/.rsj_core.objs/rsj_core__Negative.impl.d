@@ -1,0 +1,1 @@
+lib/core/negative.ml: Array Hashtbl List Printf Prng Relation Rsj_relation Rsj_util Schema Stats_math Tuple Value

@@ -1,0 +1,1 @@
+lib/core/negative.mli: Prng Relation Rsj_relation Rsj_util Tuple

@@ -1,0 +1,1 @@
+lib/core/olken_sample.mli: Metrics Relation Rsj_exec Rsj_index Rsj_relation Rsj_util Tuple

@@ -1,0 +1,1 @@
+lib/core/online_agg.ml: Aqp Float

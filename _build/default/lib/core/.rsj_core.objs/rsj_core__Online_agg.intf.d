@@ -1,0 +1,1 @@
+lib/core/online_agg.mli: Aqp Rsj_relation Tuple

@@ -1,0 +1,1 @@
+lib/core/reservoir.ml: Array Dist Prng Rsj_util

@@ -1,0 +1,1 @@
+lib/core/sample_op.ml: Black_box Metrics Plan Printf Relation Rsj_exec Rsj_index Rsj_relation Rsj_stats Rsj_util Stream0 Tuple

@@ -1,0 +1,1 @@
+lib/core/sample_op.mli: Plan Rsj_exec Rsj_index Rsj_relation Rsj_stats Rsj_util Tuple

@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Metrics Relation Rsj_exec Rsj_index Rsj_relation Rsj_stats Tuple

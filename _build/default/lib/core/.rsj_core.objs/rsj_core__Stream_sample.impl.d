@@ -1,0 +1,1 @@
+lib/core/stream_sample.ml: Array Black_box Metrics Rsj_exec Rsj_index Rsj_relation Rsj_stats Stream0 Tuple

@@ -1,0 +1,1 @@
+lib/core/stream_sample.mli: Metrics Rsj_exec Rsj_index Rsj_relation Rsj_stats Rsj_util Stream0 Tuple

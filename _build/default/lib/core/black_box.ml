@@ -1,0 +1,229 @@
+open Rsj_relation
+open Rsj_util
+
+(* Sequential samplers over single-pass streams (paper §4). Each online
+   sampler is built as a Stream0 whose producer pulls from the source on
+   demand, so pipelines never materialize their inputs. *)
+
+let u1 rng ~n ~r stream =
+  if n < 0 then invalid_arg "Black_box.u1: n < 0";
+  if r < 0 then invalid_arg "Black_box.u1: r < 0";
+  if n = 0 && r > 0 then invalid_arg "Black_box.u1: r > 0 with empty relation";
+  let x = ref r in
+  let i = ref 0 in
+  (* Copies of the current element still owed to the consumer. *)
+  let pending = ref None in
+  let pending_count = ref 0 in
+  let rec next () =
+    if !pending_count > 0 then begin
+      decr pending_count;
+      !pending
+    end
+    else if !x <= 0 || !i >= n then begin
+      Stream0.close stream;
+      None
+    end
+    else
+      match Stream0.next stream with
+      | None -> failwith "Black_box.u1: stream ended before the declared n elements"
+      | Some t ->
+          let p = 1. /. float_of_int (n - !i) in
+          let copies = Dist.binomial rng ~n:!x ~p in
+          incr i;
+          x := !x - copies;
+          if copies > 0 then begin
+            pending := Some t;
+            pending_count := copies;
+            next ()
+          end
+          else next ()
+  in
+  Stream0.make ~next ~close:(fun () -> Stream0.close stream) ()
+
+let u2 rng ~r stream =
+  if r < 0 then invalid_arg "Black_box.u2: r < 0";
+  let res = Reservoir.Wr.create ~r in
+  Stream0.iter (fun t -> Reservoir.Wr.feed rng res ~weight:1. t) stream;
+  Reservoir.Wr.contents res
+
+let wr1 rng ~total_weight ~r ~weight stream =
+  if r < 0 then invalid_arg "Black_box.wr1: r < 0";
+  if total_weight < 0. then invalid_arg "Black_box.wr1: negative total weight";
+  let x = ref r in
+  let consumed = ref 0. in
+  let pending = ref None in
+  let pending_count = ref 0 in
+  let slack = 1e-9 *. Float.max total_weight 1. in
+  let rec next () =
+    if !pending_count > 0 then begin
+      decr pending_count;
+      !pending
+    end
+    else if !x <= 0 then begin
+      Stream0.close stream;
+      None
+    end
+    else
+      match Stream0.next stream with
+      | None ->
+          if !x > 0 then
+            failwith "Black_box.wr1: stream weight exhausted with samples outstanding"
+          else None
+      | Some t ->
+          let w = weight t in
+          if w < 0. then failwith "Black_box.wr1: negative weight";
+          let remaining = total_weight -. !consumed in
+          if remaining <= slack then
+            failwith "Black_box.wr1: total weight overstated (remaining mass ~ 0)"
+          else begin
+            let p = Float.min 1. (w /. remaining) in
+            let copies = Dist.binomial rng ~n:!x ~p in
+            consumed := !consumed +. w;
+            x := !x - copies;
+            if copies > 0 then begin
+              pending := Some t;
+              pending_count := copies;
+              next ()
+            end
+            else next ()
+          end
+  in
+  Stream0.make ~next ~close:(fun () -> Stream0.close stream) ()
+
+let wr2 rng ~r ~weight stream =
+  if r < 0 then invalid_arg "Black_box.wr2: r < 0";
+  let res = Reservoir.Wr.create ~r in
+  Stream0.iter (fun t -> Reservoir.Wr.feed rng res ~weight:(weight t) t) stream;
+  Reservoir.Wr.contents res
+
+let coin_flip rng ~f stream =
+  if f < 0. || f > 1. then invalid_arg "Black_box.coin_flip: f outside [0,1]";
+  Stream0.filter (fun _ -> Prng.bernoulli rng f) stream
+
+let coin_flip_skip rng ~f stream =
+  if f < 0. || f > 1. then invalid_arg "Black_box.coin_flip_skip: f outside [0,1]";
+  if f = 0. then begin
+    Stream0.close stream;
+    Stream0.empty ()
+  end
+  else if f = 1. then stream
+  else begin
+    (* Gap to the next selected element is Geometric(f). *)
+    let pull () =
+      let gap = Dist.geometric rng ~p:f in
+      let rec skip k =
+        if k <= 0 then Stream0.next stream
+        else match Stream0.next stream with None -> None | Some _ -> skip (k - 1)
+      in
+      skip gap
+    in
+    Stream0.make ~next:pull ~close:(fun () -> Stream0.close stream) ()
+  end
+
+let wor_sequential rng ~n ~r stream =
+  if r < 0 || n < 0 then invalid_arg "Black_box.wor_sequential: negative argument";
+  if r > n then invalid_arg "Black_box.wor_sequential: r > n";
+  let needed = ref r in
+  let remaining = ref n in
+  let rec pull () =
+    if !needed <= 0 then begin
+      Stream0.close stream;
+      None
+    end
+    else
+      match Stream0.next stream with
+      | None ->
+          if !needed > 0 then
+            failwith "Black_box.wor_sequential: stream ended before the declared n elements"
+          else None
+      | Some t ->
+          let take =
+            Prng.unit_float rng *. float_of_int !remaining < float_of_int !needed
+          in
+          decr remaining;
+          if take then begin
+            decr needed;
+            Some t
+          end
+          else pull ()
+  in
+  Stream0.make ~next:pull ~close:(fun () -> Stream0.close stream) ()
+
+let reservoir_wor rng ~r stream =
+  if r < 0 then invalid_arg "Black_box.reservoir_wor: r < 0";
+  let res = Reservoir.Wor.create ~r in
+  Stream0.iter (fun t -> Reservoir.Wor.feed rng res t) stream;
+  Reservoir.Wor.contents res
+
+let weighted_wor rng ~r ~weight stream =
+  if r < 0 then invalid_arg "Black_box.weighted_wor: r < 0";
+  if r = 0 then begin
+    Stream0.close stream;
+    [||]
+  end
+  else begin
+    (* A-Res: keep the r elements with the largest keys u^(1/w). A
+       simple array-based min-heap tracks the threshold. *)
+    let heap_keys = Array.make r infinity in
+    let heap_vals = ref [||] in
+    let size = ref 0 in
+    let swap i j =
+      let k = heap_keys.(i) in
+      heap_keys.(i) <- heap_keys.(j);
+      heap_keys.(j) <- k;
+      let v = !heap_vals.(i) in
+      !heap_vals.(i) <- !heap_vals.(j);
+      !heap_vals.(j) <- v
+    in
+    let rec sift_up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if heap_keys.(parent) > heap_keys.(i) then begin
+          swap parent i;
+          sift_up parent
+        end
+      end
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and rch = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < !size && heap_keys.(l) < heap_keys.(!smallest) then smallest := l;
+      if rch < !size && heap_keys.(rch) < heap_keys.(!smallest) then smallest := rch;
+      if !smallest <> i then begin
+        swap i !smallest;
+        sift_down !smallest
+      end
+    in
+    Stream0.iter
+      (fun t ->
+        let w = weight t in
+        if w < 0. then failwith "Black_box.weighted_wor: negative weight";
+        if w > 0. then begin
+          let key = Prng.unit_float_pos rng ** (1. /. w) in
+          if !size < r then begin
+            if Array.length !heap_vals = 0 then heap_vals := Array.make r t;
+            heap_keys.(!size) <- key;
+            !heap_vals.(!size) <- t;
+            incr size;
+            sift_up (!size - 1)
+          end
+          else if key > heap_keys.(0) then begin
+            heap_keys.(0) <- key;
+            !heap_vals.(0) <- t;
+            sift_down 0
+          end
+        end)
+      stream;
+    if !size = 0 then [||] else Array.sub !heap_vals 0 !size
+  end
+
+let weighted_coin_flip rng ~f ~total_weight ~n ~weight stream =
+  if f < 0. || f > 1. then invalid_arg "Black_box.weighted_coin_flip: f outside [0,1]";
+  if total_weight <= 0. then invalid_arg "Black_box.weighted_coin_flip: total_weight <= 0";
+  let scale = f *. float_of_int n /. total_weight in
+  Stream0.filter
+    (fun t ->
+      let w = weight t in
+      if w < 0. then failwith "Black_box.weighted_coin_flip: negative weight";
+      Prng.bernoulli rng (Float.min 1. (scale *. w)))
+    stream

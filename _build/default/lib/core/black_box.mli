@@ -1,0 +1,79 @@
+(** The sequential sampling black boxes of paper §4.
+
+    All samplers are polymorphic over the element type and consume a
+    single-pass {!Rsj_relation.Stream0} — the "streaming by" model. The
+    paper's names are kept: [u1]/[u2] are the unweighted WR black boxes
+    (Theorems 1 and 2), [wr1]/[wr2] their weighted generalizations
+    (Theorems 3 and 4). The remaining samplers round out the three
+    semantics: coin-flip (CF), Vitter's reservoir and sequential
+    selection for WoR, and weighted WoR/CF variants whose details the
+    paper omits ("We omit the definitions ... to the case of weighted
+    sequential sampling for WoR and CF semantics").
+
+    Online samplers return streams that preserve input order (copies of
+    a repeated element are adjacent); blocking samplers return arrays
+    when no output can be produced before the input is exhausted. *)
+
+open Rsj_relation
+open Rsj_util
+
+val u1 : Prng.t -> n:int -> r:int -> 'a Stream0.t -> 'a Stream0.t
+(** Black-Box U1 (Theorem 1): unweighted WR sample of size [r] from a
+    stream of {b exactly} [n] elements, online, O(1) auxiliary memory.
+    Per element, the number of sample slots it fills is
+    Binomial(x, 1/(n-i)) where [x] slots remain and [i] elements have
+    passed. The output stream raises [Failure] if the input ends before
+    [n] elements; extra input beyond [n] is not consumed. Requires
+    [r >= 0] and [n >= 0]; if [n = 0] then [r] must be 0. *)
+
+val u2 : Prng.t -> r:int -> 'a Stream0.t -> 'a array
+(** Black-Box U2 (Theorem 2): unweighted WR reservoir of size [r]; does
+    not need [n]; O(r) memory; produces nothing until the stream ends.
+    Returns [r] independent uniform draws, or [[||]] when the input is
+    empty. Slot updates are batched with one Binomial(r, 1/N) draw per
+    element instead of [r] coin flips. *)
+
+val wr1 :
+  Prng.t -> total_weight:float -> r:int -> weight:('a -> float) -> 'a Stream0.t -> 'a Stream0.t
+(** Black-Box WR1 (Theorem 3): weighted WR sample of size [r], online,
+    O(1) memory, requiring the total weight [W] in advance. Element [t]
+    fills Binomial(x, w(t)/(W-D)) slots where [D] is the weight already
+    passed. Negative weights raise [Failure] on the stream; the stream
+    raises [Failure] if weights exhaust [W] before [x] reaches 0 (total
+    weight overstated) — numerical slack up to 1e-9·W is tolerated. *)
+
+val wr2 : Prng.t -> r:int -> weight:('a -> float) -> 'a Stream0.t -> 'a array
+(** Black-Box WR2 (Theorem 4): weighted WR reservoir; no advance
+    knowledge of [W]; O(r) memory. Zero-weight elements are never
+    sampled; returns [[||]] if the stream carries no positive weight. *)
+
+val coin_flip : Prng.t -> f:float -> 'a Stream0.t -> 'a Stream0.t
+(** CF semantics: include each element independently with probability
+    [f]. Online, order-preserving, O(1) memory. *)
+
+val coin_flip_skip : Prng.t -> f:float -> 'a Stream0.t -> 'a Stream0.t
+(** Distribution-identical to {!coin_flip} but advances by
+    geometric-distributed gaps instead of per-element flips — the
+    Vitter-style skipping the paper notes "improves efficiency" when
+    reading from disk. Exposed separately for the ablation bench. *)
+
+val wor_sequential : Prng.t -> n:int -> r:int -> 'a Stream0.t -> 'a Stream0.t
+(** WoR selection sampling (Fan/Muller/Rezucha; Knuth's Algorithm S):
+    draws exactly [r] distinct elements from a stream of exactly [n],
+    online, O(1) memory, order-preserving. Requires [r <= n]. *)
+
+val reservoir_wor : Prng.t -> r:int -> 'a Stream0.t -> 'a array
+(** Vitter's Algorithm R: WoR reservoir of size [min r n] without
+    knowing [n]. Result order is unspecified. *)
+
+val weighted_wor : Prng.t -> r:int -> weight:('a -> float) -> 'a Stream0.t -> 'a array
+(** Weighted WoR reservoir (Efraimidis–Spirakis A-Res): each element
+    gets key u^(1/w); the [r] largest keys are kept. Inclusion
+    probabilities follow successive weighted draws without replacement.
+    Zero-weight elements are never sampled. *)
+
+val weighted_coin_flip :
+  Prng.t -> f:float -> total_weight:float -> n:int -> weight:('a -> float) -> 'a Stream0.t -> 'a Stream0.t
+(** Weighted CF: element [t] is included independently with probability
+    min(1, f·n·w(t)/W) — the weighting that makes the expected sample
+    size [f·n] while biasing inclusion ∝ w. *)

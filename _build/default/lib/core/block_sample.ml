@@ -1,0 +1,25 @@
+open Rsj_relation
+open Rsj_util
+
+let wr_positions rng ~n ~r =
+  if r < 0 then invalid_arg "Block_sample.wr_positions: r < 0";
+  if r > 0 && n <= 0 then invalid_arg "Block_sample.wr_positions: empty relation";
+  let out = Array.init r (fun _ -> Prng.int rng n) in
+  Array.sort compare out;
+  out
+
+let fetch_sorted paged positions = Array.map (Paged.fetch paged) positions
+
+let u1_paged rng ~r paged =
+  let n = Paged.cardinality paged in
+  if r > 0 && n = 0 then [||]
+  else fetch_sorted paged (wr_positions rng ~n ~r)
+
+let wor_skip rng ~n ~r paged =
+  if n <> Paged.cardinality paged then
+    invalid_arg "Block_sample.wor_skip: declared n differs from the relation";
+  let positions = Prng.sample_distinct rng ~k:r ~n in
+  Array.sort compare positions;
+  fetch_sorted paged positions
+
+let scan_sample rng ~r paged = Black_box.u2 rng ~r (Paged.scan paged)

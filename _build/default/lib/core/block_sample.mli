@@ -1,0 +1,31 @@
+(** Block-level sampling over paged storage (paper §4.1 remarks).
+
+    When the input sits on disk and its size is known, a WR sample does
+    not require touching every tuple: draw the r target positions up
+    front, sort them, and fetch only the pages that contain them. The
+    result is distributed identically to Black-Box U1 over the same
+    relation; the cost drops from reading every page to reading at most
+    min(r, #pages) pages. The skipping variant of WoR reservoir
+    sampling (Vitter-style random gaps) is provided for comparison. *)
+
+open Rsj_relation
+open Rsj_util
+
+val wr_positions : Prng.t -> n:int -> r:int -> int array
+(** [r] iid uniform positions in [\[0, n)], sorted ascending — the
+    page-friendly access plan of a WR sample. Raises [Invalid_argument]
+    if [n <= 0] with [r > 0]. *)
+
+val u1_paged : Prng.t -> r:int -> Paged.t -> Tuple.t array
+(** WR sample of size [r] fetching only the pages containing the drawn
+    positions (ascending order, so each needed page is read exactly
+    once). Check [Paged.pages_read] for the cost. *)
+
+val wor_skip : Prng.t -> n:int -> r:int -> Paged.t -> Tuple.t array
+(** WoR sample of size [r <= n] by Floyd's distinct-position draw plus
+    sorted paged fetches — the "generating random intervals of records
+    to be skipped" effect: untouched pages are never read. *)
+
+val scan_sample : Prng.t -> r:int -> Paged.t -> Tuple.t array
+(** Baseline for the ablation bench: reservoir (U2) over a full paged
+    scan — reads every page regardless of [r]. *)

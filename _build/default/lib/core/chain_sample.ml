@@ -1,0 +1,170 @@
+open Rsj_relation
+open Rsj_exec
+module Vtbl = Internals.Vtbl
+
+type spec = { relations : Relation.t array; join_keys : (int * int) array }
+
+(* For relation i (i >= 1), tuples are reachable through their join-in
+   value (column b of join i-1). bucket: per join-in value, the
+   matching rows with their downstream weights as a cumulative array
+   for O(log) weighted choice. *)
+type bucket = { rows : int array; cum : float array }
+
+type level = {
+  relation : Relation.t;
+  out_key : int option;  (* column a joining towards the next level *)
+  buckets : bucket Vtbl.t option;  (* None for level 0 (entered directly) *)
+}
+
+type t = {
+  levels : level array;
+  root_rows : int array;
+  root_cum : float array;  (* cumulative weights over all of R1 *)
+  total : float;
+}
+
+let prepare ?(metrics = Metrics.create ()) spec =
+  let k = Array.length spec.relations in
+  if k = 0 then invalid_arg "Chain_sample.prepare: empty chain";
+  if Array.length spec.join_keys <> k - 1 then
+    invalid_arg "Chain_sample.prepare: need exactly k-1 join key pairs";
+  Array.iteri
+    (fun i (a, b) ->
+      let arity_l = Schema.arity (Relation.schema spec.relations.(i)) in
+      let arity_r = Schema.arity (Relation.schema spec.relations.(i + 1)) in
+      if a < 0 || a >= arity_l then
+        invalid_arg (Printf.sprintf "Chain_sample.prepare: join %d left column out of range" i);
+      if b < 0 || b >= arity_r then
+        invalid_arg (Printf.sprintf "Chain_sample.prepare: join %d right column out of range" i))
+    spec.join_keys;
+  (* weights.(i) : per-row weight for relation i; computed right to
+     left. value_weight.(i) : join-in-value -> summed weight table used
+     by level i-1 to compute its own weights. *)
+  let weights = Array.make k [||] in
+  let value_tables : float Vtbl.t array = Array.make k (Vtbl.create 0) in
+  for i = k - 1 downto 0 do
+    let rel = spec.relations.(i) in
+    let n = Relation.cardinality rel in
+    let w = Array.make n 0. in
+    (if i = k - 1 then Array.fill w 0 n 1.
+     else begin
+       let a, _ = spec.join_keys.(i) in
+       let downstream = value_tables.(i + 1) in
+       Relation.iteri rel (fun row_id row ->
+           metrics.Metrics.tuples_scanned <- metrics.Metrics.tuples_scanned + 1;
+           let v = Tuple.attr row a in
+           if not (Value.is_null v) then
+             w.(row_id) <- Option.value ~default:0. (Vtbl.find_opt downstream v))
+     end);
+    weights.(i) <- w;
+    if i > 0 then begin
+      let _, b = spec.join_keys.(i - 1) in
+      let table = Vtbl.create 1024 in
+      Relation.iteri rel (fun row_id row ->
+          metrics.Metrics.tuples_scanned <- metrics.Metrics.tuples_scanned + 1;
+          let v = Tuple.attr row b in
+          if (not (Value.is_null v)) && w.(row_id) > 0. then
+            Vtbl.replace table v (w.(row_id) +. Option.value ~default:0. (Vtbl.find_opt table v)));
+      value_tables.(i) <- table
+    end
+  done;
+  (* Build per-value buckets with cumulative weights for levels 1..k-1. *)
+  let levels =
+    Array.init k (fun i ->
+        let rel = spec.relations.(i) in
+        let out_key = if i < k - 1 then Some (fst spec.join_keys.(i)) else None in
+        if i = 0 then { relation = rel; out_key; buckets = None }
+        else begin
+          let _, b = spec.join_keys.(i - 1) in
+          let lists : int list ref Vtbl.t = Vtbl.create 1024 in
+          Relation.iteri rel (fun row_id row ->
+              let v = Tuple.attr row b in
+              if (not (Value.is_null v)) && weights.(i).(row_id) > 0. then
+                match Vtbl.find_opt lists v with
+                | Some cell -> cell := row_id :: !cell
+                | None -> Vtbl.replace lists v (ref [ row_id ]));
+          let buckets = Vtbl.create (Vtbl.length lists) in
+          Vtbl.iter
+            (fun v cell ->
+              let rows = Array.of_list (List.rev !cell) in
+              let cum = Array.make (Array.length rows) 0. in
+              let acc = ref 0. in
+              Array.iteri
+                (fun j row_id ->
+                  acc := !acc +. weights.(i).(row_id);
+                  cum.(j) <- !acc)
+                rows;
+              Vtbl.replace buckets v { rows; cum })
+            lists;
+          { relation = rel; out_key; buckets = Some buckets }
+        end)
+  in
+  (* Root cumulative over all rows of R1 with positive weight. *)
+  let root_rows = ref [] in
+  let root_weights = ref [] in
+  Relation.iteri spec.relations.(0) (fun row_id _ ->
+      if weights.(0).(row_id) > 0. then begin
+        root_rows := row_id :: !root_rows;
+        root_weights := weights.(0).(row_id) :: !root_weights
+      end);
+  let root_rows = Array.of_list (List.rev !root_rows) in
+  let root_w = Array.of_list (List.rev !root_weights) in
+  let root_cum = Array.make (Array.length root_w) 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun j w ->
+      acc := !acc +. w;
+      root_cum.(j) <- !acc)
+    root_w;
+  { levels; root_rows; root_cum; total = !acc }
+
+let join_size t = t.total
+
+(* First index with cum.(i) >= target. *)
+let search_cum cum target =
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) < target then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let draw t rng ?(metrics = Metrics.create ()) () =
+  if t.total <= 0. || Array.length t.root_rows = 0 then None
+  else begin
+    let target = Rsj_util.Prng.unit_float rng *. t.total in
+    let idx = search_cum t.root_cum target in
+    let row0 = Relation.get t.levels.(0).relation t.root_rows.(idx) in
+    metrics.Metrics.random_accesses <- metrics.Metrics.random_accesses + 1;
+    let rec walk acc level_idx current =
+      match t.levels.(level_idx).out_key with
+      | None -> Some acc
+      | Some a -> (
+          let v = Tuple.attr current a in
+          let next_level = t.levels.(level_idx + 1) in
+          metrics.Metrics.index_probes <- metrics.Metrics.index_probes + 1;
+          match next_level.buckets with
+          | None -> assert false
+          | Some buckets -> (
+              match Vtbl.find_opt buckets v with
+              | None ->
+                  (* Positive weight guarantees a match; unreachable
+                     unless the relations changed after prepare. *)
+                  failwith "Chain_sample.draw: weight table inconsistent with relation contents"
+              | Some bucket ->
+                  let total = bucket.cum.(Array.length bucket.cum - 1) in
+                  let target = Rsj_util.Prng.unit_float rng *. total in
+                  let j = search_cum bucket.cum target in
+                  let row = Relation.get next_level.relation bucket.rows.(j) in
+                  walk (Tuple.join acc row) (level_idx + 1) row))
+    in
+    walk row0 0 row0
+  end
+
+let sample t rng ?(metrics = Metrics.create ()) ~r () =
+  if t.total <= 0. then [||]
+  else
+    Array.init r (fun _ ->
+        match draw t rng ~metrics () with
+        | Some row -> row
+        | None -> assert false)

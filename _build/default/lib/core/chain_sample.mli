@@ -1,0 +1,50 @@
+(** Exact WR sampling over a whole join chain without computing any
+    join — the full push-down the paper poses as future work in §7.2
+    ("we will have to sample from R1 using statistics for both R2 and
+    R3. In principle, this can be done, since the operand relations are
+    all base relations and their statistics can be precomputed").
+
+    For a chain R1 ⋈ R2 ⋈ ... ⋈ Rk (each join on its own attribute
+    pair), propagate weights right to left:
+
+    - w_k(t) = 1 for t in Rk;
+    - w_i(t) = Σ over matching t' in R(i+1) of w_(i+1)(t'), aggregated
+      per join value so each pass is one scan;
+    - |J| = Σ over t in R1 of w_1(t).
+
+    One output tuple is drawn by walking left to right, choosing the
+    next tuple with probability proportional to its weight among the
+    matches — a weighted random walk whose acceptance probability is 1
+    (the same idea later published as Wander Join with exact weights).
+    Every draw is an independent uniform tuple of the chain join, so r
+    draws form a WR sample. Preparation costs one scan of every
+    relation; each sample costs k categorical draws. *)
+
+open Rsj_relation
+open Rsj_exec
+
+type spec = {
+  relations : Relation.t array;  (** R1 ... Rk, k >= 1. *)
+  join_keys : (int * int) array;
+      (** [join_keys.(i) = (a, b)]: R(i+1).a = R(i+2).b in 0-based
+          array terms — column [a] of [relations.(i)] equals column [b]
+          of [relations.(i+1)]. Length k-1. *)
+}
+
+type t
+(** Prepared sampler (weight tables and per-value alias structures). *)
+
+val prepare : ?metrics:Metrics.t -> spec -> t
+(** Validates the spec and builds the weight tables. Raises
+    [Invalid_argument] on shape errors. *)
+
+val join_size : t -> float
+(** Exact |J| as the total root weight (float: chains can overflow
+    int range; exact up to float precision). *)
+
+val draw : t -> Rsj_util.Prng.t -> ?metrics:Metrics.t -> unit -> Tuple.t option
+(** One uniform random tuple of the chain join (concatenated row), or
+    [None] when the join is empty. *)
+
+val sample : t -> Rsj_util.Prng.t -> ?metrics:Metrics.t -> r:int -> unit -> Tuple.t array
+(** [r] independent draws (WR). [[||]] when the join is empty. *)

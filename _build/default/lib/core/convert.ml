@@ -1,0 +1,53 @@
+open Rsj_util
+
+let wr_to_wor rng ?(key = Hashtbl.hash) ~r sample =
+  let order = Array.init (Array.length sample) Fun.id in
+  Prng.shuffle_in_place rng order;
+  let seen = Hashtbl.create (2 * r) in
+  let out = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun idx ->
+      if !count < r then begin
+        let k = key sample.(idx) in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          out := sample.(idx) :: !out;
+          incr count
+        end
+      end)
+    order;
+  Array.of_list (List.rev !out)
+
+let cf_to_wor rng ~r sample =
+  let n = Array.length sample in
+  if n < r then None
+  else begin
+    let idxs = Prng.sample_distinct rng ~k:r ~n in
+    Some (Array.map (fun i -> sample.(i)) idxs)
+  end
+
+let cf_oversample_fraction ~f ~n ?(failure_prob = 1e-6) () =
+  if f < 0. || f > 1. then invalid_arg "Convert.cf_oversample_fraction: f outside [0,1]";
+  if n <= 0 then invalid_arg "Convert.cf_oversample_fraction: n <= 0";
+  if f = 0. then 0.
+  else begin
+    (* Multiplicative Chernoff lower tail: a CF(f') sample of n tuples
+       falls below (1 - eps) f' n with probability <= exp(-eps^2 f' n / 2).
+       Choose eps so that (1 - eps) f' = f and the bound is failure_prob;
+       solving exactly is transcendental, so iterate a few times. *)
+    let nf = float_of_int n in
+    let target = -.log failure_prob in
+    let fprime = ref f in
+    for _ = 1 to 32 do
+      let eps = sqrt (2. *. target /. (nf *. !fprime)) in
+      fprime := f /. Float.max 1e-9 (1. -. Float.min 0.999 eps)
+    done;
+    Float.min 1. !fprime
+  end
+
+let wor_to_wr rng ~r sample =
+  let n = Array.length sample in
+  if n = 0 then
+    if r = 0 then [||] else invalid_arg "Convert.wor_to_wr: empty source with r > 0"
+  else Array.init r (fun _ -> sample.(Prng.int rng n))

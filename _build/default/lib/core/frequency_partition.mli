@@ -1,0 +1,40 @@
+(** Strategy Frequency-Partition-Sample (paper §6.3) — the hybrid that
+    needs only an end-biased histogram on R2.
+
+    The join-attribute domain is split by a frequency threshold into Dhi
+    (values the histogram tracks, i.e. frequent in R2) and Dlo. The
+    expensive part of the join — precisely the high-frequency values —
+    is sampled with Group-Sample, while the cheap low-frequency part is
+    sampled naively; r samples are taken from each side, the relative
+    join sizes nhi and nlo are measured along the way, and a Binomial(r,
+    nhi/(nhi+nlo)) coin split decides how many samples each side
+    contributes (steps 5–7), realized as WoR draws over sample
+    positions.
+
+    Theorem 8: WR sample of J; expected intermediate join fraction
+    α = (Σ_lo m1 m2 + r·Σ_hi m1 m2²/Σ_hi m1 m2) / Σ m1 m2. *)
+
+open Rsj_relation
+open Rsj_exec
+
+type detail = {
+  n_hi : int;  (** Exact |Jhi| computed from collected Rhi1 statistics. *)
+  n_lo : int;  (** Exact |Jlo| counted while J* streams by. *)
+  r_hi : int;  (** Samples contributed by the high-frequency side. *)
+  r_lo : int;  (** Samples contributed by the low-frequency side. *)
+}
+
+val sample :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  r:int ->
+  left:Tuple.t Stream0.t ->
+  left_key:int ->
+  right:Relation.t ->
+  right_key:int ->
+  histogram:Rsj_stats.Histogram.End_biased.t ->
+  Tuple.t array * detail
+(** WR sample of size [r] of R1 ⋈ R2 ([[||]] when empty), plus the
+    partition bookkeeping for validation. One pass over R1, one scan of
+    R2 to build the join hash (the same scan Naive-Sample performs), and
+    intermediate join work per Theorem 8 instead of |J|. *)

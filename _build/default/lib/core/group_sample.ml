@@ -1,0 +1,53 @@
+open Rsj_relation
+open Rsj_exec
+module Frequency = Rsj_stats.Frequency
+module Vtbl = Internals.Vtbl
+
+let sample rng ~metrics ~r ~left ~left_key ~right ~right_key ~right_stats =
+  let open Metrics in
+  let weight t1 =
+    metrics.stats_lookups <- metrics.stats_lookups + 1;
+    float_of_int (Frequency.frequency right_stats (Tuple.attr t1 left_key))
+  in
+  let s1 = Black_box.wr2 rng ~r ~weight left in
+  if Array.length s1 = 0 then [||]
+  else begin
+    (* Group the r S1 entries by join value so one scan of R2 feeds all
+       unit reservoirs. Each S1 entry is its own group even when two
+       entries are the same tuple. *)
+    let groups : int list ref Vtbl.t = Vtbl.create (2 * r) in
+    Array.iteri
+      (fun i t1 ->
+        let v = Tuple.attr t1 left_key in
+        match Vtbl.find_opt groups v with
+        | Some cell -> cell := i :: !cell
+        | None -> Vtbl.replace groups v (ref [ i ]))
+      s1;
+    let reservoirs = Array.init (Array.length s1) (fun _ -> Reservoir.Unit.create ()) in
+    Relation.iter right (fun t2 ->
+        metrics.tuples_scanned <- metrics.tuples_scanned + 1;
+        let v = Tuple.attr t2 right_key in
+        if not (Value.is_null v) then
+          match Vtbl.find_opt groups v with
+          | None -> ()
+          | Some cell ->
+              List.iter
+                (fun i ->
+                  (* Producing the pair (s_i, t2) is one intermediate
+                     join tuple of S1 ⋈ R2 — the α·|J| work of Thm 7. *)
+                  metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+                  Reservoir.Unit.feed rng reservoirs.(i) t2)
+                !cell);
+    let out =
+      Array.mapi
+        (fun i res ->
+          match Reservoir.Unit.get res with
+          | Some t2 -> Tuple.join s1.(i) t2
+          | None ->
+              failwith
+                "Group_sample.sample: sampled tuple has no match in R2 (stale statistics?)")
+        reservoirs
+    in
+    metrics.output_tuples <- metrics.output_tuples + Array.length out;
+    out
+  end

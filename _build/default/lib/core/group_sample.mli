@@ -1,0 +1,31 @@
+(** Strategy Group-Sample (paper §6.2) — Case B with statistics only.
+
+    Step 1: weighted WR sample S1 = (s1, ..., sr) from streaming R1,
+    weights m2(t.A) read from R2's frequency statistics. Step 2: join S1
+    with R2, keeping the output {e grouped by the S1 element} that
+    produced it. Step 3: from each group pick exactly one tuple
+    uniformly at random (one unit reservoir per group, so the
+    intermediate join is streamed, never materialized).
+
+    Theorem 7: the result is a WR sample of J and the intermediate join
+    computed has expected size α·|J| with
+    α = r · Σ_v m1(v)m2(v)² / (Σ_v m1(v)m2(v))².
+    No index on R2 is needed — only statistics — at the price of one
+    full scan of R2 for the S1 ⋈ R2 join. *)
+
+open Rsj_relation
+open Rsj_exec
+
+val sample :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  r:int ->
+  left:Tuple.t Stream0.t ->
+  left_key:int ->
+  right:Relation.t ->
+  right_key:int ->
+  right_stats:Rsj_stats.Frequency.t ->
+  Tuple.t array
+(** WR sample of size [r] ([[||]] on an empty join). Raises [Failure]
+    if a sampled S1 tuple finds no matches in R2, which exact statistics
+    make impossible (stale-statistics failure injection exercises it). *)

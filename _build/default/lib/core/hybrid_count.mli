@@ -1,0 +1,29 @@
+(** Strategy Hybrid-Count-Sample (paper §6.4) — Frequency-Partition with
+    Count-Sample substituted for the high-frequency side.
+
+    The partition, low-frequency naive sampling and binomial combine are
+    those of {!Frequency_partition}; the high-frequency sample is
+    produced by the Count-Sample mechanism (per-value U1 black boxes
+    over a scan of R2hi) instead of a join of S1 with R2hi. The result
+    needs {e neither} an index on R2 nor the S1 ⋈ R2hi intermediate —
+    only the end-biased histogram — at the cost of a second scan of R2.
+
+    Work: the join-hash build over R2lo, Σ_lo m1·m2 low-side join
+    outputs, one extra scan of R2, and exactly r high-side outputs. *)
+
+open Rsj_relation
+open Rsj_exec
+
+val sample :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  r:int ->
+  left:Tuple.t Stream0.t ->
+  left_key:int ->
+  right:Relation.t ->
+  right_key:int ->
+  histogram:Rsj_stats.Histogram.End_biased.t ->
+  Tuple.t array * Frequency_partition.detail
+(** WR sample of size [r] of R1 ⋈ R2 ([[||]] when empty). Raises
+    [Failure] on histogram/relation disagreement, as in
+    {!Count_sample.sample}. *)

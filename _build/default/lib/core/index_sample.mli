@@ -1,0 +1,28 @@
+(** Strategy Index-Sample (paper §6.4) — the Frequency-Partition variant
+    for when an index exists (or is quickly built) on the
+    high-frequency part of R2.
+
+    Identical partition and combine steps to
+    {!Frequency_partition.sample}, but the high-frequency side does not
+    compute S1 ⋈ R2hi: each sampled s_i is joined with a single random
+    matching tuple fetched through the index, as in Stream-Sample.
+
+    Theorem 9: WR sample of J with expected intermediate fraction
+    α = (r + Σ_lo m1 m2) / Σ m1 m2. *)
+
+open Rsj_relation
+open Rsj_exec
+
+val sample :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  r:int ->
+  left:Tuple.t Stream0.t ->
+  left_key:int ->
+  right_index:Rsj_index.Hash_index.t ->
+  histogram:Rsj_stats.Histogram.End_biased.t ->
+  Tuple.t array * Frequency_partition.detail
+(** WR sample of size [r]. The low-frequency side joins through the
+    index (index nested loops) rather than a hash build, so R2 is never
+    scanned by this strategy at all — the work is Σ_lo m1·m2 probes
+    plus r high-side probes. *)

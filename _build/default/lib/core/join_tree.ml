@@ -1,0 +1,65 @@
+open Rsj_relation
+open Rsj_exec
+
+type step = { left_col : int; right : Relation.t; right_key : int }
+type t = { base : Relation.t; steps : step list }
+
+let output_schema t =
+  List.fold_left
+    (fun acc step -> Schema.concat acc (Relation.schema step.right))
+    (Relation.schema t.base) t.steps
+
+let validate t =
+  let rec go acc_arity = function
+    | [] -> Ok ()
+    | step :: rest ->
+        if step.left_col < 0 || step.left_col >= acc_arity then
+          Error
+            (Printf.sprintf "join step: left column %d out of range for accumulated arity %d"
+               step.left_col acc_arity)
+        else if step.right_key < 0 || step.right_key >= Schema.arity (Relation.schema step.right)
+        then
+          Error
+            (Printf.sprintf "join step: right key %d out of range for %s" step.right_key
+               (Relation.name step.right))
+        else go (acc_arity + Schema.arity (Relation.schema step.right)) rest
+  in
+  go (Schema.arity (Relation.schema t.base)) t.steps
+
+let to_plan t =
+  List.fold_left
+    (fun acc step ->
+      Plan.Join
+        {
+          Plan.algorithm = Plan.Hash;
+          left = acc;
+          right = Plan.Scan step.right;
+          left_key = step.left_col;
+          right_key = step.right_key;
+        })
+    (Plan.Scan t.base) t.steps
+
+let cardinality t = Plan.count (to_plan t)
+
+let naive_sample rng ~metrics ~r t =
+  let out = Black_box.u2 rng ~r (Plan.run ~metrics (to_plan t)) in
+  out
+
+(* Split the tree into (prefix, last step); None when there are no joins. *)
+let split_last t =
+  match List.rev t.steps with
+  | [] -> None
+  | last :: rev_prefix -> Some ({ t with steps = List.rev rev_prefix }, last)
+
+let pushdown_sample rng ~metrics ~r t =
+  match split_last t with
+  | None -> Black_box.u2 rng ~r (Plan.run ~metrics (Scan t.base))
+  | Some (prefix, last) ->
+      (* The last operand is a base relation: its index and statistics
+         can pre-exist (built here, outside the strategy's work
+         model, matching the paper's setup). *)
+      let right_index = Rsj_index.Hash_index.build last.right ~key:last.right_key in
+      let right_stats = Rsj_stats.Frequency.of_relation last.right ~key:last.right_key in
+      let prefix_stream = Plan.run ~metrics (to_plan prefix) in
+      Stream_sample.sample rng ~metrics ~r ~left:prefix_stream ~left_key:last.left_col
+        ~right_index ~right_stats ()

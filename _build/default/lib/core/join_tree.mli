@@ -1,0 +1,54 @@
+(** Sampling from linear (left-deep) join trees (paper §7.2).
+
+    A linear tree joins R1 ⋈ R2, the result ⋈ R3, and so on. The
+    paper's positive result is that sampling can be pushed down to
+    {e one} operand of the topmost join: the left subtree stays a
+    pipeline (never materialized) and the sampling operator biases its
+    draw by the statistics of the right base relation — Stream-Sample
+    with the whole prefix pipeline as its streaming R1. The negative
+    results (§7.1) rule out pushing sampling into both operands.
+
+    For exact full push-down over a whole chain (the "sample from R1
+    using statistics for both R2 and R3" future-work direction), see
+    {!Chain_sample}. *)
+
+open Rsj_relation
+open Rsj_exec
+
+type step = {
+  left_col : int;
+      (** Join column as an index into the {e accumulated} (concatenated)
+          schema of everything to the left. *)
+  right : Relation.t;
+  right_key : int;
+}
+
+type t = { base : Relation.t; steps : step list }
+(** [base] is R1; each step joins the accumulated result with the next
+    base relation. *)
+
+val output_schema : t -> Schema.t
+val validate : t -> (unit, string) result
+(** Checks that every join column index is in range for the schema it
+    addresses. *)
+
+val to_plan : t -> Plan.t
+(** The full left-deep hash-join plan (no sampling). *)
+
+val cardinality : t -> int
+(** Exact |J| by counting the full join — used by tests; expensive. *)
+
+val naive_sample :
+  Rsj_util.Prng.t -> metrics:Metrics.t -> r:int -> t -> Tuple.t array
+(** Baseline: run the full tree, reservoir-sample the root output. *)
+
+val pushdown_sample :
+  Rsj_util.Prng.t -> metrics:Metrics.t -> r:int -> t -> Tuple.t array
+(** Push the sample operator through the topmost join: the prefix tree
+    streams by as R1 of a Stream-Sample whose R2 is the last relation
+    (index and statistics built here and counted as preparation, since
+    the last operand of a linear tree is a base relation). The prefix
+    join is still computed (pipelined) — the saving is never computing
+    the {e top} join — so for trees with two or more joins this wins
+    exactly when the top join is the expensive one. Falls back to the
+    naive baseline when the tree has no joins. *)

@@ -1,0 +1,66 @@
+(** Constructions and checkers for the paper's negative results
+    (Example 1; Theorems 10, 11, 12).
+
+    These are theorems, so the library "reproduces" them empirically:
+    {!example1} builds the adversarial relations whose uniform samples
+    almost surely miss every joining pair; the bound checkers evaluate
+    the theorem inequalities; and {!uniformity_check} is the chi-square
+    harness used to certify every positive strategy against the WR
+    semantics (a strategy violating uniformity would refute its
+    theorem — none does). *)
+
+open Rsj_relation
+open Rsj_util
+
+val example1 : k:int -> Relation.t * Relation.t
+(** The Example 1 pair: R1(A,B) has one tuple with A = a1 and [k]
+    tuples with A = a2; R2(A,C) has [k] tuples with A = a1 and one with
+    A = a2 (a1 = 1, a2 = 2 as integers; B/C are distinct row numbers).
+    |R1 ⋈ R2| = 2k, half on each value, yet uniform samples of R1 and
+    R2 of any fraction < 1 rarely contain (a1, b0) or (a2, c0). *)
+
+val oblivious_join_empty_prob : f1:float -> f2:float -> float
+(** For the Example 1 pair under CF sampling, every joining pair passes
+    through one of two "bridge" tuples — (a1, b0) in R1 or (a2, c0) in
+    R2 — so the join of the samples is empty whenever both bridges are
+    missed: probability at least (1-f1)·(1-f2), {e independent of k}
+    (a lower bound: the join is also empty when a bridge is kept but
+    all k partners on the other side are missed). With f1 = f2 = 1%
+    the sample join is empty ≥ 98% of the time while the true join has
+    2k tuples — the Theorem 10 phenomenon. *)
+
+val oblivious_join_trial :
+  Prng.t -> k:int -> f1:float -> f2:float -> int
+(** One Monte-Carlo trial: CF-sample both Example 1 relations and
+    return the size of the join of the samples (usually 0 — the
+    demonstration of Theorem 10). *)
+
+val thm11_feasible : m1:int -> m2:int -> f:float -> f1:float -> f2:float -> bool
+(** Theorem 11 necessary conditions in the uniform case (frequencies at
+    most [m1] in R1, [m2] in R2): with m = max(m1,m2) and
+    m' = min(m1,m2), requires f1 >= f·m2/2 and f2 >= f·m1/2 when
+    f <= 1/m, and f1 >= 1/2, f2 >= 1/2 when f >= 1/m'. Returns whether
+    (f1, f2) satisfies every condition that applies. *)
+
+val thm12_feasible : f:float -> f1:float -> f2:float -> bool
+(** Theorem 12: producing sample(R1 ⋈ R2, f) from S1, S2 requires
+    f1·f2 >= f. *)
+
+val min_symmetric_fraction : f:float -> float
+(** The smallest f1 = f2 permitted by Theorem 12: sqrt f. *)
+
+type uniformity_report = {
+  cells : int;  (** Distinct join tuples (chi-square cells). *)
+  draws : int;  (** Total sample draws counted. *)
+  chi_square : Rsj_util.Stats_math.chi_square_result;
+}
+
+val uniformity_check :
+  trials:int ->
+  universe:Tuple.t array ->
+  draw:(unit -> Tuple.t array) ->
+  uniformity_report
+(** Run [draw] [trials] times; classify every returned tuple against
+    [universe] (the exact join output) and chi-square-test the counts
+    against uniform. Raises [Invalid_argument] if a drawn tuple is not
+    in the universe (a correctness bug far worse than bias). *)

@@ -1,0 +1,32 @@
+(** Strategy Olken-Sample (paper §5.3; Olken & Rotem / Olken's thesis) —
+    the pre-existing Case C baseline.
+
+    Repeatedly: draw a uniform random tuple t1 from R1 (random access —
+    hence the index/materialization requirement on R1), draw a uniform
+    random matching tuple t2 from R2 (index), and {e accept} the pair
+    with probability m2(t1.A) / M where M bounds m2; otherwise reject
+    and retry. Theorem 5: expected M·n1/n iterations per output tuple.
+    The rejection step is the inefficiency Stream-Sample eliminates. *)
+
+open Rsj_relation
+open Rsj_exec
+
+val sample :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  r:int ->
+  left:Relation.t ->
+  left_key:int ->
+  right_index:Rsj_index.Hash_index.t ->
+  ?m_bound:int ->
+  ?max_iterations:int ->
+  unit ->
+  Tuple.t array
+(** WR sample of size [r] from R1 ⋈ R2.
+
+    [m_bound] is the upper bound M on m2(v) (default: the exact maximum
+    from the index, the most favourable choice for Olken — a looser
+    bound only increases rejections). [max_iterations] (default
+    [500_000_000]) guards against an empty join, where the loop would
+    never accept: exceeding it raises [Failure]. Raises
+    [Invalid_argument] if [left] is empty with [r > 0]. *)

@@ -1,0 +1,83 @@
+open Rsj_util
+
+module Wr = struct
+  type 'a t = {
+    r : int;
+    mutable slots : 'a array;  (* length r once first element arrives *)
+    mutable fed : int;
+    mutable total : float;
+  }
+
+  let create ~r =
+    if r < 0 then invalid_arg "Reservoir.Wr.create: r < 0";
+    { r; slots = [||]; fed = 0; total = 0. }
+
+  let feed rng t ~weight x =
+    if weight < 0. then invalid_arg "Reservoir.Wr.feed: negative weight";
+    if weight > 0. && t.r > 0 then begin
+      t.fed <- t.fed + 1;
+      t.total <- t.total +. weight;
+      if Array.length t.slots = 0 then t.slots <- Array.make t.r x
+      else begin
+        let p = weight /. t.total in
+        let flips = Dist.binomial rng ~n:t.r ~p in
+        if flips > 0 then begin
+          let slots = Prng.sample_distinct rng ~k:flips ~n:t.r in
+          Array.iter (fun s -> t.slots.(s) <- x) slots
+        end
+      end
+    end
+    else if weight > 0. then begin
+      (* r = 0: still track mass so callers can read totals. *)
+      t.fed <- t.fed + 1;
+      t.total <- t.total +. weight
+    end
+
+  let fed_count t = t.fed
+  let total_weight t = t.total
+  let contents t = Array.copy t.slots
+end
+
+module Unit = struct
+  type 'a t = { mutable kept : 'a option; mutable fed : int }
+
+  let create () = { kept = None; fed = 0 }
+
+  let feed rng t x =
+    t.fed <- t.fed + 1;
+    if t.fed = 1 then t.kept <- Some x
+    else if Prng.int rng t.fed = 0 then t.kept <- Some x
+
+  let fed_count t = t.fed
+  let get t = t.kept
+end
+
+module Wor = struct
+  type 'a t = { r : int; mutable slots : 'a array; mutable filled : int; mutable fed : int }
+
+  let create ~r =
+    if r < 0 then invalid_arg "Reservoir.Wor.create: r < 0";
+    { r; slots = [||]; filled = 0; fed = 0 }
+
+  let feed rng t x =
+    if t.r > 0 then begin
+      t.fed <- t.fed + 1;
+      if t.filled < t.r then begin
+        if Array.length t.slots = 0 then t.slots <- Array.make t.r x;
+        t.slots.(t.filled) <- x;
+        t.filled <- t.filled + 1
+      end
+      else begin
+        let j = Prng.int rng t.fed in
+        if j < t.r then t.slots.(j) <- x
+      end
+    end
+    else t.fed <- t.fed + 1
+
+  let fed_count t = t.fed
+
+  let contents t =
+    if t.filled = 0 then [||]
+    else if t.filled < t.r then Array.sub t.slots 0 t.filled
+    else Array.copy t.slots
+end

@@ -1,0 +1,57 @@
+(** Feed-based reservoirs.
+
+    The stream black boxes ({!Black_box.u2}, {!Black_box.wr2}) consume a
+    whole stream; strategies that route one input pass into several
+    samplers (Frequency-Partition-Sample splits R1 into high- and
+    low-frequency sides in a single pass) need the same samplers in
+    push style. These reservoirs are that push style; the black boxes
+    are thin wrappers over them. *)
+
+open Rsj_util
+
+(** Weighted WR reservoir of a fixed number of slots. After feeding
+    elements x with weights w(x), each slot independently holds element
+    x with probability w(x)/W — i.e. the slots are r iid weighted draws
+    (Black-Box WR2, Theorem 4; unweighted with w ≡ 1 gives U2,
+    Theorem 2). Slot updates are batched: one Binomial(r, w/W) draw per
+    fed element. *)
+module Wr : sig
+  type 'a t
+
+  val create : r:int -> 'a t
+  val feed : Prng.t -> 'a t -> weight:float -> 'a -> unit
+  (** Negative weights raise [Invalid_argument]; zero weights are
+      ignored (never sampled). *)
+
+  val fed_count : 'a t -> int
+  (** Elements with positive weight fed so far. *)
+
+  val total_weight : 'a t -> float
+
+  val contents : 'a t -> 'a array
+  (** The r draws; [[||]] when nothing with positive weight was fed.
+      Fresh array. *)
+end
+
+(** Reservoir of exactly one uniform element — the per-group sampler of
+    Group-Sample step 3. *)
+module Unit : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val feed : Prng.t -> 'a t -> 'a -> unit
+  val fed_count : 'a t -> int
+  val get : 'a t -> 'a option
+  (** Uniform over everything fed; [None] if nothing was. *)
+end
+
+(** Unweighted WoR reservoir (Vitter's Algorithm R) in push style. *)
+module Wor : sig
+  type 'a t
+
+  val create : r:int -> 'a t
+  val feed : Prng.t -> 'a t -> 'a -> unit
+  val fed_count : 'a t -> int
+  val contents : 'a t -> 'a array
+  (** min(r, fed) distinct-position elements, unspecified order. *)
+end

@@ -1,0 +1,59 @@
+(** Sampling operators as query-plan nodes.
+
+    The paper's implementation splices its black boxes into SQL Server
+    execution trees as operators ("we implemented each of these
+    black-boxes as operators ... adding an operator to the query
+    execution tree only requires creating a derived class ... and
+    implementing Open, Close, and GetRow", §8). This module is the
+    analogous integration for {!Rsj_exec.Plan}: each function wraps a
+    black box as a [Plan.Transform] node, so sampling can be placed
+    anywhere in an operator tree — e.g. the Naive-Sample plan is
+    [u1 ~n ~r (Join ...)], and Stream-Sample's weighted filter is
+    [wr2 ~r ~weight (Scan r1)] feeding a join.
+
+    Each node draws its randomness from a generator split off the one
+    supplied, so rebuilding the same plan yields the same sample. *)
+
+open Rsj_relation
+open Rsj_exec
+
+val u1 : Rsj_util.Prng.t -> n:int -> r:int -> Plan.t -> Plan.t
+(** Online unweighted WR sampling of the child's output, which must
+    produce exactly [n] rows (e.g. known from statistics). *)
+
+val u2 : Rsj_util.Prng.t -> r:int -> Plan.t -> Plan.t
+(** Blocking unweighted WR reservoir over the child's output ([n] not
+    needed). Output order is the reservoir's slot order. *)
+
+val wr1 :
+  Rsj_util.Prng.t -> total_weight:float -> r:int -> weight:(Tuple.t -> float) -> Plan.t -> Plan.t
+(** Online weighted WR sampling (total weight known in advance). *)
+
+val wr2 : Rsj_util.Prng.t -> r:int -> weight:(Tuple.t -> float) -> Plan.t -> Plan.t
+(** Blocking weighted WR reservoir. *)
+
+val coin_flip : Rsj_util.Prng.t -> f:float -> Plan.t -> Plan.t
+(** CF semantics: keep each row independently with probability [f]. *)
+
+val wor : Rsj_util.Prng.t -> n:int -> r:int -> Plan.t -> Plan.t
+(** Online WoR selection sampling; the child must produce exactly [n]
+    rows and [r <= n]. *)
+
+val naive_sample_plan :
+  Rsj_util.Prng.t -> r:int -> left:Plan.t -> right:Plan.t -> left_key:int -> right_key:int -> Plan.t
+(** The full Naive-Sample execution tree: hash join under a U2
+    reservoir — the paper's "added the U1 operator as the root of the
+    execution tree" construction, reservoir variant. *)
+
+val stream_sample_plan :
+  Rsj_util.Prng.t ->
+  r:int ->
+  left:Plan.t ->
+  left_key:int ->
+  right_index:Rsj_index.Hash_index.t ->
+  right_stats:Rsj_stats.Frequency.t ->
+  Plan.t
+(** The Stream-Sample execution tree: a WR2 operator inserted between
+    the outer scan and the join ("we inserted the WR1 operator as a
+    child of the join operator"), followed by a modified index join
+    that emits exactly one random match per outer row. *)

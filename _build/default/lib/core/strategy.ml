@@ -1,0 +1,218 @@
+open Rsj_relation
+open Rsj_exec
+module Frequency = Rsj_stats.Frequency
+module Histogram = Rsj_stats.Histogram
+module Hash_index = Rsj_index.Hash_index
+
+type t =
+  | Naive
+  | Olken
+  | Stream
+  | Group
+  | Frequency_partition
+  | Index_sample
+  | Count_sample
+  | Hybrid_count
+
+let all =
+  [ Naive; Olken; Stream; Group; Frequency_partition; Index_sample; Count_sample; Hybrid_count ]
+
+let name = function
+  | Naive -> "Naive-Sample"
+  | Olken -> "Olken-Sample"
+  | Stream -> "Stream-Sample"
+  | Group -> "Group-Sample"
+  | Frequency_partition -> "Frequency-Partition-Sample"
+  | Index_sample -> "Index-Sample"
+  | Count_sample -> "Count-Sample"
+  | Hybrid_count -> "Hybrid-Count-Sample"
+
+let of_name s =
+  let norm =
+    String.lowercase_ascii s |> String.map (function '-' | '_' | ' ' -> '-' | c -> c)
+  in
+  let strip_sample x =
+    if Filename.check_suffix x "-sample" then Filename.chop_suffix x "-sample" else x
+  in
+  match strip_sample norm with
+  | "naive" -> Some Naive
+  | "olken" -> Some Olken
+  | "stream" -> Some Stream
+  | "group" -> Some Group
+  | "frequency-partition" | "fps" -> Some Frequency_partition
+  | "index" -> Some Index_sample
+  | "count" -> Some Count_sample
+  | "hybrid-count" -> Some Hybrid_count
+  | _ -> None
+
+type requirement = Nothing | Index | Index_or_stats | Statistics | Partial_statistics
+
+(* Table 1 of the paper, extended with the §6.4 variants. *)
+let r1_requirement = function
+  | Naive | Stream | Group | Frequency_partition | Index_sample | Count_sample | Hybrid_count ->
+      Nothing
+  | Olken -> Index
+
+let r2_requirement = function
+  | Naive -> Nothing
+  | Olken -> Index_or_stats
+  | Stream -> Index_or_stats
+  | Group -> Statistics
+  | Frequency_partition -> Partial_statistics
+  | Index_sample -> Partial_statistics  (* plus an index on the hi part *)
+  | Count_sample -> Statistics
+  | Hybrid_count -> Partial_statistics
+
+let requirement_to_string = function
+  | Nothing -> "-"
+  | Index -> "Index"
+  | Index_or_stats -> "Index/Stats."
+  | Statistics -> "Statistics"
+  | Partial_statistics -> "Partial Stats."
+
+let table1 () =
+  List.map
+    (fun s ->
+      (name s, requirement_to_string (r1_requirement s), requirement_to_string (r2_requirement s)))
+    all
+
+type env = {
+  rng : Rsj_util.Prng.t;
+  left : Relation.t;
+  right : Relation.t;
+  left_key : int;
+  right_key : int;
+  histogram_fraction : float;
+  right_stats : Frequency.t Lazy.t;
+  left_stats : Frequency.t Lazy.t;
+  right_index : Hash_index.t Lazy.t;
+  histogram : Histogram.End_biased.t Lazy.t;
+}
+
+let make_env ?(seed = 0x5EED) ?(histogram_fraction = 0.05) ~left ~right ~left_key ~right_key () =
+  let right_stats = lazy (Frequency.of_relation right ~key:right_key) in
+  {
+    rng = Rsj_util.Prng.create ~seed ();
+    left;
+    right;
+    left_key;
+    right_key;
+    histogram_fraction;
+    right_stats;
+    left_stats = lazy (Frequency.of_relation left ~key:left_key);
+    right_index = lazy (Hash_index.build right ~key:right_key);
+    histogram =
+      lazy
+        (Histogram.End_biased.build_fraction (Lazy.force right_stats)
+           ~fraction:histogram_fraction);
+  }
+
+let env_left env = env.left
+let env_right env = env.right
+let env_right_stats env = Lazy.force env.right_stats
+let env_right_index env = Lazy.force env.right_index
+let env_histogram env = Lazy.force env.histogram
+let env_join_size env = Frequency.join_size (Lazy.force env.left_stats) (Lazy.force env.right_stats)
+
+type result = {
+  strategy : t;
+  sample : Tuple.t array;
+  metrics : Metrics.t;
+  elapsed_seconds : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let dispatch env strategy rng metrics ~r =
+  (* Strategies treat their R1 input as an opaque stream; the scan is
+     counted here so pipelined inputs (whose own operators already
+     count) are never double-counted. *)
+  let left () =
+    Stream0.on_element
+      (fun _ -> metrics.Metrics.tuples_scanned <- metrics.Metrics.tuples_scanned + 1)
+      (Relation.to_stream env.left)
+  in
+  match strategy with
+  | Naive ->
+      Naive_sample.sample rng ~metrics ~r ~left:(left ()) ~right:env.right
+        ~left_key:env.left_key ~right_key:env.right_key
+  | Olken ->
+      Olken_sample.sample rng ~metrics ~r ~left:env.left ~left_key:env.left_key
+        ~right_index:(Lazy.force env.right_index) ()
+  | Stream ->
+      Stream_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
+        ~right_index:(Lazy.force env.right_index)
+        ~right_stats:(Lazy.force env.right_stats) ()
+  | Group ->
+      Group_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
+        ~right:env.right ~right_key:env.right_key
+        ~right_stats:(Lazy.force env.right_stats)
+  | Frequency_partition ->
+      fst
+        (Frequency_partition.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
+           ~right:env.right ~right_key:env.right_key ~histogram:(Lazy.force env.histogram))
+  | Index_sample ->
+      fst
+        (Index_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
+           ~right_index:(Lazy.force env.right_index) ~histogram:(Lazy.force env.histogram))
+  | Count_sample ->
+      Count_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
+        ~right:env.right ~right_key:env.right_key
+        ~right_stats:(Lazy.force env.right_stats)
+  | Hybrid_count ->
+      fst
+        (Hybrid_count.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
+           ~right:env.right ~right_key:env.right_key ~histogram:(Lazy.force env.histogram))
+
+let run env strategy ~r =
+  (* Force auxiliary structures the strategy is entitled to before the
+     clock starts (the paper's indexes/statistics pre-exist). *)
+  (match r2_requirement strategy with
+  | Nothing -> ()
+  | Index -> ignore (Lazy.force env.right_index)
+  | Index_or_stats ->
+      ignore (Lazy.force env.right_index);
+      ignore (Lazy.force env.right_stats)
+  | Statistics -> ignore (Lazy.force env.right_stats)
+  | Partial_statistics -> ignore (Lazy.force env.histogram));
+  (match strategy with
+  | Index_sample -> ignore (Lazy.force env.right_index)
+  | Naive | Olken | Stream | Group | Frequency_partition | Count_sample | Hybrid_count -> ());
+  let rng = Rsj_util.Prng.split env.rng in
+  let metrics = Metrics.create () in
+  let t0 = now () in
+  let sample = dispatch env strategy rng metrics ~r in
+  let elapsed_seconds = now () -. t0 in
+  { strategy; sample; metrics; elapsed_seconds }
+
+let run_wor env strategy ~r =
+  let join_distinct = env_join_size env in
+  let target = min r join_distinct in
+  let rng = Rsj_util.Prng.split env.rng in
+  let metrics = Metrics.create () in
+  let t0 = now () in
+  let collected = Hashtbl.create (2 * r) in
+  let out = ref [] in
+  let count = ref 0 in
+  (* Draw WR batches and reject duplicates (§3 observation 1); batch
+     size r keeps the expected number of rounds small. *)
+  let rounds = ref 0 in
+  while !count < target && !rounds < 64 do
+    incr rounds;
+    let batch_rng = Rsj_util.Prng.split rng in
+    let batch = dispatch env strategy batch_rng metrics ~r in
+    let deduped = Convert.wr_to_wor batch_rng ~key:Tuple.hash ~r:(target - !count) batch in
+    Array.iter
+      (fun t ->
+        let k = Tuple.hash t in
+        if not (Hashtbl.mem collected k) then begin
+          Hashtbl.replace collected k ();
+          out := t :: !out;
+          incr count
+        end)
+      deduped
+  done;
+  if !count < target then
+    failwith "Strategy.run_wor: failed to accumulate distinct samples (very small join?)";
+  let elapsed_seconds = now () -. t0 in
+  { strategy; sample = Array.of_list !out; metrics; elapsed_seconds }

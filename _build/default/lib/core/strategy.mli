@@ -1,0 +1,88 @@
+(** Unified view over all join-sampling strategies: names, information
+    requirements (the paper's Table 1), and a single entry point that
+    prepares whatever auxiliary structures each strategy needs and runs
+    it over a common join instance.
+
+    The per-strategy modules ({!Naive_sample}, {!Olken_sample},
+    {!Stream_sample}, {!Group_sample}, {!Frequency_partition},
+    {!Index_sample}, {!Count_sample}, {!Hybrid_count}) remain the
+    precise, fully-typed API; this module is the convenience layer used
+    by the harness, the CLI, and quick experiments. *)
+
+open Rsj_relation
+open Rsj_exec
+
+type t =
+  | Naive
+  | Olken
+  | Stream
+  | Group
+  | Frequency_partition
+  | Index_sample
+  | Count_sample
+  | Hybrid_count
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+(** Case-insensitive; accepts the paper's hyphenated spellings
+    ("Stream-Sample") and the short forms ("stream"). *)
+
+(** What a strategy needs to know about an operand (Table 1). *)
+type requirement =
+  | Nothing  (** The operand may be a pure stream. *)
+  | Index  (** Random access / index required. *)
+  | Index_or_stats  (** An index or full statistics. *)
+  | Statistics  (** Full frequency statistics (no index). *)
+  | Partial_statistics  (** An end-biased histogram suffices. *)
+
+val r1_requirement : t -> requirement
+val r2_requirement : t -> requirement
+val requirement_to_string : requirement -> string
+
+val table1 : unit -> (string * string * string) list
+(** Rows of the paper's Table 1: (strategy, R1 info, R2 info). *)
+
+(** A prepared join instance: both relations materialized (so any
+    strategy can run), auxiliary structures built lazily so a strategy
+    pays only for what it requires. *)
+type env
+
+val make_env :
+  ?seed:int ->
+  ?histogram_fraction:float ->
+  left:Relation.t ->
+  right:Relation.t ->
+  left_key:int ->
+  right_key:int ->
+  unit ->
+  env
+(** [histogram_fraction] is the end-biased threshold as a fraction of
+    |R2| (the paper's k%; default 0.05 as in Figures A–E). *)
+
+val env_left : env -> Relation.t
+val env_right : env -> Relation.t
+val env_right_stats : env -> Rsj_stats.Frequency.t
+val env_right_index : env -> Rsj_index.Hash_index.t
+val env_histogram : env -> Rsj_stats.Histogram.End_biased.t
+val env_join_size : env -> int
+(** Exact |R1 ⋈ R2| (forces statistics on both sides). *)
+
+type result = {
+  strategy : t;
+  sample : Tuple.t array;
+  metrics : Metrics.t;
+  elapsed_seconds : float;  (** Wall-clock for the sampling run only
+      (auxiliary-structure construction is excluded, matching the
+      paper's setup where indexes and statistics pre-exist). *)
+}
+
+val run : env -> t -> r:int -> result
+(** Draw a WR sample of size [r] with the given strategy. A fresh
+    child generator is split off the env's seed per run, so runs are
+    reproducible and independent. *)
+
+val run_wor : env -> t -> r:int -> result
+(** WoR variant: runs the strategy with WR semantics and applies the
+    §3 conversion, topping up with further WR batches until [r]
+    distinct tuples are found (or the whole join is exhausted). *)

@@ -1,0 +1,1 @@
+lib/exec/aggregate.ml: Array Hashtbl List Option Plan Printf Rsj_relation Schema Stream0 String Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/aggregate.mli: Plan Rsj_relation Schema Stream0 Tuple

@@ -1,0 +1,1 @@
+lib/exec/io_model.ml: Metrics

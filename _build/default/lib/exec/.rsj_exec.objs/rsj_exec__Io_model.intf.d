@@ -1,0 +1,1 @@
+lib/exec/io_model.mli: Metrics

@@ -1,0 +1,1 @@
+lib/exec/plan.ml: Array Format Hashtbl List Metrics Predicate Relation Rsj_index Rsj_relation Schema Stream0 String Tuple Value

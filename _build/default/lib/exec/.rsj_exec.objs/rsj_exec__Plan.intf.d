@@ -1,0 +1,1 @@
+lib/exec/plan.mli: Format Metrics Predicate Relation Rsj_index Rsj_relation Schema Stream0 Tuple

@@ -1,0 +1,1 @@
+lib/exec/predicate.ml: Printf Rsj_relation Tuple Value

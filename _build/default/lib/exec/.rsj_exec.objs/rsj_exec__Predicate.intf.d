@@ -1,0 +1,1 @@
+lib/exec/predicate.mli: Rsj_relation Tuple Value

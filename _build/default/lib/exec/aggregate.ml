@@ -1,0 +1,118 @@
+open Rsj_relation
+
+type func =
+  | Count
+  | Count_col of int
+  | Sum of int
+  | Avg of int
+  | Min of int
+  | Max of int
+
+type t = { group_by : int list; aggregates : (string * func) list }
+
+let func_col = function
+  | Count -> None
+  | Count_col c | Sum c | Avg c | Min c | Max c -> Some c
+
+let check_cols ~input t =
+  let arity = Schema.arity input in
+  let check c =
+    if c < 0 || c >= arity then
+      invalid_arg (Printf.sprintf "Aggregate: column %d out of range (arity %d)" c arity)
+  in
+  List.iter check t.group_by;
+  List.iter (fun (_, f) -> Option.iter check (func_col f)) t.aggregates
+
+let output_schema ~input t =
+  check_cols ~input t;
+  let group_cols =
+    List.map
+      (fun c -> { Schema.name = Schema.column_name input c; ty = Schema.column_ty input c })
+      t.group_by
+  in
+  let agg_cols =
+    List.map
+      (fun (name, f) ->
+        let ty =
+          match f with
+          | Count | Count_col _ -> Value.T_int
+          | Sum _ | Avg _ -> Value.T_float
+          | Min c | Max c -> Schema.column_ty input c
+        in
+        { Schema.name; ty })
+      t.aggregates
+  in
+  Schema.create (group_cols @ agg_cols)
+
+(* Running state per aggregate per group. *)
+type acc = {
+  mutable count : int;
+  mutable non_null : int;
+  mutable sum : float;
+  mutable min_v : Value.t;
+  mutable max_v : Value.t;
+}
+
+let fresh_acc () = { count = 0; non_null = 0; sum = 0.; min_v = Value.Null; max_v = Value.Null }
+
+let feed_acc acc f row =
+  acc.count <- acc.count + 1;
+  match func_col f with
+  | None -> ()
+  | Some c ->
+      let v = Tuple.get row c in
+      if not (Value.is_null v) then begin
+        acc.non_null <- acc.non_null + 1;
+        (match f with
+        | Sum _ | Avg _ -> acc.sum <- acc.sum +. Value.to_float_exn v
+        | Count | Count_col _ | Min _ | Max _ -> ());
+        if Value.is_null acc.min_v || Value.compare v acc.min_v < 0 then acc.min_v <- v;
+        if Value.is_null acc.max_v || Value.compare v acc.max_v > 0 then acc.max_v <- v
+      end
+
+let finish_acc acc = function
+  | Count -> Value.Int acc.count
+  | Count_col _ -> Value.Int acc.non_null
+  | Sum _ -> if acc.non_null = 0 then Value.Float 0. else Value.Float acc.sum
+  | Avg _ ->
+      if acc.non_null = 0 then Value.Null
+      else Value.Float (acc.sum /. float_of_int acc.non_null)
+  | Min _ -> acc.min_v
+  | Max _ -> acc.max_v
+
+let apply t ~input stream =
+  check_cols ~input t;
+  let groups : (Tuple.t, acc array) Hashtbl.t = Hashtbl.create 64 in
+  Stream0.iter
+    (fun row ->
+      let key = Array.of_list (List.map (Tuple.get row) t.group_by) in
+      let accs =
+        match Hashtbl.find_opt groups key with
+        | Some a -> a
+        | None ->
+            let a = Array.init (List.length t.aggregates) (fun _ -> fresh_acc ()) in
+            Hashtbl.replace groups key a;
+            a
+      in
+      List.iteri (fun i (_, f) -> feed_acc accs.(i) f row) t.aggregates)
+    stream;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun key accs ->
+      let agg_values = List.mapi (fun i (_, f) -> finish_acc accs.(i) f) t.aggregates in
+      out := Array.append key (Array.of_list agg_values) :: !out)
+    groups;
+  Stream0.of_list !out
+
+let plan t child =
+  let input = Plan.schema_of child in
+  Plan.Transform
+    {
+      Plan.transform_name =
+        Printf.sprintf "Aggregate [group by %s; %s]"
+          (String.concat "," (List.map string_of_int t.group_by))
+          (String.concat ", " (List.map fst t.aggregates));
+      child;
+      out_schema = Some (output_schema ~input t);
+      apply = (fun _metrics stream -> apply t ~input stream);
+    }

@@ -1,0 +1,83 @@
+type t = {
+  mutable tuples_scanned : int;
+  mutable join_output_tuples : int;
+  mutable index_probes : int;
+  mutable hash_build_tuples : int;
+  mutable sort_tuples : int;
+  mutable output_tuples : int;
+  mutable random_accesses : int;
+  mutable rejected_samples : int;
+  mutable stats_lookups : int;
+}
+
+let create () =
+  {
+    tuples_scanned = 0;
+    join_output_tuples = 0;
+    index_probes = 0;
+    hash_build_tuples = 0;
+    sort_tuples = 0;
+    output_tuples = 0;
+    random_accesses = 0;
+    rejected_samples = 0;
+    stats_lookups = 0;
+  }
+
+let reset m =
+  m.tuples_scanned <- 0;
+  m.join_output_tuples <- 0;
+  m.index_probes <- 0;
+  m.hash_build_tuples <- 0;
+  m.sort_tuples <- 0;
+  m.output_tuples <- 0;
+  m.random_accesses <- 0;
+  m.rejected_samples <- 0;
+  m.stats_lookups <- 0
+
+let copy m =
+  {
+    tuples_scanned = m.tuples_scanned;
+    join_output_tuples = m.join_output_tuples;
+    index_probes = m.index_probes;
+    hash_build_tuples = m.hash_build_tuples;
+    sort_tuples = m.sort_tuples;
+    output_tuples = m.output_tuples;
+    random_accesses = m.random_accesses;
+    rejected_samples = m.rejected_samples;
+    stats_lookups = m.stats_lookups;
+  }
+
+let add a b =
+  {
+    tuples_scanned = a.tuples_scanned + b.tuples_scanned;
+    join_output_tuples = a.join_output_tuples + b.join_output_tuples;
+    index_probes = a.index_probes + b.index_probes;
+    hash_build_tuples = a.hash_build_tuples + b.hash_build_tuples;
+    sort_tuples = a.sort_tuples + b.sort_tuples;
+    output_tuples = a.output_tuples + b.output_tuples;
+    random_accesses = a.random_accesses + b.random_accesses;
+    rejected_samples = a.rejected_samples + b.rejected_samples;
+    stats_lookups = a.stats_lookups + b.stats_lookups;
+  }
+
+let total_work m =
+  m.tuples_scanned + m.join_output_tuples + m.index_probes + m.hash_build_tuples
+  + m.sort_tuples + m.random_accesses + m.rejected_samples + m.stats_lookups
+
+let to_assoc m =
+  [
+    ("tuples_scanned", m.tuples_scanned);
+    ("join_output_tuples", m.join_output_tuples);
+    ("index_probes", m.index_probes);
+    ("hash_build_tuples", m.hash_build_tuples);
+    ("sort_tuples", m.sort_tuples);
+    ("output_tuples", m.output_tuples);
+    ("random_accesses", m.random_accesses);
+    ("rejected_samples", m.rejected_samples);
+    ("stats_lookups", m.stats_lookups);
+  ]
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-20s %d@," k v) (to_assoc m);
+  Format.fprintf ppf "%-20s %d@]" "total_work" (total_work m)

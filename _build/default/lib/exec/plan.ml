@@ -1,0 +1,243 @@
+open Rsj_relation
+
+type join_algorithm = Hash | Merge | Nested_loop
+
+type t =
+  | Scan of Relation.t
+  | Source of source
+  | Filter of Predicate.t * t
+  | Project of int list * t
+  | Join of join
+  | Index_join of index_join
+  | Sort of int * t
+  | Limit of int * t
+  | Transform of transform
+
+and source = { source_name : string; source_schema : Schema.t; produce : unit -> Tuple.t Stream0.t }
+
+and join = {
+  algorithm : join_algorithm;
+  left : t;
+  right : t;
+  left_key : int;
+  right_key : int;
+}
+
+and index_join = { ij_left : t; ij_left_key : int; ij_index : Rsj_index.Hash_index.t }
+
+and transform = {
+  transform_name : string;
+  child : t;
+  out_schema : Schema.t option;
+  apply : Metrics.t -> Tuple.t Stream0.t -> Tuple.t Stream0.t;
+}
+
+let rec schema_of = function
+  | Scan rel -> Relation.schema rel
+  | Source s -> s.source_schema
+  | Filter (_, child) -> schema_of child
+  | Project (cols, child) -> Schema.project (schema_of child) cols
+  | Join { left; right; _ } -> Schema.concat (schema_of left) (schema_of right)
+  | Index_join { ij_left; ij_index; _ } ->
+      Schema.concat (schema_of ij_left)
+        (Relation.schema (Rsj_index.Hash_index.relation ij_index))
+  | Sort (_, child) -> schema_of child
+  | Limit (_, child) -> schema_of child
+  | Transform { child; out_schema; _ } -> (
+      match out_schema with Some s -> s | None -> schema_of child)
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* Hash join: materialize the right input into buckets, stream the left.
+   NULL keys never match (equi-join semantics). *)
+let compile_hash_join metrics left_stream right_stream ~left_key ~right_key =
+  let buckets : Tuple.t list ref Vtbl.t = Vtbl.create 1024 in
+  Stream0.iter
+    (fun row ->
+      metrics.Metrics.hash_build_tuples <- metrics.Metrics.hash_build_tuples + 1;
+      let v = Tuple.attr row right_key in
+      if not (Value.is_null v) then
+        match Vtbl.find_opt buckets v with
+        | Some cell -> cell := row :: !cell
+        | None -> Vtbl.replace buckets v (ref [ row ]))
+    right_stream;
+  (* Bucket lists are in reverse insertion order; restore storage order
+     so output order is deterministic. *)
+  Vtbl.iter (fun _ cell -> cell := List.rev !cell) buckets;
+  let matches row =
+    let v = Tuple.attr row left_key in
+    if Value.is_null v then Stream0.empty ()
+    else
+      match Vtbl.find_opt buckets v with
+      | None -> Stream0.empty ()
+      | Some cell ->
+          Stream0.map
+            (fun rrow ->
+              metrics.Metrics.join_output_tuples <- metrics.Metrics.join_output_tuples + 1;
+              Tuple.join row rrow)
+            (Stream0.of_list !cell)
+  in
+  Stream0.concat_map matches left_stream
+
+(* Merge join: sort both sides (blocking), then linear merge with
+   duplicate-group cross products. *)
+let compile_merge_join metrics left_stream right_stream ~left_key ~right_key =
+  let slurp_sorted key stream =
+    let arr = Stream0.to_array stream in
+    metrics.Metrics.sort_tuples <- metrics.Metrics.sort_tuples + Array.length arr;
+    Array.sort (fun a b -> Value.compare (Tuple.attr a key) (Tuple.attr b key)) arr;
+    arr
+  in
+  let l = slurp_sorted left_key left_stream in
+  let r = slurp_sorted right_key right_stream in
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let nl = Array.length l and nr = Array.length r in
+  while !i < nl && !j < nr do
+    let lv = Tuple.attr l.(!i) left_key and rv = Tuple.attr r.(!j) right_key in
+    if Value.is_null lv then incr i
+    else if Value.is_null rv then incr j
+    else begin
+      let c = Value.compare lv rv in
+      if c < 0 then incr i
+      else if c > 0 then incr j
+      else begin
+        (* Find both duplicate groups and emit their cross product. *)
+        let i_end = ref (!i + 1) in
+        while !i_end < nl && Value.equal (Tuple.attr l.(!i_end) left_key) lv do
+          incr i_end
+        done;
+        let j_end = ref (!j + 1) in
+        while !j_end < nr && Value.equal (Tuple.attr r.(!j_end) right_key) rv do
+          incr j_end
+        done;
+        for a = !i to !i_end - 1 do
+          for b = !j to !j_end - 1 do
+            metrics.Metrics.join_output_tuples <- metrics.Metrics.join_output_tuples + 1;
+            out := Tuple.join l.(a) r.(b) :: !out
+          done
+        done;
+        i := !i_end;
+        j := !j_end
+      end
+    end
+  done;
+  Stream0.of_list (List.rev !out)
+
+(* Block nested loop: materialize the right side, rescan per left tuple. *)
+let compile_nested_loop metrics left_stream right_stream ~left_key ~right_key =
+  let right_rows = Stream0.to_array right_stream in
+  let matches row =
+    let v = Tuple.attr row left_key in
+    if Value.is_null v then Stream0.empty ()
+    else
+      Stream0.filter_map
+        (fun rrow ->
+          let rv = Tuple.attr rrow right_key in
+          if (not (Value.is_null rv)) && Value.equal v rv then begin
+            metrics.Metrics.join_output_tuples <- metrics.Metrics.join_output_tuples + 1;
+            Some (Tuple.join row rrow)
+          end
+          else None)
+        (Stream0.of_array right_rows)
+  in
+  Stream0.concat_map matches left_stream
+
+let rec compile metrics plan : Tuple.t Stream0.t =
+  match plan with
+  | Scan rel ->
+      Stream0.on_element
+        (fun _ -> metrics.Metrics.tuples_scanned <- metrics.Metrics.tuples_scanned + 1)
+        (Relation.to_stream rel)
+  | Source s ->
+      Stream0.on_element
+        (fun _ -> metrics.Metrics.tuples_scanned <- metrics.Metrics.tuples_scanned + 1)
+        (s.produce ())
+  | Filter (pred, child) -> Stream0.filter (Predicate.eval pred) (compile metrics child)
+  | Project (cols, child) -> Stream0.map (fun row -> Tuple.project row cols) (compile metrics child)
+  | Join { algorithm; left; right; left_key; right_key } -> (
+      let ls = compile metrics left and rs = compile metrics right in
+      match algorithm with
+      | Hash -> compile_hash_join metrics ls rs ~left_key ~right_key
+      | Merge -> compile_merge_join metrics ls rs ~left_key ~right_key
+      | Nested_loop -> compile_nested_loop metrics ls rs ~left_key ~right_key)
+  | Index_join { ij_left; ij_left_key; ij_index } ->
+      let ls = compile metrics ij_left in
+      Stream0.concat_map
+        (fun row ->
+          metrics.Metrics.index_probes <- metrics.Metrics.index_probes + 1;
+          let v = Tuple.attr row ij_left_key in
+          let matches = Rsj_index.Hash_index.matching_tuples ij_index v in
+          Stream0.map
+            (fun rrow ->
+              metrics.Metrics.join_output_tuples <- metrics.Metrics.join_output_tuples + 1;
+              Tuple.join row rrow)
+            (Stream0.of_array matches))
+        ls
+  | Sort (col, child) ->
+      let rows = Stream0.to_array (compile metrics child) in
+      metrics.Metrics.sort_tuples <- metrics.Metrics.sort_tuples + Array.length rows;
+      Array.sort (fun a b -> Value.compare (Tuple.attr a col) (Tuple.attr b col)) rows;
+      Stream0.of_array rows
+  | Limit (n, child) -> Stream0.take n (compile metrics child)
+  | Transform { apply; child; _ } -> apply metrics (compile metrics child)
+
+let run ?metrics plan =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  Stream0.on_element
+    (fun _ -> metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1)
+    (compile metrics plan)
+
+let collect ?metrics plan = Stream0.to_list (run ?metrics plan)
+let count ?metrics plan = Stream0.length (run ?metrics plan)
+
+let algorithm_name = function
+  | Hash -> "hash"
+  | Merge -> "merge"
+  | Nested_loop -> "nested-loop"
+
+let rec explain_indented ppf indent plan =
+  let pad = String.make indent ' ' in
+  match plan with
+  | Scan rel ->
+      Format.fprintf ppf "%sScan %s (%d rows)@," pad (Relation.name rel) (Relation.cardinality rel)
+  | Source s -> Format.fprintf ppf "%sSource %s (pipelined)@," pad s.source_name
+  | Filter (pred, child) ->
+      Format.fprintf ppf "%sFilter [%s]@," pad (Predicate.to_string pred);
+      explain_indented ppf (indent + 2) child
+  | Project (cols, child) ->
+      Format.fprintf ppf "%sProject [%s]@," pad
+        (String.concat ", " (List.map string_of_int cols));
+      explain_indented ppf (indent + 2) child
+  | Join { algorithm; left; right; left_key; right_key } ->
+      Format.fprintf ppf "%sJoin (%s) on left.#%d = right.#%d@," pad (algorithm_name algorithm)
+        left_key right_key;
+      explain_indented ppf (indent + 2) left;
+      explain_indented ppf (indent + 2) right
+  | Index_join { ij_left; ij_left_key; ij_index } ->
+      Format.fprintf ppf "%sIndexJoin on left.#%d = %s.#%d (hash index)@," pad ij_left_key
+        (Relation.name (Rsj_index.Hash_index.relation ij_index))
+        (Rsj_index.Hash_index.key ij_index);
+      explain_indented ppf (indent + 2) ij_left
+  | Sort (col, child) ->
+      Format.fprintf ppf "%sSort on #%d@," pad col;
+      explain_indented ppf (indent + 2) child
+  | Limit (n, child) ->
+      Format.fprintf ppf "%sLimit %d@," pad n;
+      explain_indented ppf (indent + 2) child
+  | Transform { transform_name; child; _ } ->
+      Format.fprintf ppf "%s%s@," pad transform_name;
+      explain_indented ppf (indent + 2) child
+
+let explain ppf plan =
+  Format.fprintf ppf "@[<v>";
+  explain_indented ppf 0 plan;
+  Format.fprintf ppf "@]"
+
+let source_of_stream ~name schema produce =
+  Source { source_name = name; source_schema = schema; produce }

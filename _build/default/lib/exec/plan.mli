@@ -1,0 +1,66 @@
+(** Query plans and their streaming executor.
+
+    Mirrors the paper's implementation environment: a tree of operators
+    with Open/GetRow/Close discipline ("adding an operator to the query
+    execution tree only requires ... implementing the necessary
+    methods"). Plans compile to single-pass {!Rsj_relation.Stream0}
+    cursors; all work is counted in a {!Metrics.t}.
+
+    The [Transform] node is the extension point through which the
+    sampling library splices its black-box operators into a tree exactly
+    as the paper splices U1/WR1 into SQL Server plans. *)
+
+open Rsj_relation
+
+type join_algorithm = Hash | Merge | Nested_loop
+
+type t =
+  | Scan of Relation.t  (** Sequential scan of a materialized relation. *)
+  | Source of source  (** A pipelined input that is not materialized. *)
+  | Filter of Predicate.t * t
+  | Project of int list * t
+  | Join of join
+  | Index_join of index_join
+      (** Left stream probed against a prebuilt index on the right
+          relation (index nested loops). *)
+  | Sort of int * t  (** Full sort on one column (blocking). *)
+  | Limit of int * t
+  | Transform of transform
+
+and source = { source_name : string; source_schema : Schema.t; produce : unit -> Tuple.t Stream0.t }
+
+and join = {
+  algorithm : join_algorithm;
+  left : t;
+  right : t;
+  left_key : int;
+  right_key : int;
+}
+
+and index_join = { ij_left : t; ij_left_key : int; ij_index : Rsj_index.Hash_index.t }
+
+and transform = {
+  transform_name : string;
+  child : t;
+  out_schema : Schema.t option;  (** [None]: same schema as the child. *)
+  apply : Metrics.t -> Tuple.t Stream0.t -> Tuple.t Stream0.t;
+}
+
+val schema_of : t -> Schema.t
+(** Output schema of a plan. Join outputs use {!Schema.concat}. *)
+
+val run : ?metrics:Metrics.t -> t -> Tuple.t Stream0.t
+(** Compile and open the plan. The stream is single-use. Metrics are
+    accumulated into [metrics] (fresh if omitted) as tuples flow. *)
+
+val collect : ?metrics:Metrics.t -> t -> Tuple.t list
+(** Run to completion and gather the output. *)
+
+val count : ?metrics:Metrics.t -> t -> int
+(** Run to completion, counting output tuples without retaining them. *)
+
+val explain : Format.formatter -> t -> unit
+(** Operator-tree rendering, one node per line, children indented. *)
+
+val source_of_stream : name:string -> Schema.t -> (unit -> Tuple.t Stream0.t) -> t
+(** Wrap a pipelined producer as a leaf. *)

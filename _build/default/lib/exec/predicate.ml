@@ -1,0 +1,57 @@
+open Rsj_relation
+
+type t =
+  | True
+  | Eq of int * Value.t
+  | Ne of int * Value.t
+  | Lt of int * Value.t
+  | Le of int * Value.t
+  | Gt of int * Value.t
+  | Ge of int * Value.t
+  | Between of int * Value.t * Value.t
+  | Is_null of int
+  | Not_null of int
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Custom of string * (Tuple.t -> bool)
+
+let cmp_not_null op col v row =
+  let x = Tuple.get row col in
+  (not (Value.is_null x)) && op (Value.compare x v) 0
+
+let rec eval p row =
+  match p with
+  | True -> true
+  | Eq (c, v) -> cmp_not_null ( = ) c v row
+  | Ne (c, v) -> cmp_not_null ( <> ) c v row
+  | Lt (c, v) -> cmp_not_null ( < ) c v row
+  | Le (c, v) -> cmp_not_null ( <= ) c v row
+  | Gt (c, v) -> cmp_not_null ( > ) c v row
+  | Ge (c, v) -> cmp_not_null ( >= ) c v row
+  | Between (c, lo, hi) ->
+      let x = Tuple.get row c in
+      (not (Value.is_null x)) && Value.compare x lo >= 0 && Value.compare x hi <= 0
+  | Is_null c -> Value.is_null (Tuple.get row c)
+  | Not_null c -> not (Value.is_null (Tuple.get row c))
+  | And (a, b) -> eval a row && eval b row
+  | Or (a, b) -> eval a row || eval b row
+  | Not a -> not (eval a row)
+  | Custom (_, f) -> f row
+
+let rec to_string = function
+  | True -> "true"
+  | Eq (c, v) -> Printf.sprintf "#%d = %s" c (Value.to_string v)
+  | Ne (c, v) -> Printf.sprintf "#%d <> %s" c (Value.to_string v)
+  | Lt (c, v) -> Printf.sprintf "#%d < %s" c (Value.to_string v)
+  | Le (c, v) -> Printf.sprintf "#%d <= %s" c (Value.to_string v)
+  | Gt (c, v) -> Printf.sprintf "#%d > %s" c (Value.to_string v)
+  | Ge (c, v) -> Printf.sprintf "#%d >= %s" c (Value.to_string v)
+  | Between (c, lo, hi) ->
+      Printf.sprintf "#%d between %s and %s" c (Value.to_string lo) (Value.to_string hi)
+  | Is_null c -> Printf.sprintf "#%d is null" c
+  | Not_null c -> Printf.sprintf "#%d is not null" c
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "(not %s)" (to_string a)
+  | Custom (name, _) -> name

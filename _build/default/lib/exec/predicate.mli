@@ -1,0 +1,29 @@
+(** Row predicates for filter operators.
+
+    A small first-order language covering the selections the examples
+    need, plus an escape hatch ([Custom]) carrying its own description
+    for {!Plan.explain}. *)
+
+open Rsj_relation
+
+type t =
+  | True
+  | Eq of int * Value.t  (** column = constant *)
+  | Ne of int * Value.t
+  | Lt of int * Value.t
+  | Le of int * Value.t
+  | Gt of int * Value.t
+  | Ge of int * Value.t
+  | Between of int * Value.t * Value.t  (** inclusive range *)
+  | Is_null of int
+  | Not_null of int
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Custom of string * (Tuple.t -> bool)
+
+val eval : t -> Tuple.t -> bool
+(** Comparisons against NULL are false (SQL three-valued logic collapsed
+    to two values at the filter: unknown does not pass). *)
+
+val to_string : t -> string

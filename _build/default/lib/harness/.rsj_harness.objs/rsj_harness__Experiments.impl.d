@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Float Format Hashtbl List Negative Printf Report Rsj_core Rsj_exec Rsj_stats Rsj_util Rsj_workload Strategy Sys

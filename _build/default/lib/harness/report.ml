@@ -1,0 +1,36 @@
+type t = { title : string; header : string list; rows : string list list }
+
+let pct x = if Float.is_nan x then "-" else Printf.sprintf "%.1f%%" x
+
+let float_cell x =
+  if Float.is_nan x then "-"
+  else if Float.abs x >= 1000. then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3g" x
+
+let render ppf t =
+  let ncols = List.length t.header in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Report.render(%s): row arity %d, header %d" t.title
+             (List.length row) ncols))
+    t.rows;
+  let widths = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    t.rows;
+  let sep =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let render_row cells =
+    let padded =
+      List.mapi (fun i c -> Printf.sprintf " %-*s " widths.(i) c) cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  Format.fprintf ppf "@.== %s ==@.%s@.%s@.%s@." t.title sep (render_row t.header) sep;
+  List.iter (fun row -> Format.fprintf ppf "%s@." (render_row row)) t.rows;
+  Format.fprintf ppf "%s@." sep
+
+let print t = render Format.std_formatter t

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array List Printf Relation Rsj_relation Rsj_util Tuple Value

@@ -1,0 +1,1 @@
+lib/index/btree.mli: Relation Rsj_relation Rsj_util Value

@@ -1,0 +1,1 @@
+lib/index/hash_index.mli: Relation Rsj_relation Rsj_util Tuple Value

@@ -1,0 +1,485 @@
+open Rsj_relation
+
+(* A textbook in-memory B+tree with posting lists.
+
+   Nodes store keys in sorted arrays with an explicit live count, so
+   splits are array blits. Leaves are chained for ordered scans. The
+   tree maps each distinct key to a growable posting list of row ids;
+   duplicates therefore never split nodes, which keeps the worst case
+   O(log d) for d distinct keys. *)
+
+type posting = { mutable ids : int array; mutable len : int }
+
+let posting_create id = { ids = Array.make 4 id; len = 1 }
+
+let posting_add p id =
+  if p.len >= Array.length p.ids then begin
+    let fresh = Array.make (2 * Array.length p.ids) 0 in
+    Array.blit p.ids 0 fresh 0 p.len;
+    p.ids <- fresh
+  end;
+  p.ids.(p.len) <- id;
+  p.len <- p.len + 1
+
+let posting_to_array p = Array.sub p.ids 0 p.len
+
+type node =
+  | Leaf of leaf
+  | Internal of internal
+
+and leaf = {
+  mutable keys : Value.t array;
+  mutable postings : posting array;
+  mutable nkeys : int;
+  mutable next : leaf option;
+}
+
+and internal = {
+  mutable ikeys : Value.t array;  (* separator keys; child i holds keys < ikeys.(i) *)
+  mutable children : node array;
+  mutable nseps : int;  (* live separators; live children = nseps + 1 *)
+}
+
+type t = {
+  order : int;
+  mutable root : node;
+  mutable distinct : int;
+  mutable entries : int;
+}
+
+let new_leaf order =
+  { keys = Array.make order Value.Null; postings = Array.make order (posting_create 0); nkeys = 0; next = None }
+
+let create ?(order = 32) () =
+  let order = max order 4 in
+  { order; root = Leaf (new_leaf order); distinct = 0; entries = 0 }
+
+(* Find the first position in keys[0..n) with keys.(pos) >= key. *)
+let lower_bound keys n key =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index to descend into: first separator strictly greater than key
+   determines the child; keys equal to a separator go right. *)
+let child_index node key =
+  let lo = ref 0 and hi = ref node.nseps in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare node.ikeys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec find_leaf node key =
+  match node with
+  | Leaf l -> l
+  | Internal n -> find_leaf n.children.(child_index n key) key
+
+let find_posting t key =
+  let l = find_leaf t.root key in
+  let pos = lower_bound l.keys l.nkeys key in
+  if pos < l.nkeys && Value.equal l.keys.(pos) key then Some l.postings.(pos) else None
+
+(* Insertion: returns (separator, right-node) when the child split. *)
+type split = (Value.t * node) option
+
+let insert_into_leaf t l key id : split =
+  let pos = lower_bound l.keys l.nkeys key in
+  if pos < l.nkeys && Value.equal l.keys.(pos) key then begin
+    posting_add l.postings.(pos) id;
+    None
+  end
+  else begin
+    t.distinct <- t.distinct + 1;
+    if l.nkeys < t.order then begin
+      Array.blit l.keys pos l.keys (pos + 1) (l.nkeys - pos);
+      Array.blit l.postings pos l.postings (pos + 1) (l.nkeys - pos);
+      l.keys.(pos) <- key;
+      l.postings.(pos) <- posting_create id;
+      l.nkeys <- l.nkeys + 1;
+      None
+    end
+    else begin
+      (* Split: build an oversized temporary, cut at the midpoint. *)
+      let total = l.nkeys + 1 in
+      let keys = Array.make total Value.Null in
+      let postings = Array.make total (posting_create 0) in
+      Array.blit l.keys 0 keys 0 pos;
+      Array.blit l.postings 0 postings 0 pos;
+      keys.(pos) <- key;
+      postings.(pos) <- posting_create id;
+      Array.blit l.keys pos keys (pos + 1) (l.nkeys - pos);
+      Array.blit l.postings pos postings (pos + 1) (l.nkeys - pos);
+      let left_n = total / 2 in
+      let right_n = total - left_n in
+      let right = new_leaf t.order in
+      Array.blit keys left_n right.keys 0 right_n;
+      Array.blit postings left_n right.postings 0 right_n;
+      right.nkeys <- right_n;
+      right.next <- l.next;
+      Array.blit keys 0 l.keys 0 left_n;
+      Array.blit postings 0 l.postings 0 left_n;
+      (* Clear stale slots so dropped postings can be collected. *)
+      for i = left_n to t.order - 1 do
+        l.keys.(i) <- Value.Null
+      done;
+      l.nkeys <- left_n;
+      l.next <- Some right;
+      Some (right.keys.(0), Leaf right)
+    end
+  end
+
+let insert_into_internal t n pos sep child : split =
+  if n.nseps < t.order then begin
+    Array.blit n.ikeys pos n.ikeys (pos + 1) (n.nseps - pos);
+    Array.blit n.children (pos + 1) n.children (pos + 2) (n.nseps - pos);
+    n.ikeys.(pos) <- sep;
+    n.children.(pos + 1) <- child;
+    n.nseps <- n.nseps + 1;
+    None
+  end
+  else begin
+    let total = n.nseps + 1 in
+    let keys = Array.make total Value.Null in
+    let children = Array.make (total + 1) n.children.(0) in
+    Array.blit n.ikeys 0 keys 0 pos;
+    Array.blit n.children 0 children 0 (pos + 1);
+    keys.(pos) <- sep;
+    children.(pos + 1) <- child;
+    Array.blit n.ikeys pos keys (pos + 1) (n.nseps - pos);
+    Array.blit n.children (pos + 1) children (pos + 2) (n.nseps - pos);
+    let mid = total / 2 in
+    let up_key = keys.(mid) in
+    let right =
+      {
+        ikeys = Array.make (t.order + 1) Value.Null;
+        children = Array.make (t.order + 2) children.(0);
+        nseps = total - mid - 1;
+      }
+    in
+    Array.blit keys (mid + 1) right.ikeys 0 right.nseps;
+    Array.blit children (mid + 1) right.children 0 (right.nseps + 1);
+    n.nseps <- mid;
+    Array.blit keys 0 n.ikeys 0 mid;
+    Array.blit children 0 n.children 0 (mid + 1);
+    Some (up_key, Internal right)
+  end
+
+let rec insert_rec t node key id : split =
+  match node with
+  | Leaf l -> insert_into_leaf t l key id
+  | Internal n -> (
+      let ci = child_index n key in
+      match insert_rec t n.children.(ci) key id with
+      | None -> None
+      | Some (sep, child) -> insert_into_internal t n ci sep child)
+
+let insert t key id =
+  if not (Value.is_null key) then begin
+    t.entries <- t.entries + 1;
+    match insert_rec t t.root key id with
+    | None -> ()
+    | Some (sep, right) ->
+        let fresh =
+          {
+            ikeys = Array.make (t.order + 1) Value.Null;
+            children = Array.make (t.order + 2) t.root;
+            nseps = 1;
+          }
+        in
+        fresh.ikeys.(0) <- sep;
+        fresh.children.(0) <- t.root;
+        fresh.children.(1) <- right;
+        t.root <- Internal fresh
+  end
+
+let build ?order rel ~key =
+  let t = create ?order () in
+  Relation.iteri rel (fun i row -> insert t (Tuple.attr row key) i);
+  t
+
+let lookup t key =
+  match find_posting t key with Some p -> posting_to_array p | None -> [||]
+
+(* ---------------- deletion ---------------- *)
+
+(* Minimum live keys for a non-root node, matching check_invariants. *)
+let min_keys t = max 1 ((t.order / 2) - 1)
+
+let leaf_remove_at l pos =
+  Array.blit l.keys (pos + 1) l.keys pos (l.nkeys - pos - 1);
+  Array.blit l.postings (pos + 1) l.postings pos (l.nkeys - pos - 1);
+  l.nkeys <- l.nkeys - 1;
+  l.keys.(l.nkeys) <- Value.Null
+
+(* Rebalance parent n's child at index ci after it underflowed.
+   Preconditions: n has live children 0..nseps. *)
+let rebalance_child t n ci =
+  let child = n.children.(ci) in
+  let left_sibling = if ci > 0 then Some n.children.(ci - 1) else None in
+  let right_sibling = if ci < n.nseps then Some n.children.(ci + 1) else None in
+  let minimum = min_keys t in
+  match (child, left_sibling, right_sibling) with
+  | Leaf c, Some (Leaf l), _ when l.nkeys > minimum ->
+      (* Borrow the left sibling's last key. *)
+      Array.blit c.keys 0 c.keys 1 c.nkeys;
+      Array.blit c.postings 0 c.postings 1 c.nkeys;
+      c.keys.(0) <- l.keys.(l.nkeys - 1);
+      c.postings.(0) <- l.postings.(l.nkeys - 1);
+      c.nkeys <- c.nkeys + 1;
+      l.nkeys <- l.nkeys - 1;
+      l.keys.(l.nkeys) <- Value.Null;
+      n.ikeys.(ci - 1) <- c.keys.(0)
+  | Leaf c, _, Some (Leaf r) when r.nkeys > minimum ->
+      (* Borrow the right sibling's first key. *)
+      c.keys.(c.nkeys) <- r.keys.(0);
+      c.postings.(c.nkeys) <- r.postings.(0);
+      c.nkeys <- c.nkeys + 1;
+      leaf_remove_at r 0;
+      n.ikeys.(ci) <- r.keys.(0)
+  | Leaf c, Some (Leaf l), _ ->
+      (* Merge child into its left sibling. *)
+      Array.blit c.keys 0 l.keys l.nkeys c.nkeys;
+      Array.blit c.postings 0 l.postings l.nkeys c.nkeys;
+      l.nkeys <- l.nkeys + c.nkeys;
+      l.next <- c.next;
+      (* Drop separator ci-1 and child ci from the parent. *)
+      Array.blit n.ikeys ci n.ikeys (ci - 1) (n.nseps - ci);
+      Array.blit n.children (ci + 1) n.children ci (n.nseps - ci);
+      n.nseps <- n.nseps - 1
+  | Leaf c, None, Some (Leaf r) ->
+      (* Merge the right sibling into the child. *)
+      Array.blit r.keys 0 c.keys c.nkeys r.nkeys;
+      Array.blit r.postings 0 c.postings c.nkeys r.nkeys;
+      c.nkeys <- c.nkeys + r.nkeys;
+      c.next <- r.next;
+      Array.blit n.ikeys (ci + 1) n.ikeys ci (n.nseps - ci - 1);
+      Array.blit n.children (ci + 2) n.children (ci + 1) (n.nseps - ci - 1);
+      n.nseps <- n.nseps - 1
+  | Internal c, Some (Internal l), _ when l.nseps > minimum ->
+      (* Rotate right through the parent separator. *)
+      Array.blit c.ikeys 0 c.ikeys 1 c.nseps;
+      Array.blit c.children 0 c.children 1 (c.nseps + 1);
+      c.ikeys.(0) <- n.ikeys.(ci - 1);
+      c.children.(0) <- l.children.(l.nseps);
+      c.nseps <- c.nseps + 1;
+      n.ikeys.(ci - 1) <- l.ikeys.(l.nseps - 1);
+      l.nseps <- l.nseps - 1
+  | Internal c, _, Some (Internal r) when r.nseps > minimum ->
+      (* Rotate left through the parent separator. *)
+      c.ikeys.(c.nseps) <- n.ikeys.(ci);
+      c.children.(c.nseps + 1) <- r.children.(0);
+      c.nseps <- c.nseps + 1;
+      n.ikeys.(ci) <- r.ikeys.(0);
+      Array.blit r.ikeys 1 r.ikeys 0 (r.nseps - 1);
+      Array.blit r.children 1 r.children 0 r.nseps;
+      r.nseps <- r.nseps - 1
+  | Internal c, Some (Internal l), _ ->
+      (* Merge child into left sibling, pulling the separator down. *)
+      l.ikeys.(l.nseps) <- n.ikeys.(ci - 1);
+      Array.blit c.ikeys 0 l.ikeys (l.nseps + 1) c.nseps;
+      Array.blit c.children 0 l.children (l.nseps + 1) (c.nseps + 1);
+      l.nseps <- l.nseps + 1 + c.nseps;
+      Array.blit n.ikeys ci n.ikeys (ci - 1) (n.nseps - ci);
+      Array.blit n.children (ci + 1) n.children ci (n.nseps - ci);
+      n.nseps <- n.nseps - 1
+  | Internal c, None, Some (Internal r) ->
+      (* Merge right sibling into child. *)
+      c.ikeys.(c.nseps) <- n.ikeys.(ci);
+      Array.blit r.ikeys 0 c.ikeys (c.nseps + 1) r.nseps;
+      Array.blit r.children 0 c.children (c.nseps + 1) (r.nseps + 1);
+      c.nseps <- c.nseps + 1 + r.nseps;
+      Array.blit n.ikeys (ci + 1) n.ikeys ci (n.nseps - ci - 1);
+      Array.blit n.children (ci + 2) n.children (ci + 1) (n.nseps - ci - 1);
+      n.nseps <- n.nseps - 1
+  | Leaf _, None, None | Internal _, None, None ->
+      (* Only possible for the root's single child, which the caller
+         handles by collapsing the root. *)
+      ()
+  | Leaf _, Some (Internal _), _
+  | Leaf _, _, Some (Internal _)
+  | Internal _, Some (Leaf _), _
+  | Internal _, _, Some (Leaf _) ->
+      assert false (* siblings share the child's depth *)
+
+(* Remove the key entirely (used once its posting list is empty).
+   Returns true when this subtree's node underflowed. *)
+let rec remove_key_rec t node key =
+  match node with
+  | Leaf l ->
+      let pos = lower_bound l.keys l.nkeys key in
+      if pos < l.nkeys && Value.equal l.keys.(pos) key then begin
+        leaf_remove_at l pos;
+        l.nkeys < min_keys t
+      end
+      else false
+  | Internal n ->
+      let ci = child_index n key in
+      let child_underflow = remove_key_rec t n.children.(ci) key in
+      if child_underflow then begin
+        rebalance_child t n ci;
+        n.nseps < min_keys t
+      end
+      else false
+
+let collapse_root t =
+  match t.root with
+  | Internal n when n.nseps = 0 -> t.root <- n.children.(0)
+  | Internal _ | Leaf _ -> ()
+
+let delete t key id =
+  match find_posting t key with
+  | None -> false
+  | Some p -> (
+      (* Swap-remove the row id from the posting list. *)
+      let rec find i = if i >= p.len then None else if p.ids.(i) = id then Some i else find (i + 1) in
+      match find 0 with
+      | None -> false
+      | Some i ->
+          p.ids.(i) <- p.ids.(p.len - 1);
+          p.len <- p.len - 1;
+          t.entries <- t.entries - 1;
+          if p.len = 0 then begin
+            t.distinct <- t.distinct - 1;
+            ignore (remove_key_rec t t.root key);
+            collapse_root t
+          end;
+          true)
+
+let delete_key t key =
+  match find_posting t key with
+  | None -> 0
+  | Some p ->
+      let dropped = p.len in
+      p.len <- 0;
+      t.entries <- t.entries - dropped;
+      t.distinct <- t.distinct - 1;
+      ignore (remove_key_rec t t.root key);
+      collapse_root t;
+      dropped
+
+let multiplicity t key =
+  match find_posting t key with Some p -> p.len | None -> 0
+
+let random_match t rng key =
+  match find_posting t key with
+  | None -> None
+  | Some p -> Some p.ids.(Rsj_util.Prng.int rng p.len)
+
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Internal n -> leftmost_leaf n.children.(0)
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some l ->
+        for i = 0 to l.nkeys - 1 do
+          f l.keys.(i) (posting_to_array l.postings.(i))
+        done;
+        walk l.next
+  in
+  walk (Some (leftmost_leaf t.root))
+
+let range t ~lo ~hi =
+  let out = ref [] in
+  let start =
+    match lo with
+    | None -> leftmost_leaf t.root
+    | Some v -> find_leaf t.root v
+  in
+  let above_hi key = match hi with None -> false | Some v -> Value.compare key v > 0 in
+  let below_lo key = match lo with None -> false | Some v -> Value.compare key v < 0 in
+  let rec walk = function
+    | None -> ()
+    | Some l ->
+        let stop = ref false in
+        for i = 0 to l.nkeys - 1 do
+          let k = l.keys.(i) in
+          if not (below_lo k) then
+            if above_hi k then stop := true
+            else out := (k, posting_to_array l.postings.(i)) :: !out
+        done;
+        if not !stop then walk l.next
+  in
+  walk (Some start);
+  List.rev !out
+
+let min_key t =
+  let l = leftmost_leaf t.root in
+  if l.nkeys = 0 then None else Some l.keys.(0)
+
+let max_key t =
+  let rec rightmost = function
+    | Leaf l -> l
+    | Internal n -> rightmost n.children.(n.nseps)
+  in
+  let l = rightmost t.root in
+  if l.nkeys = 0 then None else Some l.keys.(l.nkeys - 1)
+
+let distinct_key_count t = t.distinct
+let entry_count t = t.entries
+
+let height t =
+  let rec go acc = function Leaf _ -> acc | Internal n -> go (acc + 1) n.children.(0) in
+  go 1 t.root
+
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let min_keys = (t.order / 2) - 1 in
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  (* Returns (depth, min_key, max_key) of the subtree. *)
+  let rec check ~is_root node =
+    match node with
+    | Leaf l ->
+        if (not is_root) && l.nkeys < max 1 min_keys then
+          fail "leaf underflow: %d keys (min %d)" l.nkeys min_keys;
+        if l.nkeys > t.order then fail "leaf overflow: %d keys" l.nkeys;
+        for i = 1 to l.nkeys - 1 do
+          if Value.compare l.keys.(i - 1) l.keys.(i) >= 0 then fail "leaf keys not strictly sorted"
+        done;
+        if l.nkeys = 0 then (1, None, None)
+        else (1, Some l.keys.(0), Some l.keys.(l.nkeys - 1))
+    | Internal n ->
+        if n.nseps < 1 then fail "internal node without separators";
+        if n.nseps > t.order then fail "internal overflow: %d separators" n.nseps;
+        for i = 1 to n.nseps - 1 do
+          if Value.compare n.ikeys.(i - 1) n.ikeys.(i) >= 0 then
+            fail "separators not strictly sorted"
+        done;
+        let depth = ref 0 in
+        let lo = ref None and hi = ref None in
+        for i = 0 to n.nseps do
+          let d, cmin, cmax = check ~is_root:false n.children.(i) in
+          if !depth = 0 then depth := d
+          else if d <> !depth then fail "leaves at differing depths";
+          if i = 0 then lo := cmin;
+          if i = n.nseps then hi := cmax;
+          (* Child i must lie in [sep(i-1), sep(i)) — keys equal to a
+             separator live in the right child. *)
+          (match (cmin, if i = 0 then None else Some n.ikeys.(i - 1)) with
+          | Some k, Some sep when Value.compare k sep < 0 ->
+              fail "child key below left separator"
+          | _ -> ());
+          match (cmax, if i = n.nseps then None else Some n.ikeys.(i)) with
+          | Some k, Some sep when Value.compare k sep >= 0 ->
+              fail "child key at or above right separator"
+          | _ -> ()
+        done;
+        (!depth + 1, !lo, !hi)
+  in
+  match check ~is_root:true t.root with
+  | (_ : int * Value.t option * Value.t option) ->
+      (* Cross-check entry accounting. *)
+      let d = ref 0 and e = ref 0 in
+      iter t (fun _ ids ->
+          incr d;
+          e := !e + Array.length ids);
+      if !d <> t.distinct then err "distinct count drift: stored %d, counted %d" t.distinct !d
+      else if !e <> t.entries then err "entry count drift: stored %d, counted %d" t.entries !e
+      else Ok ()
+  | exception Bad msg -> Error msg

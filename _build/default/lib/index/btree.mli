@@ -1,0 +1,62 @@
+(** B+tree index on an attribute, standing in for the SQL Server B-tree
+    indexes of the paper's experimental setup.
+
+    Keys are {!Rsj_relation.Value.t}; each key maps to the list of row
+    ids holding it. The tree supports point probes (what the sampling
+    strategies need), ordered iteration and range scans (what a real
+    engine additionally provides — exercised by the merge-join path and
+    by tests), and exposes an invariant checker for property-based
+    testing. Duplicate keys are stored once with a growing posting list,
+    so multiplicity queries are O(log n). *)
+
+open Rsj_relation
+
+type t
+
+val create : ?order:int -> unit -> t
+(** [create ~order ()] builds an empty tree; [order] is the maximum
+    number of keys per node (default 32, minimum 4). *)
+
+val build : ?order:int -> Relation.t -> key:int -> t
+(** Index column [key] of the relation (NULLs excluded, as in
+    {!Hash_index.build}). *)
+
+val insert : t -> Value.t -> int -> unit
+(** [insert t v row_id] appends [row_id] to the posting list of [v].
+    [Null] keys are ignored. *)
+
+val lookup : t -> Value.t -> int array
+(** Row ids for an exact key match (copy; callers may mutate). *)
+
+val delete : t -> Value.t -> int -> bool
+(** [delete t v row_id] removes one occurrence of [row_id] from [v]'s
+    posting list; when the posting list empties the key is removed and
+    the tree rebalanced (borrow from a sibling, else merge, collapsing
+    the root as needed). Returns [false] when the (key, row id) pair is
+    not present. Posting-list order is not preserved. *)
+
+val delete_key : t -> Value.t -> int
+(** [delete_key t v] removes [v] entirely; returns how many row ids
+    were dropped (0 when absent). *)
+
+val multiplicity : t -> Value.t -> int
+val random_match : t -> Rsj_util.Prng.t -> Value.t -> int option
+(** Uniform random row id among the matches, or [None] if absent. *)
+
+val range : t -> lo:Value.t option -> hi:Value.t option -> (Value.t * int array) list
+(** Inclusive range scan in key order; [None] bounds are open-ended. *)
+
+val iter : t -> (Value.t -> int array -> unit) -> unit
+(** In-order traversal over (key, posting list). *)
+
+val min_key : t -> Value.t option
+val max_key : t -> Value.t option
+val distinct_key_count : t -> int
+val entry_count : t -> int
+(** Total row ids stored (sum of posting-list lengths). *)
+
+val height : t -> int
+val check_invariants : t -> (unit, string) result
+(** Structural check: sorted keys, node occupancy in [ceil(order/2)-1,
+    order] except the root, uniform leaf depth, separator consistency.
+    Used by qcheck properties. *)

@@ -1,0 +1,74 @@
+open Rsj_relation
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  relation : Relation.t;
+  key : int;
+  buckets : int array Vtbl.t;  (* value -> row ids, in row order *)
+  mutable max_mult : int;
+  mutable probes : int;
+}
+
+let build relation ~key =
+  (* Two-pass build: count multiplicities, then fill fixed-size buckets.
+     Avoids per-value list reversal and keeps row ids in storage order. *)
+  let counts = Vtbl.create 1024 in
+  Relation.iter relation (fun row ->
+      let v = Tuple.attr row key in
+      if not (Value.is_null v) then
+        Vtbl.replace counts v (1 + Option.value ~default:0 (Vtbl.find_opt counts v)));
+  let buckets = Vtbl.create (Vtbl.length counts) in
+  let fill = Vtbl.create (Vtbl.length counts) in
+  let max_mult = ref 0 in
+  Vtbl.iter
+    (fun v c ->
+      Vtbl.replace buckets v (Array.make c (-1));
+      Vtbl.replace fill v 0;
+      if c > !max_mult then max_mult := c)
+    counts;
+  Relation.iteri relation (fun i row ->
+      let v = Tuple.attr row key in
+      if not (Value.is_null v) then begin
+        let slot = Vtbl.find fill v in
+        (Vtbl.find buckets v).(slot) <- i;
+        Vtbl.replace fill v (slot + 1)
+      end);
+  { relation; key; buckets; max_mult = !max_mult; probes = 0 }
+
+let relation t = t.relation
+let key t = t.key
+
+let empty_rows : int array = [||]
+
+let lookup t v =
+  t.probes <- t.probes + 1;
+  if Value.is_null v then empty_rows
+  else match Vtbl.find_opt t.buckets v with Some ids -> ids | None -> empty_rows
+
+let multiplicity t v = Array.length (lookup t v)
+
+let matching_tuples t v = Array.map (Relation.get t.relation) (lookup t v)
+
+let random_match t rng v =
+  let ids = lookup t v in
+  let m = Array.length ids in
+  if m = 0 then None else Some (Relation.get t.relation ids.(Rsj_util.Prng.int rng m))
+
+let distinct_keys t =
+  let out = Array.make (Vtbl.length t.buckets) Value.Null in
+  let i = ref 0 in
+  Vtbl.iter
+    (fun v _ ->
+      out.(!i) <- v;
+      incr i)
+    t.buckets;
+  out
+
+let max_multiplicity t = t.max_mult
+let probe_count t = t.probes

@@ -1,0 +1,43 @@
+(** Hash index from join-attribute value to row ids.
+
+    This is the access structure Olken-Sample and Stream-Sample need on
+    R2: given a value [v], enumerate or randomly pick one of the [m2(v)]
+    matching tuples (paper §5.3, §6.1). NULL join values are excluded at
+    build time, matching equi-join semantics. *)
+
+open Rsj_relation
+
+type t
+
+val build : Relation.t -> key:int -> t
+(** [build r ~key] indexes column [key] of [r] in one scan. *)
+
+val relation : t -> Relation.t
+val key : t -> int
+
+val lookup : t -> Value.t -> int array
+(** Row ids of tuples whose key equals the probe value (shared array —
+    do not mutate). Empty for misses and for [Null]. *)
+
+val multiplicity : t -> Value.t -> int
+(** [multiplicity t v] is m(v), the number of matching tuples. *)
+
+val matching_tuples : t -> Value.t -> Tuple.t array
+(** Freshly allocated array of the matching tuples — the paper's
+    [Jt(R2)]. *)
+
+val random_match : t -> Rsj_util.Prng.t -> Value.t -> Tuple.t option
+(** [random_match t rng v] is a uniform random tuple among those with key
+    [v] (one index probe plus one O(1) pick), or [None] when m(v) = 0.
+    This is the Step 2(b) primitive of Stream-Sample and Olken-Sample. *)
+
+val distinct_keys : t -> Value.t array
+(** The distinct indexed values, in unspecified order. *)
+
+val max_multiplicity : t -> int
+(** Largest m(v) over the domain — the upper bound M of Olken-Sample. *)
+
+val probe_count : t -> int
+(** Number of probes served since construction ({!lookup},
+    {!multiplicity}, {!matching_tuples}, {!random_match} each count 1);
+    feeds the work model. *)

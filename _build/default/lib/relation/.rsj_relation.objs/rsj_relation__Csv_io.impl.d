@@ -1,0 +1,1 @@
+lib/relation/csv_io.ml: Array Buffer Filename Fun List Printf Relation Schema String Value

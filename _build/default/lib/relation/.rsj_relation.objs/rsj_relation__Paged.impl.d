@@ -1,0 +1,1 @@
+lib/relation/paged.ml: Array Printf Relation Stream0

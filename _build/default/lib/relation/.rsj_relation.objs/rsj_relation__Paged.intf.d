@@ -1,0 +1,1 @@
+lib/relation/paged.mli: Relation Stream0 Tuple

@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array Format List Printf Rsj_util Schema Stream0 Tuple

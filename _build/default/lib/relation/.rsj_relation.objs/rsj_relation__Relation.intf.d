@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Format Rsj_util Schema Stream0 Tuple Value

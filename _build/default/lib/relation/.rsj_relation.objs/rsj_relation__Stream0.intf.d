@@ -1,0 +1,1 @@
+lib/relation/stream0.mli: Seq

@@ -1,0 +1,21 @@
+(** Minimal CSV import/export so examples and the CLI can exchange data
+    with other tools.
+
+    The dialect is deliberately simple: comma separator, double-quote
+    quoting with doubled quotes inside quoted fields, one header row with
+    column names. Values are parsed according to the target schema;
+    the literal empty unquoted field denotes NULL. *)
+
+val save : path:string -> Relation.t -> unit
+(** Write the relation with a header row. Overwrites [path]. *)
+
+val load : path:string -> Schema.t -> Relation.t
+(** Read a CSV produced by {!save} (or compatible). The header row is
+    checked against the schema's column names. Raises [Failure] with a
+    line-numbered message on malformed input. *)
+
+val parse_line : string -> string list
+(** Exposed for tests: split one CSV record into raw fields. *)
+
+val escape_field : string -> string
+(** Exposed for tests: quote a field if it needs quoting. *)

@@ -1,0 +1,65 @@
+type t = {
+  relation : Relation.t;
+  tuples_per_page : int;
+  mutable pages_read : int;
+  mutable cached_page : int;  (* -1 = nothing pinned *)
+}
+
+let create ?(tuples_per_page = 100) relation =
+  if tuples_per_page <= 0 then invalid_arg "Paged.create: tuples_per_page <= 0";
+  { relation; tuples_per_page; pages_read = 0; cached_page = -1 }
+
+let relation t = t.relation
+let tuples_per_page t = t.tuples_per_page
+let cardinality t = Relation.cardinality t.relation
+
+let page_count t =
+  (Relation.cardinality t.relation + t.tuples_per_page - 1) / t.tuples_per_page
+
+let page_of_tuple t i = i / t.tuples_per_page
+
+let read_page t p =
+  let pages = page_count t in
+  if p < 0 || p >= pages then
+    invalid_arg (Printf.sprintf "Paged.read_page: page %d out of range [0,%d)" p pages);
+  if t.cached_page <> p then begin
+    t.pages_read <- t.pages_read + 1;
+    t.cached_page <- p
+  end;
+  let start = p * t.tuples_per_page in
+  let stop = min (start + t.tuples_per_page) (Relation.cardinality t.relation) in
+  Array.init (stop - start) (fun i -> Relation.get t.relation (start + i))
+
+let fetch t i =
+  let n = cardinality t in
+  if i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Paged.fetch: tuple %d out of range [0,%d)" i n);
+  let page = read_page t (page_of_tuple t i) in
+  page.(i mod t.tuples_per_page)
+
+let scan t =
+  let pages = page_count t in
+  let current = ref [||] in
+  let page_idx = ref 0 in
+  let tuple_idx = ref 0 in
+  let rec next () =
+    if !tuple_idx < Array.length !current then begin
+      let row = !current.(!tuple_idx) in
+      incr tuple_idx;
+      Some row
+    end
+    else if !page_idx < pages then begin
+      current := read_page t !page_idx;
+      incr page_idx;
+      tuple_idx := 0;
+      next ()
+    end
+    else None
+  in
+  Stream0.make ~next ()
+
+let pages_read t = t.pages_read
+
+let reset_io t =
+  t.pages_read <- 0;
+  t.cached_page <- -1

@@ -1,0 +1,40 @@
+(** Paged view of a relation: simulated disk blocks.
+
+    The paper notes that Black-Box U1 "can be efficiently extended to
+    block-level sampling on disk" and "can be made efficient by reading
+    only those records that get into the reservoir, by generating
+    random intervals of records to be skipped" (§4.1). This module
+    provides the substrate for that claim: a relation chopped into
+    fixed-size pages with a fetch counter, so sampling algorithms can
+    be compared by {e pages touched} rather than tuples touched.
+
+    The view is read-only and shares the underlying storage. *)
+
+type t
+
+val create : ?tuples_per_page:int -> Relation.t -> t
+(** Wrap a relation (default 100 tuples/page; must be positive). *)
+
+val relation : t -> Relation.t
+val tuples_per_page : t -> int
+val cardinality : t -> int
+val page_count : t -> int
+
+val page_of_tuple : t -> int -> int
+(** Page holding global tuple index [i]. *)
+
+val read_page : t -> int -> Tuple.t array
+(** Fetch page [p] (0-based), counting one page read. The most recently
+    fetched page is cached: re-reading it is free, modelling the buffer
+    pool's current pin. Raises [Invalid_argument] out of range. *)
+
+val fetch : t -> int -> Tuple.t
+(** Fetch one tuple by global index through {!read_page}. *)
+
+val scan : t -> Tuple.t Stream0.t
+(** Full sequential scan, page at a time ([page_count] reads). *)
+
+val pages_read : t -> int
+(** Pages fetched since creation or the last {!reset_io}. *)
+
+val reset_io : t -> unit

@@ -1,0 +1,56 @@
+(** Materialized relations: a schema plus a growable row store.
+
+    A materialized relation supports random access by row id — the
+    capability Olken-Sample needs on R1 ("sample a tuple t1 ∈ R1
+    uniformly at random") and that streamed inputs deliberately lack.
+    Building an index or exact statistics requires materialization;
+    Case B strategies consume R1 only through {!to_stream}. *)
+
+type t
+
+val create : ?name:string -> ?capacity:int -> Schema.t -> t
+(** Fresh empty relation. [capacity] pre-sizes the row store. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+(** Number of rows — the paper's [n]. *)
+
+val append : t -> Tuple.t -> unit
+(** [append t row] validates [row] against the schema and stores it.
+    Raises [Invalid_argument] with the validation message on mismatch. *)
+
+val append_unchecked : t -> Tuple.t -> unit
+(** Hot-path insert that skips validation (used by generators that
+    construct rows from the schema itself). *)
+
+val get : t -> int -> Tuple.t
+(** [get t i] is row [i] (0-based). Raises [Invalid_argument] when out of
+    range. This is the random-access primitive. *)
+
+val iter : t -> (Tuple.t -> unit) -> unit
+val iteri : t -> (int -> Tuple.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Tuple.t -> 'a) -> 'a
+
+val of_tuples : ?name:string -> Schema.t -> Tuple.t list -> t
+val of_rows : ?name:string -> Schema.t -> Value.t list list -> t
+
+val to_stream : t -> Tuple.t Stream0.t
+(** A single-pass cursor over the rows in storage order. The cursor does
+    not reveal the relation's cardinality — strategies that need [n] must
+    take it as an explicit argument, mirroring the paper's distinction
+    between U1 (knows [n]) and U2 (does not). *)
+
+val to_list : t -> Tuple.t list
+val to_array : t -> Tuple.t array
+(** Copies; mutating the result does not affect the relation. *)
+
+val random_row : t -> Rsj_util.Prng.t -> Tuple.t
+(** Uniform random row; the Olken-Sample access path. Raises
+    [Invalid_argument] on an empty relation. *)
+
+val column_values : t -> int -> Value.t array
+(** All values in one column, in row order. *)
+
+val pp_sample : ?limit:int -> Format.formatter -> t -> unit
+(** Debug printer showing up to [limit] rows (default 10). *)

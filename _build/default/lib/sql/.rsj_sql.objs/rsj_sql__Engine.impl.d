@@ -1,0 +1,1 @@
+lib/sql/engine.ml: Array Ast Hashtbl List Option Parser Printf Relation Rsj_core Rsj_exec Rsj_relation Rsj_util Schema Stream0 String Tuple Value

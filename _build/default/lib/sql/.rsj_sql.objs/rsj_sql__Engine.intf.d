@@ -1,0 +1,1 @@
+lib/sql/engine.mli: Ast Relation Rsj_exec Rsj_relation Schema Tuple

@@ -1,0 +1,463 @@
+open Rsj_relation
+module Plan = Rsj_exec.Plan
+module Metrics = Rsj_exec.Metrics
+module Predicate = Rsj_exec.Predicate
+module Aggregate = Rsj_exec.Aggregate
+module Strategy = Rsj_core.Strategy
+
+type catalog = (string * Relation.t) list
+
+type query_result = {
+  schema : Schema.t;
+  rows : Tuple.t list;
+  metrics : Metrics.t;
+  plan : Plan.t;
+}
+
+exception Plan_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Plan_error s)) fmt
+
+(* A bound table: how FROM entry [index] maps into the concatenated
+   join row. *)
+type binding = {
+  label : string;  (* alias if given, else table name *)
+  relation : Relation.t;
+  offset : int;  (* first column of this table in the joined row *)
+}
+
+let lookup_table catalog name =
+  match List.assoc_opt name catalog with
+  | Some rel -> rel
+  | None -> fail "unknown table %S" name
+
+let bind_tables catalog from =
+  let seen = Hashtbl.create 8 in
+  let offset = ref 0 in
+  List.map
+    (fun (name, alias) ->
+      let rel = lookup_table catalog name in
+      let label = Option.value ~default:name alias in
+      if Hashtbl.mem seen label then fail "duplicate table label %S in FROM" label;
+      Hashtbl.replace seen label ();
+      let b = { label; relation = rel; offset = !offset } in
+      offset := !offset + Schema.arity (Relation.schema rel);
+      b)
+    from
+
+(* Resolve a column reference against a subset of bindings; returns the
+   global position in the joined row. *)
+let resolve bindings (c : Ast.column) =
+  let candidates =
+    List.filter_map
+      (fun b ->
+        let matches_table =
+          match c.Ast.table with None -> true | Some t -> t = b.label
+        in
+        if not matches_table then None
+        else
+          Option.map
+            (fun idx -> (b, b.offset + idx))
+            (Schema.column_index_opt (Relation.schema b.relation) c.Ast.name))
+      bindings
+  in
+  match candidates with
+  | [ (_, pos) ] -> pos
+  | [] -> fail "unknown column %s" (Ast.column_to_string c)
+  | _ :: _ :: _ -> fail "ambiguous column %s" (Ast.column_to_string c)
+
+let resolve_opt bindings c =
+  match resolve bindings c with pos -> Some pos | exception Plan_error _ -> None
+
+let value_of_literal = function
+  | Ast.L_int i -> Value.Int i
+  | Ast.L_float f -> Value.Float f
+  | Ast.L_str s -> Value.Str s
+
+let constant_predicate pos cmp lit =
+  let v = value_of_literal lit in
+  match (cmp : Ast.comparison) with
+  | Eq -> Predicate.Eq (pos, v)
+  | Ne -> Predicate.Ne (pos, v)
+  | Lt -> Predicate.Lt (pos, v)
+  | Le -> Predicate.Le (pos, v)
+  | Gt -> Predicate.Gt (pos, v)
+  | Ge -> Predicate.Ge (pos, v)
+
+let column_predicate lpos cmp rpos =
+  let test op row =
+    let a = Tuple.get row lpos and b = Tuple.get row rpos in
+    (not (Value.is_null a)) && (not (Value.is_null b)) && op (Value.compare a b) 0
+  in
+  let name op_str = Printf.sprintf "#%d %s #%d" lpos op_str rpos in
+  match (cmp : Ast.comparison) with
+  | Eq -> Predicate.Custom (name "=", test ( = ))
+  | Ne -> Predicate.Custom (name "<>", test ( <> ))
+  | Lt -> Predicate.Custom (name "<", test ( < ))
+  | Le -> Predicate.Custom (name "<=", test ( <= ))
+  | Gt -> Predicate.Custom (name ">", test ( > ))
+  | Ge -> Predicate.Custom (name ">=", test ( >= ))
+
+(* Split WHERE into: per-table constant conditions, equi-join
+   conditions (col = col across tables), and everything else. *)
+type classified = {
+  constants : (string * Ast.condition) list;  (* binding label, cond *)
+  equijoins : (Ast.column * Ast.column) list;
+  residual : Ast.condition list;
+}
+
+let classify bindings conds =
+  let binding_of c =
+    List.find_opt
+      (fun b ->
+        (match c.Ast.table with None -> true | Some t -> t = b.label)
+        && Schema.column_index_opt (Relation.schema b.relation) c.Ast.name <> None)
+      bindings
+  in
+  List.fold_left
+    (fun acc cond ->
+      match cond.Ast.right with
+      | Ast.O_lit _ -> (
+          match binding_of cond.Ast.left with
+          | Some b -> { acc with constants = (b.label, cond) :: acc.constants }
+          | None -> fail "unknown column %s" (Ast.column_to_string cond.Ast.left))
+      | Ast.O_col rc -> (
+          match (cond.Ast.cmp, binding_of cond.Ast.left, binding_of rc) with
+          | Ast.Eq, Some bl, Some br when bl.label <> br.label ->
+              { acc with equijoins = (cond.Ast.left, rc) :: acc.equijoins }
+          | _ -> { acc with residual = cond :: acc.residual }))
+    { constants = []; equijoins = []; residual = [] }
+    conds
+
+(* ------------------------------------------------------------------ *)
+(* Join tree construction (left-deep, FROM order)                      *)
+
+let build_join_tree bindings equijoins =
+  match bindings with
+  | [] -> fail "FROM list is empty"
+  | first :: rest ->
+      let used = ref [] in
+      let bound = ref [ first ] in
+      let plan = ref (Plan.Scan first.relation) in
+      List.iter
+        (fun b ->
+          (* Find an equi-join between the bound prefix and table b. *)
+          let found =
+            List.find_opt
+              (fun (l, r) ->
+                let in_prefix c = resolve_opt !bound c <> None in
+                let in_new c = resolve_opt [ { b with offset = 0 } ] c <> None in
+                (in_prefix l && in_new r) || (in_prefix r && in_new l))
+              (List.filter (fun j -> not (List.memq j !used)) equijoins)
+          in
+          match found with
+          | None ->
+              fail "no equi-join predicate connects table %S to the preceding tables" b.label
+          | Some ((l, r) as j) ->
+              used := j :: !used;
+              let prefix_col, new_col =
+                if resolve_opt !bound l <> None then (l, r) else (r, l)
+              in
+              let left_key = resolve !bound prefix_col in
+              let right_key = resolve [ { b with offset = 0 } ] new_col in
+              plan :=
+                Plan.Join
+                  {
+                    Plan.algorithm = Plan.Hash;
+                    left = !plan;
+                    right = Plan.Scan b.relation;
+                    left_key;
+                    right_key;
+                  };
+              bound := !bound @ [ b ])
+        rest;
+      let unused =
+        List.filter (fun j -> not (List.memq j !used)) equijoins
+      in
+      (!plan, !bound, unused)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+
+let filtered_relation b conds =
+  if conds = [] then b.relation
+  else begin
+    let local = [ { b with offset = 0 } ] in
+    let preds =
+      List.map
+        (fun cond ->
+          let pos = resolve local cond.Ast.left in
+          match cond.Ast.right with
+          | Ast.O_lit lit -> constant_predicate pos cond.Ast.cmp lit
+          | Ast.O_col _ -> assert false)
+        conds
+    in
+    let out = Relation.create ~name:(b.label ^ "_filtered") (Relation.schema b.relation) in
+    Relation.iter b.relation (fun row ->
+        if List.for_all (fun p -> Predicate.eval p row) preds then
+          Relation.append_unchecked out row);
+    out
+  end
+
+let strategy_sample_plan ~seed bindings classified (sample : Ast.sample_clause) strategy_name =
+  let strategy =
+    match Strategy.of_name strategy_name with
+    | Some s -> s
+    | None -> fail "unknown sampling strategy %S" strategy_name
+  in
+  match (bindings, classified.equijoins, classified.residual) with
+  | [ b1; b2 ], [ (l, r) ], [] ->
+      (* Push constant selections below the sampling (selection
+         commutes with sampling), then run the strategy. *)
+      let conds_for label =
+        List.filter_map
+          (fun (lbl, c) -> if lbl = label then Some c else None)
+          classified.constants
+      in
+      let left_rel = filtered_relation b1 (conds_for b1.label) in
+      let right_rel = filtered_relation b2 (conds_for b2.label) in
+      let local1 = [ { b1 with relation = left_rel; offset = 0 } ] in
+      let local2 = [ { b2 with relation = right_rel; offset = 0 } ] in
+      let left_key, right_key =
+        if resolve_opt local1 l <> None && resolve_opt local2 r <> None then
+          (resolve local1 l, resolve local2 r)
+        else (resolve local1 r, resolve local2 l)
+      in
+      let env =
+        Strategy.make_env ~seed ~left:left_rel ~right:right_rel ~left_key ~right_key ()
+      in
+      let res = Strategy.run env strategy ~r:sample.Ast.size in
+      let schema =
+        Schema.concat (Relation.schema left_rel) (Relation.schema right_rel)
+      in
+      let rows = res.Strategy.sample in
+      Plan.source_of_stream ~name:(Printf.sprintf "Sample[%s, r=%d]" (Strategy.name strategy) sample.Ast.size)
+        schema
+        (fun () -> Stream0.of_array rows)
+  | _ ->
+      fail
+        "SAMPLE ... USING requires exactly two tables joined by one equi-join predicate and \
+         no cross-table filters (got %d tables, %d join predicates, %d residual conditions)"
+        (List.length bindings)
+        (List.length classified.equijoins)
+        (List.length classified.residual)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation and projection                                          *)
+
+let has_aggregates select =
+  List.exists (function Ast.S_agg _ -> true | Ast.S_star | Ast.S_col _ -> false) select
+
+let agg_name f arg alias =
+  match alias with
+  | Some a -> a
+  | None -> (
+      let base =
+        match (f : Ast.agg_func) with
+        | Count -> "count"
+        | Sum -> "sum"
+        | Avg -> "avg"
+        | Min -> "min"
+        | Max -> "max"
+      in
+      match arg with
+      | Some c -> Printf.sprintf "%s(%s)" base (Ast.column_to_string c)
+      | None -> base ^ "(*)")
+
+let build_aggregation bindings query plan =
+  let group_positions = List.map (resolve bindings) query.Ast.group_by in
+  (* Select items map onto (aggregate list, output projection). *)
+  let aggregates = ref [] in
+  let projections =
+    List.map
+      (fun item ->
+        match item with
+        | Ast.S_star -> fail "SELECT * cannot be combined with aggregation"
+        | Ast.S_col (c, _) -> (
+            let pos = resolve bindings c in
+            match List.mapi (fun i p -> (i, p)) group_positions
+                  |> List.find_opt (fun (_, p) -> p = pos)
+            with
+            | Some (i, _) -> `Group i
+            | None ->
+                fail "column %s must appear in GROUP BY" (Ast.column_to_string c))
+        | Ast.S_agg (f, arg, alias) ->
+            let func =
+              match ((f : Ast.agg_func), arg) with
+              | Count, None -> Aggregate.Count
+              | Count, Some c -> Aggregate.Count_col (resolve bindings c)
+              | Sum, Some c -> Aggregate.Sum (resolve bindings c)
+              | Avg, Some c -> Aggregate.Avg (resolve bindings c)
+              | Min, Some c -> Aggregate.Min (resolve bindings c)
+              | Max, Some c -> Aggregate.Max (resolve bindings c)
+              | (Sum | Avg | Min | Max), None ->
+                  fail "%s requires a column argument" (agg_name f None alias)
+            in
+            aggregates := (agg_name f arg alias, func) :: !aggregates;
+            `Agg (List.length !aggregates - 1))
+      query.Ast.select
+  in
+  let aggregates = List.rev !aggregates in
+  let spec = { Aggregate.group_by = group_positions; aggregates } in
+  let aggregated = Aggregate.plan spec plan in
+  (* Aggregate output: group columns first, then aggregates in spec
+     order; project into SELECT order. *)
+  let n_groups = List.length group_positions in
+  let cols =
+    List.map (function `Group i -> i | `Agg i -> n_groups + i) projections
+  in
+  Plan.Project (cols, aggregated)
+
+let build_projection bindings select plan =
+  if List.for_all (function Ast.S_star -> true | _ -> false) select then plan
+  else begin
+    let cols =
+      List.concat_map
+        (function
+          | Ast.S_star -> fail "SELECT * cannot be mixed with explicit columns"
+          | Ast.S_col (c, _) -> [ resolve bindings c ]
+          | Ast.S_agg _ -> assert false)
+        select
+    in
+    Plan.Project (cols, plan)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let plan_query_exn ?(seed = 0x5EED) catalog (query : Ast.query) =
+  if query.Ast.select = [] then fail "empty SELECT list";
+  let bindings = bind_tables catalog query.Ast.from in
+  let classified = classify bindings query.Ast.where in
+  let sampled_source =
+    match query.Ast.sample with
+    | Some ({ Ast.strategy = Some strat; _ } as sample) ->
+        Some (strategy_sample_plan ~seed bindings classified sample strat)
+    | Some _ | None -> None
+  in
+  let base_plan =
+    match sampled_source with
+    | Some p -> p
+    | None ->
+        let joined, _bound, unused_joins = build_join_tree bindings classified.equijoins in
+        (* Constant and residual conditions become filters above the
+           join tree (the executor has no per-table pushdown need at
+           this scale, and correctness is identical). *)
+        let with_constants =
+          List.fold_left
+            (fun acc (_, cond) ->
+              let pos = resolve bindings cond.Ast.left in
+              match cond.Ast.right with
+              | Ast.O_lit lit -> Plan.Filter (constant_predicate pos cond.Ast.cmp lit, acc)
+              | Ast.O_col _ -> assert false)
+            joined classified.constants
+        in
+        let with_residual =
+          List.fold_left
+            (fun acc cond ->
+              match cond.Ast.right with
+              | Ast.O_col rc ->
+                  let lpos = resolve bindings cond.Ast.left in
+                  let rpos = resolve bindings rc in
+                  Plan.Filter (column_predicate lpos cond.Ast.cmp rpos, acc)
+              | Ast.O_lit _ -> assert false)
+            with_constants classified.residual
+        in
+        let with_unused_joins =
+          List.fold_left
+            (fun acc (l, r) ->
+              let lpos = resolve bindings l and rpos = resolve bindings r in
+              Plan.Filter (column_predicate lpos Ast.Eq rpos, acc))
+            with_residual unused_joins
+        in
+        (* Plain SAMPLE n: reservoir at the root (Naive-Sample). *)
+        (match query.Ast.sample with
+        | Some { Ast.size; strategy = None } ->
+            let rng = Rsj_util.Prng.create ~seed () in
+            Rsj_core.Sample_op.u2 rng ~r:size with_unused_joins
+        | Some _ | None -> with_unused_joins)
+  in
+  let sort_plan keys names plan =
+    let compare_rows a b =
+      let rec go = function
+        | [] -> 0
+        | (pos, dir) :: rest ->
+            let c = Value.compare (Tuple.get a pos) (Tuple.get b pos) in
+            let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+            if c <> 0 then c else go rest
+      in
+      go keys
+    in
+    Plan.Transform
+      {
+        Plan.transform_name = Printf.sprintf "OrderBy [%s]" (String.concat ", " names);
+        child = plan;
+        out_schema = None;
+        apply =
+          (fun metrics stream ->
+            let rows = Stream0.to_array stream in
+            metrics.Metrics.sort_tuples <- metrics.Metrics.sort_tuples + Array.length rows;
+            Array.sort compare_rows rows;
+            Stream0.of_array rows);
+      }
+  in
+  let order_names =
+    List.map
+      (fun ((c : Ast.column), d) ->
+        Ast.column_to_string c ^ match d with Ast.Asc -> "" | Ast.Desc -> " desc")
+      query.Ast.order_by
+  in
+  let aggregated = has_aggregates query.Ast.select || query.Ast.group_by <> [] in
+  let shaped =
+    if aggregated then begin
+      let plan = build_aggregation bindings query base_plan in
+      if query.Ast.order_by = [] then plan
+      else begin
+        (* With aggregation, ORDER BY resolves against the output
+           schema by (possibly aliased) column name. *)
+        let out_schema = Plan.schema_of plan in
+        let keys =
+          List.map
+            (fun ((c : Ast.column), dir) ->
+              match Schema.column_index_opt out_schema c.Ast.name with
+              | Some pos -> (pos, dir)
+              | None ->
+                  fail "ORDER BY column %s is not in the output" (Ast.column_to_string c))
+            query.Ast.order_by
+        in
+        sort_plan keys order_names plan
+      end
+    end
+    else begin
+      (* Without aggregation, ORDER BY may reference any underlying
+         column (SQL semantics): sort before projecting. *)
+      let plan =
+        if query.Ast.order_by = [] then base_plan
+        else begin
+          let keys =
+            List.map (fun (c, dir) -> (resolve bindings c, dir)) query.Ast.order_by
+          in
+          sort_plan keys order_names base_plan
+        end
+      in
+      build_projection bindings query.Ast.select plan
+    end
+  in
+  match query.Ast.limit with Some n -> Plan.Limit (n, shaped) | None -> shaped
+
+let plan_query ?seed catalog query =
+  try Ok (plan_query_exn ?seed catalog query) with Plan_error msg -> Error msg
+
+let run_query ?seed catalog query =
+  match plan_query ?seed catalog query with
+  | Error _ as e -> e
+  | Ok plan -> (
+      try
+        let metrics = Metrics.create () in
+        let rows = Plan.collect ~metrics plan in
+        Ok { schema = Plan.schema_of plan; rows; metrics; plan }
+      with Plan_error msg -> Error msg)
+
+let run ?seed catalog input =
+  match Parser.parse input with
+  | Error msg -> Error ("parse error: " ^ msg)
+  | Ok query -> run_query ?seed catalog query

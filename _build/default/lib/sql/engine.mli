@@ -1,0 +1,40 @@
+(** Planner and executor for the SQL subset.
+
+    Turns a parsed {!Ast.query} into an {!Rsj_exec.Plan} over a catalog
+    of named relations, then runs it. The [SAMPLE n] clause implements
+    the paper's proposal of sampling as a language primitive:
+
+    - [SAMPLE n] places a WR reservoir (Black-Box U2) at the root of
+      the query tree — the Naive-Sample construction, valid for any
+      query shape;
+    - [SAMPLE n USING <strategy>] pushes the sampling into the join per
+      the paper's strategies; this requires the query to be a single
+      equi-join of two tables (the setting of §5–6). Single-table
+      constant filters are pushed below the sampling first — selection
+      commutes with sampling (§1) — so [WHERE t1.a = t2.a AND t1.x > 5]
+      is sampled correctly.
+
+    Aggregation over a sample estimates the aggregate over the full
+    result scaled via {!Rsj_core.Aqp} only in the examples; the engine
+    itself evaluates aggregates over whatever rows reach them, exactly
+    as a real engine running on a sample operator would. *)
+
+open Rsj_relation
+
+type catalog = (string * Relation.t) list
+(** Name → relation bindings visible to FROM. *)
+
+type query_result = {
+  schema : Schema.t;
+  rows : Tuple.t list;
+  metrics : Rsj_exec.Metrics.t;
+  plan : Rsj_exec.Plan.t;  (** The executed plan, for EXPLAIN. *)
+}
+
+val plan_query : ?seed:int -> catalog -> Ast.query -> (Rsj_exec.Plan.t, string) result
+(** Plan without executing. *)
+
+val run_query : ?seed:int -> catalog -> Ast.query -> (query_result, string) result
+val run : ?seed:int -> catalog -> string -> (query_result, string) result
+(** Parse + plan + execute. All errors (syntax, unknown table/column,
+    ambiguity, unsupported sampling shape) come back as [Error msg]. *)

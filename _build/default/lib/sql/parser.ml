@@ -1,0 +1,320 @@
+(* Recursive-descent parser over a flat token list. Tokens are plain
+   strings: punctuation and operators stand for themselves, numbers keep
+   their text, identifiers keep their case, and string literals carry a
+   leading single quote ("'" ^ contents). Keywords are recognized
+   case-insensitively at parse time so identifiers may shadow nothing. *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let error = ref None in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !error = None && !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      push (String.sub input start (!i - start))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit input.[!i] || input.[!i] = '.') do
+        incr i
+      done;
+      push (String.sub input start (!i - start))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      Buffer.add_char buf '\'';
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if !closed then push (Buffer.contents buf)
+      else error := Some (Printf.sprintf "unterminated string literal at position %d" !i)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" ->
+          push (if two = "!=" then "<>" else two);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | ',' | '.' | '(' | ')' | '*' | '=' | '<' | '>' ->
+              push (String.make 1 c);
+              incr i
+          | _ -> error := Some (Printf.sprintf "unexpected character %C at position %d" c !i))
+    end
+  done;
+  match !error with Some e -> Error e | None -> Ok (List.rev !tokens)
+
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type state = { tokens : string array; mutable pos : int }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = if st.pos < Array.length st.tokens then Some st.tokens.(st.pos) else None
+
+let advance st = st.pos <- st.pos + 1
+
+let keyword_matches tok kw = String.lowercase_ascii tok = kw
+
+let accept_keyword st kw =
+  match peek st with
+  | Some tok when keyword_matches tok kw ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_keyword st kw =
+  if not (accept_keyword st kw) then
+    fail "expected %S at token %d%s" kw st.pos
+      (match peek st with Some t -> Printf.sprintf " (found %S)" t | None -> " (end of input)")
+
+let expect_symbol st sym =
+  match peek st with
+  | Some tok when tok = sym -> advance st
+  | Some tok -> fail "expected %S, found %S" sym tok
+  | None -> fail "expected %S, found end of input" sym
+
+let keywords =
+  [ "select"; "from"; "where"; "group"; "by"; "and"; "as"; "sample"; "using"; "limit"; "order"; "asc"; "desc";
+    "count"; "sum"; "avg"; "min"; "max" ]
+
+let ident st =
+  match peek st with
+  | Some tok
+    when String.length tok > 0
+         && is_ident_start tok.[0]
+         && not (List.mem (String.lowercase_ascii tok) keywords) ->
+      advance st;
+      tok
+  | Some tok -> fail "expected identifier, found %S" tok
+  | None -> fail "expected identifier, found end of input"
+
+let column st =
+  let first = ident st in
+  match peek st with
+  | Some "." ->
+      advance st;
+      let name = ident st in
+      { Ast.table = Some first; name }
+  | _ -> { Ast.table = None; name = first }
+
+let literal_of_token tok =
+  if String.length tok > 0 && tok.[0] = '\'' then
+    Some (Ast.L_str (String.sub tok 1 (String.length tok - 1)))
+  else
+    match int_of_string_opt tok with
+    | Some i -> Some (Ast.L_int i)
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f when String.length tok > 0 && is_digit tok.[0] -> Some (Ast.L_float f)
+        | _ -> None)
+
+let agg_of_keyword = function
+  | "count" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | "avg" -> Some Ast.Avg
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | _ -> None
+
+let optional_alias st =
+  if accept_keyword st "as" then Some (ident st)
+  else
+    match peek st with
+    | Some tok
+      when String.length tok > 0
+           && is_ident_start tok.[0]
+           && not (List.mem (String.lowercase_ascii tok) keywords) ->
+        advance st;
+        Some tok
+    | _ -> None
+
+let select_item st =
+  match peek st with
+  | Some "*" ->
+      advance st;
+      Ast.S_star
+  | Some tok -> (
+      match agg_of_keyword (String.lowercase_ascii tok) with
+      | Some f ->
+          advance st;
+          expect_symbol st "(";
+          let arg =
+            match peek st with
+            | Some "*" ->
+                advance st;
+                None
+            | _ -> Some (column st)
+          in
+          expect_symbol st ")";
+          let alias = optional_alias st in
+          Ast.S_agg (f, arg, alias)
+      | None ->
+          let c = column st in
+          let alias = optional_alias st in
+          Ast.S_col (c, alias))
+  | None -> fail "expected select item, found end of input"
+
+let rec comma_separated st parse_one =
+  let first = parse_one st in
+  match peek st with
+  | Some "," ->
+      advance st;
+      first :: comma_separated st parse_one
+  | _ -> [ first ]
+
+let comparison st =
+  match peek st with
+  | Some "=" ->
+      advance st;
+      Ast.Eq
+  | Some "<>" ->
+      advance st;
+      Ast.Ne
+  | Some "<" ->
+      advance st;
+      Ast.Lt
+  | Some "<=" ->
+      advance st;
+      Ast.Le
+  | Some ">" ->
+      advance st;
+      Ast.Gt
+  | Some ">=" ->
+      advance st;
+      Ast.Ge
+  | Some tok -> fail "expected comparison operator, found %S" tok
+  | None -> fail "expected comparison operator, found end of input"
+
+let condition st =
+  let left = column st in
+  let cmp = comparison st in
+  let right =
+    match peek st with
+    | Some tok -> (
+        match literal_of_token tok with
+        | Some lit ->
+            advance st;
+            Ast.O_lit lit
+        | None -> Ast.O_col (column st))
+    | None -> fail "expected operand, found end of input"
+  in
+  { Ast.left; cmp; right }
+
+let rec and_separated st parse_one =
+  let first = parse_one st in
+  if accept_keyword st "and" then first :: and_separated st parse_one else [ first ]
+
+let table_ref st =
+  let name = ident st in
+  let alias =
+    match peek st with
+    | Some tok
+      when String.length tok > 0
+           && is_ident_start tok.[0]
+           && not (List.mem (String.lowercase_ascii tok) keywords) ->
+        advance st;
+        Some tok
+    | _ -> None
+  in
+  (name, alias)
+
+let positive_int st what =
+  match peek st with
+  | Some tok -> (
+      match int_of_string_opt tok with
+      | Some v when v >= 0 ->
+          advance st;
+          v
+      | _ -> fail "expected non-negative integer after %s, found %S" what tok)
+  | None -> fail "expected integer after %s" what
+
+let query st =
+  expect_keyword st "select";
+  let select = comma_separated st select_item in
+  expect_keyword st "from";
+  let from = comma_separated st table_ref in
+  let where = if accept_keyword st "where" then and_separated st condition else [] in
+  (* GROUP BY, SAMPLE and LIMIT may appear in any order (sampling is
+     applied below aggregation regardless), each at most once. *)
+  let group_by = ref None and order_by = ref None and sample = ref None and limit = ref None in
+  let once what cell v = match !cell with
+    | Some _ -> fail "duplicate %s clause" what
+    | None -> cell := Some v
+  in
+  let continue = ref true in
+  while !continue do
+    if accept_keyword st "group" then begin
+      expect_keyword st "by";
+      once "GROUP BY" group_by (comma_separated st column)
+    end
+    else if accept_keyword st "sample" then begin
+      let size = positive_int st "SAMPLE" in
+      let strategy = if accept_keyword st "using" then Some (ident st) else None in
+      once "SAMPLE" sample { Ast.size; strategy }
+    end
+    else if accept_keyword st "order" then begin
+      expect_keyword st "by";
+      let one st =
+        let c = column st in
+        let dir =
+          if accept_keyword st "desc" then Ast.Desc
+          else begin
+            ignore (accept_keyword st "asc");
+            Ast.Asc
+          end
+        in
+        (c, dir)
+      in
+      once "ORDER BY" order_by (comma_separated st one)
+    end
+    else if accept_keyword st "limit" then once "LIMIT" limit (positive_int st "LIMIT")
+    else continue := false
+  done;
+  (match peek st with
+  | Some tok -> fail "unexpected trailing token %S" tok
+  | None -> ());
+  {
+    Ast.select;
+    from;
+    where;
+    group_by = Option.value ~default:[] !group_by;
+    order_by = Option.value ~default:[] !order_by;
+    sample = !sample;
+    limit = !limit;
+  }
+
+let parse input =
+  match tokenize input with
+  | Error e -> Error e
+  | Ok tokens -> (
+      let st = { tokens = Array.of_list tokens; pos = 0 } in
+      try Ok (query st) with Parse_error msg -> Error msg)

@@ -1,0 +1,1 @@
+lib/stats/frequency.ml: Hashtbl Int List Option Relation Rsj_relation Stream0 Tuple Value

@@ -1,0 +1,1 @@
+lib/stats/frequency.mli: Relation Rsj_relation Stream0 Tuple Value

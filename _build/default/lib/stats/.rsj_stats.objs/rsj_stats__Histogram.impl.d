@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Array Float Frequency Hashtbl Int List Relation Rsj_relation Tuple Value

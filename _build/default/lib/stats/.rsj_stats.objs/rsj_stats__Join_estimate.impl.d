@@ -1,0 +1,1 @@
+lib/stats/join_estimate.ml: Array Hashtbl Histogram Option Relation Rsj_index Rsj_relation Rsj_util Tuple Value

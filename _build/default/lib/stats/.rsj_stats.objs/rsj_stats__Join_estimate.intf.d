@@ -1,0 +1,1 @@
+lib/stats/join_estimate.mli: Histogram Relation Rsj_index Rsj_relation Rsj_util

@@ -1,0 +1,1 @@
+lib/stats/join_size.ml: Format Frequency

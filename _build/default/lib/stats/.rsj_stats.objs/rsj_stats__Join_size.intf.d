@@ -1,0 +1,1 @@
+lib/stats/join_size.mli: Format Frequency Rsj_relation Value

@@ -1,0 +1,75 @@
+open Rsj_relation
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = { counts : int Vtbl.t; mutable total : int; mutable max_freq : int }
+
+let empty () = { counts = Vtbl.create 256; total = 0; max_freq = 0 }
+
+let bump t v k =
+  let c = k + Option.value ~default:0 (Vtbl.find_opt t.counts v) in
+  Vtbl.replace t.counts v c;
+  t.total <- t.total + k;
+  if c > t.max_freq then t.max_freq <- c
+
+let of_relation rel ~key =
+  let t = empty () in
+  Relation.iter rel (fun row ->
+      let v = Tuple.attr row key in
+      if not (Value.is_null v) then bump t v 1);
+  t
+
+let of_stream stream ~key =
+  let t = empty () in
+  Stream0.iter
+    (fun row ->
+      let v = Tuple.attr row key in
+      if not (Value.is_null v) then bump t v 1)
+    stream;
+  t
+
+let of_assoc pairs =
+  let t = empty () in
+  List.iter
+    (fun (v, c) ->
+      if c <= 0 then invalid_arg "Frequency.of_assoc: non-positive frequency";
+      if Vtbl.mem t.counts v then invalid_arg "Frequency.of_assoc: duplicate value";
+      bump t v c)
+    pairs;
+  t
+
+let frequency t v = Option.value ~default:0 (Vtbl.find_opt t.counts v)
+let total t = t.total
+let distinct_count t = Vtbl.length t.counts
+let max_frequency t = t.max_freq
+
+let iter t f = Vtbl.iter f t.counts
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Vtbl.iter (fun v c -> acc := f !acc v c) t.counts;
+  !acc
+
+let to_assoc t =
+  let pairs = fold t ~init:[] ~f:(fun acc v c -> (v, c) :: acc) in
+  List.sort
+    (fun (v1, c1) (v2, c2) ->
+      if c1 <> c2 then Int.compare c2 c1 else Value.compare v1 v2)
+    pairs
+
+let values_above t ~threshold = List.filter (fun (_, c) -> c >= threshold) (to_assoc t)
+
+let join_size t1 t2 =
+  (* Iterate the smaller table for speed. *)
+  let small, large = if distinct_count t1 <= distinct_count t2 then (t1, t2) else (t2, t1) in
+  fold small ~init:0 ~f:(fun acc v c -> acc + (c * frequency large v))
+
+let restrict t ~keep =
+  let out = empty () in
+  iter t (fun v c -> if keep v then bump out v c);
+  out

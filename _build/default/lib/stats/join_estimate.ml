@@ -1,0 +1,95 @@
+open Rsj_relation
+module Prng = Rsj_util.Prng
+
+type estimate = { value : float; stderr : float; draws : int }
+
+let mean_stderr xs =
+  let n = Array.length xs in
+  if n = 0 then (0., 0.)
+  else begin
+    let mean = Rsj_util.Stats_math.mean xs in
+    let stderr =
+      if n < 2 then 0. else Rsj_util.Stats_math.stddev xs /. sqrt (float_of_int n)
+    in
+    (mean, stderr)
+  end
+
+let cross_product rng ~left ~right ~left_key ~right_key ~r1 ~r2 =
+  if r1 <= 0 || r2 <= 0 then invalid_arg "Join_estimate.cross_product: r1, r2 must be positive";
+  let n1 = Relation.cardinality left and n2 = Relation.cardinality right in
+  if n1 = 0 || n2 = 0 then { value = 0.; stderr = 0.; draws = 0 }
+  else begin
+    let s1 = Array.init r1 (fun _ -> Tuple.attr (Relation.random_row left rng) left_key) in
+    let s2 = Array.init r2 (fun _ -> Tuple.attr (Relation.random_row right rng) right_key) in
+    (* Count matches via a small frequency map over s2. *)
+    let counts = Hashtbl.create (2 * r2) in
+    Array.iter
+      (fun v ->
+        if not (Value.is_null v) then
+          Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+      s2;
+    (* Per-s1-draw matching fraction, for a CLT interval over r1. *)
+    let per_draw =
+      Array.map
+        (fun v ->
+          let m = Option.value ~default:0 (Hashtbl.find_opt counts v) in
+          float_of_int m /. float_of_int r2)
+        s1
+    in
+    let mean, stderr = mean_stderr per_draw in
+    let scale = float_of_int n1 *. float_of_int n2 in
+    { value = scale *. mean; stderr = scale *. stderr; draws = r1 + r2 }
+  end
+
+let index_assisted rng ~left ~right_index ~left_key ~draws =
+  if draws <= 0 then invalid_arg "Join_estimate.index_assisted: draws must be positive";
+  let n1 = Relation.cardinality left in
+  if n1 = 0 then { value = 0.; stderr = 0.; draws = 0 }
+  else begin
+    let xs =
+      Array.init draws (fun _ ->
+          let t = Relation.random_row left rng in
+          float_of_int (Rsj_index.Hash_index.multiplicity right_index (Tuple.attr t left_key)))
+    in
+    let mean, stderr = mean_stderr xs in
+    let scale = float_of_int n1 in
+    { value = scale *. mean; stderr = scale *. stderr; draws }
+  end
+
+let bifocal rng ~left ~right ~left_key ~right_key ~histogram ~draws =
+  if draws <= 0 then invalid_arg "Join_estimate.bifocal: draws must be positive";
+  let n1 = Relation.cardinality left in
+  (* Exact hot part: m1 over Dhi from one scan of R1; m2 from the
+     histogram. *)
+  let hot_m1 : (Value.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Relation.iter left (fun row ->
+      let v = Tuple.attr row left_key in
+      if (not (Value.is_null v)) && Histogram.End_biased.is_high histogram v then
+        Hashtbl.replace hot_m1 v (1 + Option.value ~default:0 (Hashtbl.find_opt hot_m1 v)));
+  let hot =
+    Hashtbl.fold
+      (fun v m1v acc ->
+        match Histogram.End_biased.frequency histogram v with
+        | Some m2v -> acc +. (float_of_int m1v *. float_of_int m2v)
+        | None -> acc)
+      hot_m1 0.
+  in
+  (* Sampled cold part: frequencies of the low-frequency side of R2. *)
+  let cold_m2 : (Value.t, int) Hashtbl.t = Hashtbl.create 256 in
+  Relation.iter right (fun row ->
+      let v = Tuple.attr row right_key in
+      if (not (Value.is_null v)) && not (Histogram.End_biased.is_high histogram v) then
+        Hashtbl.replace cold_m2 v (1 + Option.value ~default:0 (Hashtbl.find_opt cold_m2 v)));
+  if n1 = 0 then { value = hot; stderr = 0.; draws = 0 }
+  else begin
+    let xs =
+      Array.init draws (fun _ ->
+          let t = Relation.random_row left rng in
+          let v = Tuple.attr t left_key in
+          if Value.is_null v || Histogram.End_biased.is_high histogram v then 0.
+          else float_of_int (Option.value ~default:0 (Hashtbl.find_opt cold_m2 v)))
+    in
+    let mean, stderr = mean_stderr xs in
+    let scale = float_of_int n1 in
+    { value = hot +. (scale *. mean); stderr = scale *. stderr; draws }
+  end

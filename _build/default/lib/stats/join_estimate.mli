@@ -1,0 +1,66 @@
+(** Sampling-based estimation of |R1 ⋈ R2|.
+
+    The paper is emphatic that join {e sampling} is not join-size
+    {e estimation} — "our goal is to create a sample of the join ...
+    the earlier estimation techniques apply to determining an
+    approximation to the size of the join" — but the strategies consume
+    join sizes (the binomial split of Frequency-Partition-Sample, the
+    AQP scale factors), so the estimation side is provided too, in the
+    three classical flavours the paper cites:
+
+    - {!cross_product}: sample both relations, count matching pairs in
+      the sample cross product, scale (Hou/Ozsoyoglu-style);
+    - {!index_assisted}: sample R1 tuples, read each exact m2 through
+      an index (Lipton/Naughton/Schneider adaptive-style, fixed draw
+      budget with a CLT interval);
+    - {!bifocal}: exact counting for values that are frequent on both
+      sides, sampling for the sparse remainder (Ganguly, Gibbons,
+      Matias & Silberschatz — the same hybrid insight as
+      Frequency-Partition-Sample; see the paper's footnote 3). *)
+
+open Rsj_relation
+
+type estimate = {
+  value : float;  (** Estimated |J|. *)
+  stderr : float;  (** CLT standard error (0 when exact). *)
+  draws : int;  (** Sampling draws spent. *)
+}
+
+val cross_product :
+  Rsj_util.Prng.t ->
+  left:Relation.t ->
+  right:Relation.t ->
+  left_key:int ->
+  right_key:int ->
+  r1:int ->
+  r2:int ->
+  estimate
+(** Draw [r1] and [r2] WR tuples, count joining pairs among the r1·r2
+    combinations, scale by n1·n2/(r1·r2). Unbiased; high variance on
+    sparse joins (often 0 matches — the known weakness). *)
+
+val index_assisted :
+  Rsj_util.Prng.t ->
+  left:Relation.t ->
+  right_index:Rsj_index.Hash_index.t ->
+  left_key:int ->
+  draws:int ->
+  estimate
+(** E[|J|] = n1 · E[m2(t.A)] for uniform t from R1: average [draws]
+    exact multiplicities through the index. Unbiased, variance driven
+    by the skew of m2. *)
+
+val bifocal :
+  Rsj_util.Prng.t ->
+  left:Relation.t ->
+  right:Relation.t ->
+  left_key:int ->
+  right_key:int ->
+  histogram:Histogram.End_biased.t ->
+  draws:int ->
+  estimate
+(** Exact Σ m1·m2 over the histogram's high-frequency values (one scan
+    of R1 for the m1 counts) plus an {!index_assisted}-style sampled
+    estimate of the low-frequency remainder computed against a hash of
+    R2's low side. The sampled part's variance excludes the hot values,
+    which is the entire trick. *)

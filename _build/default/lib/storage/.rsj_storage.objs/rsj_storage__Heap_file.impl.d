@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Array Buffer_pool Bytes Filename Int32 Int64 Page Printf Relation Rsj_relation Schema Stream0 Unix

@@ -1,0 +1,1 @@
+lib/storage/page.ml: Array Bytes Char Int32 Int64 Printf Rsj_relation String Value

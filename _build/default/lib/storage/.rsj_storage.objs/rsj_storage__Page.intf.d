@@ -1,0 +1,1 @@
+lib/storage/page.mli: Rsj_relation Tuple

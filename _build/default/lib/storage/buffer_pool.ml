@@ -1,0 +1,110 @@
+(* Exact LRU via a doubly-linked list threaded through the cache
+   entries; O(1) hit, O(1) eviction. *)
+
+type key = int * int (* file id, page number *)
+
+type entry = {
+  key : key;
+  image : bytes;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type t = {
+  cap : int;
+  table : (key, entry) Hashtbl.t;
+  mutable head : entry option;  (* most recently used *)
+  mutable tail : entry option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let resident t = Hashtbl.length t.table
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  if t.head != Some e then begin
+    unlink t e;
+    push_front t e
+  end
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table e.key;
+      t.evictions <- t.evictions + 1
+
+let read_page_from_disk fd ~page_size ~page_no =
+  let buf = Bytes.make page_size '\000' in
+  ignore (Unix.lseek fd (page_no * page_size) Unix.SEEK_SET);
+  let rec fill pos =
+    if pos < page_size then begin
+      let k = Unix.read fd buf pos (page_size - pos) in
+      if k = 0 then failwith "Buffer_pool: short read (truncated file?)";
+      fill (pos + k)
+    end
+  in
+  fill 0;
+  buf
+
+let read t ~file_id ~fd ~page_size ~page_no =
+  let key = (file_id, page_no) in
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      touch t e;
+      e.image
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      let image = read_page_from_disk fd ~page_size ~page_no in
+      let e = { key; image; prev = None; next = None } in
+      Hashtbl.replace t.table key e;
+      push_front t e;
+      image
+
+let invalidate_file t ~file_id =
+  let doomed =
+    Hashtbl.fold (fun (fid, _) e acc -> if fid = file_id then e :: acc else acc) t.table []
+  in
+  List.iter
+    (fun e ->
+      unlink t e;
+      Hashtbl.remove t.table e.key)
+    doomed
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

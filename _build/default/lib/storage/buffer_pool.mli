@@ -1,0 +1,30 @@
+(** A small LRU buffer pool over file pages.
+
+    The pool caches page images keyed by (file id, page number) and
+    tracks hits, misses and evictions — the quantities the paper's
+    disk-era cost intuitions are about: sequential scans stream through
+    the pool, while random probes (Olken's accesses) hit or fault
+    depending on capacity. The replacement policy is exact LRU. *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val create : capacity:int -> t
+(** Pool holding up to [capacity] pages (>= 1). *)
+
+val capacity : t -> int
+val resident : t -> int
+
+val read :
+  t -> file_id:int -> fd:Unix.file_descr -> page_size:int -> page_no:int -> bytes
+(** Fetch a page image through the cache: on a miss the page is read
+    from [fd] at offset [page_no * page_size] (evicting the least
+    recently used page if full). The returned bytes are the cached
+    image — treat as read-only. Raises [Failure] on a short read. *)
+
+val invalidate_file : t -> file_id:int -> unit
+(** Drop every cached page of one file (used when a file is rewritten). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,223 @@
+open Rsj_relation
+
+let magic = "RSJH"
+let format_version = 1
+let default_page_size = 8192
+
+type t = {
+  path : string;
+  schema : Schema.t;
+  fd : Unix.file_descr;
+  page_size : int;
+  id : int;
+  mutable data_pages : int;  (* full pages written to disk *)
+  mutable tuples : int;  (* total appended *)
+  mutable current : Page.t;  (* partial page being filled *)
+  mutable closed : bool;
+  (* Cumulative tuple counts per data page, built lazily for fetch:
+     directory.(i) = tuples in pages [0, i]. *)
+  mutable directory : int array option;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+(* ---- header page ---- *)
+
+let write_header t =
+  let buf = Bytes.make t.page_size '\000' in
+  Bytes.blit_string magic 0 buf 0 4;
+  Bytes.set_int32_le buf 4 (Int32.of_int format_version);
+  Bytes.set_int32_le buf 8 (Int32.of_int t.page_size);
+  Bytes.set_int64_le buf 12 (Int64.of_int t.data_pages);
+  Bytes.set_int64_le buf 20 (Int64.of_int t.tuples);
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  let written = Unix.write t.fd buf 0 t.page_size in
+  if written <> t.page_size then failwith "Heap_file: short header write"
+
+let read_header fd path =
+  let buf = Bytes.make 28 '\000' in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let rec fill pos =
+    if pos < 28 then begin
+      let k = Unix.read fd buf pos (28 - pos) in
+      if k = 0 then failwith (Printf.sprintf "Heap_file(%s): truncated header" path);
+      fill (pos + k)
+    end
+  in
+  fill 0;
+  if Bytes.sub_string buf 0 4 <> magic then
+    failwith (Printf.sprintf "Heap_file(%s): bad magic" path);
+  let version = Int32.to_int (Bytes.get_int32_le buf 4) in
+  if version <> format_version then
+    failwith (Printf.sprintf "Heap_file(%s): unsupported version %d" path version);
+  let page_size = Int32.to_int (Bytes.get_int32_le buf 8) in
+  let data_pages = Int64.to_int (Bytes.get_int64_le buf 12) in
+  let tuples = Int64.to_int (Bytes.get_int64_le buf 20) in
+  (page_size, data_pages, tuples)
+
+(* ---- lifecycle ---- *)
+
+let create ~path ?(page_size = default_page_size) schema =
+  if page_size < 64 || page_size > 0xFFFF then
+    invalid_arg "Heap_file.create: page_size out of range [64, 65535]";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t =
+    {
+      path;
+      schema;
+      fd;
+      page_size;
+      id = fresh_id ();
+      data_pages = 0;
+      tuples = 0;
+      current = Page.create ~page_size;
+      closed = false;
+      directory = None;
+    }
+  in
+  write_header t;
+  t
+
+let open_existing ~path schema =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let page_size, data_pages, tuples = read_header fd path in
+  {
+    path;
+    schema;
+    fd;
+    page_size;
+    id = fresh_id ();
+    data_pages;
+    tuples;
+    current = Page.create ~page_size;
+    closed = false;
+    directory = None;
+  }
+
+let ensure_open t = if t.closed then failwith (Printf.sprintf "Heap_file(%s): closed" t.path)
+
+let write_page_at t index page =
+  ignore (Unix.lseek t.fd ((index + 1) * t.page_size) Unix.SEEK_SET);
+  let buf = Page.to_bytes page in
+  let written = Unix.write t.fd buf 0 t.page_size in
+  if written <> t.page_size then failwith "Heap_file: short page write"
+
+let flush_current t =
+  if Page.tuple_count t.current > 0 then begin
+    write_page_at t t.data_pages t.current;
+    t.data_pages <- t.data_pages + 1;
+    t.current <- Page.create ~page_size:t.page_size;
+    t.directory <- None
+  end
+
+let flush t =
+  ensure_open t;
+  flush_current t;
+  write_header t
+
+let close t =
+  if not t.closed then begin
+    flush_current t;
+    write_header t;
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+let path t = t.path
+let schema t = t.schema
+let page_size t = t.page_size
+let data_page_count t = t.data_pages
+let tuple_count t = t.tuples
+let file_id t = t.id
+
+let append t row =
+  ensure_open t;
+  (match Schema.validate t.schema row with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Heap_file.append(%s): %s" t.path msg));
+  if not (Page.add_tuple t.current row) then begin
+    flush_current t;
+    if not (Page.add_tuple t.current row) then
+      (* Page.add_tuple on an empty page raises for oversized tuples,
+         so reaching here is impossible. *)
+      assert false
+  end;
+  t.tuples <- t.tuples + 1;
+  t.directory <- None
+
+let read_data_page t pool i =
+  ensure_open t;
+  if i < 0 || i >= t.data_pages then
+    invalid_arg (Printf.sprintf "Heap_file.read_data_page: %d out of [0,%d)" i t.data_pages);
+  (* Data page i lives at file page i+1 (after the header). *)
+  Page.of_bytes
+    (Buffer_pool.read pool ~file_id:t.id ~fd:t.fd ~page_size:t.page_size ~page_no:(i + 1))
+
+let scan t pool =
+  ensure_open t;
+  let pages = t.data_pages in
+  let current = ref None in
+  let page_idx = ref 0 in
+  let slot = ref 0 in
+  let rec next () =
+    match !current with
+    | Some page when !slot < Page.tuple_count page ->
+        let row = Page.get_tuple page !slot in
+        incr slot;
+        Some row
+    | _ ->
+        if !page_idx >= pages then None
+        else begin
+          current := Some (read_data_page t pool !page_idx);
+          incr page_idx;
+          slot := 0;
+          next ()
+        end
+  in
+  Stream0.make ~next ()
+
+let directory t pool =
+  match t.directory with
+  | Some d -> d
+  | None ->
+      let d = Array.make (max t.data_pages 1) 0 in
+      let acc = ref 0 in
+      for i = 0 to t.data_pages - 1 do
+        acc := !acc + Page.tuple_count (read_data_page t pool i);
+        d.(i) <- !acc
+      done;
+      t.directory <- Some d;
+      d
+
+let fetch t pool idx =
+  ensure_open t;
+  let flushed = if t.data_pages = 0 then 0 else (directory t pool).(t.data_pages - 1) in
+  if idx < 0 || idx >= flushed then
+    invalid_arg
+      (Printf.sprintf "Heap_file.fetch: tuple %d out of range [0,%d) (unflushed tail?)" idx
+         flushed);
+  let d = directory t pool in
+  (* First page whose cumulative count exceeds idx. *)
+  let lo = ref 0 and hi = ref (t.data_pages - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.(mid) <= idx then lo := mid + 1 else hi := mid
+  done;
+  let page_idx = !lo in
+  let before = if page_idx = 0 then 0 else d.(page_idx - 1) in
+  Page.get_tuple (read_data_page t pool page_idx) (idx - before)
+
+let to_relation t pool =
+  let rel = Relation.create ~name:(Filename.basename t.path) ~capacity:(max 1 t.tuples) t.schema in
+  Stream0.iter (Relation.append_unchecked rel) (scan t pool);
+  rel
+
+let of_relation ~path ?page_size rel =
+  let t = create ~path ?page_size (Relation.schema rel) in
+  Relation.iter rel (append t);
+  flush t;
+  t

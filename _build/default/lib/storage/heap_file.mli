@@ -1,0 +1,59 @@
+(** Disk-backed heap files of slotted pages.
+
+    File layout: a metadata page 0 (magic "RSJH", format version, page
+    size, page count, tuple count) followed by data pages. Schemas are
+    not stored — the caller supplies one on open, as with {!Csv_io} —
+    but arity is validated on every append.
+
+    Reads go through a {!Buffer_pool}, so scans and random fetches have
+    observable I/O costs; this is the substrate on which the paper's
+    block-level sampling remarks become measurable (see
+    {!sample_pages}). Writing is append-only (no update/delete), which
+    is all the experiments need. *)
+
+open Rsj_relation
+
+type t
+
+val create : path:string -> ?page_size:int -> Schema.t -> t
+(** Create/truncate a heap file (default page size 8192). *)
+
+val open_existing : path:string -> Schema.t -> t
+(** Open for reading and further appends. Raises [Failure] on a bad
+    magic/version or a page size mismatch with the file header. *)
+
+val close : t -> unit
+(** Flush buffered data and the header, then close the fd. Idempotent. *)
+
+val path : t -> string
+val schema : t -> Schema.t
+val page_size : t -> int
+val data_page_count : t -> int
+val tuple_count : t -> int
+
+val append : t -> Tuple.t -> unit
+(** Buffered append; pages are written as they fill. Validates against
+    the schema. Raises [Failure] if the file is closed. *)
+
+val flush : t -> unit
+(** Write out the partial page and header without closing. *)
+
+val file_id : t -> int
+(** Identity used as the buffer-pool key (unique per open handle). *)
+
+val read_data_page : t -> Buffer_pool.t -> int -> Page.t
+(** Fetch data page [i] (0-based among data pages) through the pool. *)
+
+val scan : t -> Buffer_pool.t -> Tuple.t Stream0.t
+(** Sequential scan through the pool. Requires a prior {!flush} (or
+    {!close}/{!open_existing}) to see all appended tuples. *)
+
+val fetch : t -> Buffer_pool.t -> int -> Tuple.t
+(** Global tuple index → tuple, via a per-page cumulative directory
+    built on first use. *)
+
+val to_relation : t -> Buffer_pool.t -> Relation.t
+(** Materialize into memory. *)
+
+val of_relation : path:string -> ?page_size:int -> Relation.t -> t
+(** Write a whole relation out (flushed, ready to scan). *)

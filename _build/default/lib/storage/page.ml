@@ -1,0 +1,131 @@
+open Rsj_relation
+
+type t = { buf : bytes; size : int }
+
+let header_bytes = 4
+let slot_bytes = 2
+
+let get_u16 buf off = Char.code (Bytes.get buf off) lor (Char.code (Bytes.get buf (off + 1)) lsl 8)
+
+let set_u16 buf off v =
+  Bytes.set buf off (Char.chr (v land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let create ~page_size =
+  if page_size < 64 then invalid_arg "Page.create: page_size < 64";
+  if page_size > 0xFFFF then invalid_arg "Page.create: page_size > 65535";
+  let buf = Bytes.make page_size '\000' in
+  set_u16 buf 0 0;
+  set_u16 buf 2 header_bytes;
+  { buf; size = page_size }
+
+let page_size t = t.size
+let tuple_count t = get_u16 t.buf 0
+let free_offset t = get_u16 t.buf 2
+
+let slot_offset t i = t.size - (slot_bytes * (i + 1))
+
+let free_space t =
+  let used_by_slots = slot_bytes * tuple_count t in
+  t.size - free_offset t - used_by_slots - slot_bytes
+
+(* ---- value codec ---- *)
+
+let value_size = function
+  | Value.Null -> 1
+  | Value.Int _ -> 9
+  | Value.Float _ -> 9
+  | Value.Str s -> 5 + String.length s
+
+let encoded_size tuple =
+  Array.fold_left (fun acc v -> acc + value_size v) 2 tuple
+
+let write_value buf off = function
+  | Value.Null ->
+      Bytes.set buf off '\000';
+      off + 1
+  | Value.Int x ->
+      Bytes.set buf off '\001';
+      Bytes.set_int64_le buf (off + 1) (Int64.of_int x);
+      off + 9
+  | Value.Float f ->
+      Bytes.set buf off '\002';
+      Bytes.set_int64_le buf (off + 1) (Int64.bits_of_float f);
+      off + 9
+  | Value.Str s ->
+      Bytes.set buf off '\003';
+      Bytes.set_int32_le buf (off + 1) (Int32.of_int (String.length s));
+      Bytes.blit_string s 0 buf (off + 5) (String.length s);
+      off + 5 + String.length s
+
+let read_value buf off =
+  match Bytes.get buf off with
+  | '\000' -> (Value.Null, off + 1)
+  | '\001' -> (Value.Int (Int64.to_int (Bytes.get_int64_le buf (off + 1))), off + 9)
+  | '\002' -> (Value.Float (Int64.float_of_bits (Bytes.get_int64_le buf (off + 1))), off + 9)
+  | '\003' ->
+      let len = Int32.to_int (Bytes.get_int32_le buf (off + 1)) in
+      if len < 0 || off + 5 + len > Bytes.length buf then
+        failwith "Page: corrupt string length";
+      (Value.Str (Bytes.sub_string buf (off + 5) len), off + 5 + len)
+  | c -> failwith (Printf.sprintf "Page: unknown value tag %d" (Char.code c))
+
+let write_tuple buf off tuple =
+  set_u16 buf off (Array.length tuple);
+  Array.fold_left (fun pos v -> write_value buf pos v) (off + 2) tuple
+
+let read_tuple buf off =
+  let arity = get_u16 buf off in
+  let out = Array.make arity Value.Null in
+  let pos = ref (off + 2) in
+  for i = 0 to arity - 1 do
+    let v, next = read_value buf !pos in
+    out.(i) <- v;
+    pos := next
+  done;
+  out
+
+(* ---- page operations ---- *)
+
+let add_tuple t tuple =
+  let need = encoded_size tuple in
+  let empty_capacity = t.size - header_bytes - slot_bytes in
+  if need > empty_capacity then
+    invalid_arg
+      (Printf.sprintf "Page.add_tuple: tuple of %d bytes exceeds page capacity %d" need
+         empty_capacity);
+  if need > free_space t then false
+  else begin
+    let n = tuple_count t in
+    let off = free_offset t in
+    let stop = write_tuple t.buf off tuple in
+    set_u16 t.buf (slot_offset t n) off;
+    set_u16 t.buf 0 (n + 1);
+    set_u16 t.buf 2 stop;
+    true
+  end
+
+let get_tuple t i =
+  let n = tuple_count t in
+  if i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Page.get_tuple: slot %d out of range [0,%d)" i n);
+  let off = get_u16 t.buf (slot_offset t i) in
+  if off < header_bytes || off >= t.size then failwith "Page: corrupt slot offset";
+  read_tuple t.buf off
+
+let iter t f =
+  for i = 0 to tuple_count t - 1 do
+    f (get_tuple t i)
+  done
+
+let to_bytes t = t.buf
+
+let of_bytes buf =
+  let size = Bytes.length buf in
+  if size < 64 then failwith "Page.of_bytes: image too small";
+  let t = { buf; size } in
+  let n = tuple_count t in
+  if free_offset t < header_bytes || free_offset t > size then
+    failwith "Page.of_bytes: corrupt free offset";
+  if slot_bytes * n > size - header_bytes then failwith "Page.of_bytes: corrupt tuple count";
+  t

@@ -1,0 +1,52 @@
+(** Slotted pages: fixed-size byte blocks holding variable-length tuples.
+
+    Layout (little-endian):
+    {v
+    offset 0   u16  tuple count
+    offset 2   u16  free-space offset (first unused byte)
+    offset 4-  tuple data, growing upward
+    end        slot directory: one u16 per tuple, growing downward,
+               slot i at (page_size - 2*(i+1))
+    v}
+
+    Tuple encoding: per value a tag byte (0 NULL, 1 int, 2 float,
+    3 string) followed by the payload (int64 LE / float64 LE bits /
+    u32 length + bytes); a tuple is a u16 arity followed by its values.
+
+    Pages are the unit the {!Buffer_pool} caches and {!Heap_file} reads
+    and writes; all bounds are checked and decoding errors raise
+    [Failure] with a description (corrupt-page detection). *)
+
+open Rsj_relation
+
+type t
+(** A mutable in-memory page image. *)
+
+val create : page_size:int -> t
+(** Fresh empty page. [page_size] must be at least 64 bytes. *)
+
+val page_size : t -> int
+val tuple_count : t -> int
+
+val free_space : t -> int
+(** Bytes available for one more tuple (data + its slot entry). *)
+
+val add_tuple : t -> Tuple.t -> bool
+(** Append a tuple; [false] when it does not fit. Raises
+    [Invalid_argument] if the tuple alone exceeds what an empty page of
+    this size could hold. *)
+
+val get_tuple : t -> int -> Tuple.t
+(** Read tuple [i]; raises [Invalid_argument] out of range, [Failure]
+    on a corrupt image. *)
+
+val iter : t -> (Tuple.t -> unit) -> unit
+
+val encoded_size : Tuple.t -> int
+(** Bytes the tuple occupies (excluding its slot entry). *)
+
+val to_bytes : t -> bytes
+(** The raw image (shared — do not mutate while the page is in use). *)
+
+val of_bytes : bytes -> t
+(** Adopt a raw image (validates the header). *)

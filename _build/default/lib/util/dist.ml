@@ -1,0 +1,172 @@
+(* Exact random variates. The binomial sampler is the inner loop of the
+   paper's black boxes U1/WR1 (one draw per streamed tuple), so it is
+   written for the regime that dominates there: tiny mean, where
+   sequential inversion costs O(1 + np). Large means (exercised by tests
+   and by U1 near the end of a stream with many samples outstanding) use
+   mode-centered inversion whose expected cost is one standard
+   deviation's worth of pmf evaluations. *)
+
+let small_mean_threshold = 30.
+
+(* Sequential inversion from k = 0 using the pmf recurrence
+   pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p). Exact and allocation-free. *)
+let binomial_inversion rng ~n ~p =
+  let q = 1. -. p in
+  let ratio = p /. q in
+  let pmf0 = q ** float_of_int n in
+  if pmf0 = 0. then
+    (* n log q underflowed; fall back on counting Bernoulli successes.
+       Only reachable for huge n with p not small, where callers use the
+       mode-centered path instead; kept for safety. *)
+    let count = ref 0 in
+    for _ = 1 to n do
+      if Prng.unit_float rng < p then incr count
+    done;
+    !count
+  else begin
+    let u = ref (Prng.unit_float rng) in
+    let pmf = ref pmf0 in
+    let k = ref 0 in
+    while !u >= !pmf && !k < n do
+      u := !u -. !pmf;
+      pmf := !pmf *. (float_of_int (n - !k) /. float_of_int (!k + 1)) *. ratio;
+      incr k
+    done;
+    !k
+  end
+
+(* Mode-centered inversion: evaluate the pmf at the mode with log-gamma,
+   then consume the uniform deviate by alternating outward steps. The
+   probability mass within c standard deviations of the mode is
+   1 - O(exp(-c^2/2)), so the expected number of steps is O(sigma). *)
+let binomial_mode_centered rng ~n ~p =
+  let mode =
+    let m = int_of_float (float_of_int (n + 1) *. p) in
+    if m > n then n else m
+  in
+  let log_pmf_mode = Stats_math.log_binomial_pmf ~n ~p mode in
+  let pmf_mode = exp log_pmf_mode in
+  let q = 1. -. p in
+  let ratio = p /. q in
+  let u = ref (Prng.unit_float rng) in
+  (* Step factors: going up from k consumes pmf(k+1) = pmf(k)*up(k);
+     going down consumes pmf(k-1) = pmf(k)*down(k). *)
+  let up k pmf = pmf *. (float_of_int (n - k) /. float_of_int (k + 1)) *. ratio in
+  let down k pmf = pmf *. (float_of_int k /. float_of_int (n - k + 1)) /. ratio in
+  let lo = ref mode and hi = ref mode in
+  let pmf_lo = ref pmf_mode and pmf_hi = ref pmf_mode in
+  let result = ref (-1) in
+  if !u < pmf_mode then result := mode else u := !u -. pmf_mode;
+  while !result < 0 do
+    let can_up = !hi < n and can_down = !lo > 0 in
+    if (not can_up) && not can_down then
+      (* Floating-point slack exhausted the deviate; return the mode. *)
+      result := mode
+    else begin
+      if can_up then begin
+        pmf_hi := up !hi !pmf_hi;
+        incr hi;
+        if !result < 0 && !u < !pmf_hi then result := !hi else u := !u -. !pmf_hi
+      end;
+      if !result < 0 && can_down then begin
+        pmf_lo := down !lo !pmf_lo;
+        decr lo;
+        if !u < !pmf_lo then result := !lo else u := !u -. !pmf_lo
+      end
+    end
+  done;
+  !result
+
+let rec binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Dist.binomial: n < 0";
+  let p = if p < 0. then 0. else if p > 1. then 1. else p in
+  if n = 0 || p = 0. then 0
+  else if p = 1. then n
+  else if p > 0.5 then n - binomial rng ~n ~p:(1. -. p)
+  else if float_of_int n *. p <= small_mean_threshold then binomial_inversion rng ~n ~p
+  else binomial_mode_centered rng ~n ~p
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: need 0 < p <= 1";
+  if p = 1. then 0
+  else begin
+    let u = Prng.unit_float_pos rng in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+  end
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate <= 0";
+  -.log (Prng.unit_float_pos rng) /. rate
+
+let categorical rng ~weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist.categorical: weights must have positive sum";
+  let target = Prng.unit_float rng *. total in
+  let acc = ref 0. in
+  let result = ref (Array.length weights - 1) in
+  (try
+     Array.iteri
+       (fun i w ->
+         if w < 0. then invalid_arg "Dist.categorical: negative weight";
+         acc := !acc +. w;
+         if target < !acc then begin
+           result := i;
+           raise Exit
+         end)
+       weights
+   with Exit -> ());
+  !result
+
+module Cdf_table = struct
+  type t = { cdf : float array; probs : float array }
+
+  let of_weights weights =
+    let k = Array.length weights in
+    if k = 0 then invalid_arg "Dist.Cdf_table.of_weights: empty";
+    let total = Array.fold_left ( +. ) 0. weights in
+    if total <= 0. then invalid_arg "Dist.Cdf_table.of_weights: weights must have positive sum";
+    let cdf = Array.make k 0. in
+    let probs = Array.make k 0. in
+    let acc = ref 0. in
+    for i = 0 to k - 1 do
+      if weights.(i) < 0. then invalid_arg "Dist.Cdf_table.of_weights: negative weight";
+      acc := !acc +. (weights.(i) /. total);
+      cdf.(i) <- !acc;
+      probs.(i) <- weights.(i) /. total
+    done;
+    cdf.(k - 1) <- 1.;
+    { cdf; probs }
+
+  let draw t rng =
+    let u = Prng.unit_float rng in
+    (* Binary search for the first index with cdf >= u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let prob t i = t.probs.(i)
+  let support t = Array.length t.cdf
+end
+
+module Zipf = struct
+  type t = { z : float; support : int; table : Cdf_table.t }
+
+  let create ~z ~support =
+    if support <= 0 then invalid_arg "Dist.Zipf.create: support <= 0";
+    if z < 0. then invalid_arg "Dist.Zipf.create: z < 0";
+    let weights = Array.init support (fun i -> (1. /. float_of_int (i + 1)) ** z) in
+    { z; support; table = Cdf_table.of_weights weights }
+
+  let draw t rng = 1 + Cdf_table.draw t.table rng
+  let prob t rank =
+    if rank < 1 || rank > t.support then 0. else Cdf_table.prob t.table (rank - 1)
+
+  let expected_counts t ~n =
+    Array.init t.support (fun i -> float_of_int n *. Cdf_table.prob t.table i)
+
+  let z t = t.z
+  let support t = t.support
+end

@@ -1,0 +1,74 @@
+(** Random variate generation for the distributions the paper relies on.
+
+    The sequential black boxes U1 and WR1 (paper §4) consume one
+    Binomial(x, p) draw per input tuple, so {!binomial} must be exact (the
+    correctness proofs of Theorems 1 and 3 depend on it) and fast for the
+    small-mean case that dominates streaming use. {!Zipf} reproduces the
+    data generator of §8.1. *)
+
+val binomial : Prng.t -> n:int -> p:float -> int
+(** [binomial rng ~n ~p] draws from Binomial(n, p) exactly.
+
+    Implementation: for small mean, sequential inversion from 0 (expected
+    O(np) work); for large mean, inversion started at the mode and
+    expanded outwards (expected O(sqrt(np(1-p))) work). [p] outside
+    [\[0,1\]] is clamped. Raises [Invalid_argument] if [n < 0]. *)
+
+val geometric : Prng.t -> p:float -> int
+(** [geometric rng ~p] is the number of failures before the first success
+    of a Bernoulli(p) sequence (support 0, 1, 2, ...). Requires
+    [0 < p <= 1]. Used for skip-ahead sampling (Vitter-style). *)
+
+val exponential : Prng.t -> rate:float -> float
+(** [exponential rng ~rate] draws from Exp(rate), [rate > 0]. *)
+
+val categorical : Prng.t -> weights:float array -> int
+(** [categorical rng ~weights] draws index [i] with probability
+    proportional to [weights.(i)] (single draw, linear scan). Weights must
+    be non-negative with a positive sum. *)
+
+(** Precomputed discrete distribution supporting O(log k) draws by binary
+    search on the CDF; used for repeated categorical draws. *)
+module Cdf_table : sig
+  type t
+
+  val of_weights : float array -> t
+  (** Build from non-negative weights with positive sum. *)
+
+  val draw : t -> Prng.t -> int
+  (** Draw an index with probability proportional to its weight. *)
+
+  val prob : t -> int -> float
+  (** [prob t i] is the normalized probability of index [i]. *)
+
+  val support : t -> int
+  (** Number of categories. *)
+end
+
+(** The Zipfian data distribution of the paper's experimental setup
+    (§8.1): value of rank [i] (1-based) has probability proportional to
+    [1 / i^z] over a domain of [support] distinct values. [z = 0] is the
+    uniform distribution; the paper uses z in {0, 1, 2, 3}. *)
+module Zipf : sig
+  type t
+
+  val create : z:float -> support:int -> t
+  (** [create ~z ~support] precomputes the CDF. Raises [Invalid_argument]
+      if [support <= 0] or [z < 0]. *)
+
+  val draw : t -> Prng.t -> int
+  (** [draw t rng] returns a rank in [\[1, support\]]; rank 1 is the most
+      frequent. The paper generates both join columns with the same rank
+      order so that hot values collide ({i "the most frequent value was
+      picked in the same order in each case"}). *)
+
+  val prob : t -> int -> float
+  (** [prob t rank] is the probability of [rank]. *)
+
+  val expected_counts : t -> n:int -> float array
+  (** [expected_counts t ~n] is the expected frequency of each rank in a
+      sample of [n] draws, index 0 holding rank 1. *)
+
+  val z : t -> float
+  val support : t -> int
+end

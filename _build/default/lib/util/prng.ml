@@ -1,0 +1,120 @@
+(* xoshiro256** with splitmix64 seeding.
+
+   The state is four int64 words. xoshiro256** is the recommended
+   general-purpose member of the xoshiro family (Blackman & Vigna, 2018);
+   splitmix64 is the seeding/splitting function recommended by its
+   authors because consecutive splitmix64 outputs are equidistributed and
+   decorrelated from the xoshiro stream. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let splitmix64_next state =
+  let z = Int64.add !state golden_gamma in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed =
+  let st = ref seed in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  (* xoshiro must not start from the all-zero state; splitmix64 outputs
+     are zero only for one specific input, so perturb defensively. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = golden_gamma; s2 = 3L; s3 = 7L }
+  else { s0; s1; s2; s3 }
+
+let create ?(seed = 0x5EED) () = of_seed64 (Int64.of_int seed)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound = 1 then 0
+  else begin
+    (* Rejection sampling on the top 62 bits avoids modulo bias while
+       staying within OCaml's native int range. *)
+    let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+    let rec draw () =
+      let raw = Int64.to_int (Int64.logand (bits64 t) mask) in
+      let v = raw mod bound in
+      (* Reject draws from the final incomplete block. *)
+      if raw - v > Int64.to_int mask - bound + 1 then draw () else v
+    in
+    draw ()
+  end
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 random bits scaled into [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let rec unit_float_pos t =
+  let u = unit_float t in
+  if u > 0. then u else unit_float_pos t
+
+let float t bound = bound *. unit_float t
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else unit_float t < p
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))
+
+let sample_distinct t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_distinct: need 0 <= k <= n";
+  (* Floyd's algorithm: O(k) expected time, O(k) space. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let idx = ref 0 in
+  for j = n - k to n - 1 do
+    let v = int t (j + 1) in
+    let v = if Hashtbl.mem seen v then j else v in
+    Hashtbl.replace seen v ();
+    out.(!idx) <- v;
+    incr idx
+  done;
+  shuffle_in_place t out;
+  out
+
+let state_fingerprint t =
+  let mix acc x = Int64.add (Int64.mul acc 0x100000001B3L) x in
+  mix (mix (mix (mix 0xCBF29CE484222325L t.s0) t.s1) t.s2) t.s3

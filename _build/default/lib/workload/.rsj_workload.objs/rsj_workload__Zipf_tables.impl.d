@@ -1,0 +1,1 @@
+lib/workload/zipf_tables.ml: Array Dist Format Int64 Printf Prng Relation Rsj_relation Rsj_stats Rsj_util Schema String Sys Value

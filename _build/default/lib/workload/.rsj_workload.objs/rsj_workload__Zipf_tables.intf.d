@@ -1,0 +1,1 @@
+lib/workload/zipf_tables.mli: Format Relation Rsj_relation Schema

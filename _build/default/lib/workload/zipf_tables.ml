@@ -1,0 +1,82 @@
+open Rsj_relation
+open Rsj_util
+
+let schema =
+  Schema.of_list [ ("rid", Value.T_int); ("col2", Value.T_int); ("pad", Value.T_str) ]
+
+let col_rid = 0
+let col2 = 1
+let col_pad = 2
+
+(* The paper pads records to a realistic size with a 32-byte character
+   field; sharing one string per table keeps memory sane at scale while
+   preserving the record shape. *)
+let padding = String.make 32 'x'
+
+let make ?(seed = 0x5EED) ~name ~rows ~z ~domain () =
+  if rows <= 0 then invalid_arg "Zipf_tables.make: rows <= 0";
+  if domain <= 0 then invalid_arg "Zipf_tables.make: domain <= 0";
+  if z < 0. then invalid_arg "Zipf_tables.make: z < 0";
+  let rng = Prng.create ~seed () in
+  let zipf = Dist.Zipf.create ~z ~support:domain in
+  (* Unique randomly-ordered RIDs: a shuffled 1..n. *)
+  let rids = Array.init rows (fun i -> i + 1) in
+  Prng.shuffle_in_place rng rids;
+  let rel = Relation.create ~name ~capacity:rows schema in
+  for i = 0 to rows - 1 do
+    let v = Dist.Zipf.draw zipf rng in
+    Relation.append_unchecked rel [| Value.Int rids.(i); Value.Int v; Value.Str padding |]
+  done;
+  rel
+
+type pair = {
+  outer : Relation.t;
+  inner : Relation.t;
+  z_outer : float;
+  z_inner : float;
+  domain : int;
+}
+
+let make_pair ?(seed = 0x5EED) ~n1 ~n2 ~z1 ~z2 ~domain () =
+  let root = Prng.create ~seed () in
+  let seed_of rng = Int64.to_int (Int64.logand (Prng.bits64 rng) 0x3FFFFFFFL) in
+  let s1 = seed_of root in
+  let s2 = seed_of root in
+  {
+    outer = make ~seed:s1 ~name:(Printf.sprintf "t1_z%g" z1) ~rows:n1 ~z:z1 ~domain ();
+    inner = make ~seed:s2 ~name:(Printf.sprintf "t2_z%g" z2) ~rows:n2 ~z:z2 ~domain ();
+    z_outer = z1;
+    z_inner = z2;
+    domain;
+  }
+
+let join_size pair =
+  let m1 = Rsj_stats.Frequency.of_relation pair.outer ~key:col2 in
+  let m2 = Rsj_stats.Frequency.of_relation pair.inner ~key:col2 in
+  Rsj_stats.Frequency.join_size m1 m2
+
+module Scale = struct
+  type t = { n1 : int; n2 : int; domain : int; seed : int }
+
+  let default = { n1 = 3_000; n2 = 12_000; domain = 600; seed = 0x5EED }
+
+  let env_int name fallback =
+    match Sys.getenv_opt name with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v > 0 -> v
+        | _ -> invalid_arg (Printf.sprintf "%s must be a positive integer, got %S" name s))
+    | None -> fallback
+
+  let from_env () =
+    let scale = env_int "RSJ_SCALE" 1 in
+    {
+      n1 = scale * env_int "RSJ_N1" default.n1;
+      n2 = scale * env_int "RSJ_N2" default.n2;
+      domain = env_int "RSJ_DOMAIN" default.domain;
+      seed = env_int "RSJ_SEED" default.seed;
+    }
+
+  let pp ppf t =
+    Format.fprintf ppf "n1=%d n2=%d domain=%d seed=%#x" t.n1 t.n2 t.domain t.seed
+end

@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest List Relation Rsj_exec Rsj_relation Rsj_sql Schema Tuple Value

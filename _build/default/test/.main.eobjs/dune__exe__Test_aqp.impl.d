@@ -1,0 +1,1 @@
+test/test_aqp.ml: Alcotest Aqp Float Hashtbl List Option Printf Rsj_core Rsj_exec Rsj_relation Rsj_workload Strategy Tuple Value

@@ -1,0 +1,1 @@
+test/test_black_box.ml: Alcotest Array Black_box Float Fun List Printf Prng Rsj_core Rsj_relation Rsj_util Stats_math Stream0

@@ -1,0 +1,1 @@
+test/test_convert.ml: Alcotest Array Convert Dist Float List Printf Prng Reservoir Rsj_core Rsj_util Semantics Stats_math

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Float List Printf Prng Rsj_util Stats_math

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Format Io_model List Metrics Plan Predicate Relation Rsj_exec Rsj_index Rsj_relation Schema Stream0 String Tuple Value

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Format List Printf Rsj_harness Rsj_workload String

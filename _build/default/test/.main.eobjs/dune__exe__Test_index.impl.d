@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Fun Hashtbl List Option Printf QCheck QCheck_alcotest Relation Rsj_index Rsj_relation Rsj_util Schema Tuple Value

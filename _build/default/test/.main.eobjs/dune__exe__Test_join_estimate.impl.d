@@ -1,0 +1,1 @@
+test/test_join_estimate.ml: Alcotest Float List Printf Relation Rsj_index Rsj_relation Rsj_stats Rsj_util Rsj_workload Value

@@ -1,0 +1,1 @@
+test/test_join_tree.ml: Alcotest Array Chain_sample Join_tree List Negative Printf Relation Result Rsj_core Rsj_exec Rsj_relation Rsj_util Schema Tuple Value

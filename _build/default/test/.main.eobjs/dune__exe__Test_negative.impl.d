@@ -1,0 +1,1 @@
+test/test_negative.ml: Alcotest Array Float Negative Printf Relation Rsj_core Rsj_exec Rsj_relation Rsj_stats Rsj_util Rsj_workload Strategy Tuple Value

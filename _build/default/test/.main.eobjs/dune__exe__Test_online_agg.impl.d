@@ -1,0 +1,1 @@
+test/test_online_agg.ml: Alcotest Aqp Chain_sample Float List Online_agg Printf Relation Rsj_core Rsj_relation Rsj_util Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_paged.ml: Alcotest Array Block_sample List Paged Printf Relation Rsj_core Rsj_relation Rsj_util Schema Stream0 Tuple Value

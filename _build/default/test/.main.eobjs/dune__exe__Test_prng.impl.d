@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Hashtbl Printf Prng Rsj_util Stats_math

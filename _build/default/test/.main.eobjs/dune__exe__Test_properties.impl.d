@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Black_box Convert Format Fun Gen Hashtbl List Printf QCheck QCheck_alcotest Relation Rsj_core Rsj_relation Rsj_sql Rsj_stats Rsj_util Schema Strategy Stream0 Value

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Csv_io Filename Fun List Relation Rsj_relation Rsj_util Schema Stream0 Sys Tuple Value

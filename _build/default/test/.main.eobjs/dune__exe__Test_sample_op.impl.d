@@ -1,0 +1,1 @@
+test/test_sample_op.ml: Alcotest Array Format List Negative Printf Relation Rsj_core Rsj_exec Rsj_index Rsj_relation Rsj_stats Rsj_util Sample_op Schema String Tuple Value

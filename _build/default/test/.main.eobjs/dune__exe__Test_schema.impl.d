@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Result Rsj_relation Schema Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Format List Relation Rsj_exec Rsj_relation Rsj_sql Schema String Tuple Value

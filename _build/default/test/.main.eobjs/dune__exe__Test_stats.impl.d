@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array List Printf Relation Rsj_relation Rsj_stats Rsj_util Schema Value

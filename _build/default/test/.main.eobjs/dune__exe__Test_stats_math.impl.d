@@ -1,0 +1,1 @@
+test/test_stats_math.ml: Alcotest Float Rsj_util Stats_math

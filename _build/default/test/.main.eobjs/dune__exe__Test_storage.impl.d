@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Filename Fun List Printf Relation Rsj_relation Rsj_storage Rsj_util Schema Stream0 String Sys Tuple Value

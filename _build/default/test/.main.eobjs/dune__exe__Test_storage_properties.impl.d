@@ -1,0 +1,1 @@
+test/test_storage_properties.ml: Array Bytes Filename Fun List QCheck QCheck_alcotest Relation Rsj_relation Rsj_storage Schema String Sys Tuple Value

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Fun Rsj_relation Seq Stream0

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl List Printf Relation Rsj_relation Rsj_stats Rsj_util Rsj_workload Schema String Tuple Value

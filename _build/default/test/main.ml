@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "rsj"
+    [
+      ("prng", Test_prng.suite);
+      ("dist", Test_dist.suite);
+      ("stats_math", Test_stats_math.suite);
+      ("value", Test_value.suite);
+      ("schema", Test_schema.suite);
+      ("stream", Test_stream.suite);
+      ("relation", Test_relation.suite);
+      ("index", Test_index.suite);
+      ("stats", Test_stats.suite);
+      ("exec", Test_exec.suite);
+      ("black_box", Test_black_box.suite);
+      ("convert", Test_convert.suite);
+      ("strategies", Test_strategies.suite);
+      ("join_tree", Test_join_tree.suite);
+      ("negative", Test_negative.suite);
+      ("aqp", Test_aqp.suite);
+      ("workload", Test_workload.suite);
+      ("sample_op", Test_sample_op.suite);
+      ("harness", Test_harness.suite);
+      ("sql", Test_sql.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("paged", Test_paged.suite);
+      ("properties", Test_properties.suite);
+      ("online_agg", Test_online_agg.suite);
+      ("storage", Test_storage.suite);
+      ("join_estimate", Test_join_estimate.suite);
+      ("storage_properties", Test_storage_properties.suite);
+    ]

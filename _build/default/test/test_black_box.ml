@@ -1,0 +1,273 @@
+open Rsj_relation
+open Rsj_util
+open Rsj_core
+
+let rng () = Prng.create ~seed:0xB1ACB0 ()
+
+(* For WR samplers: each of the r draws must be marginally distributed
+   according to the weights; aggregate counts over many runs and
+   chi-square against the expected proportions. *)
+let check_wr_marginals ~name ~runs ~elements ~weights ~draw =
+  let k = Array.length elements in
+  let observed = Array.make k 0 in
+  let total_draws = ref 0 in
+  for _ = 1 to runs do
+    Array.iter
+      (fun x ->
+        observed.(x) <- observed.(x) + 1;
+        incr total_draws)
+      (draw ())
+  done;
+  let wsum = Array.fold_left ( +. ) 0. weights in
+  let expected =
+    Array.map (fun w -> float_of_int !total_draws *. w /. wsum) weights
+  in
+  let res = Stats_math.chi_square_test ~expected ~observed in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s marginals chi2 p=%.5f" name res.p_value)
+    true (res.p_value > 0.001)
+
+let test_u1_exact_size_and_uniform () =
+  let r = rng () in
+  let n = 20 in
+  let elements = Array.init n Fun.id in
+  check_wr_marginals ~name:"U1" ~runs:4_000 ~elements ~weights:(Array.make n 1.)
+    ~draw:(fun () ->
+      let out = Stream0.to_array (Black_box.u1 r ~n ~r:5 (Stream0.of_array elements)) in
+      Alcotest.(check int) "exactly r" 5 (Array.length out);
+      out)
+
+let test_u1_order_preserved () =
+  let r = rng () in
+  let out = Stream0.to_list (Black_box.u1 r ~n:100 ~r:20 (Stream0.of_list (List.init 100 Fun.id))) in
+  let sorted = List.sort compare out in
+  Alcotest.(check (list int)) "output in stream order" sorted out
+
+let test_u1_r_zero_and_edge () =
+  let r = rng () in
+  Alcotest.(check (list int)) "r=0 empty" []
+    (Stream0.to_list (Black_box.u1 r ~n:5 ~r:0 (Stream0.of_list [ 1; 2; 3; 4; 5 ])));
+  Alcotest.(check int) "r=n possible" 10
+    (List.length (Stream0.to_list (Black_box.u1 r ~n:10 ~r:10 (Stream0.of_list (List.init 10 Fun.id)))));
+  Alcotest.(check bool) "n=0 with r>0 invalid" true
+    (try
+       ignore (Black_box.u1 r ~n:0 ~r:1 (Stream0.empty ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_u1_short_stream_fails () =
+  let r = rng () in
+  let s = Black_box.u1 r ~n:10 ~r:10 (Stream0.of_list [ 1; 2 ]) in
+  Alcotest.(check bool) "declared n too large fails" true
+    (try
+       ignore (Stream0.to_list s);
+       false
+     with Failure _ -> true)
+
+let test_u2_size_and_uniform () =
+  let r = rng () in
+  let n = 15 in
+  let elements = Array.init n Fun.id in
+  check_wr_marginals ~name:"U2" ~runs:4_000 ~elements ~weights:(Array.make n 1.)
+    ~draw:(fun () ->
+      let out = Black_box.u2 r ~r:4 (Stream0.of_array elements) in
+      Alcotest.(check int) "exactly r slots" 4 (Array.length out);
+      out)
+
+let test_u2_small_stream () =
+  let r = rng () in
+  (* Stream smaller than r: still r WR draws (duplicates expected). *)
+  let out = Black_box.u2 r ~r:10 (Stream0.of_list [ 42 ]) in
+  Alcotest.(check (array int)) "all the single element" (Array.make 10 42) out;
+  Alcotest.(check (array int)) "empty stream" [||] (Black_box.u2 r ~r:5 (Stream0.empty ()));
+  Alcotest.(check (array int)) "r=0" [||] (Black_box.u2 r ~r:0 (Stream0.of_list [ 1 ]))
+
+let test_wr1_weighted_marginals () =
+  let r = rng () in
+  let weights = [| 1.; 2.; 3.; 4. |] in
+  let elements = [| 0; 1; 2; 3 |] in
+  check_wr_marginals ~name:"WR1" ~runs:5_000 ~elements ~weights ~draw:(fun () ->
+      Stream0.to_array
+        (Black_box.wr1 r ~total_weight:10. ~r:4
+           ~weight:(fun i -> weights.(i))
+           (Stream0.of_array elements)))
+
+let test_wr1_zero_weight_never_sampled () =
+  let r = rng () in
+  for _ = 1 to 200 do
+    let out =
+      Stream0.to_list
+        (Black_box.wr1 r ~total_weight:5. ~r:3
+           ~weight:(fun i -> if i = 1 then 0. else 2.5)
+           (Stream0.of_list [ 0; 1; 2 ]))
+    in
+    Alcotest.(check bool) "never the zero-weight element" false (List.mem 1 out)
+  done
+
+let test_wr1_exhaustion_failure () =
+  let r = rng () in
+  let s =
+    Black_box.wr1 r ~total_weight:100. ~r:2 ~weight:(fun _ -> 1.) (Stream0.of_list [ 0; 1 ])
+  in
+  Alcotest.(check bool) "overstated W fails" true
+    (try
+       ignore (Stream0.to_list s);
+       false
+     with Failure _ -> true)
+
+let test_wr2_weighted_marginals () =
+  let r = rng () in
+  let weights = [| 5.; 1.; 1.; 3. |] in
+  let elements = [| 0; 1; 2; 3 |] in
+  check_wr_marginals ~name:"WR2" ~runs:5_000 ~elements ~weights ~draw:(fun () ->
+      Black_box.wr2 r ~r:4 ~weight:(fun i -> weights.(i)) (Stream0.of_array elements))
+
+let test_wr2_all_zero_weights () =
+  let r = rng () in
+  Alcotest.(check (array int)) "no positive weight -> empty" [||]
+    (Black_box.wr2 r ~r:3 ~weight:(fun _ -> 0.) (Stream0.of_list [ 1; 2; 3 ]))
+
+let test_coin_flip_distribution () =
+  let r = rng () in
+  let n = 2_000 and f = 0.25 in
+  let sizes =
+    Array.init 300 (fun _ ->
+        float_of_int
+          (List.length (Stream0.to_list (Black_box.coin_flip r ~f (Stream0.of_list (List.init n Fun.id))))))
+  in
+  let mean = Stats_math.mean sizes in
+  let expected = float_of_int n *. f in
+  let sd = sqrt (float_of_int n *. f *. (1. -. f)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "CF mean %.1f ~ %.1f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 5. *. sd /. sqrt 300.)
+
+let test_coin_flip_skip_matches_coin_flip () =
+  let r1 = Prng.create ~seed:77 () in
+  let r2 = Prng.create ~seed:78 () in
+  let n = 5_000 and f = 0.1 in
+  let runs = 200 in
+  let mean_of sampler rgen =
+    let acc = ref 0 in
+    for _ = 1 to runs do
+      acc := !acc + List.length (Stream0.to_list (sampler rgen (Stream0.of_list (List.init n Fun.id))))
+    done;
+    float_of_int !acc /. float_of_int runs
+  in
+  let m1 = mean_of (fun g s -> Black_box.coin_flip g ~f s) r1 in
+  let m2 = mean_of (fun g s -> Black_box.coin_flip_skip g ~f s) r2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "skip %.1f ~ flip %.1f" m2 m1)
+    true
+    (Float.abs (m1 -. m2) < 30.);
+  (* edge fractions *)
+  let r = rng () in
+  Alcotest.(check (list int)) "f=0" []
+    (Stream0.to_list (Black_box.coin_flip_skip r ~f:0. (Stream0.of_list [ 1; 2 ])));
+  Alcotest.(check (list int)) "f=1" [ 1; 2 ]
+    (Stream0.to_list (Black_box.coin_flip_skip r ~f:1. (Stream0.of_list [ 1; 2 ])))
+
+let test_wor_sequential () =
+  let r = rng () in
+  let n = 30 in
+  for _ = 1 to 300 do
+    let out = Stream0.to_list (Black_box.wor_sequential r ~n ~r:7 (Stream0.of_list (List.init n Fun.id))) in
+    Alcotest.(check int) "exactly r" 7 (List.length out);
+    Alcotest.(check bool) "distinct" true (List.length (List.sort_uniq compare out) = 7);
+    Alcotest.(check (list int)) "order preserved" (List.sort compare out) out
+  done;
+  (* marginal uniformity: each element in ~ r/n of samples *)
+  let counts = Array.make n 0 in
+  let runs = 20_000 in
+  for _ = 1 to runs do
+    List.iter
+      (fun x -> counts.(x) <- counts.(x) + 1)
+      (Stream0.to_list (Black_box.wor_sequential r ~n ~r:3 (Stream0.of_list (List.init n Fun.id))))
+  done;
+  let res = Stats_math.chi_square_uniform ~observed:counts in
+  Alcotest.(check bool) "WoR inclusion uniform" true (res.p_value > 0.001);
+  Alcotest.(check bool) "r > n rejected" true
+    (try
+       ignore (Black_box.wor_sequential r ~n:3 ~r:5 (Stream0.of_list [ 1; 2; 3 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_reservoir_wor () =
+  let r = rng () in
+  let out = Black_box.reservoir_wor r ~r:5 (Stream0.of_list (List.init 50 Fun.id)) in
+  Alcotest.(check int) "size" 5 (Array.length out);
+  Alcotest.(check bool) "distinct" true
+    (List.length (List.sort_uniq compare (Array.to_list out)) = 5);
+  (* fewer than r elements: returns all *)
+  let small = Black_box.reservoir_wor r ~r:5 (Stream0.of_list [ 1; 2 ]) in
+  Alcotest.(check int) "short stream" 2 (Array.length small);
+  (* uniform membership *)
+  let n = 20 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 20_000 do
+    Array.iter
+      (fun x -> counts.(x) <- counts.(x) + 1)
+      (Black_box.reservoir_wor r ~r:4 (Stream0.of_list (List.init n Fun.id)))
+  done;
+  let res = Stats_math.chi_square_uniform ~observed:counts in
+  Alcotest.(check bool) "algorithm R uniform" true (res.p_value > 0.001)
+
+let test_weighted_wor () =
+  let r = rng () in
+  (* First-draw marginal of weighted WoR with r=1 equals weighted WR. *)
+  let weights = [| 1.; 4.; 5. |] in
+  let counts = Array.make 3 0 in
+  let runs = 30_000 in
+  for _ = 1 to runs do
+    let out = Black_box.weighted_wor r ~r:1 ~weight:(fun i -> weights.(i)) (Stream0.of_list [ 0; 1; 2 ]) in
+    counts.(out.(0)) <- counts.(out.(0)) + 1
+  done;
+  let expected = Array.map (fun w -> float_of_int runs *. w /. 10.) weights in
+  let res = Stats_math.chi_square_test ~expected ~observed:counts in
+  Alcotest.(check bool) "A-Res first draw matches weights" true (res.p_value > 0.001);
+  (* distinctness and zero weights *)
+  let out = Black_box.weighted_wor r ~r:2 ~weight:(fun i -> if i = 0 then 0. else 1.) (Stream0.of_list [ 0; 1; 2 ]) in
+  Alcotest.(check bool) "zero weight excluded" false (Array.mem 0 out);
+  Alcotest.(check int) "size 2" 2 (Array.length out)
+
+let test_weighted_coin_flip () =
+  let r = rng () in
+  let n = 1_000 in
+  let weight i = if i < 100 then 9. else 1. in
+  let total_weight = (100. *. 9.) +. 900. in
+  let heavy = ref 0 and light = ref 0 in
+  for _ = 1 to 100 do
+    Stream0.iter
+      (fun i -> if i < 100 then incr heavy else incr light)
+      (Black_box.weighted_coin_flip r ~f:0.1 ~total_weight ~n ~weight
+         (Stream0.of_list (List.init n Fun.id)))
+  done;
+  (* heavy inclusion prob = min(1, 0.1*1000*9/1800) = 0.5; light = 1/18 *)
+  let heavy_rate = float_of_int !heavy /. (100. *. 100.) in
+  let light_rate = float_of_int !light /. (100. *. 900.) in
+  Alcotest.(check bool) (Printf.sprintf "heavy %.3f ~ 0.5" heavy_rate) true
+    (Float.abs (heavy_rate -. 0.5) < 0.03);
+  Alcotest.(check bool) (Printf.sprintf "light %.3f ~ 0.0556" light_rate) true
+    (Float.abs (light_rate -. (1. /. 18.)) < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "U1: size and uniformity" `Slow test_u1_exact_size_and_uniform;
+    Alcotest.test_case "U1: order preserved" `Quick test_u1_order_preserved;
+    Alcotest.test_case "U1: r=0 / r=n / n=0" `Quick test_u1_r_zero_and_edge;
+    Alcotest.test_case "U1: short stream fails loudly" `Quick test_u1_short_stream_fails;
+    Alcotest.test_case "U2: size and uniformity" `Slow test_u2_size_and_uniform;
+    Alcotest.test_case "U2: stream smaller than r" `Quick test_u2_small_stream;
+    Alcotest.test_case "WR1: weighted marginals" `Slow test_wr1_weighted_marginals;
+    Alcotest.test_case "WR1: zero weights never sampled" `Quick test_wr1_zero_weight_never_sampled;
+    Alcotest.test_case "WR1: overstated total weight fails" `Quick test_wr1_exhaustion_failure;
+    Alcotest.test_case "WR2: weighted marginals" `Slow test_wr2_weighted_marginals;
+    Alcotest.test_case "WR2: all-zero weights" `Quick test_wr2_all_zero_weights;
+    Alcotest.test_case "CF: binomial sample size" `Slow test_coin_flip_distribution;
+    Alcotest.test_case "CF skip variant matches" `Slow test_coin_flip_skip_matches_coin_flip;
+    Alcotest.test_case "WoR sequential (Algorithm S)" `Slow test_wor_sequential;
+    Alcotest.test_case "WoR reservoir (Algorithm R)" `Slow test_reservoir_wor;
+    Alcotest.test_case "weighted WoR (A-Res)" `Slow test_weighted_wor;
+    Alcotest.test_case "weighted CF inclusion rates" `Slow test_weighted_coin_flip;
+  ]

@@ -1,0 +1,165 @@
+open Rsj_util
+open Rsj_core
+
+let rng () = Prng.create ~seed:0xC0 ()
+
+let test_semantics_conversions_table () =
+  let open Semantics in
+  Alcotest.(check bool) "WR->WoR" true (convertible ~from:WR ~into:WoR);
+  Alcotest.(check bool) "CF->WoR" true (convertible ~from:CF ~into:WoR);
+  Alcotest.(check bool) "WoR->WR" true (convertible ~from:WoR ~into:WR);
+  Alcotest.(check bool) "WR->CF impossible" false (convertible ~from:WR ~into:CF);
+  Alcotest.(check bool) "WoR->CF impossible" false (convertible ~from:WoR ~into:CF);
+  Alcotest.(check bool) "identity" true (convertible ~from:CF ~into:CF);
+  Alcotest.(check int) "three semantics" 3 (List.length all);
+  Alcotest.(check string) "naming" "with-replacement" (to_string WR);
+  Alcotest.(check (float 1e-9)) "expected size" 12. (expected_size WR ~n:120 ~f:0.1)
+
+let test_wr_to_wor_distinct () =
+  let r = rng () in
+  let wr = [| 1; 1; 2; 3; 3; 3; 4 |] in
+  let wor = Convert.wr_to_wor r ~r:10 wr in
+  let sorted = List.sort compare (Array.to_list wor) in
+  Alcotest.(check (list int)) "all distinct values kept" [ 1; 2; 3; 4 ] sorted
+
+let test_wr_to_wor_truncates () =
+  let r = rng () in
+  let wor = Convert.wr_to_wor r ~r:2 [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "truncated to r" 2 (Array.length wor);
+  Alcotest.(check bool) "distinct" true (wor.(0) <> wor.(1))
+
+let test_wr_to_wor_unbiased_under_duplicates () =
+  (* With WR sample [x; x; y], the kept singleton should not favour x
+     because of its duplicate given both appear... it will keep both x
+     and y when r >= 2; with r = 1 positions are scanned in random
+     order so x (2 slots) is kept 2/3 of the time — matching a uniform
+     draw over WR sample positions. *)
+  let r = rng () in
+  let x_kept = ref 0 in
+  let runs = 30_000 in
+  for _ = 1 to runs do
+    let out = Convert.wr_to_wor r ~r:1 [| 1; 1; 2 |] in
+    if out.(0) = 1 then incr x_kept
+  done;
+  let rate = float_of_int !x_kept /. float_of_int runs in
+  Alcotest.(check bool) (Printf.sprintf "rate %.3f ~ 2/3" rate) true
+    (Float.abs (rate -. (2. /. 3.)) < 0.02)
+
+let test_cf_to_wor () =
+  let r = rng () in
+  (match Convert.cf_to_wor r ~r:3 [| 10; 20; 30; 40; 50 |] with
+  | None -> Alcotest.fail "expected a sample"
+  | Some s ->
+      Alcotest.(check int) "size" 3 (Array.length s);
+      Alcotest.(check bool) "distinct positions" true
+        (List.length (List.sort_uniq compare (Array.to_list s)) = 3));
+  Alcotest.(check bool) "too small CF sample" true (Convert.cf_to_wor r ~r:3 [| 1; 2 |] = None)
+
+let test_cf_oversample_fraction () =
+  let f' = Convert.cf_oversample_fraction ~f:0.01 ~n:100_000 () in
+  Alcotest.(check bool) "inflated" true (f' > 0.01);
+  Alcotest.(check bool) "sane" true (f' < 0.05);
+  Alcotest.(check (float 0.)) "f=0" 0. (Convert.cf_oversample_fraction ~f:0. ~n:100 ());
+  (* The inflated fraction actually delivers >= fn with high prob. *)
+  let r = rng () in
+  let n = 50_000 in
+  let f = 0.01 in
+  let f2 = Convert.cf_oversample_fraction ~f ~n () in
+  let failures = ref 0 in
+  for _ = 1 to 50 do
+    let size = Dist.binomial r ~n ~p:f2 in
+    if size < int_of_float (f *. float_of_int n) then incr failures
+  done;
+  Alcotest.(check int) "no shortfalls in 50 runs" 0 !failures
+
+let test_wor_to_wr () =
+  let r = rng () in
+  let wr = Convert.wor_to_wr r ~r:100 [| 1; 2; 3 |] in
+  Alcotest.(check int) "size" 100 (Array.length wr);
+  Array.iter (fun x -> Alcotest.(check bool) "members" true (List.mem x [ 1; 2; 3 ])) wr;
+  Alcotest.(check (array int)) "r=0 from empty" [||] (Convert.wor_to_wr r ~r:0 [||]);
+  Alcotest.(check bool) "empty source with r>0 rejected" true
+    (try
+       ignore (Convert.wor_to_wr r ~r:1 [||]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- reservoirs ---------- *)
+
+let test_wr_reservoir_marginals () =
+  let r = rng () in
+  let weights = [| 1.; 2.; 7. |] in
+  let counts = Array.make 3 0 in
+  let runs = 8_000 in
+  for _ = 1 to runs do
+    let res = Reservoir.Wr.create ~r:3 in
+    Array.iteri (fun i w -> Reservoir.Wr.feed r res ~weight:w i) weights;
+    Array.iter (fun x -> counts.(x) <- counts.(x) + 1) (Reservoir.Wr.contents res)
+  done;
+  let total = float_of_int (3 * runs) in
+  let expected = Array.map (fun w -> total *. w /. 10.) weights in
+  let res = Stats_math.chi_square_test ~expected ~observed:counts in
+  Alcotest.(check bool) "weighted slots" true (res.p_value > 0.001)
+
+let test_wr_reservoir_bookkeeping () =
+  let r = rng () in
+  let res = Reservoir.Wr.create ~r:2 in
+  Alcotest.(check (array int)) "empty" [||] (Reservoir.Wr.contents res);
+  Reservoir.Wr.feed r res ~weight:0. 1;
+  Alcotest.(check int) "zero weight not fed" 0 (Reservoir.Wr.fed_count res);
+  Reservoir.Wr.feed r res ~weight:2.5 2;
+  Alcotest.(check int) "fed" 1 (Reservoir.Wr.fed_count res);
+  Alcotest.(check (float 1e-9)) "total weight" 2.5 (Reservoir.Wr.total_weight res);
+  Alcotest.(check bool) "negative weight rejected" true
+    (try
+       Reservoir.Wr.feed r res ~weight:(-1.) 3;
+       false
+     with Invalid_argument _ -> true);
+  (* r = 0 still tracks mass *)
+  let res0 = Reservoir.Wr.create ~r:0 in
+  Reservoir.Wr.feed r res0 ~weight:4. 9;
+  Alcotest.(check (float 1e-9)) "mass tracked at r=0" 4. (Reservoir.Wr.total_weight res0);
+  Alcotest.(check (array int)) "no contents at r=0" [||] (Reservoir.Wr.contents res0)
+
+let test_unit_reservoir_uniform () =
+  let r = rng () in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 50_000 do
+    let res = Reservoir.Unit.create () in
+    for i = 0 to 4 do
+      Reservoir.Unit.feed r res i
+    done;
+    match Reservoir.Unit.get res with
+    | Some x -> counts.(x) <- counts.(x) + 1
+    | None -> Alcotest.fail "fed reservoir must hold something"
+  done;
+  let res = Stats_math.chi_square_uniform ~observed:counts in
+  Alcotest.(check bool) "uniform pick" true (res.p_value > 0.001);
+  Alcotest.(check bool) "empty reservoir" true (Reservoir.Unit.get (Reservoir.Unit.create ()) = None)
+
+let test_wor_reservoir () =
+  let r = rng () in
+  let res = Reservoir.Wor.create ~r:3 in
+  for i = 0 to 9 do
+    Reservoir.Wor.feed r res i
+  done;
+  let out = Reservoir.Wor.contents res in
+  Alcotest.(check int) "size" 3 (Array.length out);
+  Alcotest.(check int) "fed count" 10 (Reservoir.Wor.fed_count res);
+  Alcotest.(check bool) "distinct" true
+    (List.length (List.sort_uniq compare (Array.to_list out)) = 3)
+
+let suite =
+  [
+    Alcotest.test_case "semantics conversion table (§3)" `Quick test_semantics_conversions_table;
+    Alcotest.test_case "WR->WoR keeps distinct" `Quick test_wr_to_wor_distinct;
+    Alcotest.test_case "WR->WoR truncates to r" `Quick test_wr_to_wor_truncates;
+    Alcotest.test_case "WR->WoR position uniformity" `Slow test_wr_to_wor_unbiased_under_duplicates;
+    Alcotest.test_case "CF->WoR" `Quick test_cf_to_wor;
+    Alcotest.test_case "CF oversample fraction (Chernoff)" `Slow test_cf_oversample_fraction;
+    Alcotest.test_case "WoR->WR" `Quick test_wor_to_wr;
+    Alcotest.test_case "Wr reservoir weighted marginals" `Slow test_wr_reservoir_marginals;
+    Alcotest.test_case "Wr reservoir bookkeeping" `Quick test_wr_reservoir_bookkeeping;
+    Alcotest.test_case "Unit reservoir uniform" `Slow test_unit_reservoir_uniform;
+    Alcotest.test_case "WoR reservoir" `Quick test_wor_reservoir;
+  ]

@@ -1,0 +1,211 @@
+open Rsj_util
+
+let rng () = Prng.create ~seed:0xD157 ()
+
+(* Exact chi-square check of Dist.binomial against the analytic pmf. *)
+let check_binomial_distribution ~n ~p ~trials =
+  let r = rng () in
+  let observed = Array.make (n + 1) 0 in
+  for _ = 1 to trials do
+    let k = Dist.binomial r ~n ~p in
+    Alcotest.(check bool) "in support" true (k >= 0 && k <= n);
+    observed.(k) <- observed.(k) + 1
+  done;
+  (* Merge tail cells with tiny expectation to keep the test valid. *)
+  let expected = Array.init (n + 1) (fun k -> float_of_int trials *. exp (Stats_math.log_binomial_pmf ~n ~p k)) in
+  let obs = ref [] and exp_ = ref [] in
+  let acc_o = ref 0 and acc_e = ref 0. in
+  for k = 0 to n do
+    acc_o := !acc_o + observed.(k);
+    acc_e := !acc_e +. expected.(k);
+    if !acc_e >= 10. then begin
+      obs := !acc_o :: !obs;
+      exp_ := !acc_e :: !exp_;
+      acc_o := 0;
+      acc_e := 0.
+    end
+  done;
+  if !acc_e > 0. then begin
+    match (!obs, !exp_) with
+    | o :: os, e :: es ->
+        obs := (o + !acc_o) :: os;
+        exp_ := (e +. !acc_e) :: es
+    | [], [] ->
+        obs := [ !acc_o ];
+        exp_ := [ !acc_e ]
+    | _ -> assert false
+  end;
+  let observed = Array.of_list (List.rev !obs) in
+  let expected = Array.of_list (List.rev !exp_) in
+  let res = Stats_math.chi_square_test ~expected ~observed in
+  Alcotest.(check bool)
+    (Printf.sprintf "binomial(%d,%.3f) chi2 p=%.5f" n p res.p_value)
+    true (res.p_value > 0.001)
+
+let test_binomial_edges () =
+  let r = rng () in
+  Alcotest.(check int) "n=0" 0 (Dist.binomial r ~n:0 ~p:0.5);
+  Alcotest.(check int) "p=0" 0 (Dist.binomial r ~n:100 ~p:0.);
+  Alcotest.(check int) "p=1" 100 (Dist.binomial r ~n:100 ~p:1.);
+  Alcotest.(check int) "p clamped below" 0 (Dist.binomial r ~n:10 ~p:(-0.5));
+  Alcotest.(check int) "p clamped above" 10 (Dist.binomial r ~n:10 ~p:1.5);
+  Alcotest.check_raises "n < 0" (Invalid_argument "Dist.binomial: n < 0") (fun () ->
+      ignore (Dist.binomial r ~n:(-1) ~p:0.5))
+
+let test_binomial_small_mean () = check_binomial_distribution ~n:40 ~p:0.05 ~trials:40_000
+let test_binomial_half () = check_binomial_distribution ~n:30 ~p:0.5 ~trials:40_000
+let test_binomial_high_p () = check_binomial_distribution ~n:25 ~p:0.9 ~trials:40_000
+let test_binomial_large_mean () = check_binomial_distribution ~n:5_000 ~p:0.4 ~trials:20_000
+
+let test_binomial_mean_variance_large () =
+  let r = rng () in
+  let n = 100_000 and p = 0.37 in
+  let trials = 5_000 in
+  let xs = Array.init trials (fun _ -> float_of_int (Dist.binomial r ~n ~p)) in
+  let mean = Stats_math.mean xs in
+  let expected_mean = float_of_int n *. p in
+  let sd = sqrt (float_of_int n *. p *. (1. -. p)) in
+  (* Sample mean of `trials` draws has sd = sd/sqrt(trials). *)
+  let tolerance = 5. *. sd /. sqrt (float_of_int trials) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f ~ %.1f" mean expected_mean)
+    true
+    (Float.abs (mean -. expected_mean) < tolerance);
+  let var = Stats_math.variance xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "variance %.1f ~ %.1f" var (sd *. sd))
+    true
+    (Float.abs (var -. (sd *. sd)) < 0.1 *. sd *. sd)
+
+let test_geometric () =
+  let r = rng () in
+  Alcotest.(check int) "p=1 is 0" 0 (Dist.geometric r ~p:1.);
+  let n = 50_000 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    let g = Dist.geometric r ~p:0.25 in
+    Alcotest.(check bool) "non-negative" true (g >= 0);
+    acc := !acc + g
+  done;
+  let mean = float_of_int !acc /. float_of_int n in
+  (* E = (1-p)/p = 3 *)
+  Alcotest.(check bool) (Printf.sprintf "mean %.3f ~ 3" mean) true (Float.abs (mean -. 3.) < 0.1);
+  Alcotest.check_raises "p=0 invalid" (Invalid_argument "Dist.geometric: need 0 < p <= 1")
+    (fun () -> ignore (Dist.geometric r ~p:0.))
+
+let test_exponential () =
+  let r = rng () in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    let x = Dist.exponential r ~rate:2. in
+    Alcotest.(check bool) "positive" true (x > 0.);
+    acc := !acc +. x
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean %.3f ~ 0.5" mean) true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_categorical () =
+  let r = rng () in
+  let weights = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let i = Dist.categorical r ~weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(1);
+  let frac0 = float_of_int counts.(0) /. 40_000. in
+  Alcotest.(check bool) "proportions" true (Float.abs (frac0 -. 0.25) < 0.02);
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Dist.categorical: weights must have positive sum") (fun () ->
+      ignore (Dist.categorical r ~weights:[| 0.; 0. |]))
+
+let test_cdf_table () =
+  let r = rng () in
+  let t = Dist.Cdf_table.of_weights [| 2.; 2.; 6. |] in
+  Alcotest.(check int) "support" 3 (Dist.Cdf_table.support t);
+  Alcotest.(check (float 1e-9)) "prob" 0.2 (Dist.Cdf_table.prob t 0);
+  let counts = Array.make 3 0 in
+  for _ = 1 to 50_000 do
+    let i = Dist.Cdf_table.draw t r in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let expected = [| 10_000.; 10_000.; 30_000. |] in
+  let res = Stats_math.chi_square_test ~expected ~observed:counts in
+  Alcotest.(check bool) "cdf draw matches weights" true (res.p_value > 0.001)
+
+let test_zipf_z0_uniform () =
+  let r = rng () in
+  let z = Dist.Zipf.create ~z:0. ~support:8 in
+  let observed = Array.make 8 0 in
+  for _ = 1 to 40_000 do
+    let v = Dist.Zipf.draw z r in
+    Alcotest.(check bool) "rank in [1,8]" true (v >= 1 && v <= 8);
+    observed.(v - 1) <- observed.(v - 1) + 1
+  done;
+  let res = Stats_math.chi_square_uniform ~observed in
+  Alcotest.(check bool) "z=0 uniform" true (res.p_value > 0.001)
+
+let test_zipf_probabilities () =
+  let z = Dist.Zipf.create ~z:1. ~support:4 in
+  let h = 1. +. (1. /. 2.) +. (1. /. 3.) +. (1. /. 4.) in
+  Alcotest.(check (float 1e-9)) "rank 1" (1. /. h) (Dist.Zipf.prob z 1);
+  Alcotest.(check (float 1e-9)) "rank 4" (1. /. 4. /. h) (Dist.Zipf.prob z 4);
+  Alcotest.(check (float 1e-9)) "rank 0 out of domain" 0. (Dist.Zipf.prob z 0);
+  Alcotest.(check (float 1e-9)) "rank 5 out of domain" 0. (Dist.Zipf.prob z 5)
+
+let test_zipf_skew_ordering () =
+  (* Higher z concentrates more mass on rank 1. *)
+  let p_at z = Dist.Zipf.prob (Dist.Zipf.create ~z ~support:100) 1 in
+  Alcotest.(check bool) "z=1 > z=0" true (p_at 1. > p_at 0.);
+  Alcotest.(check bool) "z=2 > z=1" true (p_at 2. > p_at 1.);
+  Alcotest.(check bool) "z=3 > z=2" true (p_at 3. > p_at 2.);
+  Alcotest.(check bool) "z=3 rank1 > 0.8" true (p_at 3. > 0.8)
+
+let test_zipf_distribution () =
+  let r = rng () in
+  let z = Dist.Zipf.create ~z:2. ~support:10 in
+  let n = 50_000 in
+  let observed = Array.make 10 0 in
+  for _ = 1 to n do
+    let v = Dist.Zipf.draw z r in
+    observed.(v - 1) <- observed.(v - 1) + 1
+  done;
+  let expected = Dist.Zipf.expected_counts z ~n in
+  (* Merge the tiny tail into one cell. *)
+  let cut = 5 in
+  let obs = Array.make (cut + 1) 0 and exp_ = Array.make (cut + 1) 0. in
+  for i = 0 to 9 do
+    let j = min i cut in
+    obs.(j) <- obs.(j) + observed.(i);
+    exp_.(j) <- exp_.(j) +. expected.(i)
+  done;
+  let res = Stats_math.chi_square_test ~expected:exp_ ~observed:obs in
+  Alcotest.(check bool)
+    (Printf.sprintf "zipf(2) chi2 p=%.5f" res.p_value)
+    true (res.p_value > 0.001)
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "support 0" (Invalid_argument "Dist.Zipf.create: support <= 0")
+    (fun () -> ignore (Dist.Zipf.create ~z:1. ~support:0));
+  Alcotest.check_raises "negative z" (Invalid_argument "Dist.Zipf.create: z < 0") (fun () ->
+      ignore (Dist.Zipf.create ~z:(-1.) ~support:10))
+
+let suite =
+  [
+    Alcotest.test_case "binomial edge cases" `Quick test_binomial_edges;
+    Alcotest.test_case "binomial chi2: small mean" `Slow test_binomial_small_mean;
+    Alcotest.test_case "binomial chi2: p=0.5" `Slow test_binomial_half;
+    Alcotest.test_case "binomial chi2: high p" `Slow test_binomial_high_p;
+    Alcotest.test_case "binomial chi2: large mean (mode-centered)" `Slow test_binomial_large_mean;
+    Alcotest.test_case "binomial moments at n=100k" `Slow test_binomial_mean_variance_large;
+    Alcotest.test_case "geometric mean and edges" `Slow test_geometric;
+    Alcotest.test_case "exponential mean" `Slow test_exponential;
+    Alcotest.test_case "categorical weights" `Slow test_categorical;
+    Alcotest.test_case "cdf table draws" `Slow test_cdf_table;
+    Alcotest.test_case "zipf z=0 is uniform" `Slow test_zipf_z0_uniform;
+    Alcotest.test_case "zipf analytic probabilities" `Quick test_zipf_probabilities;
+    Alcotest.test_case "zipf skew ordering in z" `Quick test_zipf_skew_ordering;
+    Alcotest.test_case "zipf z=2 matches pmf" `Slow test_zipf_distribution;
+    Alcotest.test_case "zipf rejects bad parameters" `Quick test_zipf_invalid;
+  ]

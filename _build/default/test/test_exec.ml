@@ -1,0 +1,221 @@
+open Rsj_relation
+open Rsj_exec
+
+let schema_ab = Schema.of_list [ ("a", Value.T_int); ("b", Value.T_int) ]
+let schema_ac = Schema.of_list [ ("a", Value.T_int); ("c", Value.T_int) ]
+
+let rel name schema rows =
+  Relation.of_tuples ~name schema (List.map (fun r -> Array.of_list (List.map Value.int r)) rows)
+
+let left () = rel "L" schema_ab [ [ 1; 10 ]; [ 2; 20 ]; [ 2; 21 ]; [ 3; 30 ] ]
+let right () = rel "R" schema_ac [ [ 2; 200 ]; [ 2; 201 ]; [ 3; 300 ]; [ 4; 400 ] ]
+
+(* The expected equi-join of left and right on a: (2,20)x(2,200),(2,201);
+   (2,21)x(2,200),(2,201); (3,30)x(3,300) -> 5 tuples. *)
+let expected_join_size = 5
+
+let sort_tuples l = List.sort Tuple.compare l
+
+let expected_join_tuples () =
+  sort_tuples
+    (List.map Tuple.of_ints
+       [
+         [ 2; 20; 2; 200 ];
+         [ 2; 20; 2; 201 ];
+         [ 2; 21; 2; 200 ];
+         [ 2; 21; 2; 201 ];
+         [ 3; 30; 3; 300 ];
+       ])
+
+let join algorithm =
+  Plan.Join
+    {
+      Plan.algorithm;
+      left = Plan.Scan (left ());
+      right = Plan.Scan (right ());
+      left_key = 0;
+      right_key = 0;
+    }
+
+let test_join_algorithms_agree () =
+  List.iter
+    (fun alg ->
+      let out = sort_tuples (Plan.collect (join alg)) in
+      Alcotest.(check int) "size" expected_join_size (List.length out);
+      List.iter2
+        (fun a b -> Alcotest.(check bool) "tuples equal" true (Tuple.equal a b))
+        (expected_join_tuples ()) out)
+    [ Plan.Hash; Plan.Merge; Plan.Nested_loop ]
+
+let test_join_null_never_matches () =
+  let l = Relation.of_tuples ~name:"L" schema_ab [ [| Value.Null; Value.Int 1 |] ] in
+  let r = Relation.of_tuples ~name:"R" schema_ac [ [| Value.Null; Value.Int 2 |] ] in
+  List.iter
+    (fun alg ->
+      let p =
+        Plan.Join
+          { Plan.algorithm = alg; left = Plan.Scan l; right = Plan.Scan r; left_key = 0; right_key = 0 }
+      in
+      Alcotest.(check int) "null joins nothing" 0 (Plan.count p))
+    [ Plan.Hash; Plan.Merge; Plan.Nested_loop ]
+
+let test_join_schema () =
+  let s = Plan.schema_of (join Plan.Hash) in
+  Alcotest.(check int) "arity 4" 4 (Schema.arity s);
+  Alcotest.(check string) "collision prefixed" "l.a" (Schema.column_name s 0)
+
+let test_index_join () =
+  let idx = Rsj_index.Hash_index.build (right ()) ~key:0 in
+  let p = Plan.Index_join { Plan.ij_left = Plan.Scan (left ()); ij_left_key = 0; ij_index = idx } in
+  let out = sort_tuples (Plan.collect p) in
+  Alcotest.(check int) "size" expected_join_size (List.length out);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "tuples" true (Tuple.equal a b))
+    (expected_join_tuples ()) out
+
+let test_filter_project () =
+  let p =
+    Plan.Project
+      ([ 1 ], Plan.Filter (Predicate.Ge (0, Value.Int 2), Plan.Scan (left ())))
+  in
+  let out = Plan.collect p in
+  Alcotest.(check (list int)) "b values with a>=2" [ 20; 21; 30 ]
+    (List.map (fun t -> Value.to_int_exn (Tuple.get t 0)) out)
+
+let test_sort_limit () =
+  let p = Plan.Limit (2, Plan.Sort (1, Plan.Scan (left ()))) in
+  let out = Plan.collect p in
+  Alcotest.(check (list int)) "two smallest b" [ 10; 20 ]
+    (List.map (fun t -> Value.to_int_exn (Tuple.get t 1)) out)
+
+let test_metrics_counting () =
+  let m = Metrics.create () in
+  ignore (Plan.collect ~metrics:m (join Plan.Hash));
+  Alcotest.(check int) "scanned both relations" 8 m.Metrics.tuples_scanned;
+  Alcotest.(check int) "hash build = |R|" 4 m.Metrics.hash_build_tuples;
+  Alcotest.(check int) "join outputs" expected_join_size m.Metrics.join_output_tuples;
+  Alcotest.(check int) "delivered" expected_join_size m.Metrics.output_tuples
+
+let test_metrics_ops () =
+  let a = Metrics.create () in
+  a.Metrics.tuples_scanned <- 3;
+  a.Metrics.stats_lookups <- 2;
+  let b = Metrics.copy a in
+  Alcotest.(check int) "copy" 3 b.Metrics.tuples_scanned;
+  let c = Metrics.add a b in
+  Alcotest.(check int) "add" 6 c.Metrics.tuples_scanned;
+  Alcotest.(check int) "total_work" 10 (Metrics.total_work c);
+  Metrics.reset a;
+  Alcotest.(check int) "reset" 0 (Metrics.total_work a);
+  Alcotest.(check int) "assoc entries" 9 (List.length (Metrics.to_assoc c))
+
+let test_transform_node () =
+  (* A transform doubling every first column models a sampling operator
+     splice point. *)
+  let double m stream =
+    ignore m;
+    Stream0.map
+      (fun t -> [| Value.Int (2 * Value.to_int_exn (Tuple.get t 0)); Tuple.get t 1 |])
+      stream
+  in
+  let p =
+    Plan.Transform
+      {
+        Plan.transform_name = "Double";
+        child = Plan.Scan (left ());
+        out_schema = None;
+        apply = double;
+      }
+  in
+  let out = Plan.collect p in
+  Alcotest.(check (list int)) "doubled" [ 2; 4; 4; 6 ]
+    (List.map (fun t -> Value.to_int_exn (Tuple.get t 0)) out)
+
+let test_source_node () =
+  let produce () = Stream0.of_list [ Tuple.of_ints [ 7; 8 ] ] in
+  let p = Plan.source_of_stream ~name:"pipe" schema_ab produce in
+  Alcotest.(check int) "one tuple" 1 (Plan.count p)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_explain_renders () =
+  let s = Format.asprintf "%a" Plan.explain (join Plan.Hash) in
+  Alcotest.(check bool) "mentions join" true (contains ~needle:"Join (hash)" s);
+  Alcotest.(check bool) "mentions scans" true (contains ~needle:"Scan L" s)
+
+let test_predicates () =
+  let t = Tuple.of_ints [ 5; 10 ] in
+  let open Predicate in
+  Alcotest.(check bool) "eq" true (eval (Eq (0, Value.Int 5)) t);
+  Alcotest.(check bool) "ne" true (eval (Ne (0, Value.Int 6)) t);
+  Alcotest.(check bool) "lt" true (eval (Lt (0, Value.Int 6)) t);
+  Alcotest.(check bool) "le" true (eval (Le (0, Value.Int 5)) t);
+  Alcotest.(check bool) "gt" false (eval (Gt (0, Value.Int 5)) t);
+  Alcotest.(check bool) "ge" true (eval (Ge (1, Value.Int 10)) t);
+  Alcotest.(check bool) "between" true (eval (Between (1, Value.Int 9, Value.Int 11)) t);
+  Alcotest.(check bool) "and" true (eval (And (True, Eq (0, Value.Int 5))) t);
+  Alcotest.(check bool) "or" true (eval (Or (Eq (0, Value.Int 9), True)) t);
+  Alcotest.(check bool) "not" false (eval (Not True) t);
+  Alcotest.(check bool) "custom" true (eval (Custom ("c", fun _ -> true)) t);
+  let tn = [| Value.Null; Value.Int 1 |] in
+  Alcotest.(check bool) "null comparison false" false (eval (Eq (0, Value.Int 5)) tn);
+  Alcotest.(check bool) "null lt false" false (eval (Lt (0, Value.Int 99)) tn);
+  Alcotest.(check bool) "is_null" true (eval (Is_null 0) tn);
+  Alcotest.(check bool) "not_null" true (eval (Not_null 1) tn);
+  Alcotest.(check bool) "to_string total" true (String.length (to_string (And (True, Not (Eq (0, Value.Int 1))))) > 0)
+
+let test_io_model () =
+  let open Rsj_exec in
+  let m = Metrics.create () in
+  m.Metrics.tuples_scanned <- 1_000;
+  m.Metrics.random_accesses <- 10;
+  m.Metrics.index_probes <- 5;
+  m.Metrics.join_output_tuples <- 200;
+  let disk = Io_model.default_disk in
+  (* 10 sequential pages + 15 random pages * 4 + 200 * 0.01 *)
+  Alcotest.(check (float 1e-9)) "disk cost" (10. +. 60. +. 2.) (Io_model.cost disk m);
+  (* in-memory: scans count per tuple *)
+  Alcotest.(check (float 1e-9)) "in-memory cost" (1000. +. 15. +. 200.)
+    (Io_model.cost Io_model.in_memory m);
+  let baseline = Metrics.create () in
+  baseline.Metrics.tuples_scanned <- 2_000;
+  Alcotest.(check (float 1e-9)) "relative" (72. /. 20. *. 100.)
+    (Io_model.relative_pct disk ~baseline m);
+  Alcotest.(check bool) "bad page size" true
+    (try ignore (Io_model.cost { disk with Io_model.page_size_tuples = 0 } m); false
+     with Invalid_argument _ -> true)
+
+let test_io_model_orders_random_access () =
+  (* Two runs with the same total_work: the disk model must punish the
+     random-access-heavy one. *)
+  let open Rsj_exec in
+  let scanner = Metrics.create () in
+  scanner.Metrics.tuples_scanned <- 10_000;
+  let prober = Metrics.create () in
+  prober.Metrics.random_accesses <- 10_000;
+  Alcotest.(check int) "same in-memory work" (Metrics.total_work scanner)
+    (Metrics.total_work prober);
+  Alcotest.(check bool) "disk model separates them" true
+    (Io_model.cost Io_model.default_disk prober
+     > 100. *. Io_model.cost Io_model.default_disk scanner)
+
+let suite =
+  [
+    Alcotest.test_case "hash/merge/nested-loop joins agree" `Quick test_join_algorithms_agree;
+    Alcotest.test_case "NULL never joins" `Quick test_join_null_never_matches;
+    Alcotest.test_case "join output schema" `Quick test_join_schema;
+    Alcotest.test_case "index nested-loop join" `Quick test_index_join;
+    Alcotest.test_case "filter and project" `Quick test_filter_project;
+    Alcotest.test_case "sort and limit" `Quick test_sort_limit;
+    Alcotest.test_case "metrics counted by operators" `Quick test_metrics_counting;
+    Alcotest.test_case "metrics arithmetic" `Quick test_metrics_ops;
+    Alcotest.test_case "transform extension point" `Quick test_transform_node;
+    Alcotest.test_case "pipelined source node" `Quick test_source_node;
+    Alcotest.test_case "explain renders" `Quick test_explain_renders;
+    Alcotest.test_case "predicate evaluation incl. NULL" `Quick test_predicates;
+    Alcotest.test_case "I/O cost model arithmetic" `Quick test_io_model;
+    Alcotest.test_case "I/O model penalizes random access" `Quick test_io_model_orders_random_access;
+  ]

@@ -1,0 +1,123 @@
+open Rsj_relation
+module Join_estimate = Rsj_stats.Join_estimate
+module Frequency = Rsj_stats.Frequency
+module Histogram = Rsj_stats.Histogram
+module Zipf_tables = Rsj_workload.Zipf_tables
+
+let instance ~z1 ~z2 =
+  let pair = Zipf_tables.make_pair ~seed:0x1E ~n1:1_500 ~n2:6_000 ~z1 ~z2 ~domain:150 () in
+  let truth =
+    Frequency.join_size
+      (Frequency.of_relation pair.outer ~key:Zipf_tables.col2)
+      (Frequency.of_relation pair.inner ~key:Zipf_tables.col2)
+  in
+  (pair, float_of_int truth)
+
+let within_sigmas ~sigmas (est : Join_estimate.estimate) truth =
+  Float.abs (est.value -. truth) <= (sigmas *. est.stderr) +. (0.02 *. truth)
+
+let test_cross_product () =
+  let pair, truth = instance ~z1:0. ~z2:1. in
+  let rng = Rsj_util.Prng.create ~seed:1 () in
+  let est =
+    Join_estimate.cross_product rng ~left:pair.outer ~right:pair.inner
+      ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ~r1:800 ~r2:800
+  in
+  Alcotest.(check int) "draw accounting" 1_600 est.draws;
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f ± %.0f vs truth %.0f" est.value est.stderr truth)
+    true
+    (within_sigmas ~sigmas:4. est truth)
+
+let test_index_assisted () =
+  let pair, truth = instance ~z1:1. ~z2:2. in
+  let idx = Rsj_index.Hash_index.build pair.inner ~key:Zipf_tables.col2 in
+  let rng = Rsj_util.Prng.create ~seed:2 () in
+  let est =
+    Join_estimate.index_assisted rng ~left:pair.outer ~right_index:idx
+      ~left_key:Zipf_tables.col2 ~draws:1_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f ± %.0f vs truth %.0f" est.value est.stderr truth)
+    true
+    (within_sigmas ~sigmas:4. est truth)
+
+let test_bifocal () =
+  let pair, truth = instance ~z1:1. ~z2:2. in
+  let stats = Frequency.of_relation pair.inner ~key:Zipf_tables.col2 in
+  let histogram = Histogram.End_biased.build_fraction stats ~fraction:0.02 in
+  let rng = Rsj_util.Prng.create ~seed:3 () in
+  let est =
+    Join_estimate.bifocal rng ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+      ~right_key:Zipf_tables.col2 ~histogram ~draws:1_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f ± %.0f vs truth %.0f" est.value est.stderr truth)
+    true
+    (within_sigmas ~sigmas:4. est truth)
+
+let test_bifocal_beats_index_assisted_variance_under_skew () =
+  (* The hot values are counted exactly, so bifocal's stderr should be
+     well below index-assisted's on skewed data at equal draws. *)
+  let pair, _ = instance ~z1:2. ~z2:3. in
+  let idx = Rsj_index.Hash_index.build pair.inner ~key:Zipf_tables.col2 in
+  let stats = Frequency.of_relation pair.inner ~key:Zipf_tables.col2 in
+  let histogram = Histogram.End_biased.build_fraction stats ~fraction:0.02 in
+  let rng = Rsj_util.Prng.create ~seed:4 () in
+  let ia =
+    Join_estimate.index_assisted rng ~left:pair.outer ~right_index:idx
+      ~left_key:Zipf_tables.col2 ~draws:400
+  in
+  let bf =
+    Join_estimate.bifocal rng ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+      ~right_key:Zipf_tables.col2 ~histogram ~draws:400
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bifocal stderr %.0f << index-assisted %.0f" bf.stderr ia.stderr)
+    true
+    (bf.stderr < ia.stderr /. 4.)
+
+let test_empty_inputs () =
+  let schema = Zipf_tables.schema in
+  let empty = Relation.create ~name:"empty" schema in
+  let nonempty =
+    Relation.of_tuples ~name:"ne" schema [ [| Value.Int 1; Value.Int 1; Value.str "p" |] ]
+  in
+  let rng = Rsj_util.Prng.create () in
+  let est =
+    Join_estimate.cross_product rng ~left:empty ~right:nonempty ~left_key:1 ~right_key:1
+      ~r1:10 ~r2:10
+  in
+  Alcotest.(check (float 0.)) "empty left" 0. est.value;
+  let idx = Rsj_index.Hash_index.build nonempty ~key:1 in
+  let est2 = Join_estimate.index_assisted rng ~left:empty ~right_index:idx ~left_key:1 ~draws:5 in
+  Alcotest.(check (float 0.)) "empty left (index)" 0. est2.value;
+  Alcotest.(check bool) "bad draws" true
+    (try
+       ignore (Join_estimate.index_assisted rng ~left:nonempty ~right_index:idx ~left_key:1 ~draws:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_disjoint_join_estimates_zero () =
+  let schema = Zipf_tables.schema in
+  let mk name v =
+    Relation.of_tuples ~name schema
+      (List.init 50 (fun i -> [| Value.Int i; Value.Int v; Value.str "p" |]))
+  in
+  let rng = Rsj_util.Prng.create ~seed:5 () in
+  let est =
+    Join_estimate.cross_product rng ~left:(mk "a" 1) ~right:(mk "b" 2) ~left_key:1 ~right_key:1
+      ~r1:50 ~r2:50
+  in
+  Alcotest.(check (float 0.)) "no matches" 0. est.value
+
+let suite =
+  [
+    Alcotest.test_case "cross-product estimator" `Quick test_cross_product;
+    Alcotest.test_case "index-assisted estimator" `Quick test_index_assisted;
+    Alcotest.test_case "bifocal estimator" `Quick test_bifocal;
+    Alcotest.test_case "bifocal variance advantage under skew" `Quick
+      test_bifocal_beats_index_assisted_variance_under_skew;
+    Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+    Alcotest.test_case "disjoint join" `Quick test_disjoint_join_estimates_zero;
+  ]

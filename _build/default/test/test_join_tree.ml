@@ -1,0 +1,181 @@
+open Rsj_relation
+open Rsj_core
+module Metrics = Rsj_exec.Metrics
+
+let schema_ab = Schema.of_list [ ("a", Value.T_int); ("b", Value.T_int) ]
+
+let rel name rows =
+  Relation.of_tuples ~name schema_ab
+    (List.map (fun (a, b) -> [| Value.Int a; Value.Int b |]) rows)
+
+(* R1(a,b) join R2 on b=R2.a, join R3 on R2.b=R3.a — a 3-relation chain. *)
+let r1 () = rel "r1" [ (1, 10); (2, 10); (3, 20) ]
+let r2 () = rel "r2" [ (10, 100); (10, 200); (20, 100) ]
+let r3 () = rel "r3" [ (100, 0); (100, 1); (200, 2) ]
+
+(* Expected join:
+   r1 rows with b=10 (two) x r2 rows with a=10 (two) x r3 matches:
+     (10,100)->2 r3 rows; (10,200)->1 r3 row => each of 2 r1 rows gives 3
+   r1 row (3,20) x (20,100) x 2 r3 rows = 2
+   total = 2*3 + 2 = 8. *)
+let expected_size = 8
+
+let tree () =
+  {
+    Join_tree.base = r1 ();
+    steps =
+      [
+        { Join_tree.left_col = 1; right = r2 (); right_key = 0 };
+        { Join_tree.left_col = 3; right = r3 (); right_key = 0 };
+      ];
+  }
+
+let chain_spec () =
+  {
+    Chain_sample.relations = [| r1 (); r2 (); r3 () |];
+    join_keys = [| (1, 0); (1, 0) |];
+  }
+
+let test_tree_validate_and_schema () =
+  let t = tree () in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Join_tree.validate t));
+  Alcotest.(check int) "schema arity" 6 (Schema.arity (Join_tree.output_schema t));
+  let bad = { t with steps = [ { Join_tree.left_col = 9; right = r2 (); right_key = 0 } ] } in
+  Alcotest.(check bool) "bad col detected" true (Result.is_error (Join_tree.validate bad))
+
+let test_tree_cardinality () =
+  Alcotest.(check int) "full join size" expected_size (Join_tree.cardinality (tree ()))
+
+let test_tree_naive_sample () =
+  let rng = Rsj_util.Prng.create ~seed:1 () in
+  let out = Join_tree.naive_sample rng ~metrics:(Metrics.create ()) ~r:5 (tree ()) in
+  Alcotest.(check int) "r samples" 5 (Array.length out);
+  Array.iter (fun t -> Alcotest.(check int) "arity 6" 6 (Tuple.arity t)) out
+
+let test_tree_pushdown_sample () =
+  let rng = Rsj_util.Prng.create ~seed:2 () in
+  let metrics = Metrics.create () in
+  let out = Join_tree.pushdown_sample rng ~metrics ~r:5 (tree ()) in
+  Alcotest.(check int) "r samples" 5 (Array.length out);
+  Array.iter (fun t -> Alcotest.(check int) "arity 6" 6 (Tuple.arity t)) out
+
+let full_join_universe () =
+  Array.of_list (Rsj_exec.Plan.collect (Join_tree.to_plan (tree ())))
+
+let test_tree_samplers_uniform () =
+  let universe = full_join_universe () in
+  Alcotest.(check int) "universe size" expected_size (Array.length universe);
+  let rng = Rsj_util.Prng.create ~seed:3 () in
+  let check name draw =
+    let report = Negative.uniformity_check ~trials:400 ~universe ~draw in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s uniform p=%.5f" name report.chi_square.p_value)
+      true
+      (report.chi_square.p_value > 0.001)
+  in
+  check "naive tree" (fun () ->
+      Join_tree.naive_sample rng ~metrics:(Metrics.create ()) ~r:8 (tree ()));
+  check "pushdown tree" (fun () ->
+      Join_tree.pushdown_sample rng ~metrics:(Metrics.create ()) ~r:8 (tree ()))
+
+let test_chain_join_size () =
+  let c = Chain_sample.prepare (chain_spec ()) in
+  Alcotest.(check (float 1e-9)) "exact size without joining" (float_of_int expected_size)
+    (Chain_sample.join_size c)
+
+let test_chain_draw_membership_and_uniformity () =
+  let c = Chain_sample.prepare (chain_spec ()) in
+  let universe = full_join_universe () in
+  let rng = Rsj_util.Prng.create ~seed:4 () in
+  let report =
+    Negative.uniformity_check ~trials:400 ~universe ~draw:(fun () ->
+        Chain_sample.sample c rng ~r:8 ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain sampler uniform p=%.5f" report.chi_square.p_value)
+    true
+    (report.chi_square.p_value > 0.001)
+
+let test_chain_empty_join () =
+  let spec =
+    {
+      Chain_sample.relations = [| r1 (); rel "dead" [ (999, 0) ] |];
+      join_keys = [| (1, 0) |];
+    }
+  in
+  let c = Chain_sample.prepare spec in
+  Alcotest.(check (float 0.)) "size 0" 0. (Chain_sample.join_size c);
+  let rng = Rsj_util.Prng.create () in
+  Alcotest.(check bool) "draw None" true (Chain_sample.draw c rng () = None);
+  Alcotest.(check (array (of_pp Tuple.pp))) "sample empty" [||] (Chain_sample.sample c rng ~r:3 ())
+
+let test_chain_single_relation () =
+  let spec = { Chain_sample.relations = [| r1 () |]; join_keys = [||] } in
+  let c = Chain_sample.prepare spec in
+  Alcotest.(check (float 0.)) "size = n1" 3. (Chain_sample.join_size c);
+  let rng = Rsj_util.Prng.create ~seed:5 () in
+  let out = Chain_sample.sample c rng ~r:4 () in
+  Alcotest.(check int) "samples" 4 (Array.length out)
+
+let test_chain_validation () =
+  Alcotest.(check bool) "empty chain" true
+    (try
+       ignore (Chain_sample.prepare { Chain_sample.relations = [||]; join_keys = [||] });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong key count" true
+    (try
+       ignore (Chain_sample.prepare { Chain_sample.relations = [| r1 () |]; join_keys = [| (0, 0) |] });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "column out of range" true
+    (try
+       ignore
+         (Chain_sample.prepare
+            { Chain_sample.relations = [| r1 (); r2 () |]; join_keys = [| (9, 0) |] });
+       false
+     with Invalid_argument _ -> true)
+
+let test_chain_long () =
+  (* 4-relation chain with fan-out; verify exact size against the plan. *)
+  let a = rel "a" (List.init 20 (fun i -> (i, i mod 4))) in
+  let b = rel "b" (List.init 20 (fun i -> (i mod 4, i mod 5))) in
+  let c = rel "c" (List.init 20 (fun i -> (i mod 5, i mod 3))) in
+  let d = rel "d" (List.init 20 (fun i -> (i mod 3, i))) in
+  let spec =
+    { Chain_sample.relations = [| a; b; c; d |]; join_keys = [| (1, 0); (1, 0); (1, 0) |] }
+  in
+  let tree =
+    {
+      Join_tree.base = a;
+      steps =
+        [
+          { Join_tree.left_col = 1; right = b; right_key = 0 };
+          { Join_tree.left_col = 3; right = c; right_key = 0 };
+          { Join_tree.left_col = 5; right = d; right_key = 0 };
+        ];
+    }
+  in
+  let prepared = Chain_sample.prepare spec in
+  Alcotest.(check (float 1e-6)) "size matches materialized join"
+    (float_of_int (Join_tree.cardinality tree))
+    (Chain_sample.join_size prepared);
+  let rng = Rsj_util.Prng.create ~seed:6 () in
+  let out = Chain_sample.sample prepared rng ~r:10 () in
+  Alcotest.(check int) "10 samples of arity 8" 10 (Array.length out);
+  Array.iter (fun t -> Alcotest.(check int) "arity" 8 (Tuple.arity t)) out
+
+let suite =
+  [
+    Alcotest.test_case "tree validation and schema" `Quick test_tree_validate_and_schema;
+    Alcotest.test_case "tree cardinality" `Quick test_tree_cardinality;
+    Alcotest.test_case "tree naive sampling" `Quick test_tree_naive_sample;
+    Alcotest.test_case "tree pushdown sampling" `Quick test_tree_pushdown_sample;
+    Alcotest.test_case "tree samplers uniform" `Slow test_tree_samplers_uniform;
+    Alcotest.test_case "chain exact join size" `Quick test_chain_join_size;
+    Alcotest.test_case "chain sampler uniform" `Slow test_chain_draw_membership_and_uniformity;
+    Alcotest.test_case "chain empty join" `Quick test_chain_empty_join;
+    Alcotest.test_case "chain of one relation" `Quick test_chain_single_relation;
+    Alcotest.test_case "chain spec validation" `Quick test_chain_validation;
+    Alcotest.test_case "4-relation chain vs materialized join" `Quick test_chain_long;
+  ]

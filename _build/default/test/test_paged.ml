@@ -1,0 +1,127 @@
+open Rsj_relation
+open Rsj_core
+
+let schema = Schema.of_list [ ("i", Value.T_int) ]
+
+let rel n = Relation.of_tuples ~name:"paged_src" schema (List.init n (fun i -> [| Value.Int i |]))
+
+let test_geometry () =
+  let p = Paged.create ~tuples_per_page:10 (rel 95) in
+  Alcotest.(check int) "pages" 10 (Paged.page_count p);
+  Alcotest.(check int) "cardinality" 95 (Paged.cardinality p);
+  Alcotest.(check int) "page of 0" 0 (Paged.page_of_tuple p 0);
+  Alcotest.(check int) "page of 10" 1 (Paged.page_of_tuple p 10);
+  Alcotest.(check int) "page of 94" 9 (Paged.page_of_tuple p 94);
+  Alcotest.(check int) "last page short" 5 (Array.length (Paged.read_page p 9))
+
+let test_invalid () =
+  Alcotest.(check bool) "bad page size" true
+    (try
+       ignore (Paged.create ~tuples_per_page:0 (rel 5));
+       false
+     with Invalid_argument _ -> true);
+  let p = Paged.create ~tuples_per_page:10 (rel 20) in
+  Alcotest.(check bool) "page out of range" true
+    (try
+       ignore (Paged.read_page p 2);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "tuple out of range" true
+    (try
+       ignore (Paged.fetch p 20);
+       false
+     with Invalid_argument _ -> true)
+
+let test_io_counting_and_cache () =
+  let p = Paged.create ~tuples_per_page:10 (rel 100) in
+  Alcotest.(check int) "fresh" 0 (Paged.pages_read p);
+  ignore (Paged.read_page p 3);
+  ignore (Paged.read_page p 3);
+  Alcotest.(check int) "cached re-read is free" 1 (Paged.pages_read p);
+  ignore (Paged.read_page p 4);
+  ignore (Paged.read_page p 3);
+  Alcotest.(check int) "cache holds one page" 3 (Paged.pages_read p);
+  Paged.reset_io p;
+  Alcotest.(check int) "reset" 0 (Paged.pages_read p)
+
+let test_scan_matches_relation () =
+  let r = rel 42 in
+  let p = Paged.create ~tuples_per_page:10 r in
+  let scanned = Stream0.to_list (Paged.scan p) in
+  Alcotest.(check int) "all tuples" 42 (List.length scanned);
+  List.iteri
+    (fun i t -> Alcotest.(check int) "order" i (Value.to_int_exn (Tuple.get t 0)))
+    scanned;
+  Alcotest.(check int) "5 pages read" 5 (Paged.pages_read p)
+
+let test_fetch_value () =
+  let p = Paged.create ~tuples_per_page:7 (rel 50) in
+  Alcotest.(check int) "fetch 33" 33 (Value.to_int_exn (Tuple.get (Paged.fetch p 33) 0))
+
+let test_block_sampling_cost () =
+  let p = Paged.create ~tuples_per_page:10 (rel 1_000) in
+  let rng = Rsj_util.Prng.create ~seed:1 () in
+  (* Full-scan baseline: all 100 pages. *)
+  Paged.reset_io p;
+  let s1 = Block_sample.scan_sample rng ~r:5 p in
+  Alcotest.(check int) "scan reads every page" 100 (Paged.pages_read p);
+  Alcotest.(check int) "sample size" 5 (Array.length s1);
+  (* Position-based: at most r pages. *)
+  Paged.reset_io p;
+  let s2 = Block_sample.u1_paged rng ~r:5 p in
+  Alcotest.(check bool)
+    (Printf.sprintf "few pages (%d)" (Paged.pages_read p))
+    true
+    (Paged.pages_read p <= 5);
+  Alcotest.(check int) "sample size" 5 (Array.length s2)
+
+let test_u1_paged_uniform () =
+  let p = Paged.create ~tuples_per_page:4 (rel 20) in
+  let rng = Rsj_util.Prng.create ~seed:2 () in
+  let counts = Array.make 20 0 in
+  for _ = 1 to 8_000 do
+    Array.iter
+      (fun t -> counts.(Value.to_int_exn (Tuple.get t 0)) <- counts.(Value.to_int_exn (Tuple.get t 0)) + 1)
+      (Block_sample.u1_paged rng ~r:3 p)
+  done;
+  let res = Rsj_util.Stats_math.chi_square_uniform ~observed:counts in
+  Alcotest.(check bool)
+    (Printf.sprintf "paged WR uniform p=%.5f" res.p_value)
+    true (res.p_value > 0.001)
+
+let test_wor_skip () =
+  let p = Paged.create ~tuples_per_page:10 (rel 200) in
+  let rng = Rsj_util.Prng.create ~seed:3 () in
+  Paged.reset_io p;
+  let s = Block_sample.wor_skip rng ~n:200 ~r:8 p in
+  Alcotest.(check int) "8 draws" 8 (Array.length s);
+  let vals = Array.to_list (Array.map (fun t -> Value.to_int_exn (Tuple.get t 0)) s) in
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare vals));
+  Alcotest.(check bool) "skips pages" true (Paged.pages_read p <= 8);
+  Alcotest.(check bool) "n mismatch detected" true
+    (try
+       ignore (Block_sample.wor_skip rng ~n:100 ~r:2 p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_positions_sorted () =
+  let rng = Rsj_util.Prng.create ~seed:4 () in
+  let pos = Block_sample.wr_positions rng ~n:1_000 ~r:50 in
+  Alcotest.(check int) "50 positions" 50 (Array.length pos);
+  for i = 1 to 49 do
+    Alcotest.(check bool) "ascending" true (pos.(i) >= pos.(i - 1))
+  done;
+  Array.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 1_000)) pos
+
+let suite =
+  [
+    Alcotest.test_case "page geometry" `Quick test_geometry;
+    Alcotest.test_case "argument validation" `Quick test_invalid;
+    Alcotest.test_case "I/O counting and pin cache" `Quick test_io_counting_and_cache;
+    Alcotest.test_case "paged scan matches relation" `Quick test_scan_matches_relation;
+    Alcotest.test_case "fetch by global index" `Quick test_fetch_value;
+    Alcotest.test_case "block sampling page cost" `Quick test_block_sampling_cost;
+    Alcotest.test_case "paged WR sampling uniform" `Slow test_u1_paged_uniform;
+    Alcotest.test_case "WoR skip sampling" `Quick test_wor_skip;
+    Alcotest.test_case "sorted position plan" `Quick test_positions_sorted;
+  ]

@@ -1,0 +1,250 @@
+(* Property-based tests (qcheck) for the core invariants:
+   sampler sizes and supports, semantics-conversion laws, stream
+   combinator laws, statistics identities, parser totality. *)
+
+open Rsj_relation
+open Rsj_core
+module Frequency = Rsj_stats.Frequency
+
+let prng_of_int seed = Rsj_util.Prng.create ~seed:(abs seed + 1) ()
+
+(* ---------- black boxes ---------- *)
+
+let prop_u1_exact_size =
+  QCheck.Test.make ~name:"u1 returns exactly r elements of the stream" ~count:300
+    QCheck.(pair small_nat (int_bound 50))
+    (fun (seed, r) ->
+      let n = 60 in
+      let rng = prng_of_int seed in
+      let out = Stream0.to_list (Black_box.u1 rng ~n ~r (Stream0.of_list (List.init n Fun.id))) in
+      List.length out = r && List.for_all (fun x -> x >= 0 && x < n) out)
+
+let prop_u2_slots =
+  QCheck.Test.make ~name:"u2 fills r slots from any non-empty stream" ~count:300
+    QCheck.(pair small_nat (pair (int_range 1 40) (int_range 0 30)))
+    (fun (seed, (n, r)) ->
+      let rng = prng_of_int seed in
+      let out = Black_box.u2 rng ~r (Stream0.of_list (List.init n Fun.id)) in
+      Array.length out = r && Array.for_all (fun x -> x >= 0 && x < n) out)
+
+let prop_wor_distinct =
+  QCheck.Test.make ~name:"wor_sequential yields r distinct, ordered" ~count:300
+    QCheck.(pair small_nat (int_bound 30))
+    (fun (seed, r) ->
+      let n = 30 + r in
+      let rng = prng_of_int seed in
+      let out =
+        Stream0.to_list (Black_box.wor_sequential rng ~n ~r (Stream0.of_list (List.init n Fun.id)))
+      in
+      List.length out = r
+      && List.sort_uniq compare out = out (* sorted + distinct = stream order *))
+
+let prop_weighted_never_zero =
+  QCheck.Test.make ~name:"weighted samplers never pick zero-weight elements" ~count:200
+    QCheck.(pair small_nat (list_of_size (Gen.int_range 1 30) (int_bound 10)))
+    (fun (seed, weights) ->
+      QCheck.assume (List.exists (fun w -> w > 0) weights);
+      let rng = prng_of_int seed in
+      let items = List.mapi (fun i w -> (i, w)) weights in
+      let weight (_, w) = float_of_int w in
+      let out = Black_box.wr2 rng ~r:8 ~weight (Stream0.of_list items) in
+      Array.for_all (fun (_, w) -> w > 0) out)
+
+let prop_coin_flip_subset =
+  QCheck.Test.make ~name:"coin_flip output is an ordered subset" ~count:200
+    QCheck.(pair small_nat (float_bound_inclusive 1.))
+    (fun (seed, f) ->
+      let rng = prng_of_int seed in
+      let input = List.init 50 Fun.id in
+      let out = Stream0.to_list (Black_box.coin_flip rng ~f (Stream0.of_list input)) in
+      List.sort_uniq compare out = out && List.for_all (fun x -> List.mem x input) out)
+
+(* ---------- conversions ---------- *)
+
+let prop_wr_to_wor_distinct =
+  QCheck.Test.make ~name:"wr_to_wor yields distinct elements, bounded by r" ~count:300
+    QCheck.(pair small_nat (list_of_size (Gen.int_range 0 30) (int_bound 8)))
+    (fun (seed, sample) ->
+      let rng = prng_of_int seed in
+      let out = Convert.wr_to_wor rng ~r:5 (Array.of_list sample) in
+      let l = Array.to_list out in
+      List.length l <= 5 && List.sort_uniq compare l = List.sort compare l)
+
+let prop_wor_to_wr_members =
+  QCheck.Test.make ~name:"wor_to_wr draws only members" ~count:300
+    QCheck.(pair small_nat (list_of_size (Gen.int_range 1 20) int))
+    (fun (seed, sample) ->
+      let rng = prng_of_int seed in
+      let out = Convert.wor_to_wr rng ~r:12 (Array.of_list sample) in
+      Array.length out = 12 && Array.for_all (fun x -> List.mem x sample) out)
+
+(* ---------- streams ---------- *)
+
+let prop_stream_map_compose =
+  QCheck.Test.make ~name:"stream map fusion: map f (map g s) = map (f∘g) s" ~count:300
+    QCheck.(list int)
+    (fun l ->
+      let f x = x * 2 and g x = x + 1 in
+      let a = Stream0.to_list (Stream0.map f (Stream0.map g (Stream0.of_list l))) in
+      let b = Stream0.to_list (Stream0.map (fun x -> f (g x)) (Stream0.of_list l)) in
+      a = b)
+
+let prop_stream_take_append =
+  QCheck.Test.make ~name:"take n (append a b) = first n of a @ b" ~count:300
+    QCheck.(triple (list int) (list int) small_nat)
+    (fun (a, b, n) ->
+      let got =
+        Stream0.to_list (Stream0.take n (Stream0.append (Stream0.of_list a) (Stream0.of_list b)))
+      in
+      let want = List.filteri (fun i _ -> i < n) (a @ b) in
+      got = want)
+
+let prop_stream_filter_length =
+  QCheck.Test.make ~name:"filter never grows a stream" ~count:300
+    QCheck.(list int)
+    (fun l ->
+      Stream0.length (Stream0.filter (fun x -> x mod 3 = 0) (Stream0.of_list l))
+      <= List.length l)
+
+(* ---------- statistics ---------- *)
+
+let freq_of_list l =
+  let schema = Schema.of_list [ ("k", Value.T_int) ] in
+  Frequency.of_relation
+    (Relation.of_tuples schema (List.map (fun k -> [| Value.Int k |]) l))
+    ~key:0
+
+let prop_join_size_commutes =
+  QCheck.Test.make ~name:"join_size is symmetric" ~count:200
+    QCheck.(pair (list (int_bound 10)) (list (int_bound 10)))
+    (fun (l1, l2) ->
+      let m1 = freq_of_list l1 and m2 = freq_of_list l2 in
+      Frequency.join_size m1 m2 = Frequency.join_size m2 m1)
+
+let prop_join_size_bounds =
+  QCheck.Test.make ~name:"0 <= |J| <= n1*n2" ~count:200
+    QCheck.(pair (list (int_bound 6)) (list (int_bound 6)))
+    (fun (l1, l2) ->
+      let j = Frequency.join_size (freq_of_list l1) (freq_of_list l2) in
+      j >= 0 && j <= List.length l1 * List.length l2)
+
+let prop_end_biased_partition =
+  QCheck.Test.make ~name:"end-biased histogram tracks exactly the >=threshold values" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 60) (int_bound 8)) (int_range 1 5))
+    (fun (l, threshold) ->
+      let f = freq_of_list l in
+      let h = Rsj_stats.Histogram.End_biased.build f ~threshold in
+      let ok = ref true in
+      Frequency.iter f (fun v c ->
+          let high = Rsj_stats.Histogram.End_biased.is_high h v in
+          if high <> (c >= threshold) then ok := false);
+      !ok)
+
+let prop_binomial_support =
+  QCheck.Test.make ~name:"binomial stays in [0, n]" ~count:500
+    QCheck.(triple small_nat (int_bound 1000) (float_bound_inclusive 1.))
+    (fun (seed, n, p) ->
+      let rng = prng_of_int seed in
+      let k = Rsj_util.Dist.binomial rng ~n ~p in
+      k >= 0 && k <= n)
+
+(* ---------- strategies on random instances ---------- *)
+
+let random_env (seed, keys1, keys2) =
+  let schema = Schema.of_list [ ("rid", Value.T_int); ("k", Value.T_int) ] in
+  let mk name keys =
+    Relation.of_tuples ~name schema (List.mapi (fun i k -> [| Value.Int i; Value.Int k |]) keys)
+  in
+  Strategy.make_env ~seed:(abs seed + 1) ~left:(mk "L" keys1) ~right:(mk "R" keys2) ~left_key:1
+    ~right_key:1 ()
+
+let prop_strategies_agree_on_membership =
+  QCheck.Test.make ~name:"strategies emit only join tuples on random instances" ~count:60
+    QCheck.(
+      triple small_nat
+        (list_of_size (Gen.int_range 1 15) (int_bound 5))
+        (list_of_size (Gen.int_range 1 25) (int_bound 5)))
+    (fun ((_, keys1, keys2) as input) ->
+      let env = random_env input in
+      let n = Strategy.env_join_size env in
+      let members = Hashtbl.create 64 in
+      List.iteri
+        (fun i k1 ->
+          List.iteri
+            (fun j k2 ->
+              if k1 = k2 then
+                Hashtbl.replace members
+                  [| Value.Int i; Value.Int k1; Value.Int j; Value.Int k2 |]
+                  ())
+            keys2)
+        keys1;
+      List.for_all
+        (fun s ->
+          match Strategy.run env s ~r:6 with
+          | result ->
+              (if n = 0 then Array.length result.Strategy.sample = 0
+               else
+                 Array.length result.Strategy.sample = 6
+                 && Array.for_all (fun t -> Hashtbl.mem members t) result.Strategy.sample)
+          | exception Failure _ -> s = Strategy.Olken && n = 0)
+        [ Strategy.Naive; Strategy.Stream; Strategy.Group; Strategy.Frequency_partition;
+          Strategy.Count_sample; Strategy.Hybrid_count ])
+
+(* ---------- parser ---------- *)
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser never raises on arbitrary strings" ~count:500
+    QCheck.(string_of_size (Gen.int_range 0 60))
+    (fun s ->
+      match Rsj_sql.Parser.parse s with Ok _ | Error _ -> true)
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~name:"pp_query output re-parses" ~count:200
+    QCheck.(pair (int_range 1 3) (int_range 0 2))
+    (fun (ntables, nconds) ->
+      let from = List.init ntables (fun i -> (Printf.sprintf "t%d" i, None)) in
+      let where =
+        List.init nconds (fun i ->
+            {
+              Rsj_sql.Ast.left = { Rsj_sql.Ast.table = Some "t0"; name = Printf.sprintf "c%d" i };
+              cmp = Rsj_sql.Ast.Eq;
+              right = Rsj_sql.Ast.O_lit (Rsj_sql.Ast.L_int i);
+            })
+      in
+      let q =
+        {
+          Rsj_sql.Ast.select = [ Rsj_sql.Ast.S_star ];
+          from;
+          where;
+          group_by = [];
+          order_by = [];
+          sample = Some { Rsj_sql.Ast.size = 5; strategy = Some "stream" };
+          limit = Some 3;
+        }
+      in
+      let printed = Format.asprintf "%a" Rsj_sql.Ast.pp_query q in
+      match Rsj_sql.Parser.parse printed with
+      | Ok q2 -> q2 = q
+      | Error e -> QCheck.Test.fail_report (printed ^ " -> " ^ e))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_u1_exact_size;
+      prop_u2_slots;
+      prop_wor_distinct;
+      prop_weighted_never_zero;
+      prop_coin_flip_subset;
+      prop_wr_to_wor_distinct;
+      prop_wor_to_wr_members;
+      prop_stream_map_compose;
+      prop_stream_take_append;
+      prop_stream_filter_length;
+      prop_join_size_commutes;
+      prop_join_size_bounds;
+      prop_end_biased_partition;
+      prop_binomial_support;
+      prop_strategies_agree_on_membership;
+      prop_parser_total;
+      prop_parser_roundtrip;
+    ]

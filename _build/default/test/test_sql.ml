@@ -1,0 +1,303 @@
+open Rsj_relation
+module Parser = Rsj_sql.Parser
+module Ast = Rsj_sql.Ast
+module Engine = Rsj_sql.Engine
+
+(* ---------- parser ---------- *)
+
+let parse_ok q =
+  match Parser.parse q with
+  | Ok ast -> ast
+  | Error msg -> Alcotest.failf "parse failed: %s (query: %s)" msg q
+
+let parse_err q =
+  match Parser.parse q with
+  | Ok _ -> Alcotest.failf "expected parse error for: %s" q
+  | Error msg -> msg
+
+let test_tokenize () =
+  (match Parser.tokenize "SELECT a.b, 12 FROM t WHERE x = 'it''s'" with
+  | Ok toks ->
+      Alcotest.(check (list string)) "tokens"
+        [ "SELECT"; "a"; "."; "b"; ","; "12"; "FROM"; "t"; "WHERE"; "x"; "="; "'it's" ]
+        toks
+  | Error e -> Alcotest.fail e);
+  (match Parser.tokenize "a <= b <> c != d" with
+  | Ok toks -> Alcotest.(check (list string)) "ops" [ "a"; "<="; "b"; "<>"; "c"; "<>"; "d" ] toks
+  | Error e -> Alcotest.fail e);
+  match Parser.tokenize "bad $ char" with
+  | Ok _ -> Alcotest.fail "should reject $"
+  | Error _ -> ()
+
+let test_parse_star_join () =
+  let q = parse_ok "SELECT * FROM t1, t2 WHERE t1.col2 = t2.col2" in
+  Alcotest.(check int) "two tables" 2 (List.length q.Ast.from);
+  Alcotest.(check int) "one condition" 1 (List.length q.Ast.where);
+  Alcotest.(check bool) "star" true (q.Ast.select = [ Ast.S_star ]);
+  match q.Ast.where with
+  | [ { Ast.left; cmp = Ast.Eq; right = Ast.O_col rc } ] ->
+      Alcotest.(check string) "left qualified" "t1.col2" (Ast.column_to_string left);
+      Alcotest.(check string) "right qualified" "t2.col2" (Ast.column_to_string rc)
+  | _ -> Alcotest.fail "unexpected condition shape"
+
+let test_parse_sample_clause () =
+  let q = parse_ok "select * from t1, t2 where t1.a = t2.a sample 100 using stream" in
+  (match q.Ast.sample with
+  | Some { Ast.size = 100; strategy = Some "stream" } -> ()
+  | _ -> Alcotest.fail "sample clause not parsed");
+  let q2 = parse_ok "select * from t sample 50" in
+  match q2.Ast.sample with
+  | Some { Ast.size = 50; strategy = None } -> ()
+  | _ -> Alcotest.fail "plain sample not parsed"
+
+let test_parse_aggregates () =
+  let q =
+    parse_ok
+      "select category, count(*), sum(amount) as total from sales group by category limit 5"
+  in
+  Alcotest.(check int) "three items" 3 (List.length q.Ast.select);
+  (match q.Ast.select with
+  | [ Ast.S_col _; Ast.S_agg (Ast.Count, None, None); Ast.S_agg (Ast.Sum, Some c, Some "total") ]
+    ->
+      Alcotest.(check string) "sum column" "amount" c.Ast.name
+  | _ -> Alcotest.fail "select items wrong");
+  Alcotest.(check bool) "limit" true (q.Ast.limit = Some 5);
+  Alcotest.(check int) "group by" 1 (List.length q.Ast.group_by)
+
+let test_parse_literals_and_ops () =
+  let q =
+    parse_ok "select a from t where a >= 10 and b < 2.5 and c = 'x' and d <> 3"
+  in
+  Alcotest.(check int) "four conditions" 4 (List.length q.Ast.where)
+
+let test_parse_errors () =
+  let has_err q = ignore (parse_err q) in
+  has_err "FROM t";
+  has_err "select from t";
+  has_err "select * from";
+  has_err "select * from t where";
+  has_err "select * from t sample";
+  has_err "select * from t sample -3";
+  has_err "select * from t trailing garbage ,";
+  has_err "select count( from t"
+
+(* ---------- engine ---------- *)
+
+let orders_schema =
+  Schema.of_list [ ("oid", Value.T_int); ("cust", Value.T_int); ("amount", Value.T_float) ]
+
+let customers_schema = Schema.of_list [ ("cust", Value.T_int); ("city", Value.T_str) ]
+
+let catalog () =
+  let orders =
+    Relation.of_tuples ~name:"orders" orders_schema
+      [
+        [| Value.Int 1; Value.Int 10; Value.Float 5. |];
+        [| Value.Int 2; Value.Int 10; Value.Float 7. |];
+        [| Value.Int 3; Value.Int 20; Value.Float 11. |];
+        [| Value.Int 4; Value.Int 30; Value.Float 13. |];
+      ]
+  in
+  let customers =
+    Relation.of_tuples ~name:"customers" customers_schema
+      [
+        [| Value.Int 10; Value.str "oslo" |];
+        [| Value.Int 20; Value.str "kyoto" |];
+        [| Value.Int 20; Value.str "kyoto-east" |];
+      ]
+  in
+  [ ("orders", orders); ("customers", customers) ]
+
+let run_ok q =
+  match Engine.run (catalog ()) q with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "query failed: %s (%s)" msg q
+
+let run_err q =
+  match Engine.run (catalog ()) q with
+  | Ok _ -> Alcotest.failf "expected failure: %s" q
+  | Error msg -> msg
+
+let test_single_table_scan () =
+  let r = run_ok "select * from orders" in
+  Alcotest.(check int) "4 rows" 4 (List.length r.Engine.rows);
+  Alcotest.(check int) "arity 3" 3 (Schema.arity r.Engine.schema)
+
+let test_projection_and_filter () =
+  let r = run_ok "select oid from orders where amount > 6 and cust = 10" in
+  Alcotest.(check int) "one row" 1 (List.length r.Engine.rows);
+  Alcotest.(check int) "oid 2" 2 (Value.to_int_exn (Tuple.get (List.hd r.Engine.rows) 0))
+
+let test_join () =
+  let r = run_ok "select * from orders, customers where orders.cust = customers.cust" in
+  (* orders 1,2 join cust 10 (1 row); order 3 joins cust 20 (2 rows);
+     order 4 unmatched: 2 + 2 = 4 rows *)
+  Alcotest.(check int) "join rows" 4 (List.length r.Engine.rows);
+  Alcotest.(check int) "arity 5" 5 (Schema.arity r.Engine.schema)
+
+let test_join_with_alias () =
+  let r = run_ok "select o.oid, c.city from orders o, customers c where o.cust = c.cust" in
+  Alcotest.(check int) "4 rows" 4 (List.length r.Engine.rows);
+  Alcotest.(check int) "2 cols" 2 (Schema.arity r.Engine.schema)
+
+let test_aggregation () =
+  let r =
+    run_ok
+      "select cust, count(*) as n, sum(amount) as total from orders group by cust"
+  in
+  Alcotest.(check int) "3 groups" 3 (List.length r.Engine.rows);
+  let by_cust =
+    List.map
+      (fun row ->
+        ( Value.to_int_exn (Tuple.get row 0),
+          (Value.to_int_exn (Tuple.get row 1), Value.to_float_exn (Tuple.get row 2)) ))
+      r.Engine.rows
+  in
+  Alcotest.(check bool) "cust 10" true (List.assoc 10 by_cust = (2, 12.));
+  Alcotest.(check bool) "cust 20" true (List.assoc 20 by_cust = (1, 11.))
+
+let test_global_aggregate () =
+  let r = run_ok "select count(*), avg(amount) from orders" in
+  match r.Engine.rows with
+  | [ row ] ->
+      Alcotest.(check int) "count 4" 4 (Value.to_int_exn (Tuple.get row 0));
+      Alcotest.(check (float 1e-9)) "avg" 9. (Value.to_float_exn (Tuple.get row 1))
+  | _ -> Alcotest.fail "expected one row"
+
+let test_min_max_count_col () =
+  let r = run_ok "select min(amount), max(amount), count(amount) from orders" in
+  match r.Engine.rows with
+  | [ row ] ->
+      Alcotest.(check (float 0.)) "min" 5. (Value.to_float_exn (Tuple.get row 0));
+      Alcotest.(check (float 0.)) "max" 13. (Value.to_float_exn (Tuple.get row 1));
+      Alcotest.(check int) "count col" 4 (Value.to_int_exn (Tuple.get row 2))
+  | _ -> Alcotest.fail "expected one row"
+
+let test_limit () =
+  let r = run_ok "select * from orders limit 2" in
+  Alcotest.(check int) "2 rows" 2 (List.length r.Engine.rows)
+
+let test_plain_sample () =
+  let r = run_ok "select * from orders, customers where orders.cust = customers.cust sample 3" in
+  Alcotest.(check int) "3 rows" 3 (List.length r.Engine.rows)
+
+let test_strategy_sample () =
+  let r =
+    run_ok
+      "select * from orders, customers where orders.cust = customers.cust sample 6 using stream"
+  in
+  Alcotest.(check int) "6 rows (WR)" 6 (List.length r.Engine.rows);
+  (* Every sampled row is a genuine join row: cust columns match. *)
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "join keys equal" true
+        (Value.equal (Tuple.get row 1) (Tuple.get row 3)))
+    r.Engine.rows
+
+let test_strategy_sample_with_filter_pushdown () =
+  let r =
+    run_ok
+      "select * from orders, customers where orders.cust = customers.cust and amount > 6 \
+       sample 5 using fps"
+  in
+  Alcotest.(check int) "5 rows" 5 (List.length r.Engine.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "filter applied below sampling" true
+        (Value.to_float_exn (Tuple.get row 2) > 6.))
+    r.Engine.rows
+
+let test_sample_then_aggregate () =
+  let r =
+    run_ok
+      "select count(*) from orders, customers where orders.cust = customers.cust sample 10 \
+       using naive"
+  in
+  match r.Engine.rows with
+  | [ row ] -> Alcotest.(check int) "aggregates the sample" 10 (Value.to_int_exn (Tuple.get row 0))
+  | _ -> Alcotest.fail "one row expected"
+
+let test_engine_errors () =
+  let check_msg q fragment =
+    let msg = run_err q in
+    let contains needle haystack =
+      let nl = String.length needle and hl = String.length haystack in
+      let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) (q ^ " -> " ^ msg) true (contains fragment msg)
+  in
+  check_msg "select * from nope" "unknown table";
+  check_msg "select nope from orders" "unknown column";
+  check_msg "select cust from orders, customers where orders.cust = customers.cust" "ambiguous";
+  check_msg "select * from orders, customers" "no equi-join";
+  check_msg "select oid, count(*) from orders" "GROUP BY";
+  check_msg "select * from orders sample 5 using stream" "two tables";
+  check_msg
+    "select * from orders, customers where orders.cust = customers.cust sample 5 using bogus"
+    "unknown sampling strategy";
+  check_msg "select sum(*) from orders" "requires a column"
+
+let test_explain_available () =
+  let r = run_ok "select * from orders, customers where orders.cust = customers.cust" in
+  let s = Format.asprintf "%a" Rsj_exec.Plan.explain r.Engine.plan in
+  Alcotest.(check bool) "plan renders" true (String.length s > 0)
+
+let test_seed_reproducibility () =
+  let q = "select * from orders, customers where orders.cust = customers.cust sample 4 using stream" in
+  match (Engine.run ~seed:9 (catalog ()) q, Engine.run ~seed:9 (catalog ()) q) with
+  | Ok a, Ok b ->
+      List.iter2
+        (fun x y -> Alcotest.(check bool) "same rows" true (Tuple.equal x y))
+        a.Engine.rows b.Engine.rows
+  | _ -> Alcotest.fail "queries failed"
+
+let test_order_by () =
+  let r = run_ok "select oid, amount from orders order by amount desc" in
+  let amounts =
+    List.map (fun t -> Value.to_float_exn (Tuple.get t 1)) r.Engine.rows
+  in
+  Alcotest.(check (list (float 0.))) "descending" [ 13.; 11.; 7.; 5. ] amounts;
+  let r2 = run_ok "select oid from orders order by amount limit 2" in
+  Alcotest.(check (list int)) "asc + limit" [ 1; 2 ]
+    (List.map (fun t -> Value.to_int_exn (Tuple.get t 0)) r2.Engine.rows)
+
+let test_order_by_aggregate_output () =
+  let r =
+    run_ok "select cust, sum(amount) as total from orders group by cust order by total desc"
+  in
+  let totals = List.map (fun t -> Value.to_float_exn (Tuple.get t 1)) r.Engine.rows in
+  Alcotest.(check (list (float 1e-9))) "sorted by aggregate" [ 13.; 12.; 11. ] totals
+
+let test_order_by_unknown_column () =
+  let msg = run_err "select oid from orders order by nope" in
+  Alcotest.(check bool) "mentions output" true (String.length msg > 0)
+
+let suite =
+  [
+    Alcotest.test_case "tokenizer" `Quick test_tokenize;
+    Alcotest.test_case "parse: the paper's query" `Quick test_parse_star_join;
+    Alcotest.test_case "parse: sample clause" `Quick test_parse_sample_clause;
+    Alcotest.test_case "parse: aggregates/group by/limit" `Quick test_parse_aggregates;
+    Alcotest.test_case "parse: literals and operators" `Quick test_parse_literals_and_ops;
+    Alcotest.test_case "parse: error cases" `Quick test_parse_errors;
+    Alcotest.test_case "engine: single-table scan" `Quick test_single_table_scan;
+    Alcotest.test_case "engine: projection + filter" `Quick test_projection_and_filter;
+    Alcotest.test_case "engine: join" `Quick test_join;
+    Alcotest.test_case "engine: aliases" `Quick test_join_with_alias;
+    Alcotest.test_case "engine: group by" `Quick test_aggregation;
+    Alcotest.test_case "engine: global aggregates" `Quick test_global_aggregate;
+    Alcotest.test_case "engine: min/max/count(col)" `Quick test_min_max_count_col;
+    Alcotest.test_case "engine: limit" `Quick test_limit;
+    Alcotest.test_case "engine: SAMPLE n (reservoir)" `Quick test_plain_sample;
+    Alcotest.test_case "engine: SAMPLE USING stream" `Quick test_strategy_sample;
+    Alcotest.test_case "engine: filter pushdown below sampling" `Quick
+      test_strategy_sample_with_filter_pushdown;
+    Alcotest.test_case "engine: aggregate over a sample" `Quick test_sample_then_aggregate;
+    Alcotest.test_case "engine: error messages" `Quick test_engine_errors;
+    Alcotest.test_case "engine: explain" `Quick test_explain_available;
+    Alcotest.test_case "engine: seeded reproducibility" `Quick test_seed_reproducibility;
+    Alcotest.test_case "engine: order by" `Quick test_order_by;
+    Alcotest.test_case "engine: order by aggregate alias" `Quick test_order_by_aggregate_output;
+    Alcotest.test_case "engine: order by unknown column" `Quick test_order_by_unknown_column;
+  ]

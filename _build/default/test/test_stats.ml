@@ -1,0 +1,211 @@
+open Rsj_relation
+module Frequency = Rsj_stats.Frequency
+module Histogram = Rsj_stats.Histogram
+module Join_size = Rsj_stats.Join_size
+
+let schema = Schema.of_list [ ("k", Value.T_int) ]
+let rel keys = Relation.of_tuples schema (List.map (fun k -> [| Value.Int k |]) keys)
+let freq keys = Frequency.of_relation (rel keys) ~key:0
+
+let test_frequency_basics () =
+  let f = freq [ 1; 1; 2; 3; 3; 3 ] in
+  Alcotest.(check int) "m(1)" 2 (Frequency.frequency f (Value.Int 1));
+  Alcotest.(check int) "m(3)" 3 (Frequency.frequency f (Value.Int 3));
+  Alcotest.(check int) "m(9)" 0 (Frequency.frequency f (Value.Int 9));
+  Alcotest.(check int) "total" 6 (Frequency.total f);
+  Alcotest.(check int) "distinct" 3 (Frequency.distinct_count f);
+  Alcotest.(check int) "max" 3 (Frequency.max_frequency f)
+
+let test_frequency_null_excluded () =
+  let r =
+    Relation.of_tuples schema [ [| Value.Int 1 |]; [| Value.Null |]; [| Value.Int 1 |] ]
+  in
+  let f = Frequency.of_relation r ~key:0 in
+  Alcotest.(check int) "total skips null" 2 (Frequency.total f);
+  Alcotest.(check int) "distinct" 1 (Frequency.distinct_count f)
+
+let test_frequency_of_stream_matches () =
+  let r = rel [ 4; 4; 5 ] in
+  let a = Frequency.of_relation r ~key:0 in
+  let b = Frequency.of_stream (Relation.to_stream r) ~key:0 in
+  Alcotest.(check int) "same m(4)" (Frequency.frequency a (Value.Int 4))
+    (Frequency.frequency b (Value.Int 4));
+  Alcotest.(check int) "same total" (Frequency.total a) (Frequency.total b)
+
+let test_frequency_to_assoc_sorted () =
+  let f = freq [ 1; 2; 2; 3; 3; 3 ] in
+  let assoc = Frequency.to_assoc f in
+  Alcotest.(check (list int)) "descending frequency" [ 3; 2; 1 ]
+    (List.map (fun (_, c) -> c) assoc);
+  Alcotest.(check (list int)) "values above 2" [ 3; 2 ]
+    (List.map (fun (v, _) -> Value.to_int_exn v) (Frequency.values_above f ~threshold:2))
+
+let test_frequency_of_assoc_validation () =
+  Alcotest.(check bool) "non-positive rejected" true
+    (try
+       ignore (Frequency.of_assoc [ (Value.Int 1, 0) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Frequency.of_assoc [ (Value.Int 1, 2); (Value.Int 1, 3) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_join_size () =
+  (* m1 = {a:2, b:1}; m2 = {a:3, c:5} -> |J| = 2*3 = 6 *)
+  let m1 = Frequency.of_assoc [ (Value.Int 1, 2); (Value.Int 2, 1) ] in
+  let m2 = Frequency.of_assoc [ (Value.Int 1, 3); (Value.Int 3, 5) ] in
+  Alcotest.(check int) "join size" 6 (Frequency.join_size m1 m2);
+  Alcotest.(check int) "symmetric" 6 (Frequency.join_size m2 m1);
+  Alcotest.(check int) "empty join" 0
+    (Frequency.join_size m1 (Frequency.of_assoc [ (Value.Int 99, 1) ]))
+
+let test_join_size_against_real_join () =
+  (* Cross-check the formula against an actual nested-loop count. *)
+  let rng = Rsj_util.Prng.create ~seed:6 () in
+  let keys n = List.init n (fun _ -> Rsj_util.Prng.int rng 10) in
+  let k1 = keys 200 and k2 = keys 300 in
+  let brute =
+    List.fold_left
+      (fun acc a -> acc + List.length (List.filter (fun b -> a = b) k2))
+      0 k1
+  in
+  Alcotest.(check int) "formula = brute force" brute
+    (Frequency.join_size (freq k1) (freq k2))
+
+let test_restrict () =
+  let f = freq [ 1; 1; 2; 3 ] in
+  let hi = Frequency.restrict f ~keep:(fun v -> Value.to_int_exn v = 1) in
+  Alcotest.(check int) "kept" 2 (Frequency.frequency hi (Value.Int 1));
+  Alcotest.(check int) "dropped" 0 (Frequency.frequency hi (Value.Int 2));
+  Alcotest.(check int) "total" 2 (Frequency.total hi)
+
+let test_end_biased () =
+  let f = freq [ 1; 1; 1; 1; 2; 2; 3 ] in
+  let h = Histogram.End_biased.build f ~threshold:2 in
+  Alcotest.(check bool) "1 is high" true (Histogram.End_biased.is_high h (Value.Int 1));
+  Alcotest.(check bool) "2 is high" true (Histogram.End_biased.is_high h (Value.Int 2));
+  Alcotest.(check bool) "3 is low" false (Histogram.End_biased.is_high h (Value.Int 3));
+  Alcotest.(check bool) "unknown is low" false (Histogram.End_biased.is_high h (Value.Int 9));
+  Alcotest.(check bool) "tracked freq exact" true
+    (Histogram.End_biased.frequency h (Value.Int 1) = Some 4);
+  Alcotest.(check bool) "untracked hidden" true
+    (Histogram.End_biased.frequency h (Value.Int 3) = None);
+  Alcotest.(check int) "tracked count" 2 (Histogram.End_biased.tracked_count h);
+  Alcotest.(check int) "tracked mass" 6 (Histogram.End_biased.tracked_mass h)
+
+let test_end_biased_fraction () =
+  let f = freq (List.concat [ List.init 50 (fun _ -> 1); List.init 5 (fun _ -> 2) ]) in
+  (* n = 55; fraction 0.5 -> threshold 28: only value 1 *)
+  let h = Histogram.End_biased.build_fraction f ~fraction:0.5 in
+  Alcotest.(check int) "only the head" 1 (Histogram.End_biased.tracked_count h);
+  (* fraction 0 -> threshold 1: everything *)
+  let h0 = Histogram.End_biased.build_fraction f ~fraction:0. in
+  Alcotest.(check int) "everything" 2 (Histogram.End_biased.tracked_count h0);
+  Alcotest.(check bool) "bad fraction" true
+    (try
+       ignore (Histogram.End_biased.build_fraction f ~fraction:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_equi_depth () =
+  let r = rel (List.init 100 (fun i -> i)) in
+  let h = Histogram.Equi_depth.build r ~key:0 ~buckets:4 in
+  let buckets = Histogram.Equi_depth.buckets h in
+  Alcotest.(check int) "4 buckets" 4 (Array.length buckets);
+  Array.iter
+    (fun (b : Histogram.Equi_depth.bucket) ->
+      Alcotest.(check int) "25 per bucket" 25 b.count)
+    buckets;
+  Alcotest.(check int) "total" 100 (Histogram.Equi_depth.total h);
+  Alcotest.(check (float 0.01)) "frequency estimate" 1.
+    (Histogram.Equi_depth.estimate_frequency h (Value.Int 50))
+
+let test_equi_depth_join_estimate () =
+  (* Uniform 0..99 in both relations, 1000 and 2000 rows: true join size
+     = sum over v of m1(v)*m2(v) = 100 * 10 * 20 = 20_000. *)
+  let rng = Rsj_util.Prng.create ~seed:7 () in
+  let mk n = rel (List.init n (fun _ -> Rsj_util.Prng.int rng 100)) in
+  let r1 = mk 1_000 and r2 = mk 2_000 in
+  let h1 = Histogram.Equi_depth.build r1 ~key:0 ~buckets:10 in
+  let h2 = Histogram.Equi_depth.build r2 ~key:0 ~buckets:10 in
+  let est = Histogram.Equi_depth.estimate_join_size h1 h2 in
+  let truth =
+    float_of_int
+      (Frequency.join_size
+         (Frequency.of_relation r1 ~key:0)
+         (Frequency.of_relation r2 ~key:0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f within 2x of %.0f" est truth)
+    true
+    (est > truth /. 2. && est < truth *. 2.)
+
+let test_theorem5_olken_iterations () =
+  (* Uniform case: every value frequency m in both relations over d
+     values: n = d m^2, M = m, n1 = d m, iterations = M n1 / n = 1. *)
+  let m1 = Frequency.of_assoc (List.init 10 (fun i -> (Value.Int i, 5))) in
+  let m2 = Frequency.of_assoc (List.init 10 (fun i -> (Value.Int i, 5))) in
+  Alcotest.(check (float 1e-9)) "uniform case needs 1 iteration" 1.
+    (Join_size.olken_expected_iterations ~m1 ~m2);
+  (* Empty join: infinite. *)
+  let m3 = Frequency.of_assoc [ (Value.Int 99, 1) ] in
+  Alcotest.(check bool) "empty join infinite" true
+    (Join_size.olken_expected_iterations ~m1 ~m2:m3 = infinity)
+
+let test_theorem7_alpha_uniform_case () =
+  (* No-skew corollary: alpha = r / (m d). *)
+  let d = 20 and m = 10 and r = 50 in
+  let m1 = Frequency.of_assoc (List.init d (fun i -> (Value.Int i, 3))) in
+  let m2 = Frequency.of_assoc (List.init d (fun i -> (Value.Int i, m))) in
+  (* General formula: r * sum(m1 m2^2) / (sum m1 m2)^2
+     = r * (d * 3 * m^2) / (d * 3 * m)^2 = r / (3 d). *)
+  let alpha = Join_size.alpha_group_sample ~m1 ~m2 ~r in
+  let expected = float_of_int r /. float_of_int (3 * d) in
+  Alcotest.(check (float 1e-9)) "thm 7 closed form" expected alpha;
+  (* The paper's no-skew corollary (frequency m in BOTH relations over d
+     common values): alpha = r / (m d); cross-check against the general
+     formula with m1 = m2 = m. *)
+  let mm = Frequency.of_assoc (List.init d (fun i -> (Value.Int i, m))) in
+  Alcotest.(check (float 1e-9)) "corollary = general formula"
+    (Join_size.alpha_group_sample ~m1:mm ~m2:mm ~r)
+    (Join_size.alpha_group_sample_uniform ~m ~d ~r)
+
+let test_theorem8_theorem9_alpha () =
+  (* Two values: hi with m1=10, m2=100; lo with m1=5, m2=2.
+     n = 1000 + 10 = 1010.
+     Thm 8: (10 + r*100_000/1000)/1010 = (10 + 100r)/1010.
+     Thm 9: (r + 10)/1010. *)
+  let m1 = Frequency.of_assoc [ (Value.Int 1, 10); (Value.Int 2, 5) ] in
+  let m2 = Frequency.of_assoc [ (Value.Int 1, 100); (Value.Int 2, 2) ] in
+  let is_high v = Value.to_int_exn v = 1 in
+  let r = 7 in
+  Alcotest.(check (float 1e-9)) "thm 8"
+    ((10. +. (100. *. 7.)) /. 1010.)
+    (Join_size.alpha_frequency_partition ~m1 ~m2 ~is_high ~r);
+  Alcotest.(check (float 1e-9)) "thm 9" ((7. +. 10.) /. 1010.)
+    (Join_size.alpha_index_sample ~m1 ~m2 ~is_high ~r);
+  (* All-low degenerates to naive fraction 1... for thm8 with no hi values:
+     alpha = sum_lo / n = 1. *)
+  Alcotest.(check (float 1e-9)) "no hi values -> naive" 1.
+    (Join_size.alpha_frequency_partition ~m1 ~m2 ~is_high:(fun _ -> false) ~r)
+
+let suite =
+  [
+    Alcotest.test_case "frequency basics" `Quick test_frequency_basics;
+    Alcotest.test_case "frequency excludes NULL" `Quick test_frequency_null_excluded;
+    Alcotest.test_case "frequency from stream" `Quick test_frequency_of_stream_matches;
+    Alcotest.test_case "frequency sorted assoc" `Quick test_frequency_to_assoc_sorted;
+    Alcotest.test_case "frequency of_assoc validation" `Quick test_frequency_of_assoc_validation;
+    Alcotest.test_case "join size formula" `Quick test_join_size;
+    Alcotest.test_case "join size vs brute force" `Quick test_join_size_against_real_join;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "end-biased histogram" `Quick test_end_biased;
+    Alcotest.test_case "end-biased fraction threshold" `Quick test_end_biased_fraction;
+    Alcotest.test_case "equi-depth buckets" `Quick test_equi_depth;
+    Alcotest.test_case "equi-depth join estimate" `Quick test_equi_depth_join_estimate;
+    Alcotest.test_case "theorem 5: Olken iterations" `Quick test_theorem5_olken_iterations;
+    Alcotest.test_case "theorem 7: alpha closed forms" `Quick test_theorem7_alpha_uniform_case;
+    Alcotest.test_case "theorems 8 & 9: hybrid alphas" `Quick test_theorem8_theorem9_alpha;
+  ]

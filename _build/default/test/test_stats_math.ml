@@ -1,0 +1,124 @@
+open Rsj_util
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_log_gamma_known_values () =
+  (* Gamma(n) = (n-1)! *)
+  feq "lgamma 1" 0. (Stats_math.log_gamma 1.);
+  feq "lgamma 2" 0. (Stats_math.log_gamma 2.);
+  Alcotest.(check (float 1e-10)) "lgamma 5 = ln 24" (log 24.) (Stats_math.log_gamma 5.);
+  Alcotest.(check (float 1e-10)) "lgamma 11 = ln 10!" (log 3628800.) (Stats_math.log_gamma 11.);
+  (* Gamma(1/2) = sqrt(pi) *)
+  Alcotest.(check (float 1e-10)) "lgamma 0.5" (0.5 *. log Float.pi) (Stats_math.log_gamma 0.5)
+
+let test_log_gamma_invalid () =
+  Alcotest.check_raises "x=0" (Invalid_argument "Stats_math.log_gamma: requires x > 0")
+    (fun () -> ignore (Stats_math.log_gamma 0.))
+
+let test_log_choose () =
+  Alcotest.(check (float 1e-9)) "10 choose 3" (log 120.) (Stats_math.log_choose 10 3);
+  feq "n choose 0" 0. (Stats_math.log_choose 7 0);
+  feq "n choose n" 0. (Stats_math.log_choose 7 7);
+  Alcotest.(check bool) "k>n impossible" true (Stats_math.log_choose 3 5 = neg_infinity);
+  Alcotest.(check bool) "k<0 impossible" true (Stats_math.log_choose 3 (-1) = neg_infinity)
+
+let test_binomial_pmf_sums_to_one () =
+  let n = 20 and p = 0.3 in
+  let total = ref 0. in
+  for k = 0 to n do
+    total := !total +. exp (Stats_math.log_binomial_pmf ~n ~p k)
+  done;
+  Alcotest.(check (float 1e-9)) "pmf sums to 1" 1. !total
+
+let test_binomial_pmf_edges () =
+  Alcotest.(check (float 1e-12)) "p=0, k=0" 0. (Stats_math.log_binomial_pmf ~n:5 ~p:0. 0);
+  Alcotest.(check bool) "p=0, k=1" true (Stats_math.log_binomial_pmf ~n:5 ~p:0. 1 = neg_infinity);
+  Alcotest.(check (float 1e-12)) "p=1, k=n" 0. (Stats_math.log_binomial_pmf ~n:5 ~p:1. 5)
+
+let test_regularized_gamma_known () =
+  (* P(1, x) = 1 - exp(-x) *)
+  Alcotest.(check (float 1e-10)) "P(1,1)" (1. -. exp (-1.)) (Stats_math.regularized_gamma_p ~a:1. ~x:1.);
+  Alcotest.(check (float 1e-10)) "P(1,5)" (1. -. exp (-5.)) (Stats_math.regularized_gamma_p ~a:1. ~x:5.);
+  feq "P(a,0)" 0. (Stats_math.regularized_gamma_p ~a:3. ~x:0.);
+  Alcotest.(check (float 1e-10)) "P + Q = 1" 1.
+    (Stats_math.regularized_gamma_p ~a:2.5 ~x:3.
+    +. Stats_math.regularized_gamma_q ~a:2.5 ~x:3.)
+
+let test_chi_square_cdf_known () =
+  (* dof=2: CDF(x) = 1 - exp(-x/2); median of chi2_1 ~ 0.4549 *)
+  Alcotest.(check (float 1e-9)) "dof2 cdf" (1. -. exp (-1.)) (Stats_math.chi_square_cdf ~dof:2 2.);
+  Alcotest.(check (float 1e-3)) "dof1 median" 0.5 (Stats_math.chi_square_cdf ~dof:1 0.454936);
+  Alcotest.(check (float 1e-4)) "dof10 95th pct at 18.307" 0.95
+    (Stats_math.chi_square_cdf ~dof:10 18.307)
+
+let test_chi_square_sf_complement () =
+  for dof = 1 to 12 do
+    let x = float_of_int dof *. 1.3 in
+    Alcotest.(check (float 1e-9)) "cdf + sf = 1" 1.
+      (Stats_math.chi_square_cdf ~dof x +. Stats_math.chi_square_sf ~dof x)
+  done
+
+let test_chi_square_test_perfect_fit () =
+  let res =
+    Stats_math.chi_square_test ~expected:[| 25.; 25.; 25.; 25. |] ~observed:[| 25; 25; 25; 25 |]
+  in
+  feq "statistic 0" 0. res.statistic;
+  Alcotest.(check (float 1e-9)) "p-value 1" 1. res.p_value;
+  Alcotest.(check int) "dof" 3 res.dof
+
+let test_chi_square_test_extreme_misfit () =
+  let res = Stats_math.chi_square_test ~expected:[| 50.; 50. |] ~observed:[| 100; 0 |] in
+  Alcotest.(check bool) "p tiny" true (res.p_value < 1e-6)
+
+let test_chi_square_test_zero_cells () =
+  let res = Stats_math.chi_square_test ~expected:[| 50.; 0.; 50. |] ~observed:[| 48; 0; 52 |] in
+  Alcotest.(check int) "zero cell dropped from dof" 1 res.dof;
+  Alcotest.check_raises "observation in zero cell"
+    (Invalid_argument "Stats_math.chi_square_test: observation in a zero-probability cell")
+    (fun () ->
+      ignore (Stats_math.chi_square_test ~expected:[| 50.; 0. |] ~observed:[| 49; 1 |]))
+
+let test_chi_square_test_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats_math.chi_square_test: length mismatch") (fun () ->
+      ignore (Stats_math.chi_square_test ~expected:[| 1. |] ~observed:[| 1; 2 |]))
+
+let test_descriptive_stats () =
+  let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  feq "mean" 5. (Stats_math.mean a);
+  Alcotest.(check (float 1e-9)) "variance" (32. /. 7.) (Stats_math.variance a);
+  Alcotest.(check bool) "mean of empty is nan" true (Float.is_nan (Stats_math.mean [||]));
+  Alcotest.(check bool) "variance of singleton is nan" true
+    (Float.is_nan (Stats_math.variance [| 1. |]))
+
+let test_median_percentile () =
+  feq "odd median" 3. (Stats_math.median [| 5.; 3.; 1. |]);
+  feq "even median" 2.5 (Stats_math.median [| 4.; 1.; 2.; 3. |]);
+  feq "p0 is min" 1. (Stats_math.percentile [| 3.; 1.; 2. |] 0.);
+  feq "p100 is max" 3. (Stats_math.percentile [| 3.; 1.; 2. |] 100.);
+  feq "p50 interpolates" 1.5 (Stats_math.percentile [| 1.; 2. |] 50.);
+  Alcotest.(check bool) "median of empty is nan" true (Float.is_nan (Stats_math.median [||]))
+
+let test_percentile_does_not_mutate () =
+  let a = [| 3.; 1.; 2. |] in
+  ignore (Stats_math.percentile a 50.);
+  Alcotest.(check (array (float 0.))) "unchanged" [| 3.; 1.; 2. |] a
+
+let suite =
+  [
+    Alcotest.test_case "log_gamma known values" `Quick test_log_gamma_known_values;
+    Alcotest.test_case "log_gamma rejects x <= 0" `Quick test_log_gamma_invalid;
+    Alcotest.test_case "log_choose" `Quick test_log_choose;
+    Alcotest.test_case "binomial pmf sums to 1" `Quick test_binomial_pmf_sums_to_one;
+    Alcotest.test_case "binomial pmf edge p" `Quick test_binomial_pmf_edges;
+    Alcotest.test_case "regularized gamma identities" `Quick test_regularized_gamma_known;
+    Alcotest.test_case "chi-square CDF known points" `Quick test_chi_square_cdf_known;
+    Alcotest.test_case "chi-square CDF/SF complement" `Quick test_chi_square_sf_complement;
+    Alcotest.test_case "chi-square perfect fit" `Quick test_chi_square_test_perfect_fit;
+    Alcotest.test_case "chi-square extreme misfit" `Quick test_chi_square_test_extreme_misfit;
+    Alcotest.test_case "chi-square zero-expectation cells" `Quick test_chi_square_test_zero_cells;
+    Alcotest.test_case "chi-square length mismatch" `Quick test_chi_square_test_mismatch;
+    Alcotest.test_case "mean / variance" `Quick test_descriptive_stats;
+    Alcotest.test_case "median / percentile" `Quick test_median_percentile;
+    Alcotest.test_case "percentile leaves input intact" `Quick test_percentile_does_not_mutate;
+  ]

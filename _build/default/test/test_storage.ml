@@ -1,0 +1,229 @@
+open Rsj_relation
+module Page = Rsj_storage.Page
+module Buffer_pool = Rsj_storage.Buffer_pool
+module Heap_file = Rsj_storage.Heap_file
+
+let schema =
+  Schema.of_list [ ("id", Value.T_int); ("x", Value.T_float); ("name", Value.T_str) ]
+
+let row i = [| Value.Int i; Value.Float (float_of_int i /. 2.); Value.str (Printf.sprintf "name-%d" i) |]
+
+let with_temp_file f =
+  let path = Filename.temp_file "rsj_heap" ".dat" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* ---------- page codec ---------- *)
+
+let test_page_roundtrip () =
+  let p = Page.create ~page_size:512 in
+  Alcotest.(check int) "empty" 0 (Page.tuple_count p);
+  let rows = [ row 1; [| Value.Null; Value.Null; Value.Null |]; row 42 ] in
+  List.iter (fun r -> Alcotest.(check bool) "fits" true (Page.add_tuple p r)) rows;
+  Alcotest.(check int) "count" 3 (Page.tuple_count p);
+  List.iteri
+    (fun i r -> Alcotest.(check bool) "roundtrip" true (Tuple.equal r (Page.get_tuple p i)))
+    rows
+
+let test_page_fills_up () =
+  let p = Page.create ~page_size:128 in
+  let added = ref 0 in
+  while Page.add_tuple p (row !added) do
+    incr added
+  done;
+  Alcotest.(check bool) "some fit" true (!added > 0);
+  Alcotest.(check int) "count matches" !added (Page.tuple_count p);
+  (* a smaller tuple may still fit after a big one is rejected *)
+  Alcotest.(check bool) "free space consistent" true (Page.free_space p >= 0)
+
+let test_page_oversized_tuple () =
+  let p = Page.create ~page_size:64 in
+  Alcotest.(check bool) "oversized raises" true
+    (try
+       ignore (Page.add_tuple p [| Value.Str (String.make 500 'x') |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_page_bytes_roundtrip () =
+  let p = Page.create ~page_size:256 in
+  ignore (Page.add_tuple p (row 7));
+  let q = Page.of_bytes (Page.to_bytes p) in
+  Alcotest.(check int) "count preserved" 1 (Page.tuple_count q);
+  Alcotest.(check bool) "tuple preserved" true (Tuple.equal (row 7) (Page.get_tuple q 0));
+  Alcotest.(check bool) "corrupt image rejected" true
+    (try
+       ignore (Page.of_bytes (Bytes.make 16 'Z'));
+       false
+     with Failure _ -> true)
+
+let test_page_bounds () =
+  let p = Page.create ~page_size:256 in
+  ignore (Page.add_tuple p (row 1));
+  Alcotest.(check bool) "slot bound" true
+    (try
+       ignore (Page.get_tuple p 1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- buffer pool ---------- *)
+
+let test_pool_hits_misses_evictions () =
+  with_temp_file (fun path ->
+      let hf = Heap_file.of_relation ~path ~page_size:256 (Relation.of_tuples schema (List.init 100 row)) in
+      let pages = Heap_file.data_page_count hf in
+      Alcotest.(check bool) "several pages" true (pages >= 3);
+      let pool = Buffer_pool.create ~capacity:2 in
+      ignore (Heap_file.read_data_page hf pool 0);
+      ignore (Heap_file.read_data_page hf pool 0);
+      let s = Buffer_pool.stats pool in
+      Alcotest.(check int) "one miss" 1 s.Buffer_pool.misses;
+      Alcotest.(check int) "one hit" 1 s.Buffer_pool.hits;
+      ignore (Heap_file.read_data_page hf pool 1);
+      ignore (Heap_file.read_data_page hf pool 2);
+      (* capacity 2: page 0 evicted *)
+      let s = Buffer_pool.stats pool in
+      Alcotest.(check int) "eviction" 1 s.Buffer_pool.evictions;
+      ignore (Heap_file.read_data_page hf pool 0);
+      let s = Buffer_pool.stats pool in
+      (* misses so far: p0, p1, p2, and p0 again after its eviction *)
+      Alcotest.(check int) "page 0 missed again" 4 s.Buffer_pool.misses;
+      Heap_file.close hf)
+
+let test_pool_lru_order () =
+  with_temp_file (fun path ->
+      let hf = Heap_file.of_relation ~path ~page_size:256 (Relation.of_tuples schema (List.init 100 row)) in
+      let pool = Buffer_pool.create ~capacity:2 in
+      ignore (Heap_file.read_data_page hf pool 0);
+      ignore (Heap_file.read_data_page hf pool 1);
+      (* touch 0 so that 1 is the LRU victim *)
+      ignore (Heap_file.read_data_page hf pool 0);
+      ignore (Heap_file.read_data_page hf pool 2);
+      Buffer_pool.reset_stats pool;
+      ignore (Heap_file.read_data_page hf pool 0);
+      let s = Buffer_pool.stats pool in
+      Alcotest.(check int) "0 still resident (hit)" 1 s.Buffer_pool.hits;
+      ignore (Heap_file.read_data_page hf pool 1);
+      let s = Buffer_pool.stats pool in
+      Alcotest.(check int) "1 was evicted (miss)" 1 s.Buffer_pool.misses;
+      Heap_file.close hf)
+
+(* ---------- heap file ---------- *)
+
+let test_heap_roundtrip () =
+  with_temp_file (fun path ->
+      let rel = Relation.of_tuples schema (List.init 500 row) in
+      let hf = Heap_file.of_relation ~path ~page_size:512 rel in
+      Alcotest.(check int) "tuple count" 500 (Heap_file.tuple_count hf);
+      let pool = Buffer_pool.create ~capacity:16 in
+      let back = Heap_file.to_relation hf pool in
+      Alcotest.(check int) "all back" 500 (Relation.cardinality back);
+      Relation.iteri back (fun i t ->
+          Alcotest.(check bool) "row preserved in order" true (Tuple.equal t (Relation.get rel i)));
+      Heap_file.close hf)
+
+let test_heap_reopen () =
+  with_temp_file (fun path ->
+      let hf = Heap_file.of_relation ~path ~page_size:512 (Relation.of_tuples schema (List.init 50 row)) in
+      Heap_file.close hf;
+      let hf2 = Heap_file.open_existing ~path schema in
+      Alcotest.(check int) "count after reopen" 50 (Heap_file.tuple_count hf2);
+      let pool = Buffer_pool.create ~capacity:4 in
+      Alcotest.(check int) "scan finds all" 50 (Stream0.length (Heap_file.scan hf2 pool));
+      (* append more after reopen *)
+      Heap_file.append hf2 (row 50);
+      Heap_file.flush hf2;
+      Alcotest.(check int) "append after reopen" 51 (Heap_file.tuple_count hf2);
+      Heap_file.close hf2)
+
+let test_heap_fetch () =
+  with_temp_file (fun path ->
+      let hf = Heap_file.of_relation ~path ~page_size:256 (Relation.of_tuples schema (List.init 200 row)) in
+      let pool = Buffer_pool.create ~capacity:8 in
+      List.iter
+        (fun i ->
+          let t = Heap_file.fetch hf pool i in
+          Alcotest.(check int) "fetch by index" i (Value.to_int_exn (Tuple.get t 0)))
+        [ 0; 1; 57; 123; 199 ];
+      Alcotest.(check bool) "out of range" true
+        (try
+           ignore (Heap_file.fetch hf pool 200);
+           false
+         with Invalid_argument _ -> true);
+      Heap_file.close hf)
+
+let test_heap_schema_validation () =
+  with_temp_file (fun path ->
+      let hf = Heap_file.create ~path schema in
+      Alcotest.(check bool) "bad arity rejected" true
+        (try
+           Heap_file.append hf [| Value.Int 1 |];
+           false
+         with Invalid_argument _ -> true);
+      Heap_file.close hf)
+
+let test_heap_closed_use () =
+  with_temp_file (fun path ->
+      let hf = Heap_file.create ~path schema in
+      Heap_file.close hf;
+      Heap_file.close hf;
+      Alcotest.(check bool) "append after close fails" true
+        (try
+           Heap_file.append hf (row 1);
+           false
+         with Failure _ -> true))
+
+let test_heap_bad_magic () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "not a heap file at all, definitely not";
+      close_out oc;
+      Alcotest.(check bool) "bad magic rejected" true
+        (try
+           ignore (Heap_file.open_existing ~path schema);
+           false
+         with Failure _ -> true))
+
+(* ---------- block sampling economics on real pages ---------- *)
+
+let test_block_sampling_io_on_disk () =
+  with_temp_file (fun path ->
+      let n = 2_000 in
+      let hf = Heap_file.of_relation ~path ~page_size:512 (Relation.of_tuples schema (List.init n row)) in
+      let pool = Buffer_pool.create ~capacity:1_000 in
+      let rng = Rsj_util.Prng.create ~seed:5 () in
+      (* Full scan: misses ~ page count. *)
+      Buffer_pool.reset_stats pool;
+      ignore (Stream0.length (Heap_file.scan hf pool));
+      let scan_misses = (Buffer_pool.stats pool).Buffer_pool.misses in
+      Alcotest.(check int) "scan reads each page once" (Heap_file.data_page_count hf) scan_misses;
+      (* Random fetches of r=10 positions: misses <= 10 + directory build. *)
+      let pool2 = Buffer_pool.create ~capacity:1_000 in
+      let positions = Rsj_util.Prng.sample_distinct rng ~k:10 ~n in
+      Array.sort compare positions;
+      ignore (Heap_file.fetch hf pool2 positions.(0));
+      let after_directory = (Buffer_pool.stats pool2).Buffer_pool.misses in
+      Buffer_pool.reset_stats pool2;
+      Array.iter (fun i -> ignore (Heap_file.fetch hf pool2 i)) positions;
+      let fetch_misses = (Buffer_pool.stats pool2).Buffer_pool.misses in
+      ignore after_directory;
+      Alcotest.(check bool)
+        (Printf.sprintf "10 fetches miss at most 10 pages (%d)" fetch_misses)
+        true (fetch_misses <= 10);
+      Heap_file.close hf)
+
+let suite =
+  [
+    Alcotest.test_case "page: tuple roundtrip incl. NULLs" `Quick test_page_roundtrip;
+    Alcotest.test_case "page: fills until full" `Quick test_page_fills_up;
+    Alcotest.test_case "page: oversized tuple rejected" `Quick test_page_oversized_tuple;
+    Alcotest.test_case "page: bytes roundtrip + corruption" `Quick test_page_bytes_roundtrip;
+    Alcotest.test_case "page: slot bounds" `Quick test_page_bounds;
+    Alcotest.test_case "pool: hits/misses/evictions" `Quick test_pool_hits_misses_evictions;
+    Alcotest.test_case "pool: LRU victim selection" `Quick test_pool_lru_order;
+    Alcotest.test_case "heap: write/scan roundtrip" `Quick test_heap_roundtrip;
+    Alcotest.test_case "heap: reopen and append" `Quick test_heap_reopen;
+    Alcotest.test_case "heap: fetch by global index" `Quick test_heap_fetch;
+    Alcotest.test_case "heap: schema validation" `Quick test_heap_schema_validation;
+    Alcotest.test_case "heap: use after close" `Quick test_heap_closed_use;
+    Alcotest.test_case "heap: bad magic" `Quick test_heap_bad_magic;
+    Alcotest.test_case "block sampling I/O economics on disk" `Quick test_block_sampling_io_on_disk;
+  ]

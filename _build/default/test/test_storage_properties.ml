@@ -1,0 +1,99 @@
+(* qcheck properties for the storage substrate: arbitrary tuples survive
+   the page codec and heap-file roundtrips byte-exactly. *)
+
+open Rsj_relation
+module Page = Rsj_storage.Page
+module Heap_file = Rsj_storage.Heap_file
+module Buffer_pool = Rsj_storage.Buffer_pool
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.Null);
+        (4, map (fun i -> Value.Int i) int);
+        (3, map (fun f -> Value.Float f) float);
+        (3, map (fun s -> Value.Str s) (string_size (int_range 0 40)));
+      ])
+
+let tuple_gen arity = QCheck.Gen.(map Array.of_list (list_repeat arity value_gen))
+
+let tuples_arb =
+  QCheck.make
+    ~print:(fun ts -> String.concat "; " (List.map Tuple.to_string ts))
+    QCheck.Gen.(int_range 1 5 >>= fun arity -> list_size (int_range 0 60) (tuple_gen arity))
+
+let prop_page_roundtrip =
+  QCheck.Test.make ~name:"page codec roundtrips arbitrary tuples" ~count:200 tuples_arb
+    (fun tuples ->
+      let page = Page.create ~page_size:8192 in
+      let accepted =
+        List.filter
+          (fun t -> Page.encoded_size t + 2 < 8100 && Page.add_tuple page t)
+          tuples
+      in
+      let back = ref [] in
+      Page.iter page (fun t -> back := t :: !back);
+      let back = List.rev !back in
+      List.length back = List.length accepted
+      && List.for_all2 Tuple.equal accepted back)
+
+let prop_page_bytes_roundtrip =
+  QCheck.Test.make ~name:"page image survives to_bytes/of_bytes" ~count:200 tuples_arb
+    (fun tuples ->
+      let page = Page.create ~page_size:4096 in
+      List.iter
+        (fun t -> if Page.encoded_size t + 2 < 4000 then ignore (Page.add_tuple page t))
+        tuples;
+      let clone = Page.of_bytes (Bytes.copy (Page.to_bytes page)) in
+      Page.tuple_count clone = Page.tuple_count page
+      &&
+      let ok = ref true in
+      for i = 0 to Page.tuple_count page - 1 do
+        if not (Tuple.equal (Page.get_tuple page i) (Page.get_tuple clone i)) then ok := false
+      done;
+      !ok)
+
+let schema4 =
+  Schema.of_list
+    [ ("a", Value.T_int); ("b", Value.T_float); ("c", Value.T_str); ("d", Value.T_int) ]
+
+let row_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, (b, (c, d))) ->
+        [|
+          (match a with None -> Value.Null | Some x -> Value.Int x);
+          (match b with None -> Value.Null | Some x -> Value.Float x);
+          (match c with None -> Value.Null | Some s -> Value.Str s);
+          (match d with None -> Value.Null | Some x -> Value.Int x);
+        |])
+      (pair (opt int) (pair (opt float) (pair (opt (string_size (int_range 0 30))) (opt int)))))
+
+let rows_arb =
+  QCheck.make
+    ~print:(fun ts -> String.concat "; " (List.map Tuple.to_string ts))
+    QCheck.Gen.(list_size (int_range 0 300) row_gen)
+
+let prop_heap_roundtrip =
+  QCheck.Test.make ~name:"heap file roundtrips arbitrary relations" ~count:40 rows_arb
+    (fun rows ->
+      let rel = Relation.of_tuples schema4 rows in
+      let path = Filename.temp_file "rsj_prop" ".heap" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let hf = Heap_file.of_relation ~path ~page_size:512 rel in
+          let pool = Buffer_pool.create ~capacity:8 in
+          let back = Heap_file.to_relation hf pool in
+          Heap_file.close hf;
+          Relation.cardinality back = List.length rows
+          &&
+          let ok = ref true in
+          Relation.iteri back (fun i t ->
+              if not (Tuple.equal t (Relation.get rel i)) then ok := false);
+          !ok))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_page_roundtrip; prop_page_bytes_roundtrip; prop_heap_roundtrip ]

@@ -1,0 +1,374 @@
+open Rsj_relation
+open Rsj_core
+module Zipf_tables = Rsj_workload.Zipf_tables
+module Frequency = Rsj_stats.Frequency
+module Metrics = Rsj_exec.Metrics
+
+(* A small skewed join instance on which the full join is cheap to
+   enumerate, so uniformity can be chi-square tested cell by cell. *)
+let small_env ?(seed = 0xAB) ?(histogram_fraction = 0.05) ?(z1 = 1.) ?(z2 = 2.) () =
+  let pair = Zipf_tables.make_pair ~seed ~n1:40 ~n2:80 ~z1 ~z2 ~domain:6 () in
+  Strategy.make_env ~seed ~histogram_fraction ~left:pair.outer ~right:pair.inner
+    ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
+
+let full_join env =
+  let plan =
+    Rsj_exec.Plan.Join
+      {
+        Rsj_exec.Plan.algorithm = Rsj_exec.Plan.Hash;
+        left = Rsj_exec.Plan.Scan (Strategy.env_left env);
+        right = Rsj_exec.Plan.Scan (Strategy.env_right env);
+        left_key = Zipf_tables.col2;
+        right_key = Zipf_tables.col2;
+      }
+  in
+  Array.of_list (Rsj_exec.Plan.collect plan)
+
+let join_member_set env =
+  let tbl = Hashtbl.create 1024 in
+  Array.iter (fun t -> Hashtbl.replace tbl t ()) (full_join env);
+  tbl
+
+let test_all_strategies_return_r () =
+  let env = small_env () in
+  List.iter
+    (fun s ->
+      let res = Strategy.run env s ~r:25 in
+      Alcotest.(check int) (Strategy.name s ^ " returns r") 25 (Array.length res.sample))
+    Strategy.all
+
+let test_all_strategies_emit_join_tuples () =
+  let env = small_env () in
+  let members = join_member_set env in
+  List.iter
+    (fun s ->
+      let res = Strategy.run env s ~r:40 in
+      Array.iter
+        (fun t ->
+          Alcotest.(check bool)
+            (Strategy.name s ^ " emits only join tuples")
+            true (Hashtbl.mem members t))
+        res.sample)
+    Strategy.all
+
+let test_all_strategies_uniform () =
+  let env = small_env () in
+  let universe = full_join env in
+  List.iter
+    (fun s ->
+      let report =
+        Negative.uniformity_check ~trials:200 ~universe ~draw:(fun () ->
+            (Strategy.run env s ~r:20).sample)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s uniform over J (p=%.5f, %d cells)" (Strategy.name s)
+           report.chi_square.p_value report.cells)
+        true
+        (report.chi_square.p_value > 0.0005))
+    Strategy.all
+
+let test_r_zero () =
+  let env = small_env () in
+  List.iter
+    (fun s ->
+      let res = Strategy.run env s ~r:0 in
+      Alcotest.(check int) (Strategy.name s ^ " r=0") 0 (Array.length res.sample))
+    Strategy.all
+
+let test_r_larger_than_join () =
+  let env = small_env () in
+  let n = Strategy.env_join_size env in
+  let r = (2 * n) + 7 in
+  (* WR semantics allow r > |J|; every strategy must deliver. *)
+  List.iter
+    (fun s ->
+      let res = Strategy.run env s ~r in
+      Alcotest.(check int) (Strategy.name s ^ " oversampling") r (Array.length res.sample))
+    Strategy.all
+
+let empty_join_env () =
+  let schema = Zipf_tables.schema in
+  let mk name vals =
+    Relation.of_tuples ~name schema
+      (List.mapi (fun i v -> [| Value.Int i; Value.Int v; Value.str "p" |]) vals)
+  in
+  Strategy.make_env ~left:(mk "L" [ 1; 2; 3 ]) ~right:(mk "R" [ 4; 5; 6 ])
+    ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
+
+let test_empty_join () =
+  let env = empty_join_env () in
+  List.iter
+    (fun s ->
+      match s with
+      | Strategy.Olken ->
+          (* Olken cannot terminate on an empty join; it must fail loudly. *)
+          Alcotest.(check bool) "olken fails loudly" true
+            (try
+               ignore (Strategy.run env s ~r:5);
+               false
+             with Failure _ -> true)
+      | _ ->
+          let res = Strategy.run env s ~r:5 in
+          Alcotest.(check int) (Strategy.name s ^ " empty join") 0 (Array.length res.sample))
+    Strategy.all
+
+let test_naive_work_is_full_join () =
+  let env = small_env () in
+  let n = Strategy.env_join_size env in
+  let res = Strategy.run env Strategy.Naive ~r:10 in
+  Alcotest.(check int) "naive computes all of J" n res.metrics.Metrics.join_output_tuples
+
+let test_stream_sample_work_is_r () =
+  let env = small_env () in
+  let res = Strategy.run env Strategy.Stream ~r:30 in
+  Alcotest.(check int) "one join output per sample (Thm 6)" 30
+    res.metrics.Metrics.join_output_tuples;
+  Alcotest.(check int) "no rejections" 0 res.metrics.Metrics.rejected_samples
+
+let test_olken_produces_r_with_rejections () =
+  let env = small_env () in
+  let res = Strategy.run env Strategy.Olken ~r:50 in
+  Alcotest.(check int) "accepted = r" 50 res.metrics.Metrics.join_output_tuples;
+  Alcotest.(check bool) "skewed join causes rejections" true
+    (res.metrics.Metrics.rejected_samples > 0)
+
+let test_olken_iteration_count_matches_theorem5 () =
+  (* Iterations = accepted + rejected; expectation r * M*n1/n. *)
+  let env = small_env () in
+  let m1 = Frequency.of_relation (Strategy.env_left env) ~key:Zipf_tables.col2 in
+  let m2 = Strategy.env_right_stats env in
+  let per_tuple = Rsj_stats.Join_size.olken_expected_iterations ~m1 ~m2 in
+  let r = 400 in
+  let res = Strategy.run env Strategy.Olken ~r in
+  let iterations =
+    res.metrics.Metrics.join_output_tuples + res.metrics.Metrics.rejected_samples
+  in
+  let expected = per_tuple *. float_of_int r in
+  Alcotest.(check bool)
+    (Printf.sprintf "iterations %d within 35%% of %.0f" iterations expected)
+    true
+    (Float.abs (float_of_int iterations -. expected) < 0.35 *. expected)
+
+let test_group_sample_work_matches_theorem7 () =
+  let env = small_env () in
+  let m1 = Frequency.of_relation (Strategy.env_left env) ~key:Zipf_tables.col2 in
+  let m2 = Strategy.env_right_stats env in
+  let r = 25 in
+  let alpha = Rsj_stats.Join_size.alpha_group_sample ~m1 ~m2 ~r in
+  let n = Strategy.env_join_size env in
+  let expected = alpha *. float_of_int n in
+  (* Average over runs to damp the variance. *)
+  let runs = 30 in
+  let acc = ref 0 in
+  for _ = 1 to runs do
+    let res = Strategy.run env Strategy.Group ~r in
+    acc := !acc + res.metrics.Metrics.join_output_tuples
+  done;
+  let mean = float_of_int !acc /. float_of_int runs in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.1f ~ predicted %.1f" mean expected)
+    true
+    (mean > 0.6 *. expected && mean < 1.4 *. expected)
+
+let test_fps_partition_bookkeeping () =
+  let env = small_env () in
+  let histogram = Strategy.env_histogram env in
+  let rng = Rsj_util.Prng.create ~seed:99 () in
+  let metrics = Metrics.create () in
+  let sample, detail =
+    Frequency_partition.sample rng ~metrics ~r:20
+      ~left:(Relation.to_stream (Strategy.env_left env))
+      ~left_key:Zipf_tables.col2 ~right:(Strategy.env_right env)
+      ~right_key:Zipf_tables.col2 ~histogram
+  in
+  Alcotest.(check int) "r samples" 20 (Array.length sample);
+  Alcotest.(check int) "n_hi + n_lo = |J|" (Strategy.env_join_size env)
+    (detail.n_hi + detail.n_lo);
+  Alcotest.(check int) "r_hi + r_lo = r" 20 (detail.r_hi + detail.r_lo)
+
+let test_fps_work_below_naive_under_skew () =
+  let env = small_env ~z1:1. ~z2:3. () in
+  let n = Strategy.env_join_size env in
+  let res = Strategy.run env Strategy.Frequency_partition ~r:10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "FPS intermediate %d < |J| = %d"
+       res.metrics.Metrics.join_output_tuples n)
+    true
+    (res.metrics.Metrics.join_output_tuples < n)
+
+let test_index_sample_work_matches_theorem9 () =
+  let env = small_env () in
+  let m1 = Frequency.of_relation (Strategy.env_left env) ~key:Zipf_tables.col2 in
+  let m2 = Strategy.env_right_stats env in
+  let histogram = Strategy.env_histogram env in
+  let is_high v = Rsj_stats.Histogram.End_biased.is_high histogram v in
+  let r = 15 in
+  let alpha = Rsj_stats.Join_size.alpha_index_sample ~m1 ~m2 ~is_high ~r in
+  let n = Strategy.env_join_size env in
+  let res = Strategy.run env Strategy.Index_sample ~r in
+  (* Thm 9 is an upper bound in expectation; the measured intermediate
+     should sit at alpha*n exactly (lo side deterministic, hi side = r). *)
+  Alcotest.(check int) "deterministic work"
+    (int_of_float (Float.round (alpha *. float_of_int n)))
+    res.metrics.Metrics.join_output_tuples
+
+let test_count_sample_scans_not_joins () =
+  let env = small_env () in
+  let res = Strategy.run env Strategy.Count_sample ~r:20 in
+  Alcotest.(check int) "exactly r join outputs" 20 res.metrics.Metrics.join_output_tuples;
+  let n1 = Relation.cardinality (Strategy.env_left env) in
+  let n2 = Relation.cardinality (Strategy.env_right env) in
+  Alcotest.(check int) "one scan of each relation" (n1 + n2)
+    res.metrics.Metrics.tuples_scanned
+
+let test_group_sample_stale_stats_fails () =
+  let schema = Zipf_tables.schema in
+  let left =
+    Relation.of_tuples ~name:"L" schema [ [| Value.Int 1; Value.Int 7; Value.str "p" |] ]
+  in
+  let right =
+    Relation.of_tuples ~name:"R" schema [ [| Value.Int 1; Value.Int 8; Value.str "p" |] ]
+  in
+  (* Stats claim value 7 exists in R2; it does not. *)
+  let stale = Frequency.of_assoc [ (Value.Int 7, 3) ] in
+  let rng = Rsj_util.Prng.create () in
+  Alcotest.(check bool) "stale stats detected" true
+    (try
+       ignore
+         (Group_sample.sample rng ~metrics:(Metrics.create ()) ~r:2
+            ~left:(Relation.to_stream left) ~left_key:Zipf_tables.col2 ~right
+            ~right_key:Zipf_tables.col2 ~right_stats:stale);
+       false
+     with Failure _ -> true)
+
+let test_count_sample_overstated_stats_fails () =
+  let schema = Zipf_tables.schema in
+  let left =
+    Relation.of_tuples ~name:"L" schema [ [| Value.Int 1; Value.Int 7; Value.str "p" |] ]
+  in
+  let right =
+    Relation.of_tuples ~name:"R" schema [ [| Value.Int 1; Value.Int 7; Value.str "p" |] ]
+  in
+  (* Stats claim m2(7) = 5; only 1 tuple exists, so U1 cannot finish. *)
+  let stale = Frequency.of_assoc [ (Value.Int 7, 5) ] in
+  let rng = Rsj_util.Prng.create ~seed:123 () in
+  let failed = ref false in
+  (try
+     (* The per-value U1 may or may not exhaust early depending on the
+        draw; repeat until the failure path triggers. *)
+     for _ = 1 to 50 do
+       ignore
+         (Count_sample.sample rng ~metrics:(Metrics.create ()) ~r:3
+            ~left:(Relation.to_stream left) ~left_key:Zipf_tables.col2 ~right
+            ~right_key:Zipf_tables.col2 ~right_stats:stale)
+     done
+   with Failure _ -> failed := true);
+  Alcotest.(check bool) "overstated stats detected" true !failed
+
+let test_foreign_key_join () =
+  (* R2's join column is a key: m2(v) = 1. Stream-Sample reduces to
+     uniform sampling of matching R1 tuples. *)
+  let schema = Zipf_tables.schema in
+  let left =
+    Relation.of_tuples ~name:"fact" schema
+      (List.init 50 (fun i -> [| Value.Int i; Value.Int (i mod 10); Value.str "p" |]))
+  in
+  let right =
+    Relation.of_tuples ~name:"dim" schema
+      (List.init 10 (fun i -> [| Value.Int i; Value.Int i; Value.str "p" |]))
+  in
+  let env = Strategy.make_env ~left ~right ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 () in
+  Alcotest.(check int) "|J| = n1 for FK join" 50 (Strategy.env_join_size env);
+  List.iter
+    (fun s ->
+      let res = Strategy.run env s ~r:20 in
+      Alcotest.(check int) (Strategy.name s ^ " FK join") 20 (Array.length res.sample))
+    Strategy.all
+
+let test_run_wor_distinct () =
+  let env = small_env () in
+  List.iter
+    (fun s ->
+      let res = Strategy.run_wor env s ~r:15 in
+      Alcotest.(check int) (Strategy.name s ^ " WoR size") 15 (Array.length res.sample);
+      let distinct =
+        List.sort_uniq Tuple.compare (Array.to_list res.sample) |> List.length
+      in
+      Alcotest.(check int) (Strategy.name s ^ " WoR distinct") 15 distinct)
+    [ Strategy.Naive; Strategy.Stream; Strategy.Frequency_partition ]
+
+let test_table1 () =
+  let rows = Strategy.table1 () in
+  Alcotest.(check int) "eight strategies" 8 (List.length rows);
+  let find n = List.find (fun (name, _, _) -> name = n) rows in
+  let _, r1, r2 = find "Naive-Sample" in
+  Alcotest.(check string) "naive r1" "-" r1;
+  Alcotest.(check string) "naive r2" "-" r2;
+  let _, r1, r2 = find "Olken-Sample" in
+  Alcotest.(check string) "olken r1" "Index" r1;
+  Alcotest.(check string) "olken r2" "Index/Stats." r2;
+  let _, r1, r2 = find "Stream-Sample" in
+  Alcotest.(check string) "stream r1" "-" r1;
+  Alcotest.(check string) "stream r2" "Index/Stats." r2;
+  let _, r1, r2 = find "Group-Sample" in
+  Alcotest.(check string) "group r1" "-" r1;
+  Alcotest.(check string) "group r2" "Statistics" r2;
+  let _, r1, r2 = find "Frequency-Partition-Sample" in
+  Alcotest.(check string) "fps r1" "-" r1;
+  Alcotest.(check string) "fps r2" "Partial Stats." r2
+
+let test_of_name () =
+  Alcotest.(check bool) "paper spelling" true
+    (Strategy.of_name "Stream-Sample" = Some Strategy.Stream);
+  Alcotest.(check bool) "short form" true (Strategy.of_name "naive" = Some Strategy.Naive);
+  Alcotest.(check bool) "fps alias" true
+    (Strategy.of_name "FPS" = Some Strategy.Frequency_partition);
+  Alcotest.(check bool) "underscores" true
+    (Strategy.of_name "hybrid_count" = Some Strategy.Hybrid_count);
+  Alcotest.(check bool) "unknown" true (Strategy.of_name "bogus" = None);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        ("roundtrip " ^ Strategy.name s)
+        true
+        (Strategy.of_name (Strategy.name s) = Some s))
+    Strategy.all
+
+let test_reproducibility () =
+  (* Same seed, same strategy -> identical sample. *)
+  List.iter
+    (fun s ->
+      let r1 = Strategy.run (small_env ~seed:7 ()) s ~r:10 in
+      let r2 = Strategy.run (small_env ~seed:7 ()) s ~r:10 in
+      Array.iteri
+        (fun i t ->
+          Alcotest.(check bool) (Strategy.name s ^ " reproducible") true
+            (Tuple.equal t r2.sample.(i)))
+        r1.sample)
+    Strategy.all
+
+let suite =
+  [
+    Alcotest.test_case "every strategy returns r tuples" `Quick test_all_strategies_return_r;
+    Alcotest.test_case "every output is a join tuple" `Quick test_all_strategies_emit_join_tuples;
+    Alcotest.test_case "every strategy is WR-uniform (chi-square)" `Slow test_all_strategies_uniform;
+    Alcotest.test_case "r = 0" `Quick test_r_zero;
+    Alcotest.test_case "r > |J| (oversampling)" `Quick test_r_larger_than_join;
+    Alcotest.test_case "empty join" `Quick test_empty_join;
+    Alcotest.test_case "naive work = |J|" `Quick test_naive_work_is_full_join;
+    Alcotest.test_case "stream-sample work = r (Thm 6)" `Quick test_stream_sample_work_is_r;
+    Alcotest.test_case "olken rejections happen" `Quick test_olken_produces_r_with_rejections;
+    Alcotest.test_case "olken iterations match Thm 5" `Slow test_olken_iteration_count_matches_theorem5;
+    Alcotest.test_case "group-sample work matches Thm 7" `Slow test_group_sample_work_matches_theorem7;
+    Alcotest.test_case "FPS partition bookkeeping" `Quick test_fps_partition_bookkeeping;
+    Alcotest.test_case "FPS beats naive under skew" `Quick test_fps_work_below_naive_under_skew;
+    Alcotest.test_case "index-sample work matches Thm 9" `Quick test_index_sample_work_matches_theorem9;
+    Alcotest.test_case "count-sample work = scans + r" `Quick test_count_sample_scans_not_joins;
+    Alcotest.test_case "group-sample detects stale stats" `Quick test_group_sample_stale_stats_fails;
+    Alcotest.test_case "count-sample detects overstated stats" `Quick test_count_sample_overstated_stats_fails;
+    Alcotest.test_case "foreign-key join" `Quick test_foreign_key_join;
+    Alcotest.test_case "WoR variant yields distinct tuples" `Quick test_run_wor_distinct;
+    Alcotest.test_case "table 1 requirements" `Quick test_table1;
+    Alcotest.test_case "strategy name parsing" `Quick test_of_name;
+    Alcotest.test_case "seeded reproducibility" `Quick test_reproducibility;
+  ]
