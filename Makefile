@@ -1,0 +1,41 @@
+# Convenience targets around dune. Everything is reproducible from a
+# seed; scale and repetitions come from environment knobs:
+#
+#   RSJ_N1, RSJ_N2     outer/inner relation sizes of the paper harness
+#                      (defaults 10_000 / 40_000)
+#   RSJ_DOMAIN         distinct join values (default 1_000)
+#   RSJ_SCALE          multiplies n1/n2/domain (default 1)
+#   RSJ_SEED           workload seed (default 0x5EED)
+#   RSJ_REPS           median-of-k wall-clock repetitions (default 1)
+#   RSJ_BENCH_QUOTA    seconds per bechamel micro-test (default 0.5)
+#   RSJ_PAR_N1         outer size of the parallel/* benches
+#                      (default 1_000_000)
+#   RSJ_SKIP_MICRO=1   skip the bechamel micro-benchmarks
+#   RSJ_SKIP_PAPER=1   skip the paper-harness figures
+
+.PHONY: all build check test smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# check = the tier-1 gate: full build + unit tests.
+check:
+	dune build && dune runtest
+
+# smoke = check + a tiny paper-harness run (seconds, not minutes).
+smoke:
+	dune build @smoke
+
+# bench = the full harness: paper figures + bechamel micro-benchmarks
+# (including the parallel/* speedup benches). Expect minutes; scale
+# with the knobs above.
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -13,8 +13,9 @@
 
    Environment knobs: RSJ_N1, RSJ_N2, RSJ_DOMAIN, RSJ_SCALE, RSJ_SEED,
    RSJ_REPS (paper harness); RSJ_BENCH_QUOTA (seconds per bechamel
-   test, default 0.5); RSJ_SKIP_MICRO=1 to skip layer 2;
-   RSJ_SKIP_PAPER=1 to skip layer 1. *)
+   test, default 0.5); RSJ_PAR_N1 (outer-relation size of the
+   parallel/* benches, default 1,000,000); RSJ_SKIP_MICRO=1 to skip
+   layer 2; RSJ_SKIP_PAPER=1 to skip layer 1. *)
 
 open Bechamel
 open Toolkit
@@ -119,6 +120,38 @@ let micro_tests () =
        (Staged.stage (fun () -> ignore (Rsj_core.Block_sample.u1_paged rng ~r:50 paged))));
   ]
 
+(* Parallel-runtime benches. The workload is the acceptance-size Zipf
+   pair (n1 from RSJ_PAR_N1, default 1,000,000); speedup at domains > 1
+   only materialises when the machine actually has spare cores. *)
+let parallel_tests () =
+  let n1 =
+    match Sys.getenv_opt "RSJ_PAR_N1" with
+    | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let pair =
+    Zipf_tables.make_pair ~seed:42 ~n1 ~n2:(max 1 (n1 / 4)) ~z1:0. ~z2:0. ~domain:1_000 ()
+  in
+  let env =
+    Strategy.make_env ~seed:42 ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+      ~right_key:Zipf_tables.col2 ()
+  in
+  ignore (Strategy.env_right_index env);
+  ignore (Strategy.env_right_stats env);
+  let r = max 1 (n1 / 100) in
+  let stream_bench d =
+    Test.make
+      ~name:(Printf.sprintf "parallel/stream-z00-d%d" d)
+      (Staged.stage (fun () -> ignore (Rsj_parallel.run env Strategy.Stream ~r ~domains:d)))
+  in
+  let index_bench d =
+    Test.make
+      ~name:(Printf.sprintf "parallel/index-build-d%d" d)
+      (Staged.stage (fun () ->
+           ignore (Rsj_index.Hash_index.build_parallel pair.inner ~key:Zipf_tables.col2 ~domains:d)))
+  in
+  [ stream_bench 1; stream_bench 2; stream_bench 4; index_bench 1; index_bench 4 ]
+
 let run_micro () =
   let quota =
     match Sys.getenv_opt "RSJ_BENCH_QUOTA" with
@@ -141,7 +174,7 @@ let run_micro () =
           in
           Printf.printf "  %-36s %14.1f ns/run\n%!" name est)
         tbl)
-    (micro_tests ())
+    (micro_tests () @ parallel_tests ())
 
 let () =
   let skip name = Sys.getenv_opt name = Some "1" in

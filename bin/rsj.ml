@@ -86,8 +86,22 @@ let sample_cmd =
     Arg.(value & flag & info [ "without-replacement" ] ~doc:"Convert to WoR semantics (\xc2\xa73).")
   in
   let show_metrics = Arg.(value & flag & info [ "metrics" ] ~doc:"Print the work counters.") in
-  let run left right strategy r wor show_metrics seed =
+  let domains =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ]
+          ~docv:"N"
+          ~doc:
+            "Execute across N OCaml domains (default 1 = sequential). Applies to the \
+             parallelizable strategies (Naive, Stream, Group, Count); others fall back to \
+             the sequential runner. Incompatible with --without-replacement.")
+  in
+  let run left right strategy r wor show_metrics domains seed =
     if r < 0 then `Error (false, "--r must be non-negative")
+    else if domains < 1 then `Error (false, "--domains must be at least 1")
+    else if wor && domains > 1 then
+      `Error (false, "--without-replacement runs sequentially; drop --domains")
     else begin
       try
         let l = Rsj_relation.Csv_io.load ~path:left Zipf_tables.schema in
@@ -96,7 +110,10 @@ let sample_cmd =
           Strategy.make_env ~seed ~left:l ~right:rt ~left_key:Zipf_tables.col2
             ~right_key:Zipf_tables.col2 ()
         in
-        let result = if wor then Strategy.run_wor env strategy ~r else Strategy.run env strategy ~r in
+        let result =
+          if wor then Strategy.run_wor env strategy ~r
+          else Rsj_parallel.run env strategy ~r ~domains
+        in
         Array.iter
           (fun t -> print_endline (Rsj_relation.Tuple.to_string t))
           result.Strategy.sample;
@@ -118,7 +135,8 @@ let sample_cmd =
   in
   Cmd.v
     info
-    Term.(ret (const run $ left $ right $ strategy $ r $ wor $ show_metrics $ seed_arg))
+    Term.(
+      ret (const run $ left $ right $ strategy $ r $ wor $ show_metrics $ domains $ seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)

@@ -36,6 +36,38 @@ module Wr = struct
   let fed_count t = t.fed
   let total_weight t = t.total
   let contents t = Array.copy t.slots
+
+  let merge rng a b =
+    if a.r <> b.r then invalid_arg "Reservoir.Wr.merge: mismatched slot counts";
+    let fed = a.fed + b.fed in
+    let total = a.total +. b.total in
+    if a.r = 0 || total = 0. then { r = a.r; slots = [||]; fed; total }
+    else if a.total = 0. then { r = a.r; slots = Array.copy b.slots; fed; total }
+    else if b.total = 0. then { r = a.r; slots = Array.copy a.slots; fed; total }
+    else begin
+      (* Each merged slot is an iid draw from the combined weighted
+         distribution: it comes from A with probability W_a/(W_a+W_b),
+         else from B. Source slots are themselves iid draws, so
+         consuming each source slot at most once keeps the merged
+         slots independent; per-slot coins batch into one binomial
+         plus a uniform choice of which positions A fills. *)
+      let k = Dist.binomial rng ~n:a.r ~p:(a.total /. total) in
+      let from_a = Array.make a.r false in
+      Array.iter (fun p -> from_a.(p) <- true) (Prng.sample_distinct rng ~k ~n:a.r);
+      let out = Array.make a.r a.slots.(0) in
+      let ia = ref 0 and ib = ref 0 in
+      for i = 0 to a.r - 1 do
+        if from_a.(i) then begin
+          out.(i) <- a.slots.(!ia);
+          incr ia
+        end
+        else begin
+          out.(i) <- b.slots.(!ib);
+          incr ib
+        end
+      done;
+      { r = a.r; slots = out; fed; total }
+    end
 end
 
 module Unit = struct
@@ -50,6 +82,16 @@ module Unit = struct
 
   let fed_count t = t.fed
   let get t = t.kept
+
+  let merge rng a b =
+    let fed = a.fed + b.fed in
+    let kept =
+      if b.fed = 0 then a.kept
+      else if a.fed = 0 then b.kept
+      else if Prng.int rng fed < a.fed then a.kept
+      else b.kept
+    in
+    { kept; fed }
 end
 
 module Wor = struct
@@ -80,4 +122,40 @@ module Wor = struct
     if t.filled = 0 then [||]
     else if t.filled < t.r then Array.sub t.slots 0 t.filled
     else Array.copy t.slots
+
+  let merge rng a b =
+    if a.r <> b.r then invalid_arg "Reservoir.Wor.merge: mismatched slot counts";
+    let fed = a.fed + b.fed in
+    let r = a.r in
+    let out_n = min r fed in
+    if r = 0 || out_n = 0 then { r; slots = [||]; filled = 0; fed }
+    else begin
+      (* Simulate drawing the merged WoR sample element by element: the
+         next draw comes from A's population with probability
+         (remaining A population) / (remaining total). Consuming each
+         side's sample in shuffled order makes every consumed element a
+         uniform WoR draw from that side, so the simulation is exact.
+         The side counters count down from the fed totals, which keeps
+         consumption within each side's min(r, fed) kept elements. *)
+      let sa = contents a and sb = contents b in
+      Prng.shuffle_in_place rng sa;
+      Prng.shuffle_in_place rng sb;
+      let seed_elt = if Array.length sa > 0 then sa.(0) else sb.(0) in
+      let slots = Array.make r seed_elt in
+      let ka = ref a.fed and kb = ref b.fed in
+      let ia = ref 0 and ib = ref 0 in
+      for i = 0 to out_n - 1 do
+        if Prng.int rng (!ka + !kb) < !ka then begin
+          slots.(i) <- sa.(!ia);
+          incr ia;
+          decr ka
+        end
+        else begin
+          slots.(i) <- sb.(!ib);
+          incr ib;
+          decr kb
+        end
+      done;
+      { r; slots; filled = out_n; fed }
+    end
 end

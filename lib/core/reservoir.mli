@@ -31,6 +31,15 @@ module Wr : sig
   val contents : 'a t -> 'a array
   (** The r draws; [[||]] when nothing with positive weight was fed.
       Fresh array. *)
+
+  val merge : Prng.t -> 'a t -> 'a t -> 'a t
+  (** [merge rng a b] is a fresh reservoir distributed as if one
+      reservoir had been fed everything [a] and [b] were fed: each slot
+      comes from [a] with probability W_a/(W_a+W_b), source slots are
+      consumed without reuse, and fed counts / total weights add. The
+      inputs are not mutated. This is the per-shard combine step of the
+      parallel runtime. Raises [Invalid_argument] when the slot counts
+      differ. *)
 end
 
 (** Reservoir of exactly one uniform element — the per-group sampler of
@@ -43,6 +52,11 @@ module Unit : sig
   val fed_count : 'a t -> int
   val get : 'a t -> 'a option
   (** Uniform over everything fed; [None] if nothing was. *)
+
+  val merge : Prng.t -> 'a t -> 'a t -> 'a t
+  (** [merge rng a b] keeps [a]'s element with probability
+      fed_a/(fed_a+fed_b) — uniform over the union of both feeds.
+      Fresh value; inputs untouched. *)
 end
 
 (** Unweighted WoR reservoir (Vitter's Algorithm R) in push style. *)
@@ -54,4 +68,11 @@ module Wor : sig
   val fed_count : 'a t -> int
   val contents : 'a t -> 'a array
   (** min(r, fed) distinct-position elements, unspecified order. *)
+
+  val merge : Prng.t -> 'a t -> 'a t -> 'a t
+  (** [merge rng a b] is a fresh WoR reservoir over the union of both
+      feeds: min(r, fed_a+fed_b) elements, drawn by the fed-count-
+      weighted simulation (next element from [a]'s population with
+      probability proportional to its remaining count). Inputs are not
+      mutated. Raises [Invalid_argument] when the slot counts differ. *)
 end

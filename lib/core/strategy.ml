@@ -109,6 +109,9 @@ let make_env ?(seed = 0x5EED) ?(histogram_fraction = 0.05) ~left ~right ~left_ke
 
 let env_left env = env.left
 let env_right env = env.right
+let env_left_key env = env.left_key
+let env_right_key env = env.right_key
+let env_rng env = env.rng
 let env_right_stats env = Lazy.force env.right_stats
 let env_right_index env = Lazy.force env.right_index
 let env_histogram env = Lazy.force env.histogram
@@ -164,7 +167,7 @@ let dispatch env strategy rng metrics ~r =
         (Hybrid_count.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
            ~right:env.right ~right_key:env.right_key ~histogram:(Lazy.force env.histogram))
 
-let run env strategy ~r =
+let prepare env strategy =
   (* Force auxiliary structures the strategy is entitled to before the
      clock starts (the paper's indexes/statistics pre-exist). *)
   (match r2_requirement strategy with
@@ -175,9 +178,12 @@ let run env strategy ~r =
       ignore (Lazy.force env.right_stats)
   | Statistics -> ignore (Lazy.force env.right_stats)
   | Partial_statistics -> ignore (Lazy.force env.histogram));
-  (match strategy with
+  match strategy with
   | Index_sample -> ignore (Lazy.force env.right_index)
-  | Naive | Olken | Stream | Group | Frequency_partition | Count_sample | Hybrid_count -> ());
+  | Naive | Olken | Stream | Group | Frequency_partition | Count_sample | Hybrid_count -> ()
+
+let run env strategy ~r =
+  prepare env strategy;
   let rng = Rsj_util.Prng.split env.rng in
   let metrics = Metrics.create () in
   let t0 = now () in

@@ -62,6 +62,13 @@ val make_env :
 
 val env_left : env -> Relation.t
 val env_right : env -> Relation.t
+val env_left_key : env -> int
+val env_right_key : env -> int
+
+val env_rng : env -> Rsj_util.Prng.t
+(** The env's root generator. Runners split children off it (never
+    draw from it directly) so successive runs stay reproducible. *)
+
 val env_right_stats : env -> Rsj_stats.Frequency.t
 val env_right_index : env -> Rsj_index.Hash_index.t
 val env_histogram : env -> Rsj_stats.Histogram.End_biased.t
@@ -76,6 +83,11 @@ type result = {
       (auxiliary-structure construction is excluded, matching the
       paper's setup where indexes and statistics pre-exist). *)
 }
+
+val prepare : env -> t -> unit
+(** Force the auxiliary structures [strategy] is entitled to (Table 1),
+    so a subsequent timed run excludes their construction. {!run} calls
+    this itself; alternative runners (the parallel runtime) reuse it. *)
 
 val run : env -> t -> r:int -> result
 (** Draw a WR sample of size [r] with the given strategy. A fresh

@@ -436,6 +436,57 @@ let all_strategies_comparison cfg =
     rows;
   }
 
+let parallel_speedup ?(domain_counts = [ 1; 2; 4 ]) cfg =
+  let env = make_env cfg ~z1:0. ~z2:0. () in
+  let n = Strategy.env_join_size env in
+  let r = resolve_r (Pct 1.) ~n in
+  let median_time strategy domains =
+    let times =
+      Array.init (max 1 cfg.repetitions) (fun _ ->
+          (Rsj_parallel.run env strategy ~r ~domains).Strategy.elapsed_seconds)
+    in
+    Rsj_util.Stats_math.median times
+  in
+  let strategy_rows strategy =
+    let base = median_time strategy 1 in
+    List.map
+      (fun d ->
+        let t = median_time strategy d in
+        [
+          Printf.sprintf "%s" (Strategy.name strategy);
+          string_of_int d;
+          Printf.sprintf "%.4fs" t;
+          Printf.sprintf "%.2fx" (base /. Float.max t 1e-9);
+        ])
+      domain_counts
+  in
+  let right = Strategy.env_right env in
+  let build_base = ref nan in
+  let build_rows =
+    List.map
+      (fun d ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Rsj_index.Hash_index.build_parallel right ~key:Zipf_tables.col2 ~domains:d);
+        ignore (Frequency.of_relation_parallel ~domains:d right ~key:Zipf_tables.col2);
+        let t = Unix.gettimeofday () -. t0 in
+        if d = 1 then build_base := t;
+        [
+          "index+stats build";
+          string_of_int d;
+          Printf.sprintf "%.4fs" t;
+          Printf.sprintf "%.2fx" (!build_base /. Float.max t 1e-9);
+        ])
+      domain_counts
+  in
+  {
+    Report.title =
+      Printf.sprintf
+        "V6: parallel runtime speedup (Z=(0,0), r = 1%% of |J| = %d, %d cores available)" n
+        (Domain.recommended_domain_count ());
+    header = [ "workload"; "domains"; "time"; "speedup" ];
+    rows = List.concat_map strategy_rows [ Strategy.Stream; Strategy.Group ] @ build_rows;
+  }
+
 let run_all ppf =
   let cfg = config_from_env () in
   Format.fprintf ppf "Random Sampling over Joins — experiment harness@.";
@@ -449,4 +500,5 @@ let run_all ppf =
   Report.render ppf (validate_uniformity ());
   Report.render ppf (negative_demo ());
   Report.render ppf (disk_model_comparison cfg);
-  Report.render ppf (all_strategies_comparison cfg)
+  Report.render ppf (all_strategies_comparison cfg);
+  Report.render ppf (parallel_speedup cfg)

@@ -91,6 +91,14 @@ val all_strategies_comparison : config -> Report.t
     cell (Z = (1,2), fraction 1%): runtime %, work %, and the
     dominant counter of each. *)
 
+val parallel_speedup : ?domain_counts:int list -> config -> Report.t
+(** V6: wall-clock speedup of the {!Rsj_parallel} runtime over the
+    sequential runner for Stream- and Group-Sample, plus the parallel
+    index/statistics build, at each requested domain count (default
+    [\[1; 2; 4\]]). Note the measurement only shows a speedup on a
+    machine with that many cores; the table reports the available
+    core count alongside. *)
+
 val run_all : Format.formatter -> unit
 (** Everything above, in paper order — the payload of
     [dune exec bench/main.exe]. *)

@@ -7,39 +7,109 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
+(* One record per distinct value: the row ids plus the fill cursor used
+   during construction. A single table serves both build passes, where
+   the previous design kept separate counts/buckets/fill tables and paid
+   three probes per row during the fill pass. *)
+type bucket = { rows : int array; mutable fill : int }
+
 type t = {
   relation : Relation.t;
   key : int;
-  buckets : int array Vtbl.t;  (* value -> row ids, in row order *)
+  buckets : bucket Vtbl.t;  (* value -> row ids, in row order *)
   mutable max_mult : int;
   mutable probes : int;
 }
 
-let build relation ~key =
-  (* Two-pass build: count multiplicities, then fill fixed-size buckets.
-     Avoids per-value list reversal and keeps row ids in storage order. *)
+let count_range relation ~key ~lo ~hi () =
   let counts = Vtbl.create 1024 in
-  Relation.iter relation (fun row ->
-      let v = Tuple.attr row key in
-      if not (Value.is_null v) then
-        Vtbl.replace counts v (1 + Option.value ~default:0 (Vtbl.find_opt counts v)));
+  for i = lo to hi - 1 do
+    let v = Tuple.attr (Relation.get relation i) key in
+    if not (Value.is_null v) then
+      Vtbl.replace counts v (1 + Option.value ~default:0 (Vtbl.find_opt counts v))
+  done;
+  counts
+
+let alloc_buckets counts =
   let buckets = Vtbl.create (Vtbl.length counts) in
-  let fill = Vtbl.create (Vtbl.length counts) in
   let max_mult = ref 0 in
   Vtbl.iter
     (fun v c ->
-      Vtbl.replace buckets v (Array.make c (-1));
-      Vtbl.replace fill v 0;
+      Vtbl.replace buckets v { rows = Array.make c (-1); fill = 0 };
       if c > !max_mult then max_mult := c)
     counts;
+  (buckets, !max_mult)
+
+let build relation ~key =
+  (* Two-pass build: count multiplicities, then fill fixed-size buckets.
+     Avoids per-value list reversal and keeps row ids in storage order. *)
+  let counts = count_range relation ~key ~lo:0 ~hi:(Relation.cardinality relation) () in
+  let buckets, max_mult = alloc_buckets counts in
   Relation.iteri relation (fun i row ->
       let v = Tuple.attr row key in
       if not (Value.is_null v) then begin
-        let slot = Vtbl.find fill v in
-        (Vtbl.find buckets v).(slot) <- i;
-        Vtbl.replace fill v (slot + 1)
+        let b = Vtbl.find buckets v in
+        b.rows.(b.fill) <- i;
+        b.fill <- b.fill + 1
       end);
-  { relation; key; buckets; max_mult = !max_mult; probes = 0 }
+  { relation; key; buckets; max_mult; probes = 0 }
+
+let build_parallel relation ~key ~domains =
+  if domains <= 1 then build relation ~key
+  else begin
+    let n = Relation.cardinality relation in
+    let bounds = Array.init (domains + 1) (fun k -> k * n / domains) in
+    (* Pass 1, parallel: count each contiguous row shard separately. *)
+    let handles =
+      Array.init (domains - 1) (fun k ->
+          Domain.spawn (count_range relation ~key ~lo:bounds.(k + 1) ~hi:bounds.(k + 2)))
+    in
+    let part0 = count_range relation ~key ~lo:bounds.(0) ~hi:bounds.(1) () in
+    let parts = Array.make domains part0 in
+    Array.iteri (fun i h -> parts.(i + 1) <- Domain.join h) handles;
+    (* Merge the per-shard count tables into per-shard starting offsets
+       (prefix sums in shard order); the running table ends up holding
+       the global multiplicities. *)
+    let running = Vtbl.create (Vtbl.length part0) in
+    let cursors =
+      Array.map
+        (fun part ->
+          let cur = Vtbl.create (Vtbl.length part) in
+          Vtbl.iter
+            (fun v c ->
+              let base = Option.value ~default:0 (Vtbl.find_opt running v) in
+              Vtbl.replace cur v (ref base);
+              Vtbl.replace running v (base + c))
+            part;
+          cur)
+        parts
+    in
+    let buckets, max_mult = alloc_buckets running in
+    (* Pass 2, parallel: each shard writes its rows into its own offset
+       range of the shared bucket arrays — disjoint slots, no locking.
+       [buckets] is read-only from here on, so concurrent lookups into
+       it are safe. *)
+    let fill_range k lo hi () =
+      let cur = cursors.(k) in
+      for i = lo to hi - 1 do
+        let v = Tuple.attr (Relation.get relation i) key in
+        if not (Value.is_null v) then begin
+          let b = Vtbl.find buckets v in
+          let c = Vtbl.find cur v in
+          b.rows.(!c) <- i;
+          incr c
+        end
+      done
+    in
+    let fillers =
+      Array.init (domains - 1) (fun k ->
+          Domain.spawn (fill_range (k + 1) bounds.(k + 1) bounds.(k + 2)))
+    in
+    fill_range 0 bounds.(0) bounds.(1) ();
+    Array.iter Domain.join fillers;
+    Vtbl.iter (fun _ b -> b.fill <- Array.length b.rows) buckets;
+    { relation; key; buckets; max_mult; probes = 0 }
+  end
 
 let relation t = t.relation
 let key t = t.key
@@ -49,7 +119,7 @@ let empty_rows : int array = [||]
 let lookup t v =
   t.probes <- t.probes + 1;
   if Value.is_null v then empty_rows
-  else match Vtbl.find_opt t.buckets v with Some ids -> ids | None -> empty_rows
+  else match Vtbl.find_opt t.buckets v with Some b -> b.rows | None -> empty_rows
 
 let multiplicity t v = Array.length (lookup t v)
 

@@ -12,6 +12,13 @@ type t
 val build : Relation.t -> key:int -> t
 (** [build r ~key] indexes column [key] of [r] in one scan. *)
 
+val build_parallel : Relation.t -> key:int -> domains:int -> t
+(** [build_parallel r ~key ~domains] builds the identical index (same
+    buckets, same row order) with both passes sharded across [domains]
+    OCaml domains: per-shard multiplicity counts merge into per-shard
+    bucket offsets, then each shard fills its own disjoint slice of the
+    shared bucket arrays. [domains <= 1] falls back to {!build}. *)
+
 val relation : t -> Relation.t
 val key : t -> int
 

@@ -1,0 +1,226 @@
+(* Parallel sampling runtime on OCaml 5 domains.
+
+   The Case-B strategies are single-pass over R1, so the hot loop
+   shards cleanly: each domain feeds a private reservoir over a
+   contiguous shard of the input against the shared read-only
+   Hash_index / Frequency structures, then the per-shard reservoirs
+   merge on the calling domain (Reservoir.*.merge), which is
+   distribution-identical to one sequential pass. Metrics are
+   per-domain and summed at the end, so no counter is ever written
+   from two domains. *)
+
+open Rsj_relation
+open Rsj_exec
+module Strategy = Rsj_core.Strategy
+module Reservoir = Rsj_core.Reservoir
+module Internals = Rsj_core.Internals
+module Frequency = Rsj_stats.Frequency
+module Hash_index = Rsj_index.Hash_index
+module Prng = Rsj_util.Prng
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let is_parallelizable = function
+  | Strategy.Naive | Strategy.Stream | Strategy.Group | Strategy.Count_sample -> true
+  | Strategy.Olken | Strategy.Frequency_partition | Strategy.Index_sample
+  | Strategy.Hybrid_count ->
+      (* Olken is a sequence of dependent rejection rounds; the
+         partition strategies interleave two samplers over one pass
+         with a shared histogram split — both inherently sequential
+         in this runtime. *)
+      false
+
+(* Run [f k] for k in 0..domains-1, one domain each, shard 0 on the
+   calling domain so [domains] domains run in total. *)
+let fan_out ~domains f =
+  let handles = Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1))) in
+  let first = f 0 in
+  let out = Array.make domains first in
+  Array.iteri (fun i h -> out.(i + 1) <- Domain.join h) handles;
+  out
+
+let sum_metrics parts =
+  Array.fold_left (fun acc (_, m) -> Metrics.add acc m) (Metrics.create ()) parts
+
+(* One weighted-WR reservoir pass over [relation], sharded. [feed]
+   receives the shard's private metrics, rng and reservoir plus one
+   tuple; it decides weights and does its own counting. *)
+let sharded_wr_pass ~domains ~rngs ~r ~feed relation =
+  let shards = Relation.shards relation ~n:domains in
+  fan_out ~domains (fun k ->
+      let metrics = Metrics.create () in
+      let res = Reservoir.Wr.create ~r in
+      Stream0.iter (fun t -> feed metrics rngs.(k) res t) shards.(k);
+      (res, metrics))
+
+let merge_wr rng parts =
+  let acc = ref (fst parts.(0)) in
+  Array.iteri (fun i (res, _) -> if i > 0 then acc := Reservoir.Wr.merge rng !acc res) parts;
+  !acc
+
+(* Weighted WR sample of R1 with weights m2(t.A) from the frequency
+   statistics — the shared first step of Stream-, Group- and
+   Count-Sample. Returns the merged sample and the summed scan
+   metrics. *)
+let parallel_s1 env ~r ~domains ~rngs rng =
+  let stats = Strategy.env_right_stats env in
+  let left_key = Strategy.env_left_key env in
+  let feed metrics shard_rng res t =
+    let open Metrics in
+    metrics.tuples_scanned <- metrics.tuples_scanned + 1;
+    metrics.stats_lookups <- metrics.stats_lookups + 1;
+    let w = float_of_int (Frequency.frequency stats (Tuple.attr t left_key)) in
+    Reservoir.Wr.feed shard_rng res ~weight:w t
+  in
+  let parts = sharded_wr_pass ~domains ~rngs ~r ~feed (Strategy.env_left env) in
+  (Reservoir.Wr.contents (merge_wr rng parts), sum_metrics parts)
+
+let run_stream env ~r ~domains rng =
+  let open Metrics in
+  let rngs = Prng.split_n rng domains in
+  let s1, metrics = parallel_s1 env ~r ~domains ~rngs rng in
+  let index = Strategy.env_right_index env in
+  let out =
+    Array.map
+      (fun t1 ->
+        let v = Tuple.attr t1 (Strategy.env_left_key env) in
+        metrics.index_probes <- metrics.index_probes + 1;
+        match Hash_index.random_match index rng v with
+        | Some t2 ->
+            metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+            Tuple.join t1 t2
+        | None ->
+            failwith "Rsj_parallel.run(Stream): sampled tuple has no match in R2")
+      s1
+  in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+let run_group env ~r ~domains rng =
+  let open Metrics in
+  let rngs = Prng.split_n rng domains in
+  let s1, metrics = parallel_s1 env ~r ~domains ~rngs rng in
+  if Array.length s1 = 0 then ([||], metrics)
+  else begin
+    let left_key = Strategy.env_left_key env in
+    let right_key = Strategy.env_right_key env in
+    (* Group the S1 entries by join value; the table is read-only
+       during the R2 scan, so every domain may probe it. *)
+    let groups : int list ref Internals.Vtbl.t = Internals.Vtbl.create (2 * r) in
+    Array.iteri
+      (fun i t1 ->
+        let v = Tuple.attr t1 left_key in
+        match Internals.Vtbl.find_opt groups v with
+        | Some cell -> cell := i :: !cell
+        | None -> Internals.Vtbl.replace groups v (ref [ i ]))
+      s1;
+    (* Sharded R2 scan: each domain keeps one unit reservoir per S1
+       entry; merging element-wise reproduces the per-group uniform
+       pick of Group-Sample step 3. *)
+    let scan_rngs = Prng.split_n rng domains in
+    let shards = Relation.shards (Strategy.env_right env) ~n:domains in
+    let parts =
+      fan_out ~domains (fun k ->
+          let m = Metrics.create () in
+          let reservoirs = Array.init (Array.length s1) (fun _ -> Reservoir.Unit.create ()) in
+          Stream0.iter
+            (fun t2 ->
+              m.tuples_scanned <- m.tuples_scanned + 1;
+              let v = Tuple.attr t2 right_key in
+              if not (Value.is_null v) then
+                match Internals.Vtbl.find_opt groups v with
+                | None -> ()
+                | Some cell ->
+                    List.iter
+                      (fun i ->
+                        m.join_output_tuples <- m.join_output_tuples + 1;
+                        Reservoir.Unit.feed scan_rngs.(k) reservoirs.(i) t2)
+                      !cell)
+            shards.(k);
+          (reservoirs, m))
+    in
+    let metrics = ref metrics in
+    Array.iter (fun (_, m) -> metrics := Metrics.add !metrics m) parts;
+    let metrics = !metrics in
+    let merged =
+      Array.init (Array.length s1) (fun i ->
+          let acc = ref (fst parts.(0)).(i) in
+          for k = 1 to domains - 1 do
+            acc := Reservoir.Unit.merge rng !acc (fst parts.(k)).(i)
+          done;
+          !acc)
+    in
+    let out =
+      Array.mapi
+        (fun i res ->
+          match Reservoir.Unit.get res with
+          | Some t2 -> Tuple.join s1.(i) t2
+          | None -> failwith "Rsj_parallel.run(Group): sampled tuple has no match in R2")
+        merged
+    in
+    metrics.output_tuples <- metrics.output_tuples + Array.length out;
+    (out, metrics)
+  end
+
+let run_count env ~r ~domains rng =
+  let open Metrics in
+  let rngs = Prng.split_n rng domains in
+  let s1, metrics = parallel_s1 env ~r ~domains ~rngs rng in
+  let stats = Strategy.env_right_stats env in
+  (* The R2 scan runs one sequential U1 per sampled value (each needs
+     the value's tuples in a single stream), so it stays on the
+     calling domain. *)
+  let out =
+    Internals.count_sample_scan rng metrics ~strategy:"Rsj_parallel.run(Count)" ~s1
+      ~left_key:(Strategy.env_left_key env)
+      ~right:(Strategy.env_right env)
+      ~right_key:(Strategy.env_right_key env)
+      ~population:(fun v -> Frequency.frequency stats v)
+  in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+let run_naive env ~r ~domains rng =
+  let open Metrics in
+  let main_metrics = Metrics.create () in
+  let tbl =
+    Internals.build_join_hash main_metrics (Strategy.env_right env)
+      ~right_key:(Strategy.env_right_key env)
+  in
+  let left_key = Strategy.env_left_key env in
+  let rngs = Prng.split_n rng domains in
+  let feed metrics shard_rng res t1 =
+    metrics.tuples_scanned <- metrics.tuples_scanned + 1;
+    Array.iter
+      (fun t2 ->
+        metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+        Reservoir.Wr.feed shard_rng res ~weight:1. (Tuple.join t1 t2))
+      (Internals.hash_matches tbl (Tuple.attr t1 left_key))
+  in
+  let parts = sharded_wr_pass ~domains ~rngs ~r ~feed (Strategy.env_left env) in
+  let out = Reservoir.Wr.contents (merge_wr rng parts) in
+  let metrics = Metrics.add main_metrics (sum_metrics parts) in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+let run env strategy ~r ~domains =
+  if domains < 0 then invalid_arg "Rsj_parallel.run: domains < 0";
+  if r < 0 then invalid_arg "Rsj_parallel.run: r < 0";
+  if domains <= 1 || not (is_parallelizable strategy) then Strategy.run env strategy ~r
+  else begin
+    Strategy.prepare env strategy;
+    let rng = Prng.split (Strategy.env_rng env) in
+    let t0 = Unix.gettimeofday () in
+    let sample, metrics =
+      match strategy with
+      | Strategy.Stream -> run_stream env ~r ~domains rng
+      | Strategy.Group -> run_group env ~r ~domains rng
+      | Strategy.Count_sample -> run_count env ~r ~domains rng
+      | Strategy.Naive -> run_naive env ~r ~domains rng
+      | Strategy.Olken | Strategy.Frequency_partition | Strategy.Index_sample
+      | Strategy.Hybrid_count ->
+          assert false
+    in
+    let elapsed_seconds = Unix.gettimeofday () -. t0 in
+    { Strategy.strategy; sample; metrics; elapsed_seconds }
+  end

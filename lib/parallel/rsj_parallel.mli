@@ -1,0 +1,40 @@
+(** Parallel sampling runtime on OCaml 5 domains.
+
+    The Case-B strategies (paper §5–6) consume R1 in a single pass, so
+    their hot loop shards: {!run} splits R1 into contiguous shards
+    ({!Rsj_relation.Relation.shards}), gives each shard a private
+    domain, generator ({!Rsj_util.Prng.split_n}) and reservoir, and
+    combines the per-shard reservoirs with the weighted merges of
+    {!Rsj_core.Reservoir} — a sample distribution-identical to the
+    sequential pass. Auxiliary structures (hash index, frequency
+    statistics) are shared read-only; work counters are per-domain
+    {!Rsj_exec.Metrics.t} values summed at the end, so no mutable state
+    crosses domains.
+
+    Parallel construction of the auxiliary structures themselves lives
+    with them: {!Rsj_index.Hash_index.build_parallel} and
+    {!Rsj_stats.Frequency.of_relation_parallel}. *)
+
+module Strategy = Rsj_core.Strategy
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible [~domains] for
+    the current machine. *)
+
+val is_parallelizable : Strategy.t -> bool
+(** Whether {!run} has a sharded execution for the strategy. True for
+    Naive-, Stream-, Group- and Count-Sample (single-pass over R1);
+    false for Olken (dependent rejection rounds) and the partition
+    strategies (two interleaved samplers over one pass), which fall
+    back to the sequential runner. *)
+
+val run : Strategy.env -> Strategy.t -> r:int -> domains:int -> Strategy.result
+(** [run env strategy ~r ~domains] draws a WR sample of size [r] like
+    {!Strategy.run}, executing the strategy across [domains] domains
+    when it is parallelizable and [domains > 1]; otherwise it behaves
+    exactly as {!Strategy.run}. The sample's distribution does not
+    depend on [domains] (the per-shard reservoirs merge into the same
+    law); the particular tuples drawn for a given seed do. As in
+    {!Strategy.run}, auxiliary structures are forced before the clock
+    starts, and a fresh child generator is split off the env per run.
+    Raises [Invalid_argument] when [r] or [domains] is negative. *)

@@ -37,10 +37,12 @@ let fetch t i =
   let page = read_page t (page_of_tuple t i) in
   page.(i mod t.tuples_per_page)
 
-let scan t =
+let scan_pages t ~lo ~hi =
   let pages = page_count t in
+  if lo < 0 || hi > pages || lo > hi then
+    invalid_arg (Printf.sprintf "Paged.scan_pages: [%d,%d) outside [0,%d)" lo hi pages);
   let current = ref [||] in
-  let page_idx = ref 0 in
+  let page_idx = ref lo in
   let tuple_idx = ref 0 in
   let rec next () =
     if !tuple_idx < Array.length !current then begin
@@ -48,7 +50,7 @@ let scan t =
       incr tuple_idx;
       Some row
     end
-    else if !page_idx < pages then begin
+    else if !page_idx < hi then begin
       current := read_page t !page_idx;
       incr page_idx;
       tuple_idx := 0;
@@ -57,6 +59,13 @@ let scan t =
     else None
   in
   Stream0.make ~next ()
+
+let scan t = scan_pages t ~lo:0 ~hi:(page_count t)
+
+let shards t ~n =
+  if n <= 0 then invalid_arg "Paged.shards: n <= 0";
+  let pages = page_count t in
+  Array.init n (fun k -> scan_pages t ~lo:(k * pages / n) ~hi:((k + 1) * pages / n))
 
 let pages_read t = t.pages_read
 

@@ -34,6 +34,20 @@ val fetch : t -> int -> Tuple.t
 val scan : t -> Tuple.t Stream0.t
 (** Full sequential scan, page at a time ([page_count] reads). *)
 
+val scan_pages : t -> lo:int -> hi:int -> Tuple.t Stream0.t
+(** Sequential scan of pages [lo, hi) only. Raises [Invalid_argument]
+    out of range. *)
+
+val shards : t -> n:int -> Tuple.t Stream0.t array
+(** [shards t ~n] splits the scan into [n] contiguous page ranges
+    covering every page exactly once — block-aligned work units for the
+    parallel runtime. Tuple data flows through shared read-only
+    storage, so concurrent consumption from distinct domains is safe;
+    the {!pages_read} counter and the one-page cache, however, are
+    plain mutable fields, so IO accounting is approximate (undercounted
+    at worst) when shards run concurrently. Raises [Invalid_argument]
+    if [n <= 0]. *)
+
 val pages_read : t -> int
 (** Pages fetched since creation or the last {!reset_io}. *)
 

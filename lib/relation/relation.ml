@@ -69,6 +69,26 @@ let to_stream t =
       end)
     ()
 
+let stream_range t ~lo ~hi =
+  if lo < 0 || hi > t.size || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Relation.stream_range(%s): [%d,%d) outside [0,%d)" t.name lo hi t.size);
+  let i = ref lo in
+  Stream0.make
+    ~next:(fun () ->
+      if !i >= hi then None
+      else begin
+        let row = t.rows.(!i) in
+        incr i;
+        Some row
+      end)
+    ()
+
+let shards t ~n =
+  if n <= 0 then invalid_arg (Printf.sprintf "Relation.shards(%s): n <= 0" t.name);
+  Array.init n (fun k ->
+      stream_range t ~lo:(k * t.size / n) ~hi:((k + 1) * t.size / n))
+
 let to_list t = List.init t.size (fun i -> t.rows.(i))
 let to_array t = Array.init t.size (fun i -> t.rows.(i))
 

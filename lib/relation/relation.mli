@@ -41,6 +41,18 @@ val to_stream : t -> Tuple.t Stream0.t
     take it as an explicit argument, mirroring the paper's distinction
     between U1 (knows [n]) and U2 (does not). *)
 
+val stream_range : t -> lo:int -> hi:int -> Tuple.t Stream0.t
+(** Single-pass cursor over rows [lo, hi) in storage order. Raises
+    [Invalid_argument] unless [0 <= lo <= hi <= cardinality]. *)
+
+val shards : t -> n:int -> Tuple.t Stream0.t array
+(** [shards t ~n] splits the row range into [n] contiguous,
+    near-equal-size sub-streams covering every row exactly once —
+    the unit of work distribution for the parallel runtime. The
+    shards read shared storage and are safe to consume from distinct
+    domains as long as the relation is not mutated meanwhile. Raises
+    [Invalid_argument] if [n <= 0]. *)
+
 val to_list : t -> Tuple.t list
 val to_array : t -> Tuple.t array
 (** Copies; mutating the result does not affect the relation. *)

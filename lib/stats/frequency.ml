@@ -33,6 +33,32 @@ let of_stream stream ~key =
     stream;
   t
 
+let merge a b =
+  let out = empty () in
+  Vtbl.iter (fun v c -> bump out v c) a.counts;
+  Vtbl.iter (fun v c -> bump out v c) b.counts;
+  out
+
+let of_relation_parallel ?(domains = 1) rel ~key =
+  if domains <= 1 then of_relation rel ~key
+  else begin
+    (* Count each contiguous shard on its own domain; the per-shard
+       tables merge by addition, so the result is exactly
+       [of_relation]'s table. *)
+    let shards = Relation.shards rel ~n:domains in
+    let worker s () = of_stream s ~key in
+    let handles =
+      Array.init (domains - 1) (fun i -> Domain.spawn (worker shards.(i + 1)))
+    in
+    let acc = worker shards.(0) () in
+    Array.iter
+      (fun h ->
+        let part = Domain.join h in
+        Vtbl.iter (fun v c -> bump acc v c) part.counts)
+      handles;
+    acc
+  end
+
 let of_assoc pairs =
   let t = empty () in
   List.iter
@@ -55,14 +81,21 @@ let fold t ~init ~f =
   Vtbl.iter (fun v c -> acc := f !acc v c) t.counts;
   !acc
 
+let by_freq_desc (v1, c1) (v2, c2) =
+  if c1 <> c2 then Int.compare c2 c1 else Value.compare v1 v2
+
 let to_assoc t =
   let pairs = fold t ~init:[] ~f:(fun acc v c -> (v, c) :: acc) in
-  List.sort
-    (fun (v1, c1) (v2, c2) ->
-      if c1 <> c2 then Int.compare c2 c1 else Value.compare v1 v2)
-    pairs
+  List.sort by_freq_desc pairs
 
-let values_above t ~threshold = List.filter (fun (_, c) -> c >= threshold) (to_assoc t)
+let values_above t ~threshold =
+  (* Filter during the fold, then sort only the survivors: for an
+     end-biased threshold the survivor set is a tiny fraction of the
+     domain, so this avoids sorting the whole table. *)
+  let pairs =
+    fold t ~init:[] ~f:(fun acc v c -> if c >= threshold then (v, c) :: acc else acc)
+  in
+  List.sort by_freq_desc pairs
 
 let join_size t1 t2 =
   (* Iterate the smaller table for speed. *)

@@ -19,6 +19,16 @@ val of_stream : Tuple.t Stream0.t -> key:int -> t
 (** Consume a stream and tabulate frequencies — used when R1's
     statistics are collected on the fly (§6.3 step 2). *)
 
+val of_relation_parallel : ?domains:int -> Relation.t -> key:int -> t
+(** [of_relation_parallel ~domains r ~key] builds the same table as
+    {!of_relation} by counting contiguous row shards on [domains] OCaml
+    domains and summing the per-shard tables. [domains <= 1] (the
+    default) falls back to the sequential build. *)
+
+val merge : t -> t -> t
+(** [merge a b] is the fresh table with m(v) = m_a(v) + m_b(v) — the
+    combine step for statistics collected over disjoint shards. *)
+
 val of_assoc : (Value.t * int) list -> t
 (** Build directly from (value, frequency) pairs; frequencies must be
     positive. For tests and synthetic scenarios. *)

@@ -52,6 +52,15 @@ let bits64 t =
 
 let split t = of_seed64 (bits64 t)
 
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n: n < 0";
+  (* One splitmix64 stream seeded from the parent, one output word per
+     child: consecutive splitmix64 outputs are equidistributed and
+     decorrelated, so the children are mutually independent and the
+     parent advances exactly once regardless of [n]. *)
+  let st = ref (bits64 t) in
+  Array.init n (fun _ -> of_seed64 (splitmix64_next st))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   if bound = 1 then 0

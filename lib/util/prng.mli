@@ -23,6 +23,14 @@ val split : t -> t
 (** [split t] advances [t] and returns a fresh generator whose stream is
     statistically independent of [t]'s subsequent output. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] advances [t] once and returns [n] fresh generators,
+    mutually independent and independent of [t]'s subsequent output —
+    the per-shard streams of the parallel runtime. Children are derived
+    through a splitmix64 chain, so the result is a deterministic
+    function of [t]'s state at the call: equal states give equal child
+    arrays for every [n]. Raises [Invalid_argument] if [n < 0]. *)
+
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output word. *)
 

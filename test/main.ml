@@ -14,6 +14,7 @@ let () =
       ("black_box", Test_black_box.suite);
       ("convert", Test_convert.suite);
       ("strategies", Test_strategies.suite);
+      ("parallel", Test_parallel.suite);
       ("join_tree", Test_join_tree.suite);
       ("negative", Test_negative.suite);
       ("aqp", Test_aqp.suite);

@@ -1,0 +1,360 @@
+open Rsj_relation
+open Rsj_core
+module Zipf_tables = Rsj_workload.Zipf_tables
+module Prng = Rsj_util.Prng
+
+(* Same small skewed instance as Test_strategies: the full join is
+   cheap to enumerate, so the parallel sample's law can be chi-square
+   tested against it cell by cell. *)
+let small_env ?(seed = 0xAB) ?(z1 = 1.) ?(z2 = 2.) () =
+  let pair = Zipf_tables.make_pair ~seed ~n1:40 ~n2:80 ~z1 ~z2 ~domain:6 () in
+  Strategy.make_env ~seed ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+    ~right_key:Zipf_tables.col2 ()
+
+let full_join env =
+  let plan =
+    Rsj_exec.Plan.Join
+      {
+        Rsj_exec.Plan.algorithm = Rsj_exec.Plan.Hash;
+        left = Rsj_exec.Plan.Scan (Strategy.env_left env);
+        right = Rsj_exec.Plan.Scan (Strategy.env_right env);
+        left_key = Zipf_tables.col2;
+        right_key = Zipf_tables.col2;
+      }
+  in
+  Array.of_list (Rsj_exec.Plan.collect plan)
+
+let parallel_strategies =
+  [ Strategy.Naive; Strategy.Stream; Strategy.Group; Strategy.Count_sample ]
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel strategy execution                                         *)
+
+let test_parallel_returns_r () =
+  let env = small_env () in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          let res = Rsj_parallel.run env s ~r:25 ~domains:d in
+          Alcotest.(check int)
+            (Printf.sprintf "%s domains=%d returns r" (Strategy.name s) d)
+            25 (Array.length res.Strategy.sample))
+        domain_counts)
+    parallel_strategies
+
+let test_parallel_emits_join_tuples () =
+  let env = small_env () in
+  let members = Hashtbl.create 1024 in
+  Array.iter (fun t -> Hashtbl.replace members t ()) (full_join env);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          let res = Rsj_parallel.run env s ~r:40 ~domains:d in
+          Array.iter
+            (fun t ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s domains=%d emits only join tuples" (Strategy.name s) d)
+                true (Hashtbl.mem members t))
+            res.Strategy.sample)
+        domain_counts)
+    parallel_strategies
+
+(* The headline equivalence: the parallel sample obeys the same uniform
+   law over J as the sequential one, at every domain count. *)
+let test_parallel_uniform () =
+  let env = small_env () in
+  let universe = full_join env in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          let report =
+            Negative.uniformity_check ~trials:200 ~universe ~draw:(fun () ->
+                (Rsj_parallel.run env s ~r:20 ~domains:d).Strategy.sample)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s domains=%d uniform over J (p=%.5f, %d cells)" (Strategy.name s)
+               d report.chi_square.p_value report.cells)
+            true
+            (report.chi_square.p_value > 0.0005))
+        domain_counts)
+    [ Strategy.Stream; Strategy.Group ]
+
+let test_parallel_r_zero () =
+  let env = small_env () in
+  List.iter
+    (fun s ->
+      let res = Rsj_parallel.run env s ~r:0 ~domains:4 in
+      Alcotest.(check int) (Strategy.name s ^ " r=0") 0 (Array.length res.Strategy.sample))
+    parallel_strategies
+
+let test_parallel_more_domains_than_rows () =
+  (* Shards beyond the relation's size are empty; the merge must cope. *)
+  let schema = Zipf_tables.schema in
+  let mk name vals =
+    Relation.of_tuples ~name schema
+      (List.mapi (fun i v -> [| Value.Int i; Value.Int v; Value.str "p" |]) vals)
+  in
+  let env =
+    Strategy.make_env ~left:(mk "L" [ 1; 2 ]) ~right:(mk "R" [ 1; 1; 2 ])
+      ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
+  in
+  List.iter
+    (fun s ->
+      let res = Rsj_parallel.run env s ~r:5 ~domains:8 in
+      Alcotest.(check int) (Strategy.name s ^ " domains > n1") 5
+        (Array.length res.Strategy.sample))
+    parallel_strategies
+
+let test_parallel_deterministic () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          let r1 = Rsj_parallel.run (small_env ~seed:7 ()) s ~r:10 ~domains:d in
+          let r2 = Rsj_parallel.run (small_env ~seed:7 ()) s ~r:10 ~domains:d in
+          Array.iteri
+            (fun i t ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s domains=%d reproducible" (Strategy.name s) d)
+                true
+                (Tuple.equal t r2.Strategy.sample.(i)))
+            r1.Strategy.sample)
+        domain_counts)
+    parallel_strategies
+
+let test_parallel_fallback_matches_sequential () =
+  (* Non-parallelizable strategies and domains=1 defer to Strategy.run;
+     same env seed must give the identical sample. *)
+  List.iter
+    (fun s ->
+      let seq = Strategy.run (small_env ~seed:5 ()) s ~r:12 in
+      let par = Rsj_parallel.run (small_env ~seed:5 ()) s ~r:12 ~domains:4 in
+      Alcotest.(check int) (Strategy.name s ^ " fallback size") (Array.length seq.Strategy.sample)
+        (Array.length par.Strategy.sample);
+      Array.iteri
+        (fun i t ->
+          Alcotest.(check bool) (Strategy.name s ^ " fallback identical") true
+            (Tuple.equal t par.Strategy.sample.(i)))
+        seq.Strategy.sample)
+    [ Strategy.Olken; Strategy.Frequency_partition; Strategy.Index_sample; Strategy.Hybrid_count ]
+
+let test_parallel_metrics_sum () =
+  (* tuples_scanned covers every R1 tuple exactly once regardless of
+     the shard count (Group also scans R2 once). *)
+  let env = small_env () in
+  let n1 = Relation.cardinality (Strategy.env_left env) in
+  let n2 = Relation.cardinality (Strategy.env_right env) in
+  List.iter
+    (fun d ->
+      let res = Rsj_parallel.run env Strategy.Stream ~r:20 ~domains:d in
+      Alcotest.(check int)
+        (Printf.sprintf "stream domains=%d scans n1" d)
+        n1 res.Strategy.metrics.Rsj_exec.Metrics.tuples_scanned;
+      let resg = Rsj_parallel.run env Strategy.Group ~r:20 ~domains:d in
+      Alcotest.(check int)
+        (Printf.sprintf "group domains=%d scans n1+n2" d)
+        (n1 + n2) resg.Strategy.metrics.Rsj_exec.Metrics.tuples_scanned)
+    domain_counts
+
+(* ------------------------------------------------------------------ *)
+(* Reservoir merges                                                    *)
+
+let test_wr_merge_mass_conservation () =
+  let rng = Prng.create ~seed:3 () in
+  let a = Reservoir.Wr.create ~r:8 and b = Reservoir.Wr.create ~r:8 in
+  for i = 1 to 10 do
+    Reservoir.Wr.feed rng a ~weight:(float_of_int i) i
+  done;
+  for i = 11 to 25 do
+    Reservoir.Wr.feed rng b ~weight:2.5 i
+  done;
+  let m = Reservoir.Wr.merge rng a b in
+  Alcotest.(check int) "fed adds" 25 (Reservoir.Wr.fed_count m);
+  Alcotest.(check (float 1e-9)) "weight adds" (55. +. (15. *. 2.5))
+    (Reservoir.Wr.total_weight m);
+  Alcotest.(check int) "r slots" 8 (Array.length (Reservoir.Wr.contents m))
+
+let test_wr_merge_empty_side () =
+  let rng = Prng.create ~seed:4 () in
+  let a = Reservoir.Wr.create ~r:5 and b = Reservoir.Wr.create ~r:5 in
+  List.iter (fun x -> Reservoir.Wr.feed rng a ~weight:1. x) [ 1; 2; 3 ];
+  let m = Reservoir.Wr.merge rng a b in
+  Alcotest.(check int) "empty B: A's slots" 5 (Array.length (Reservoir.Wr.contents m));
+  Array.iter
+    (fun x -> Alcotest.(check bool) "slot from A" true (x >= 1 && x <= 3))
+    (Reservoir.Wr.contents m);
+  let m' = Reservoir.Wr.merge rng b a in
+  Alcotest.(check int) "empty A: B's slots" 5 (Array.length (Reservoir.Wr.contents m'));
+  let e = Reservoir.Wr.merge rng (Reservoir.Wr.create ~r:5) (Reservoir.Wr.create ~r:5) in
+  Alcotest.(check int) "both empty: no slots" 0 (Array.length (Reservoir.Wr.contents e))
+
+let test_wr_merge_r_zero () =
+  let rng = Prng.create ~seed:5 () in
+  let a = Reservoir.Wr.create ~r:0 and b = Reservoir.Wr.create ~r:0 in
+  Reservoir.Wr.feed rng a ~weight:2. 1;
+  Reservoir.Wr.feed rng b ~weight:3. 2;
+  let m = Reservoir.Wr.merge rng a b in
+  Alcotest.(check int) "no slots" 0 (Array.length (Reservoir.Wr.contents m));
+  Alcotest.(check (float 1e-9)) "mass still tracked" 5. (Reservoir.Wr.total_weight m)
+
+let test_wr_merge_mismatched_r () =
+  let rng = Prng.create ~seed:6 () in
+  Alcotest.(check bool) "mismatched r rejected" true
+    (try
+       ignore (Reservoir.Wr.merge rng (Reservoir.Wr.create ~r:3) (Reservoir.Wr.create ~r:4));
+       false
+     with Invalid_argument _ -> true)
+
+let test_wr_merge_slot_law () =
+  (* A carries 3x B's mass: merged slots should come from A with
+     probability 0.75. 400 trials x 10 slots, 3-sigma tolerance. *)
+  let rng = Prng.create ~seed:7 () in
+  let trials = 400 and r = 10 in
+  let from_a = ref 0 in
+  for _ = 1 to trials do
+    let a = Reservoir.Wr.create ~r and b = Reservoir.Wr.create ~r in
+    Reservoir.Wr.feed rng a ~weight:3. 1;
+    Reservoir.Wr.feed rng b ~weight:1. 2;
+    let m = Reservoir.Wr.merge rng a b in
+    Array.iter (fun x -> if x = 1 then incr from_a) (Reservoir.Wr.contents m)
+  done;
+  let n = float_of_int (trials * r) in
+  let phat = float_of_int !from_a /. n in
+  let sigma = sqrt (0.75 *. 0.25 /. n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "slot law: %.4f ~ 0.75" phat)
+    true
+    (Float.abs (phat -. 0.75) < 3. *. sigma)
+
+let test_unit_merge () =
+  let rng = Prng.create ~seed:8 () in
+  let a = Reservoir.Unit.create () and b = Reservoir.Unit.create () in
+  Alcotest.(check bool) "both empty" true
+    (Reservoir.Unit.get (Reservoir.Unit.merge rng a b) = None);
+  Reservoir.Unit.feed rng a 1;
+  let m = Reservoir.Unit.merge rng a b in
+  Alcotest.(check bool) "empty B keeps A" true (Reservoir.Unit.get m = Some 1);
+  Alcotest.(check int) "fed adds" 1 (Reservoir.Unit.fed_count m);
+  (* Weighted coin: A fed 3, B fed 1 -> A kept with probability 3/4. *)
+  let trials = 800 in
+  let kept_a = ref 0 in
+  for _ = 1 to trials do
+    let a = Reservoir.Unit.create () and b = Reservoir.Unit.create () in
+    List.iter (fun x -> Reservoir.Unit.feed rng a x) [ 1; 1; 1 ];
+    Reservoir.Unit.feed rng b 2;
+    if Reservoir.Unit.get (Reservoir.Unit.merge rng a b) = Some 1 then incr kept_a
+  done;
+  let phat = float_of_int !kept_a /. float_of_int trials in
+  let sigma = sqrt (0.75 *. 0.25 /. float_of_int trials) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fed-weighted coin: %.4f ~ 0.75" phat)
+    true
+    (Float.abs (phat -. 0.75) < 3. *. sigma)
+
+let test_wor_merge_invariants () =
+  let rng = Prng.create ~seed:9 () in
+  (* Disjoint sides: the merged WoR sample must stay duplicate-free and
+     hold min(r, fed) elements. *)
+  let a = Reservoir.Wor.create ~r:6 and b = Reservoir.Wor.create ~r:6 in
+  for i = 1 to 4 do
+    Reservoir.Wor.feed rng a i
+  done;
+  for i = 100 to 120 do
+    Reservoir.Wor.feed rng b i
+  done;
+  let m = Reservoir.Wor.merge rng a b in
+  let c = Reservoir.Wor.contents m in
+  Alcotest.(check int) "min(r, fed) elements" 6 (Array.length c);
+  Alcotest.(check int) "fed adds" 25 (Reservoir.Wor.fed_count m);
+  let distinct = List.sort_uniq compare (Array.to_list c) in
+  Alcotest.(check int) "no duplicates" 6 (List.length distinct);
+  (* Underfull merge: 2 + 3 fed with r = 10 keeps everything. *)
+  let a = Reservoir.Wor.create ~r:10 and b = Reservoir.Wor.create ~r:10 in
+  List.iter (fun x -> Reservoir.Wor.feed rng a x) [ 1; 2 ];
+  List.iter (fun x -> Reservoir.Wor.feed rng b x) [ 3; 4; 5 ];
+  let m = Reservoir.Wor.merge rng a b in
+  Alcotest.(check (list int)) "underfull keeps all" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare (Array.to_list (Reservoir.Wor.contents m)));
+  (* r = 0 and empty merges. *)
+  let z = Reservoir.Wor.merge rng (Reservoir.Wor.create ~r:0) (Reservoir.Wor.create ~r:0) in
+  Alcotest.(check int) "r=0" 0 (Array.length (Reservoir.Wor.contents z));
+  let e = Reservoir.Wor.merge rng (Reservoir.Wor.create ~r:4) (Reservoir.Wor.create ~r:4) in
+  Alcotest.(check int) "both empty" 0 (Array.length (Reservoir.Wor.contents e))
+
+let test_wor_merge_membership_law () =
+  (* Merge of 5-fed + 5-fed at r = 4: each of the 10 elements belongs
+     to the merged sample with probability 4/10. Check element 1. *)
+  let rng = Prng.create ~seed:10 () in
+  let trials = 600 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let a = Reservoir.Wor.create ~r:4 and b = Reservoir.Wor.create ~r:4 in
+    for i = 1 to 5 do
+      Reservoir.Wor.feed rng a i
+    done;
+    for i = 6 to 10 do
+      Reservoir.Wor.feed rng b i
+    done;
+    let m = Reservoir.Wor.merge rng a b in
+    if Array.exists (fun x -> x = 1) (Reservoir.Wor.contents m) then incr hits
+  done;
+  let phat = float_of_int !hits /. float_of_int trials in
+  let sigma = sqrt (0.4 *. 0.6 /. float_of_int trials) in
+  Alcotest.(check bool)
+    (Printf.sprintf "membership: %.4f ~ 0.4" phat)
+    true
+    (Float.abs (phat -. 0.4) < 3.5 *. sigma)
+
+(* ------------------------------------------------------------------ *)
+(* split_n                                                             *)
+
+let test_split_n () =
+  let fingerprints seed n =
+    let t = Prng.create ~seed () in
+    Array.map Prng.state_fingerprint (Prng.split_n t n)
+  in
+  let a = fingerprints 42 6 and b = fingerprints 42 6 in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  let distinct = List.sort_uniq compare (Array.to_list a) in
+  Alcotest.(check int) "children mutually distinct" 6 (List.length distinct);
+  Alcotest.(check int) "n=0 ok" 0 (Array.length (Prng.split_n (Prng.create ()) 0));
+  Alcotest.(check bool) "n<0 rejected" true
+    (try
+       ignore (Prng.split_n (Prng.create ()) (-1));
+       false
+     with Invalid_argument _ -> true);
+  (* Children diverge from the parent's subsequent stream. *)
+  let t = Prng.create ~seed:42 () in
+  let kids = Prng.split_n t 3 in
+  let parent_fp = Prng.state_fingerprint t in
+  Array.iter
+    (fun k ->
+      Alcotest.(check bool) "child detached from parent" true
+        (Prng.state_fingerprint k <> parent_fp))
+    kids
+
+let suite =
+  [
+    Alcotest.test_case "parallel run returns r tuples" `Quick test_parallel_returns_r;
+    Alcotest.test_case "parallel output is join tuples" `Quick test_parallel_emits_join_tuples;
+    Alcotest.test_case "parallel sample is WR-uniform (chi-square)" `Slow test_parallel_uniform;
+    Alcotest.test_case "parallel r = 0" `Quick test_parallel_r_zero;
+    Alcotest.test_case "more domains than rows" `Quick test_parallel_more_domains_than_rows;
+    Alcotest.test_case "parallel seeded reproducibility" `Quick test_parallel_deterministic;
+    Alcotest.test_case "sequential fallback is exact" `Quick test_parallel_fallback_matches_sequential;
+    Alcotest.test_case "metrics sum across domains" `Quick test_parallel_metrics_sum;
+    Alcotest.test_case "Wr.merge conserves mass" `Quick test_wr_merge_mass_conservation;
+    Alcotest.test_case "Wr.merge with an empty shard" `Quick test_wr_merge_empty_side;
+    Alcotest.test_case "Wr.merge at r = 0" `Quick test_wr_merge_r_zero;
+    Alcotest.test_case "Wr.merge rejects mismatched r" `Quick test_wr_merge_mismatched_r;
+    Alcotest.test_case "Wr.merge slot law" `Slow test_wr_merge_slot_law;
+    Alcotest.test_case "Unit.merge fed-weighted coin" `Quick test_unit_merge;
+    Alcotest.test_case "Wor.merge invariants" `Quick test_wor_merge_invariants;
+    Alcotest.test_case "Wor.merge membership law" `Slow test_wor_merge_membership_law;
+    Alcotest.test_case "Prng.split_n determinism" `Quick test_split_n;
+  ]
