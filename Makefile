@@ -12,8 +12,10 @@
 #                      (default 1_000_000)
 #   RSJ_SKIP_MICRO=1   skip the bechamel micro-benchmarks
 #   RSJ_SKIP_PAPER=1   skip the paper-harness figures
+#   RSJ_CONF_TRIALS    samples per conformance cell (default 60;
+#                      raise for a deep statistical sweep)
 
-.PHONY: all build check test smoke bench clean
+.PHONY: all build check test smoke bench conformance clean
 
 all: build
 
@@ -30,6 +32,12 @@ check:
 # smoke = check + a tiny paper-harness run (seconds, not minutes).
 smoke:
 	dune build @smoke
+
+# conformance = the statistical sweep: every strategy × semantics ×
+# skew × domains against the exact join-distribution oracle. Fast by
+# default; RSJ_CONF_TRIALS=500 (etc.) for a deep run.
+conformance:
+	dune build @conformance
 
 # bench = the full harness: paper figures + bechamel micro-benchmarks
 # (including the parallel/* speedup benches). Expect minutes; scale

@@ -7,6 +7,8 @@
      experiment  run one of the paper's figures/tables or everything
      validate    run the analytic validations (alphas, uniformity,
                  negative results)
+     verify      statistical conformance sweep against the exact
+                 join-distribution oracle
      explain     show the strategy requirement table (Table 1) *)
 
 open Cmdliner
@@ -249,6 +251,77 @@ let query_cmd =
   Cmd.v info Term.(ret (const run $ tables $ sql $ explain $ seed_arg))
 
 (* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+
+let verify_cmd =
+  let trials =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"T"
+          ~doc:
+            "Samples pooled per conformance cell (default 60, or \\$(b,RSJ_CONF_TRIALS)). \
+             Higher = more statistical power, longer runtime.")
+  in
+  let r = Arg.(value & opt int 16 & info [ "r" ] ~docv:"R" ~doc:"Sample size per trial.") in
+  let alpha =
+    Arg.(
+      value
+      & opt float 0.01
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:"Family-wise significance; each cell is tested at alpha / #comparisons.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "retries" ] ~docv:"K"
+          ~doc:"Extra independently seeded attempts before a cell is declared failed.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV instead of a table.") in
+  let run trials r alpha retries csv seed =
+    if r <= 0 then `Error (false, "--r must be positive")
+    else if alpha <= 0. || alpha >= 1. then `Error (false, "--alpha must be in (0,1)")
+    else if retries < 0 then `Error (false, "--retries must be non-negative")
+    else begin
+      try
+        let base = Rsj_verify.Conformance.default_config () in
+        let config =
+          {
+            base with
+            Rsj_verify.Conformance.trials = Option.value trials ~default:base.trials;
+            r;
+            significance = alpha;
+            retries;
+            seed;
+          }
+        in
+        if Option.value trials ~default:1 <= 0 then failwith "--trials must be positive";
+        let summary = Rsj_verify.Conformance.run ~config () in
+        let report = Rsj_verify.Conformance.report summary in
+        if csv then print_string (Rsj_harness.Report.to_csv report)
+        else Rsj_harness.Report.print report;
+        if summary.Rsj_verify.Conformance.all_pass then begin
+          Printf.printf "conformance: all %d comparisons pass; negative control rejected\n"
+            summary.Rsj_verify.Conformance.comparisons;
+          `Ok ()
+        end
+        else `Error (false, "conformance failures (see report)")
+      with
+      | Failure msg -> `Error (false, msg)
+      | Invalid_argument msg -> `Error (false, msg)
+    end
+  in
+  let info =
+    Cmd.info "verify"
+      ~doc:
+        "Statistical conformance sweep: every strategy \xc3\x97 semantics (WR/WoR/CF) \xc3\x97 \
+         skew \xc3\x97 domains {1,2,4} against the exact join-distribution oracle, plus \
+         aggregate-estimate KS tests and a biased negative control."
+  in
+  Cmd.v info Term.(ret (const run $ trials $ r $ alpha $ retries $ csv $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 
 let explain_cmd =
@@ -262,6 +335,9 @@ let explain_cmd =
 let main =
   let doc = "Random sampling over joins (Chaudhuri, Motwani, Narasayya; SIGMOD 1999)" in
   let info = Cmd.info "rsj" ~version:"1.0.0" ~doc in
-  Cmd.group info [ generate_cmd; sample_cmd; query_cmd; experiment_cmd; validate_cmd; explain_cmd ]
+  Cmd.group info
+    [
+      generate_cmd; sample_cmd; query_cmd; experiment_cmd; validate_cmd; verify_cmd; explain_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

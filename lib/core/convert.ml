@@ -34,16 +34,23 @@ let cf_oversample_fraction ~f ~n ?(failure_prob = 1e-6) () =
   else begin
     (* Multiplicative Chernoff lower tail: a CF(f') sample of n tuples
        falls below (1 - eps) f' n with probability <= exp(-eps^2 f' n / 2).
-       Choose eps so that (1 - eps) f' = f and the bound is failure_prob;
-       solving exactly is transcendental, so iterate a few times. *)
+       The bound holds at failure_prob when eps = sqrt(2 target / (n f')),
+       so the guaranteed mass g(f') = (1 - eps) f' = f' - sqrt(2 target
+       f' / n) must reach f. g is increasing in f', so bisect on [f, 1];
+       when even f' = 1 cannot guarantee f n (small n, tight
+       failure_prob), the whole relation must be read. *)
     let nf = float_of_int n in
     let target = -.log failure_prob in
-    let fprime = ref f in
-    for _ = 1 to 32 do
-      let eps = sqrt (2. *. target /. (nf *. !fprime)) in
-      fprime := f /. Float.max 1e-9 (1. -. Float.min 0.999 eps)
-    done;
-    Float.min 1. !fprime
+    let guaranteed fp = fp -. sqrt (2. *. target *. fp /. nf) in
+    if guaranteed 1. < f then 1.
+    else begin
+      let lo = ref f and hi = ref 1. in
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if guaranteed mid >= f then hi := mid else lo := mid
+      done;
+      !hi
+    end
   end
 
 let wor_to_wr rng ~r sample =

@@ -52,6 +52,16 @@ let thm11_feasible ~m1 ~m2 ~f ~f1 ~f2 =
 let thm12_feasible ~f ~f1 ~f2 = f1 *. f2 >= f
 let min_symmetric_fraction ~f = sqrt f
 
+let biased_wr_draw rng ~universe ~r =
+  let n = Array.length universe in
+  if n = 0 then invalid_arg "Negative.biased_wr_draw: empty universe";
+  if r < 0 then invalid_arg "Negative.biased_wr_draw: r < 0";
+  (* Over-weight the first half of the universe 4:1 — a gross, easily
+     detectable departure from the uniform law every strategy targets. *)
+  let weights = Array.init n (fun i -> if 2 * i < n then 4. else 1.) in
+  let table = Dist.Cdf_table.of_weights weights in
+  Array.init r (fun _ -> universe.(Dist.Cdf_table.draw table rng))
+
 type uniformity_report = {
   cells : int;
   draws : int;

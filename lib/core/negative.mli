@@ -49,6 +49,14 @@ val thm12_feasible : f:float -> f1:float -> f2:float -> bool
 val min_symmetric_fraction : f:float -> float
 (** The smallest f1 = f2 permitted by Theorem 12: sqrt f. *)
 
+val biased_wr_draw : Prng.t -> universe:'a array -> r:int -> 'a array
+(** Deliberately {e non}-uniform WR draw over [universe]: elements in
+    the first half carry 4× the probability mass of the rest. This is
+    the negative control of the conformance suite — a distribution-test
+    kernel that does not reject this sampler has no power, so the
+    conformance gate requires its rejection before trusting any PASS
+    verdict. *)
+
 type uniformity_report = {
   cells : int;  (** Distinct join tuples (chi-square cells). *)
   draws : int;  (** Total sample draws counted. *)

@@ -34,3 +34,23 @@ let render ppf t =
   Format.fprintf ppf "%s@." sep
 
 let print t = render Format.std_formatter t
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv ppf t =
+  let ncols = List.length t.header in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Report.render_csv(%s): row arity %d, header %d" t.title
+             (List.length row) ncols))
+    t.rows;
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  Format.fprintf ppf "%s@." (line t.header);
+  List.iter (fun row -> Format.fprintf ppf "%s@." (line row)) t.rows
+
+let to_csv t = Format.asprintf "%a" render_csv t

@@ -148,6 +148,70 @@ let chi_square_uniform ~observed =
   let expected = Array.make k (float_of_int total /. float_of_int k) in
   chi_square_test ~expected ~observed
 
+let g_test ~expected ~observed =
+  let k = Array.length expected in
+  if Array.length observed <> k then invalid_arg "Stats_math.g_test: length mismatch";
+  let statistic = ref 0. in
+  let live_cells = ref 0 in
+  for i = 0 to k - 1 do
+    let e = expected.(i) in
+    let o = float_of_int observed.(i) in
+    if e <= 0. then begin
+      if observed.(i) <> 0 then
+        invalid_arg "Stats_math.g_test: observation in a zero-probability cell"
+    end
+    else begin
+      incr live_cells;
+      if observed.(i) > 0 then statistic := !statistic +. (o *. log (o /. e))
+    end
+  done;
+  let statistic = 2. *. !statistic in
+  let dof = max 1 (!live_cells - 1) in
+  (* G is asymptotically chi-square(dof) under H0, like Pearson's X². *)
+  { statistic; dof; p_value = chi_square_sf ~dof (Float.max 0. statistic) }
+
+let normal_sf x =
+  (* Upper tail of N(0,1) via the incomplete gamma: erfc(y) = Q(1/2, y²). *)
+  if x >= 0. then 0.5 *. regularized_gamma_q ~a:0.5 ~x:(x *. x /. 2.)
+  else 1. -. (0.5 *. regularized_gamma_q ~a:0.5 ~x:(x *. x /. 2.))
+
+let kolmogorov_sf lambda =
+  (* Q_KS(λ) = 2 Σ_{j≥1} (-1)^{j-1} exp(-2 j² λ²); the series converges
+     in a handful of terms for λ of interest. *)
+  if lambda <= 0. then 1.
+  else begin
+    let acc = ref 0. in
+    let term = ref infinity in
+    let j = ref 1 in
+    while !j <= 100 && Float.abs !term > 1e-12 *. Float.abs !acc +. 1e-300 do
+      let fj = float_of_int !j in
+      term := (if !j mod 2 = 1 then 2. else -2.) *. exp (-2. *. fj *. fj *. lambda *. lambda);
+      acc := !acc +. !term;
+      incr j
+    done;
+    Float.min 1. (Float.max 0. !acc)
+  end
+
+type ks_result = { ks_statistic : float; n : int; ks_p_value : float }
+
+let ks_test ~cdf ~samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats_math.ks_test: no samples";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let d = ref 0. in
+  for i = 0 to n - 1 do
+    let f = cdf sorted.(i) in
+    if f < -1e-9 || f > 1. +. 1e-9 then invalid_arg "Stats_math.ks_test: cdf outside [0,1]";
+    let lo = float_of_int i /. float_of_int n in
+    let hi = float_of_int (i + 1) /. float_of_int n in
+    d := Float.max !d (Float.max (Float.abs (hi -. f)) (Float.abs (f -. lo)))
+  done;
+  let sn = sqrt (float_of_int n) in
+  (* Stephens' finite-n correction before the asymptotic tail. *)
+  let lambda = (sn +. 0.12 +. (0.11 /. sn)) *. !d in
+  { ks_statistic = !d; n; ks_p_value = kolmogorov_sf lambda }
+
 let mean a =
   let n = Array.length a in
   if n = 0 then nan else Array.fold_left ( +. ) 0. a /. float_of_int n

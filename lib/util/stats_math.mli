@@ -45,6 +45,31 @@ val chi_square_test : expected:float array -> observed:int array -> chi_square_r
 val chi_square_uniform : observed:int array -> chi_square_result
 (** Goodness-of-fit against the uniform distribution over the cells. *)
 
+val g_test : expected:float array -> observed:int array -> chi_square_result
+(** Likelihood-ratio goodness-of-fit test (G-test): G = 2 Σ O ln(O/E),
+    asymptotically chi-square like Pearson's X² but more sensitive to
+    cells where O and E diverge multiplicatively. Zero-expectation cells
+    follow the {!chi_square_test} rules. *)
+
+val normal_sf : float -> float
+(** Upper-tail probability of the standard normal (via the regularized
+    incomplete gamma; no erfc in the stdlib). *)
+
+val kolmogorov_sf : float -> float
+(** Asymptotic Kolmogorov distribution upper tail Q_KS(λ), the p-value
+    backbone of {!ks_test}. *)
+
+type ks_result = {
+  ks_statistic : float;  (** Sup-norm distance D_n. *)
+  n : int;  (** Sample count. *)
+  ks_p_value : float;  (** Q_KS with Stephens' finite-n correction. *)
+}
+
+val ks_test : cdf:(float -> float) -> samples:float array -> ks_result
+(** One-sample Kolmogorov–Smirnov test of [samples] against the
+    continuous CDF [cdf]. Raises [Invalid_argument] on an empty sample
+    or a cdf value outside [0,1]. *)
+
 val mean : float array -> float
 (** Arithmetic mean; [nan] on the empty array. *)
 

@@ -1,0 +1,416 @@
+open Rsj_relation
+module Strategy = Rsj_core.Strategy
+module Semantics = Rsj_core.Semantics
+module Convert = Rsj_core.Convert
+module Negative = Rsj_core.Negative
+module Zipf_tables = Rsj_workload.Zipf_tables
+module Report = Rsj_harness.Report
+module Prng = Rsj_util.Prng
+module Dist = Rsj_util.Dist
+module Stats_math = Rsj_util.Stats_math
+
+type skew = { label : string; z1 : float; z2 : float }
+
+let default_skews =
+  [ { label = "uniform"; z1 = 0.; z2 = 0. }; { label = "zipf(1,2)"; z1 = 1.; z2 = 2. } ]
+
+type config = {
+  trials : int;
+  r : int;
+  n1 : int;
+  n2 : int;
+  domain : int;
+  seed : int;
+  significance : float;
+  retries : int;
+}
+
+let env_trials fallback =
+  match Sys.getenv_opt "RSJ_CONF_TRIALS" with
+  | None -> fallback
+  | Some s when String.trim s = "" -> fallback
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> v
+      | _ -> invalid_arg (Printf.sprintf "RSJ_CONF_TRIALS must be a positive integer, got %S" s))
+
+let default_config () =
+  {
+    trials = env_trials 60;
+    r = 16;
+    n1 = 40;
+    n2 = 80;
+    domain = 6;
+    seed = 0x5EED;
+    significance = 0.01;
+    retries = 2;
+  }
+
+type cell = {
+  strategy : Strategy.t;
+  semantics : Semantics.t;
+  skew : skew;
+  domains : int;
+}
+
+type cell_result = {
+  cell : cell;
+  join_size : int;
+  draws : int;
+  outcome : Kernel.outcome;
+}
+
+let default_domain_counts = [ 1; 2; 4 ]
+
+let matrix ?(strategies = Strategy.all) ?(semantics = Semantics.all) ?(skews = default_skews)
+    ?(domain_counts = default_domain_counts) () =
+  List.concat_map
+    (fun strategy ->
+      List.concat_map
+        (fun sem ->
+          List.concat_map
+            (fun skew ->
+              List.map (fun domains -> { strategy; semantics = sem; skew; domains }) domain_counts)
+            skews)
+        semantics)
+    strategies
+
+(* Deterministic seed mixing: every attempt of every cell draws from its
+   own reproducible stream, so retries are independent and reruns are
+   bit-identical. *)
+let mix a b c = abs ((a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE35)) land 0x3FFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Semantics-specific draws                                            *)
+
+(* WoR via the §3 conversion, but dispatching each WR batch through the
+   parallel runtime so domains > 1 cells exercise the sharded path end
+   to end (Strategy.run_wor is sequential-only). *)
+let draw_wor env strategy ~r ~domains =
+  let n = Strategy.env_join_size env in
+  let target = min r n in
+  if target = 0 then [||]
+  else begin
+    let rng = Prng.split (Strategy.env_rng env) in
+    let collected = Hashtbl.create (2 * target) in
+    let out = ref [] in
+    let count = ref 0 in
+    let rounds = ref 0 in
+    while !count < target && !rounds < 64 do
+      incr rounds;
+      let batch = (Rsj_parallel.run env strategy ~r:target ~domains).Strategy.sample in
+      let deduped = Convert.wr_to_wor rng ~key:Tuple.hash ~r:(target - !count) batch in
+      Array.iter
+        (fun t ->
+          let k = Tuple.hash t in
+          if not (Hashtbl.mem collected k) then begin
+            Hashtbl.replace collected k ();
+            out := t :: !out;
+            incr count
+          end)
+        deduped
+    done;
+    if !count < target then
+      failwith "Conformance.draw_wor: failed to accumulate distinct samples";
+    Array.of_list !out
+  end
+
+(* CF as Binomial(|J|, f) size + uniform WoR subset of that size — the
+   exact law of independent per-tuple coin flips over the join. *)
+let draw_cf rng env strategy ~f ~domains =
+  let n = Strategy.env_join_size env in
+  let k = Dist.binomial rng ~n ~p:f in
+  if k = 0 then [||] else draw_wor env strategy ~r:k ~domains
+
+(* ------------------------------------------------------------------ *)
+(* Cell runner                                                         *)
+
+let cf_fraction config ~join_size =
+  Float.min 0.9 (float_of_int config.r /. float_of_int (max 1 join_size))
+
+let run_cell kconfig config ~pair ~oracle ~cell_index cell =
+  let join_size = Oracle.size oracle in
+  let draws = ref 0 in
+  let make_env attempt =
+    Strategy.make_env
+      ~seed:(mix config.seed (cell_index + 1) attempt)
+      ~left:pair.Zipf_tables.outer ~right:pair.Zipf_tables.inner ~left_key:Zipf_tables.col2
+      ~right_key:Zipf_tables.col2 ()
+  in
+  let tally env draw1 =
+    let counts = Oracle.counter oracle in
+    let total = ref 0 in
+    for _ = 1 to config.trials do
+      let s = draw1 env in
+      total := !total + Array.length s;
+      Array.iter (Oracle.observe oracle counts) s
+    done;
+    draws := !total;
+    (counts, !total)
+  in
+  let outcome =
+    match cell.semantics with
+    | Semantics.WR ->
+        Kernel.run kconfig Kernel.Chi_square ~sample:(fun ~attempt ->
+            let counts, total =
+              tally (make_env attempt) (fun env ->
+                  (Rsj_parallel.run env cell.strategy ~r:config.r ~domains:cell.domains)
+                    .Strategy.sample)
+            in
+            (Oracle.wr_expected oracle ~draws:total, counts))
+    | Semantics.WoR ->
+        Kernel.run kconfig Kernel.Chi_square ~sample:(fun ~attempt ->
+            let counts, _ =
+              tally (make_env attempt) (fun env ->
+                  draw_wor env cell.strategy ~r:config.r ~domains:cell.domains)
+            in
+            (Oracle.wor_expected oracle ~trials:config.trials ~r:config.r, counts))
+    | Semantics.CF ->
+        (* Two laws to satisfy: uniformity of the included tuples and
+           the Binomial(|J|, f) size. Bonferroni within the cell: the
+           combined p doubles the smaller sub-p. *)
+        let f = cf_fraction config ~join_size in
+        Kernel.run_custom kconfig ~name:"chi-square+size-z" ~attempt:(fun ~attempt ->
+            let rng = Prng.create ~seed:(mix config.seed (cell_index + 1) (attempt + 0x11)) () in
+            let counts, total =
+              tally (make_env attempt) (fun env ->
+                  draw_cf rng env cell.strategy ~f ~domains:cell.domains)
+            in
+            let unif =
+              if total = 0 then None
+              else
+                Some
+                  (Kernel.goodness_of_fit kconfig Kernel.Chi_square
+                     ~expected:(Oracle.wr_expected oracle ~draws:total)
+                     ~observed:counts)
+            in
+            let expected_total =
+              float_of_int config.trials
+              *. Semantics.expected_size Semantics.CF ~n:join_size ~f
+            in
+            let sd =
+              sqrt (float_of_int (config.trials * join_size) *. f *. (1. -. f))
+            in
+            let z = (float_of_int total -. expected_total) /. Float.max 1e-9 sd in
+            let p_size = Kernel.z_p_value z in
+            match unif with
+            | None -> (z, 1, Float.min 1. (2. *. p_size))
+            | Some u ->
+                ( u.Stats_math.statistic,
+                  u.Stats_math.dof,
+                  Float.min 1. (2. *. Float.min u.Stats_math.p_value p_size) ))
+  in
+  { cell; join_size; draws = !draws; outcome }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate-estimate KS rows                                          *)
+
+(* Across trials, the Horvitz–Thompson sum estimate over a WR sample is
+   asymptotically normal with exactly computable mean and variance (the
+   oracle knows the population); KS-test the standardized estimates
+   against Φ. This gates the paper's §1 use case — aggregates over the
+   sample — not just per-tuple membership. *)
+let ks_sample_size = 48
+
+let aggregate_ks kconfig config ~pair ~oracle ~row_index strategy =
+  let n = Oracle.size oracle in
+  let g t = match Tuple.get t 0 with Value.Int i -> float_of_int i | _ -> 0. in
+  let universe = Oracle.universe oracle in
+  let total = Array.fold_left (fun acc t -> acc +. g t) 0. universe in
+  let mean = total /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc t -> acc +. ((g t -. mean) ** 2.)) 0. universe /. float_of_int n
+  in
+  let r = ks_sample_size in
+  let sd = float_of_int n *. sqrt (var /. float_of_int r) in
+  if sd <= 0. then invalid_arg "Conformance.aggregate_ks: degenerate aggregate column";
+  Kernel.run_ks kconfig
+    ~name:(Strategy.name strategy ^ " HT-sum")
+    ~cdf:(fun x -> 1. -. Stats_math.normal_sf x)
+    ~sample:(fun ~attempt ->
+      let env =
+        Strategy.make_env
+          ~seed:(mix config.seed (0x5113 + row_index) attempt)
+          ~left:pair.Zipf_tables.outer ~right:pair.Zipf_tables.inner ~left_key:Zipf_tables.col2
+          ~right_key:Zipf_tables.col2 ()
+      in
+      Array.init config.trials (fun _ ->
+          let s = (Strategy.run env strategy ~r).Strategy.sample in
+          let est =
+            float_of_int n /. float_of_int r *. Array.fold_left (fun acc t -> acc +. g t) 0. s
+          in
+          (est -. total) /. sd))
+
+(* ------------------------------------------------------------------ *)
+(* Negative control                                                    *)
+
+let negative_control kconfig config ~oracle =
+  let trials = max 200 (4 * config.trials) in
+  Kernel.run kconfig Kernel.Chi_square ~sample:(fun ~attempt ->
+      let rng = Prng.create ~seed:(mix config.seed 0xBAD (attempt + 1)) () in
+      let counts = Oracle.counter oracle in
+      for _ = 1 to trials do
+        Array.iter
+          (Oracle.observe oracle counts)
+          (Negative.biased_wr_draw rng ~universe:(Oracle.universe oracle) ~r:config.r)
+      done;
+      (Oracle.wr_expected oracle ~draws:(trials * config.r), counts))
+
+(* ------------------------------------------------------------------ *)
+(* Full run                                                            *)
+
+type summary = {
+  config : config;
+  results : cell_result list;
+  aggregates : (string * Kernel.outcome) list;
+  control : Kernel.outcome;
+  comparisons : int;
+  all_pass : bool;
+}
+
+let wr_uniformity ?(config = Kernel.default) ~trials ~universe ~draw () =
+  let oracle = Oracle.of_universe universe in
+  Kernel.run config Kernel.Chi_square ~sample:(fun ~attempt ->
+      let draw1 = draw ~attempt in
+      let counts = Oracle.counter oracle in
+      let total = ref 0 in
+      for _ = 1 to trials do
+        let s = draw1 () in
+        total := !total + Array.length s;
+        Array.iter (Oracle.observe oracle counts) s
+      done;
+      (Oracle.wr_expected oracle ~draws:!total, counts))
+
+let run ?config ?cells ?(with_aggregates = true) ?(with_control = true) () =
+  let config = match config with Some c -> c | None -> default_config () in
+  if config.trials <= 0 then invalid_arg "Conformance.run: trials <= 0";
+  if config.r <= 0 then invalid_arg "Conformance.run: r <= 0";
+  let cells = match cells with Some c -> c | None -> matrix () in
+  let skews =
+    List.fold_left
+      (fun acc cell -> if List.mem cell.skew acc then acc else cell.skew :: acc)
+      [] cells
+    |> List.rev
+  in
+  let ks_skew =
+    match List.rev skews with [] -> List.hd default_skews | last :: _ -> last
+  in
+  let ks_rows =
+    if with_aggregates then
+      List.sort_uniq compare (List.map (fun c -> c.strategy) cells)
+    else []
+  in
+  let comparisons = List.length cells + List.length ks_rows in
+  let kconfig =
+    {
+      Kernel.significance = config.significance;
+      comparisons = max 1 comparisons;
+      retries = config.retries;
+      min_expected = 5.;
+    }
+  in
+  let instances =
+    List.mapi
+      (fun i skew ->
+        let pair =
+          Zipf_tables.make_pair
+            ~seed:(mix config.seed 0x7A1E i)
+            ~n1:config.n1 ~n2:config.n2 ~z1:skew.z1 ~z2:skew.z2 ~domain:config.domain ()
+        in
+        let oracle =
+          Oracle.of_relations ~left:pair.Zipf_tables.outer ~right:pair.Zipf_tables.inner
+            ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2
+        in
+        (skew.label, (pair, oracle)))
+      skews
+  in
+  let instance label = List.assoc label instances in
+  let results =
+    List.mapi
+      (fun i cell ->
+        let pair, oracle = instance cell.skew.label in
+        run_cell kconfig config ~pair ~oracle ~cell_index:i cell)
+      cells
+  in
+  let aggregates =
+    List.mapi
+      (fun i strategy ->
+        let pair, oracle = instance ks_skew.label in
+        (Strategy.name strategy, aggregate_ks kconfig config ~pair ~oracle ~row_index:i strategy))
+      ks_rows
+  in
+  let control =
+    if with_control then
+      let _, oracle = instance ks_skew.label in
+      negative_control kconfig config ~oracle
+    else { Kernel.name = "disabled"; statistic = 0.; dof = 0; p_value = 1.; attempts = 0; passed = false }
+  in
+  let all_pass =
+    List.for_all (fun r -> r.outcome.Kernel.passed) results
+    && List.for_all (fun (_, o) -> o.Kernel.passed) aggregates
+    && (not with_control || not control.Kernel.passed)
+  in
+  { config; results; aggregates; control; comparisons; all_pass }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let p_cell p = Printf.sprintf "%.2e" p
+
+let report summary =
+  let rows =
+    List.map
+      (fun { cell; join_size; draws; outcome } ->
+        [
+          Strategy.name cell.strategy;
+          Semantics.to_string cell.semantics;
+          cell.skew.label;
+          string_of_int cell.domains;
+          string_of_int join_size;
+          string_of_int draws;
+          outcome.Kernel.name;
+          p_cell outcome.Kernel.p_value;
+          string_of_int outcome.Kernel.attempts;
+          (if outcome.Kernel.passed then "PASS" else "FAIL");
+        ])
+      summary.results
+    @ List.map
+        (fun (name, o) ->
+          [
+            name;
+            "with-replacement";
+            "aggregate";
+            "1";
+            "-";
+            string_of_int (summary.config.trials * ks_sample_size);
+            "KS";
+            p_cell o.Kernel.p_value;
+            string_of_int o.Kernel.attempts;
+            (if o.Kernel.passed then "PASS" else "FAIL");
+          ])
+        summary.aggregates
+    @ [
+        [
+          "biased control";
+          "with-replacement";
+          "negative";
+          "1";
+          "-";
+          "-";
+          summary.control.Kernel.name;
+          p_cell summary.control.Kernel.p_value;
+          string_of_int summary.control.Kernel.attempts;
+          (if summary.control.Kernel.passed then "NOT REJECTED (BUG)" else "REJECTED (expected)");
+        ];
+      ]
+  in
+  {
+    Report.title =
+      Printf.sprintf
+        "V7: statistical conformance (trials=%d r=%d alpha=%g Bonferroni m=%d retries=%d)"
+        summary.config.trials summary.config.r summary.config.significance summary.comparisons
+        summary.config.retries;
+    header =
+      [ "strategy"; "semantics"; "skew"; "domains"; "|J|"; "draws"; "test"; "p"; "att"; "verdict" ];
+    rows;
+  }

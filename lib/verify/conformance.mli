@@ -1,0 +1,113 @@
+(** Conformance matrix runner.
+
+    Sweeps every sampling strategy × semantics × workload skew ×
+    parallel-domain count and holds each cell to the exact law derived
+    by {!Oracle}, under the single statistical policy of {!Kernel}
+    (Bonferroni across the whole matrix, seeded retries against
+    flakes). Three kinds of rows:
+
+    - {b Cells}: per-tuple goodness of fit. WR cells chi-square the
+      pooled draws against uniform; WoR cells test the hypergeometric
+      marginal inclusion counts; CF cells conjoin conditional
+      uniformity with a z-test of the Binomial(|J|, f) total size.
+    - {b Aggregates}: per strategy, a KS test of standardized
+      Horvitz–Thompson SUM estimates against the normal CDF — gating
+      the paper's §1 use case (approximate aggregates over the
+      sample), not just membership frequencies.
+    - {b Negative control}: a deliberately biased WR sampler
+      ({!Rsj_core.Negative.biased_wr_draw}) run through the same
+      kernel; the run only passes when the control is {e rejected},
+      proving the tests have power at the configured sample sizes. *)
+
+open Rsj_relation
+module Strategy := Rsj_core.Strategy
+module Semantics := Rsj_core.Semantics
+
+type skew = { label : string; z1 : float; z2 : float }
+
+val default_skews : skew list
+(** Uniform (z=0) and the paper's skewed z1=1, z2=2 cell. *)
+
+type config = {
+  trials : int;  (** Independent samples pooled per cell attempt. *)
+  r : int;  (** Requested sample size per trial. *)
+  n1 : int;  (** Outer-table rows. *)
+  n2 : int;  (** Inner-table rows. *)
+  domain : int;  (** Join-attribute domain size. *)
+  seed : int;  (** Root of every derived deterministic stream. *)
+  significance : float;  (** Family-wise error budget. *)
+  retries : int;  (** Kernel retries per outcome. *)
+}
+
+val default_config : unit -> config
+(** Fast-tier defaults (trials=60, r=16, 40×80 tables, domain 6,
+    alpha=0.01, 2 retries). [RSJ_CONF_TRIALS] overrides [trials];
+    raises [Invalid_argument] if it is set but not a positive
+    integer. *)
+
+type cell = {
+  strategy : Strategy.t;
+  semantics : Semantics.t;
+  skew : skew;
+  domains : int;
+}
+
+type cell_result = {
+  cell : cell;
+  join_size : int;
+  draws : int;  (** Total tuples drawn in the last attempt. *)
+  outcome : Kernel.outcome;
+}
+
+val default_domain_counts : int list
+(** [\[1; 2; 4\]] per the acceptance matrix. *)
+
+val matrix :
+  ?strategies:Strategy.t list ->
+  ?semantics:Semantics.t list ->
+  ?skews:skew list ->
+  ?domain_counts:int list ->
+  unit ->
+  cell list
+(** The full cross product (default: every strategy × {WR, WoR, CF} ×
+    {!default_skews} × {!default_domain_counts} = 144 × |skews|
+    cells). *)
+
+type summary = {
+  config : config;
+  results : cell_result list;
+  aggregates : (string * Kernel.outcome) list;  (** Strategy → KS row. *)
+  control : Kernel.outcome;
+  comparisons : int;  (** Bonferroni divisor actually applied. *)
+  all_pass : bool;
+      (** Every cell and aggregate passed AND the control was
+          rejected. *)
+}
+
+val run :
+  ?config:config -> ?cells:cell list -> ?with_aggregates:bool -> ?with_control:bool -> unit -> summary
+(** Execute the sweep. Workload pairs and oracles are built once per
+    skew; every cell attempt re-derives its own seed from
+    [config.seed], the cell index and the attempt number, so the whole
+    run is reproducible and retries are independent. *)
+
+val wr_uniformity :
+  ?config:Kernel.config ->
+  trials:int ->
+  universe:Tuple.t array ->
+  draw:(attempt:int -> unit -> Tuple.t array) ->
+  unit ->
+  Kernel.outcome
+(** Reusable WR-uniformity check over an explicit universe: pools
+    [trials] batches from [draw ~attempt ()] and chi-squares them
+    against the uniform law, with the kernel's bucketing and retry
+    policy. [draw ~attempt] must return a fresh deterministic sampler
+    for that attempt. This is what {!run}'s WR cells use, exposed so
+    tests (e.g. the parallel runtime's and the chain walker's) share
+    the exact policy instead of hand-rolling thresholds. *)
+
+val report : summary -> Rsj_harness.Report.t
+(** Machine-readable table: one row per cell, per aggregate KS row,
+    and the negative control last ([REJECTED (expected)] when the
+    biased sampler was caught). Render with
+    {!Rsj_harness.Report.print} or {!Rsj_harness.Report.to_csv}. *)

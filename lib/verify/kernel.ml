@@ -1,0 +1,98 @@
+module Stats_math = Rsj_util.Stats_math
+
+type config = {
+  significance : float;
+  comparisons : int;
+  retries : int;
+  min_expected : float;
+}
+
+let default = { significance = 0.01; comparisons = 1; retries = 2; min_expected = 5. }
+
+let threshold config =
+  if config.significance <= 0. || config.significance >= 1. then
+    invalid_arg "Kernel.threshold: significance outside (0,1)";
+  if config.comparisons < 1 then invalid_arg "Kernel.threshold: comparisons < 1";
+  config.significance /. float_of_int config.comparisons
+
+type stat_test = Chi_square | G_test
+
+let test_name = function Chi_square -> "chi-square" | G_test -> "G-test"
+
+type outcome = {
+  name : string;
+  statistic : float;
+  dof : int;
+  p_value : float;
+  attempts : int;
+  passed : bool;
+}
+
+let bucket ~min_expected ~expected ~observed =
+  let k = Array.length expected in
+  if Array.length observed <> k then invalid_arg "Kernel.bucket: length mismatch";
+  if k = 0 then invalid_arg "Kernel.bucket: no cells";
+  (* Greedily coalesce adjacent cells until each bucket's expected
+     count reaches the floor; a trailing underfull bucket is folded
+     into its predecessor. Keeps the asymptotic chi-square/G null
+     distribution honest when per-cell expectations are small. *)
+  let exp_out = ref [] and obs_out = ref [] in
+  let e_acc = ref 0. and o_acc = ref 0 in
+  for i = 0 to k - 1 do
+    e_acc := !e_acc +. expected.(i);
+    o_acc := !o_acc + observed.(i);
+    if !e_acc >= min_expected then begin
+      exp_out := !e_acc :: !exp_out;
+      obs_out := !o_acc :: !obs_out;
+      e_acc := 0.;
+      o_acc := 0
+    end
+  done;
+  (match (!exp_out, !e_acc > 0. || !o_acc > 0) with
+  | [], _ ->
+      exp_out := [ !e_acc ];
+      obs_out := [ !o_acc ]
+  | e :: rest, true ->
+      exp_out := (e +. !e_acc) :: rest;
+      (match !obs_out with
+      | o :: orest -> obs_out := (o + !o_acc) :: orest
+      | [] -> assert false)
+  | _, false -> ());
+  (Array.of_list (List.rev !exp_out), Array.of_list (List.rev !obs_out))
+
+let goodness_of_fit config test ~expected ~observed =
+  let expected, observed = bucket ~min_expected:config.min_expected ~expected ~observed in
+  match test with
+  | Chi_square -> Stats_math.chi_square_test ~expected ~observed
+  | G_test -> Stats_math.g_test ~expected ~observed
+
+(* Seeded multi-trial repetition: under H0 an attempt rejects with
+   probability [threshold], so requiring every one of [1 + retries]
+   independent attempts to reject drives the false-failure rate to
+   threshold^(1+retries) — a single unlucky draw cannot flake CI —
+   while a genuinely biased sampler rejects every attempt. *)
+let run_custom config ~name ~attempt =
+  let thr = threshold config in
+  let max_attempts = 1 + max 0 config.retries in
+  let rec go i =
+    let statistic, dof, p_value = attempt ~attempt:i in
+    if p_value >= thr then { name; statistic; dof; p_value; attempts = i + 1; passed = true }
+    else if i + 1 >= max_attempts then
+      { name; statistic; dof; p_value; attempts = i + 1; passed = false }
+    else go (i + 1)
+  in
+  go 0
+
+let run config test ~sample =
+  run_custom config ~name:(test_name test) ~attempt:(fun ~attempt ->
+      let expected, observed = sample ~attempt in
+      let r = goodness_of_fit config test ~expected ~observed in
+      (r.Stats_math.statistic, r.Stats_math.dof, r.Stats_math.p_value))
+
+let run_ks config ~name ~cdf ~sample =
+  run_custom config ~name ~attempt:(fun ~attempt ->
+      let samples = sample ~attempt in
+      let r = Stats_math.ks_test ~cdf ~samples in
+      (r.Stats_math.ks_statistic, r.Stats_math.n, r.Stats_math.ks_p_value))
+
+let z_p_value z = 2. *. Stats_math.normal_sf (Float.abs z)

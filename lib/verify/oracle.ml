@@ -1,0 +1,89 @@
+open Rsj_relation
+module Strategy = Rsj_core.Strategy
+module Chain_sample = Rsj_core.Chain_sample
+module Hash_index = Rsj_index.Hash_index
+
+type t = { universe : Tuple.t array; index : (Tuple.t, int) Hashtbl.t }
+
+let of_universe universe =
+  let n = Array.length universe in
+  let index = Hashtbl.create (2 * max 1 n) in
+  Array.iteri
+    (fun i t ->
+      if Hashtbl.mem index t then
+        invalid_arg
+          (Printf.sprintf "Oracle: duplicate tuple %s in the enumerated join"
+             (Tuple.to_string t));
+      Hashtbl.replace index t i)
+    universe;
+  { universe; index }
+
+let of_relations ~left ~right ~left_key ~right_key =
+  let plan =
+    Rsj_exec.Plan.Join
+      {
+        Rsj_exec.Plan.algorithm = Rsj_exec.Plan.Hash;
+        left = Rsj_exec.Plan.Scan left;
+        right = Rsj_exec.Plan.Scan right;
+        left_key;
+        right_key;
+      }
+  in
+  of_universe (Array.of_list (Rsj_exec.Plan.collect plan))
+
+let of_env env =
+  of_relations ~left:(Strategy.env_left env) ~right:(Strategy.env_right env)
+    ~left_key:(Strategy.env_left_key env) ~right_key:(Strategy.env_right_key env)
+
+let of_chain (spec : Chain_sample.spec) =
+  let k = Array.length spec.relations in
+  if k = 0 then invalid_arg "Oracle.of_chain: no relations";
+  if Array.length spec.join_keys <> k - 1 then
+    invalid_arg "Oracle.of_chain: join_keys length must be k-1";
+  (* Nested-loop enumeration, each partial tuple remembering the last
+     base tuple so join_keys address base-relation columns exactly as
+     Chain_sample.spec documents. *)
+  let acc =
+    ref (Relation.fold spec.relations.(0) ~init:[] ~f:(fun l t -> (t, t) :: l) |> List.rev)
+  in
+  for i = 0 to k - 2 do
+    let a, b = spec.join_keys.(i) in
+    let idx = Hash_index.build spec.relations.(i + 1) ~key:b in
+    acc :=
+      List.concat_map
+        (fun (joined, last) ->
+          Array.to_list (Hash_index.matching_tuples idx (Tuple.attr last a))
+          |> List.map (fun t' -> (Tuple.join joined t', t')))
+        !acc
+  done;
+  of_universe (Array.of_list (List.map fst !acc))
+
+let universe t = t.universe
+let size t = Array.length t.universe
+let cell t tuple = Hashtbl.find_opt t.index tuple
+
+let counter t = Array.make (size t) 0
+
+let observe t counts tuple =
+  match Hashtbl.find_opt t.index tuple with
+  | Some i -> counts.(i) <- counts.(i) + 1
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Oracle.observe: tuple %s is not in the join" (Tuple.to_string tuple))
+
+let wr_expected t ~draws =
+  let n = size t in
+  if n = 0 then invalid_arg "Oracle.wr_expected: empty join";
+  Array.make n (float_of_int draws /. float_of_int n)
+
+let wor_inclusion t ~r =
+  let n = size t in
+  if n = 0 then invalid_arg "Oracle.wor_inclusion: empty join";
+  float_of_int (min r n) /. float_of_int n
+
+let wor_expected t ~trials ~r =
+  Array.make (size t) (float_of_int trials *. wor_inclusion t ~r)
+
+let cf_expected t ~trials ~f =
+  if f < 0. || f > 1. then invalid_arg "Oracle.cf_expected: f outside [0,1]";
+  Array.make (size t) (float_of_int trials *. f)

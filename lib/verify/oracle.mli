@@ -1,0 +1,70 @@
+(** Exact join-distribution oracle.
+
+    Every strategy's correctness claim is distributional: its output
+    must follow the law of [sample(R1 ⋈ R2, f)] under the chosen
+    semantics (paper §3). The oracle enumerates the join result
+    exactly — affordable at test scale — and derives the target
+    per-tuple law for each semantics, giving the distribution-test
+    kernel ({!Kernel}) its expected counts:
+
+    - WR: [r] iid uniform draws per trial; every join tuple expects
+      [draws/|J|] observations.
+    - WoR: a uniform size-[min r |J|] subset per trial; every tuple is
+      included with probability [min r |J| / |J|] (the hypergeometric
+      marginal), so cell counts over [trials] trials expect
+      [trials·min(r,|J|)/|J|].
+    - CF: every tuple independently included with probability [f];
+      cell counts expect [trials·f] and the total size is
+      Binomial(|J|, f) per trial ({!Rsj_core.Semantics.expected_size}).
+
+    Also enumerates k-relation chain joins ({!of_chain}) so the
+    {!Rsj_core.Chain_sample} walker is held to the same gate. *)
+
+open Rsj_relation
+
+type t
+
+val of_universe : Tuple.t array -> t
+(** Oracle over an externally enumerated join result (e.g. a shard of a
+    larger join, or a universe produced by a reference implementation).
+    Raises [Invalid_argument] on duplicate tuples. *)
+
+val of_relations : left:Relation.t -> right:Relation.t -> left_key:int -> right_key:int -> t
+(** Enumerate [left ⋈ right] by hash join. Raises [Invalid_argument]
+    when the join result contains duplicate tuples (cells must be
+    distinguishable; the §8.1 tables' unique rid columns guarantee
+    this). *)
+
+val of_env : Rsj_core.Strategy.env -> t
+(** {!of_relations} on a prepared strategy environment. *)
+
+val of_chain : Rsj_core.Chain_sample.spec -> t
+(** Enumerate a k-relation chain join by nested hash lookups, with the
+    same column addressing as the spec ([join_keys.(i) = (a, b)]:
+    column [a] of relation [i] equals column [b] of relation [i+1]). *)
+
+val universe : t -> Tuple.t array
+(** The enumerated join result; index = chi-square cell. *)
+
+val size : t -> int
+val cell : t -> Tuple.t -> int option
+
+val counter : t -> int array
+(** A fresh all-zero observation array, one slot per join tuple. *)
+
+val observe : t -> int array -> Tuple.t -> unit
+(** Classify one sampled tuple into its cell. Raises
+    [Invalid_argument] when the tuple is not in the join — a
+    correctness bug strictly worse than distributional bias. *)
+
+val wr_expected : t -> draws:int -> float array
+(** Expected cell counts after [draws] total WR draws. *)
+
+val wor_inclusion : t -> r:int -> float
+(** Per-tuple inclusion probability of a size-[min r |J|] WoR sample. *)
+
+val wor_expected : t -> trials:int -> r:int -> float array
+(** Expected cell counts after [trials] independent WoR samples. *)
+
+val cf_expected : t -> trials:int -> f:float -> float array
+(** Expected cell counts after [trials] independent CF passes. *)

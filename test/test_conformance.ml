@@ -1,0 +1,313 @@
+(* The statistical conformance subsystem: oracle exactness, kernel
+   policy mechanics, per-strategy distribution gates (including the
+   strategies the parallel suite cannot cover), the 3-relation chain
+   walker, and the end-to-end matrix runner with its negative
+   control. *)
+
+open Rsj_relation
+open Rsj_core
+module Kernel = Rsj_verify.Kernel
+module Oracle = Rsj_verify.Oracle
+module Conformance = Rsj_verify.Conformance
+module Zipf_tables = Rsj_workload.Zipf_tables
+module Chain_sample = Rsj_core.Chain_sample
+module Prng = Rsj_util.Prng
+module Stats_math = Rsj_util.Stats_math
+
+let small_pair ?(seed = 0xAB) ~z1 ~z2 () =
+  Zipf_tables.make_pair ~seed ~n1:40 ~n2:80 ~z1 ~z2 ~domain:6 ()
+
+let env_of ?(seed = 0xAB) (pair : Zipf_tables.pair) =
+  Strategy.make_env ~seed ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+    ~right_key:Zipf_tables.col2 ()
+
+(* ------------------------------------------------------------------ *)
+(* Kernel mechanics                                                    *)
+
+let test_bucket_preserves_totals () =
+  let expected = Array.make 20 1.2 in
+  let observed = Array.init 20 (fun i -> i mod 3) in
+  let be, bo = Kernel.bucket ~min_expected:5. ~expected ~observed in
+  Alcotest.(check (float 1e-9))
+    "expected total preserved" (Array.fold_left ( +. ) 0. expected)
+    (Array.fold_left ( +. ) 0. be);
+  Alcotest.(check int) "observed total preserved"
+    (Array.fold_left ( + ) 0 observed)
+    (Array.fold_left ( + ) 0 bo);
+  Alcotest.(check int) "same shape" (Array.length be) (Array.length bo);
+  Array.iter
+    (fun e -> Alcotest.(check bool) "every bucket reaches the floor" true (e >= 5.))
+    be
+
+let test_bucket_underfull_collapses () =
+  let be, bo = Kernel.bucket ~min_expected:5. ~expected:[| 0.5; 0.5; 0.5 |] ~observed:[| 1; 0; 2 |] in
+  Alcotest.(check int) "single bucket" 1 (Array.length be);
+  Alcotest.(check (float 1e-9)) "expected mass" 1.5 be.(0);
+  Alcotest.(check int) "observed mass" 3 bo.(0)
+
+let test_kernel_retry_policy () =
+  let config = { Kernel.default with retries = 2 } in
+  (* Rejects twice, passes on the third seeded attempt. *)
+  let o =
+    Kernel.run_custom config ~name:"scripted" ~attempt:(fun ~attempt ->
+        if attempt < 2 then (99., 1, 1e-12) else (0.1, 1, 0.9))
+  in
+  Alcotest.(check bool) "eventually passes" true o.Kernel.passed;
+  Alcotest.(check int) "used all attempts" 3 o.Kernel.attempts;
+  (* Rejects every time: failed, attempts exhausted. *)
+  let o = Kernel.run_custom config ~name:"scripted" ~attempt:(fun ~attempt:_ -> (99., 1, 1e-12)) in
+  Alcotest.(check bool) "persistent rejection fails" false o.Kernel.passed;
+  Alcotest.(check int) "attempts exhausted" 3 o.Kernel.attempts;
+  (* Passes immediately: one attempt only. *)
+  let o = Kernel.run_custom config ~name:"scripted" ~attempt:(fun ~attempt:_ -> (0.1, 1, 0.9)) in
+  Alcotest.(check int) "stops at first pass" 1 o.Kernel.attempts
+
+let test_kernel_threshold () =
+  let t = Kernel.threshold { Kernel.default with significance = 0.05; comparisons = 50 } in
+  Alcotest.(check (float 1e-12)) "Bonferroni division" 0.001 t;
+  Alcotest.(check bool) "bad significance rejected" true
+    (try
+       ignore (Kernel.threshold { Kernel.default with significance = 1.5 });
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad comparisons rejected" true
+    (try
+       ignore (Kernel.threshold { Kernel.default with comparisons = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_kernel_g_vs_chi_agree () =
+  (* On the same healthy uniform data both tests accept; on grossly
+     biased data both reject. *)
+  let expected = Array.make 10 50. in
+  let uniform = Array.init 10 (fun i -> 48 + (i mod 3)) in
+  let biased = Array.init 10 (fun i -> if i = 0 then 300 else 22) in
+  let config = Kernel.default in
+  List.iter
+    (fun test ->
+      let ok = Kernel.goodness_of_fit config test ~expected ~observed:uniform in
+      Alcotest.(check bool)
+        (Kernel.test_name test ^ " accepts uniform")
+        true
+        (ok.Stats_math.p_value > 0.01);
+      let bad = Kernel.goodness_of_fit config test ~expected ~observed:biased in
+      Alcotest.(check bool)
+        (Kernel.test_name test ^ " rejects bias")
+        true
+        (bad.Stats_math.p_value < 1e-6))
+    [ Kernel.Chi_square; Kernel.G_test ]
+
+(* ------------------------------------------------------------------ *)
+(* Oracle exactness                                                    *)
+
+let test_oracle_matches_plan () =
+  let pair = small_pair ~z1:1. ~z2:2. () in
+  let oracle = Oracle.of_env (env_of pair) in
+  Alcotest.(check int) "size = exact |J|" (Zipf_tables.join_size pair) (Oracle.size oracle);
+  let universe = Oracle.universe oracle in
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (option int)) "cell lookup is the index" (Some i) (Oracle.cell oracle t))
+    universe;
+  let counts = Oracle.counter oracle in
+  Array.iter (Oracle.observe oracle counts) universe;
+  Array.iter (fun c -> Alcotest.(check int) "each tuple lands in its cell" 1 c) counts;
+  Alcotest.(check bool) "non-join tuple rejected" true
+    (try
+       Oracle.observe oracle counts (Tuple.of_ints [ 999; 999 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_oracle_expected_laws () =
+  let pair = small_pair ~z1:0. ~z2:0. () in
+  let oracle = Oracle.of_env (env_of pair) in
+  let n = Oracle.size oracle in
+  let sum a = Array.fold_left ( +. ) 0. a in
+  Alcotest.(check (float 1e-6)) "WR expectations sum to draws" 1000.
+    (sum (Oracle.wr_expected oracle ~draws:1000));
+  (* r >= |J|: every tuple is included in every trial. *)
+  let wor = Oracle.wor_expected oracle ~trials:50 ~r:(n + 10) in
+  Array.iter (fun e -> Alcotest.(check (float 1e-9)) "saturated WoR inclusion" 50. e) wor;
+  Alcotest.(check (float 1e-9)) "WoR marginal" (float_of_int (min 7 n) /. float_of_int n)
+    (Oracle.wor_inclusion oracle ~r:7);
+  Alcotest.(check (float 1e-6)) "CF expectations sum to trials*f*n"
+    (100. *. 0.25 *. float_of_int n)
+    (sum (Oracle.cf_expected oracle ~trials:100 ~f:0.25));
+  Alcotest.(check bool) "CF rejects f > 1" true
+    (try
+       ignore (Oracle.cf_expected oracle ~trials:1 ~f:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let chain_spec ?(seed = 0xC4A1) ~z () =
+  let mk i rows =
+    Zipf_tables.make ~seed:(seed + (31 * i)) ~name:(Printf.sprintf "c%d" i) ~rows ~z ~domain:5 ()
+  in
+  {
+    Chain_sample.relations = [| mk 0 24; mk 1 30; mk 2 36 |];
+    join_keys = [| (Zipf_tables.col2, Zipf_tables.col2); (Zipf_tables.col2, Zipf_tables.col2) |];
+  }
+
+let test_oracle_chain_matches_walker () =
+  let spec = chain_spec ~z:1. () in
+  let oracle = Oracle.of_chain spec in
+  let prepared = Chain_sample.prepare spec in
+  Alcotest.(check (float 0.5)) "chain |J| agrees with the weight tables"
+    (Chain_sample.join_size prepared)
+    (float_of_int (Oracle.size oracle));
+  (* Every walker draw is a member of the enumerated universe. *)
+  let rng = Prng.create ~seed:11 () in
+  let sample = Chain_sample.sample prepared rng ~r:100 () in
+  let counts = Oracle.counter oracle in
+  Array.iter (Oracle.observe oracle counts) sample
+(* observe raises if any draw is outside the enumerated chain join *)
+
+(* ------------------------------------------------------------------ *)
+(* Conformance gates for the sequential-only strategies (the parallel
+   suite covers Naive/Stream/Group/Count): each at two Zipf skews.     *)
+
+let sequential_conformance_strategies =
+  [ Strategy.Frequency_partition; Strategy.Hybrid_count; Strategy.Index_sample ]
+
+let two_skews = [ (0.5, 1.); (1., 2.) ]
+
+let test_sequential_strategies_conform () =
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun (z1, z2) ->
+          let pair = small_pair ~z1 ~z2 () in
+          let universe = Oracle.universe (Oracle.of_env (env_of pair)) in
+          let outcome =
+            Conformance.wr_uniformity ~trials:150 ~universe
+              ~draw:(fun ~attempt ->
+                let env = env_of ~seed:(0x51 + (97 * attempt)) pair in
+                fun () -> (Strategy.run env strategy ~r:16).Strategy.sample)
+              ()
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s z=(%g,%g) uniform over J (p=%.4f, attempts=%d)"
+               (Strategy.name strategy) z1 z2 outcome.Kernel.p_value outcome.Kernel.attempts)
+            true outcome.Kernel.passed)
+        two_skews)
+    sequential_conformance_strategies
+
+let test_chain_sample_conforms () =
+  List.iter
+    (fun z ->
+      let spec = chain_spec ~z () in
+      let universe = Oracle.universe (Oracle.of_chain spec) in
+      let prepared = Chain_sample.prepare spec in
+      let outcome =
+        Conformance.wr_uniformity ~trials:150 ~universe
+          ~draw:(fun ~attempt ->
+            let rng = Prng.create ~seed:(0xC4 + (97 * attempt)) () in
+            fun () -> Chain_sample.sample prepared rng ~r:16 ())
+          ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "chain walk z=%g uniform over J (p=%.4f, attempts=%d)" z
+           outcome.Kernel.p_value outcome.Kernel.attempts)
+        true outcome.Kernel.passed)
+    [ 0.5; 2. ]
+
+(* ------------------------------------------------------------------ *)
+(* Negative control: the kernel must have power, not just tolerance.   *)
+
+let test_biased_sampler_rejected () =
+  let pair = small_pair ~z1:1. ~z2:2. () in
+  let universe = Oracle.universe (Oracle.of_env (env_of pair)) in
+  let outcome =
+    Conformance.wr_uniformity ~trials:150 ~universe
+      ~draw:(fun ~attempt ->
+        let rng = Prng.create ~seed:(0xB1A5 + attempt) () in
+        fun () -> Negative.biased_wr_draw rng ~universe ~r:16)
+      ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "biased WR sampler rejected (p=%.2e)" outcome.Kernel.p_value)
+    false outcome.Kernel.passed;
+  Alcotest.(check int) "every attempt rejected" 3 outcome.Kernel.attempts
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end matrix runner (reduced matrix; the full 152-comparison
+   sweep runs under @conformance / rsj verify).                        *)
+
+let test_conformance_run_mini () =
+  let config =
+    { (Conformance.default_config ()) with Conformance.trials = 40; seed = 0x7357 }
+  in
+  let cells =
+    Conformance.matrix
+      ~strategies:[ Strategy.Stream; Strategy.Olken ]
+      ~skews:[ List.nth Conformance.default_skews 1 ]
+      ~domain_counts:[ 1; 2 ] ()
+  in
+  Alcotest.(check int) "2 strategies x 3 semantics x 1 skew x 2 domains" 12 (List.length cells);
+  let summary = Conformance.run ~config ~cells () in
+  Alcotest.(check int) "comparisons = cells + KS rows" 14 summary.Conformance.comparisons;
+  Alcotest.(check bool) "mini matrix passes and control is rejected" true
+    summary.Conformance.all_pass;
+  Alcotest.(check bool) "control rejected" false summary.Conformance.control.Kernel.passed;
+  let report = Conformance.report summary in
+  Alcotest.(check int) "one report row per comparison + control"
+    (summary.Conformance.comparisons + 1)
+    (List.length report.Rsj_harness.Report.rows);
+  (* Both renderers accept the table (arity check happens inside). *)
+  let csv = Rsj_harness.Report.to_csv report in
+  Alcotest.(check bool) "csv has header + rows" true
+    (List.length (String.split_on_char '\n' (String.trim csv))
+    = summary.Conformance.comparisons + 2)
+
+let test_conformance_deterministic () =
+  let config =
+    { (Conformance.default_config ()) with Conformance.trials = 30; seed = 42 }
+  in
+  let cells =
+    Conformance.matrix ~strategies:[ Strategy.Stream ]
+      ~skews:[ List.hd Conformance.default_skews ]
+      ~domain_counts:[ 2 ] ()
+  in
+  let s1 = Conformance.run ~config ~cells ~with_aggregates:false ~with_control:false () in
+  let s2 = Conformance.run ~config ~cells ~with_aggregates:false ~with_control:false () in
+  List.iter2
+    (fun (a : Conformance.cell_result) (b : Conformance.cell_result) ->
+      Alcotest.(check (float 0.)) "same p-value bit for bit" a.outcome.Kernel.p_value
+        b.outcome.Kernel.p_value;
+      Alcotest.(check int) "same draw count" a.draws b.draws)
+    s1.Conformance.results s2.Conformance.results
+
+let test_trials_env_knob () =
+  Alcotest.(check bool) "RSJ_CONF_TRIALS must parse" true
+    (try
+       Unix.putenv "RSJ_CONF_TRIALS" "not-a-number";
+       let r =
+         try
+           ignore (Conformance.default_config ());
+           false
+         with Invalid_argument _ -> true
+       in
+       Unix.putenv "RSJ_CONF_TRIALS" "";
+       r
+     with e ->
+       Unix.putenv "RSJ_CONF_TRIALS" "";
+       raise e)
+
+let suite =
+  [
+    Alcotest.test_case "kernel bucketing preserves totals" `Quick test_bucket_preserves_totals;
+    Alcotest.test_case "kernel bucketing collapses underfull" `Quick test_bucket_underfull_collapses;
+    Alcotest.test_case "kernel retry policy" `Quick test_kernel_retry_policy;
+    Alcotest.test_case "kernel Bonferroni threshold" `Quick test_kernel_threshold;
+    Alcotest.test_case "chi-square and G-test agree" `Quick test_kernel_g_vs_chi_agree;
+    Alcotest.test_case "oracle matches plan enumeration" `Quick test_oracle_matches_plan;
+    Alcotest.test_case "oracle expected-count laws" `Quick test_oracle_expected_laws;
+    Alcotest.test_case "oracle chain = walker weights" `Quick test_oracle_chain_matches_walker;
+    Alcotest.test_case "sequential strategies conform (2 skews)" `Slow
+      test_sequential_strategies_conform;
+    Alcotest.test_case "chain walker conforms (2 skews)" `Slow test_chain_sample_conforms;
+    Alcotest.test_case "biased sampler is rejected" `Slow test_biased_sampler_rejected;
+    Alcotest.test_case "matrix runner end to end" `Slow test_conformance_run_mini;
+    Alcotest.test_case "matrix runner is deterministic" `Quick test_conformance_deterministic;
+    Alcotest.test_case "RSJ_CONF_TRIALS validation" `Quick test_trials_env_knob;
+  ]

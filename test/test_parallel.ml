@@ -64,23 +64,35 @@ let test_parallel_emits_join_tuples () =
     parallel_strategies
 
 (* The headline equivalence: the parallel sample obeys the same uniform
-   law over J as the sequential one, at every domain count. *)
+   law over J as the sequential one, at every domain count. Runs on the
+   shared distribution-test kernel (bucketed chi-square, Bonferroni
+   threshold, seeded retries) instead of a hand-picked p cutoff. *)
 let test_parallel_uniform () =
-  let env = small_env () in
-  let universe = full_join env in
+  let pair = Zipf_tables.make_pair ~seed:0xAB ~n1:40 ~n2:80 ~z1:1. ~z2:2. ~domain:6 () in
+  let universe = full_join (small_env ()) in
+  let checks = List.length domain_counts * 2 in
   List.iter
     (fun s ->
       List.iter
         (fun d ->
-          let report =
-            Negative.uniformity_check ~trials:200 ~universe ~draw:(fun () ->
-                (Rsj_parallel.run env s ~r:20 ~domains:d).Strategy.sample)
+          let outcome =
+            Rsj_verify.Conformance.wr_uniformity
+              ~config:{ Rsj_verify.Kernel.default with comparisons = checks }
+              ~trials:200 ~universe
+              ~draw:(fun ~attempt ->
+                let env =
+                  Strategy.make_env
+                    ~seed:(0xAB + (97 * attempt))
+                    ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+                    ~right_key:Zipf_tables.col2 ()
+                in
+                fun () -> (Rsj_parallel.run env s ~r:20 ~domains:d).Strategy.sample)
+              ()
           in
           Alcotest.(check bool)
-            (Printf.sprintf "%s domains=%d uniform over J (p=%.5f, %d cells)" (Strategy.name s)
-               d report.chi_square.p_value report.cells)
-            true
-            (report.chi_square.p_value > 0.0005))
+            (Printf.sprintf "%s domains=%d uniform over J (p=%.5f, attempts=%d)" (Strategy.name s)
+               d outcome.Rsj_verify.Kernel.p_value outcome.Rsj_verify.Kernel.attempts)
+            true outcome.Rsj_verify.Kernel.passed)
         domain_counts)
     [ Strategy.Stream; Strategy.Group ]
 
@@ -164,20 +176,31 @@ let test_parallel_metrics_sum () =
 (* ------------------------------------------------------------------ *)
 (* Reservoir merges                                                    *)
 
+(* Degenerate r = 1 and saturated r = n reservoirs exercise different
+   merge branches than the mid-size case, so every law is checked at
+   all three. *)
+let merge_sizes ~n ~r = [ 1; r; n ]
+
 let test_wr_merge_mass_conservation () =
   let rng = Prng.create ~seed:3 () in
-  let a = Reservoir.Wr.create ~r:8 and b = Reservoir.Wr.create ~r:8 in
-  for i = 1 to 10 do
-    Reservoir.Wr.feed rng a ~weight:(float_of_int i) i
-  done;
-  for i = 11 to 25 do
-    Reservoir.Wr.feed rng b ~weight:2.5 i
-  done;
-  let m = Reservoir.Wr.merge rng a b in
-  Alcotest.(check int) "fed adds" 25 (Reservoir.Wr.fed_count m);
-  Alcotest.(check (float 1e-9)) "weight adds" (55. +. (15. *. 2.5))
-    (Reservoir.Wr.total_weight m);
-  Alcotest.(check int) "r slots" 8 (Array.length (Reservoir.Wr.contents m))
+  List.iter
+    (fun r ->
+      let a = Reservoir.Wr.create ~r and b = Reservoir.Wr.create ~r in
+      for i = 1 to 10 do
+        Reservoir.Wr.feed rng a ~weight:(float_of_int i) i
+      done;
+      for i = 11 to 25 do
+        Reservoir.Wr.feed rng b ~weight:2.5 i
+      done;
+      let m = Reservoir.Wr.merge rng a b in
+      Alcotest.(check int) (Printf.sprintf "r=%d fed adds" r) 25 (Reservoir.Wr.fed_count m);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "r=%d weight adds" r)
+        (55. +. (15. *. 2.5))
+        (Reservoir.Wr.total_weight m);
+      Alcotest.(check int) (Printf.sprintf "r=%d slots" r) r
+        (Array.length (Reservoir.Wr.contents m)))
+    (merge_sizes ~n:25 ~r:8)
 
 let test_wr_merge_empty_side () =
   let rng = Prng.create ~seed:4 () in
@@ -212,24 +235,28 @@ let test_wr_merge_mismatched_r () =
 
 let test_wr_merge_slot_law () =
   (* A carries 3x B's mass: merged slots should come from A with
-     probability 0.75. 400 trials x 10 slots, 3-sigma tolerance. *)
+     probability 0.75, at every reservoir size (n = 2 elements fed in
+     total). 400 trials x r slots, 3.5-sigma tolerance per size. *)
   let rng = Prng.create ~seed:7 () in
-  let trials = 400 and r = 10 in
-  let from_a = ref 0 in
-  for _ = 1 to trials do
-    let a = Reservoir.Wr.create ~r and b = Reservoir.Wr.create ~r in
-    Reservoir.Wr.feed rng a ~weight:3. 1;
-    Reservoir.Wr.feed rng b ~weight:1. 2;
-    let m = Reservoir.Wr.merge rng a b in
-    Array.iter (fun x -> if x = 1 then incr from_a) (Reservoir.Wr.contents m)
-  done;
-  let n = float_of_int (trials * r) in
-  let phat = float_of_int !from_a /. n in
-  let sigma = sqrt (0.75 *. 0.25 /. n) in
-  Alcotest.(check bool)
-    (Printf.sprintf "slot law: %.4f ~ 0.75" phat)
-    true
-    (Float.abs (phat -. 0.75) < 3. *. sigma)
+  let trials = 400 in
+  List.iter
+    (fun r ->
+      let from_a = ref 0 in
+      for _ = 1 to trials do
+        let a = Reservoir.Wr.create ~r and b = Reservoir.Wr.create ~r in
+        Reservoir.Wr.feed rng a ~weight:3. 1;
+        Reservoir.Wr.feed rng b ~weight:1. 2;
+        let m = Reservoir.Wr.merge rng a b in
+        Array.iter (fun x -> if x = 1 then incr from_a) (Reservoir.Wr.contents m)
+      done;
+      let n = float_of_int (trials * r) in
+      let phat = float_of_int !from_a /. n in
+      let sigma = sqrt (0.75 *. 0.25 /. n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "slot law r=%d: %.4f ~ 0.75" r phat)
+        true
+        (Float.abs (phat -. 0.75) < 3.5 *. sigma))
+    (merge_sizes ~n:2 ~r:10)
 
 let test_unit_merge () =
   let rng = Prng.create ~seed:8 () in
@@ -259,20 +286,27 @@ let test_unit_merge () =
 let test_wor_merge_invariants () =
   let rng = Prng.create ~seed:9 () in
   (* Disjoint sides: the merged WoR sample must stay duplicate-free and
-     hold min(r, fed) elements. *)
-  let a = Reservoir.Wor.create ~r:6 and b = Reservoir.Wor.create ~r:6 in
-  for i = 1 to 4 do
-    Reservoir.Wor.feed rng a i
-  done;
-  for i = 100 to 120 do
-    Reservoir.Wor.feed rng b i
-  done;
-  let m = Reservoir.Wor.merge rng a b in
-  let c = Reservoir.Wor.contents m in
-  Alcotest.(check int) "min(r, fed) elements" 6 (Array.length c);
-  Alcotest.(check int) "fed adds" 25 (Reservoir.Wor.fed_count m);
-  let distinct = List.sort_uniq compare (Array.to_list c) in
-  Alcotest.(check int) "no duplicates" 6 (List.length distinct);
+     hold min(r, fed) elements — at r = 1, the working size and r = n. *)
+  List.iter
+    (fun r ->
+      let a = Reservoir.Wor.create ~r and b = Reservoir.Wor.create ~r in
+      for i = 1 to 4 do
+        Reservoir.Wor.feed rng a i
+      done;
+      for i = 100 to 120 do
+        Reservoir.Wor.feed rng b i
+      done;
+      let m = Reservoir.Wor.merge rng a b in
+      let c = Reservoir.Wor.contents m in
+      Alcotest.(check int)
+        (Printf.sprintf "r=%d: min(r, fed) elements" r)
+        (min r 25) (Array.length c);
+      Alcotest.(check int) (Printf.sprintf "r=%d: fed adds" r) 25 (Reservoir.Wor.fed_count m);
+      let distinct = List.sort_uniq compare (Array.to_list c) in
+      Alcotest.(check int)
+        (Printf.sprintf "r=%d: no duplicates" r)
+        (min r 25) (List.length distinct))
+    (merge_sizes ~n:25 ~r:6);
   (* Underfull merge: 2 + 3 fed with r = 10 keeps everything. *)
   let a = Reservoir.Wor.create ~r:10 and b = Reservoir.Wor.create ~r:10 in
   List.iter (fun x -> Reservoir.Wor.feed rng a x) [ 1; 2 ];
@@ -287,28 +321,37 @@ let test_wor_merge_invariants () =
   Alcotest.(check int) "both empty" 0 (Array.length (Reservoir.Wor.contents e))
 
 let test_wor_merge_membership_law () =
-  (* Merge of 5-fed + 5-fed at r = 4: each of the 10 elements belongs
-     to the merged sample with probability 4/10. Check element 1. *)
+  (* Merge of 5-fed + 5-fed at size r: each of the 10 elements belongs
+     to the merged sample with probability min(r,10)/10. Check element
+     1 at r = 1 (rare), r = 4 and r = n = 10 (certain). *)
   let rng = Prng.create ~seed:10 () in
   let trials = 600 in
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    let a = Reservoir.Wor.create ~r:4 and b = Reservoir.Wor.create ~r:4 in
-    for i = 1 to 5 do
-      Reservoir.Wor.feed rng a i
-    done;
-    for i = 6 to 10 do
-      Reservoir.Wor.feed rng b i
-    done;
-    let m = Reservoir.Wor.merge rng a b in
-    if Array.exists (fun x -> x = 1) (Reservoir.Wor.contents m) then incr hits
-  done;
-  let phat = float_of_int !hits /. float_of_int trials in
-  let sigma = sqrt (0.4 *. 0.6 /. float_of_int trials) in
-  Alcotest.(check bool)
-    (Printf.sprintf "membership: %.4f ~ 0.4" phat)
-    true
-    (Float.abs (phat -. 0.4) < 3.5 *. sigma)
+  List.iter
+    (fun r ->
+      let p = float_of_int (min r 10) /. 10. in
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        let a = Reservoir.Wor.create ~r and b = Reservoir.Wor.create ~r in
+        for i = 1 to 5 do
+          Reservoir.Wor.feed rng a i
+        done;
+        for i = 6 to 10 do
+          Reservoir.Wor.feed rng b i
+        done;
+        let m = Reservoir.Wor.merge rng a b in
+        if Array.exists (fun x -> x = 1) (Reservoir.Wor.contents m) then incr hits
+      done;
+      let phat = float_of_int !hits /. float_of_int trials in
+      if p = 1. then
+        Alcotest.(check int) "r=n keeps every element" trials !hits
+      else begin
+        let sigma = sqrt (p *. (1. -. p) /. float_of_int trials) in
+        Alcotest.(check bool)
+          (Printf.sprintf "membership r=%d: %.4f ~ %.1f" r phat p)
+          true
+          (Float.abs (phat -. p) < 3.5 *. sigma)
+      end)
+    (merge_sizes ~n:10 ~r:4)
 
 (* ------------------------------------------------------------------ *)
 (* split_n                                                             *)

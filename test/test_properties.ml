@@ -78,6 +78,65 @@ let prop_wor_to_wr_members =
       let out = Convert.wor_to_wr rng ~r:12 (Array.of_list sample) in
       Array.length out = 12 && Array.for_all (fun x -> List.mem x sample) out)
 
+(* Round trips across semantics (§3 observations 1–3): converting away
+   and back must land on the contracted sample size. All randomness is
+   derived from the generated seed, so every counterexample replays. *)
+
+let prop_convert_wr_wor_wr_roundtrip =
+  QCheck.Test.make ~name:"wor_to_wr (wr_to_wor s) restores exactly r members of s" ~count:300
+    QCheck.(pair small_nat (pair (int_range 1 10) (int_range 1 50)))
+    (fun (seed, (r, n)) ->
+      let rng = prng_of_int seed in
+      (* A WR sample over universe [0, n): 4r draws so that r distinct
+         elements are usually available. *)
+      let wr = Array.init (4 * r) (fun _ -> Rsj_util.Prng.int rng n) in
+      let wor = Convert.wr_to_wor rng ~r wr in
+      let back = Convert.wor_to_wr rng ~r wor in
+      Array.length wor <= r
+      && Array.length back = r
+      && Array.for_all (fun x -> Array.exists (( = ) x) wor) back
+      && Array.for_all (fun x -> Array.exists (( = ) x) wr) wor)
+
+let prop_convert_cf_to_wor_size =
+  QCheck.Test.make ~name:"cf_to_wor is exactly r members, or None when short" ~count:300
+    QCheck.(pair small_nat (pair (int_range 0 15) (int_range 0 25)))
+    (fun (seed, (r, n)) ->
+      let rng = prng_of_int seed in
+      let cf = Array.init n Fun.id in
+      match Convert.cf_to_wor rng ~r cf with
+      | Some out ->
+          n >= r
+          && Array.length out = r
+          && List.sort_uniq compare (Array.to_list out) |> List.length = r
+          && Array.for_all (fun x -> x >= 0 && x < n) out
+      | None -> n < r)
+
+let prop_convert_cf_oversample_preserves_size =
+  QCheck.Test.make
+    ~name:"cf oversample fraction yields >= f*n expected elements (and a usable WoR cut)"
+    ~count:120
+    QCheck.(pair small_nat (pair (int_range 40 200) (int_range 1 9)))
+    (fun (seed, (n, f10)) ->
+      let f = float_of_int f10 /. 20. in
+      let rng = prng_of_int seed in
+      let f' = Convert.cf_oversample_fraction ~f ~n ~failure_prob:1e-9 () in
+      let r = int_of_float (Float.round (f *. float_of_int n)) in
+      (* Simulate the inflated CF pass: per-element coin at f'. The
+         Chernoff bound makes a short sample (None below) a
+         1-in-1e9 event, far beyond what 120 seeded cases can hit. *)
+      let cf =
+        Array.to_list (Array.init n Fun.id)
+        |> List.filter (fun _ -> Rsj_util.Prng.float rng 1. < f')
+        |> Array.of_list
+      in
+      let expected_size = Semantics.expected_size Semantics.CF ~n ~f:f' in
+      f' >= f && f' <= 1.
+      && expected_size >= f *. float_of_int n
+      &&
+      match Convert.cf_to_wor rng ~r cf with
+      | Some out -> Array.length out = r
+      | None -> false)
+
 (* ---------- streams ---------- *)
 
 let prop_stream_map_compose =
@@ -237,6 +296,9 @@ let suite =
       prop_coin_flip_subset;
       prop_wr_to_wor_distinct;
       prop_wor_to_wr_members;
+      prop_convert_wr_wor_wr_roundtrip;
+      prop_convert_cf_to_wor_size;
+      prop_convert_cf_oversample_preserves_size;
       prop_stream_map_compose;
       prop_stream_take_append;
       prop_stream_filter_length;

@@ -83,6 +83,46 @@ let test_chi_square_test_mismatch () =
     (Invalid_argument "Stats_math.chi_square_test: length mismatch") (fun () ->
       ignore (Stats_math.chi_square_test ~expected:[| 1. |] ~observed:[| 1; 2 |]))
 
+let test_g_test_tracks_chi_square () =
+  (* On moderate deviations the likelihood-ratio statistic is close to
+     Pearson's; both accept uniform data and reject gross bias. *)
+  let expected = Array.make 5 100. in
+  let ok = Stats_math.g_test ~expected ~observed:[| 98; 103; 99; 101; 99 |] in
+  Alcotest.(check bool) "uniform accepted" true (ok.Stats_math.p_value > 0.5);
+  Alcotest.(check int) "dof" 4 ok.Stats_math.dof;
+  let bad = Stats_math.g_test ~expected ~observed:[| 300; 50; 50; 50; 50 |] in
+  Alcotest.(check bool) "bias rejected" true (bad.Stats_math.p_value < 1e-10);
+  let chi = Stats_math.chi_square_test ~expected ~observed:[| 98; 103; 99; 101; 99 |] in
+  Alcotest.(check bool) "G ~ Pearson on mild data" true
+    (Float.abs (ok.Stats_math.statistic -. chi.Stats_math.statistic) < 0.05)
+
+let test_normal_sf_known () =
+  Alcotest.(check (float 1e-12)) "sf 0 = 1/2" 0.5 (Stats_math.normal_sf 0.);
+  Alcotest.(check (float 1e-4)) "sf 1.96" 0.025 (Stats_math.normal_sf 1.96);
+  Alcotest.(check (float 1e-4)) "sf -1.96" 0.975 (Stats_math.normal_sf (-1.96));
+  Alcotest.(check (float 1e-9)) "complement" 1.
+    (Stats_math.normal_sf 0.7 +. Stats_math.normal_sf (-0.7))
+
+let test_kolmogorov_sf_known () =
+  (* Classical table values of the Kolmogorov distribution. *)
+  Alcotest.(check (float 1e-3)) "sf 0.5" 0.9639 (Stats_math.kolmogorov_sf 0.5);
+  Alcotest.(check (float 1e-4)) "sf 1.0" 0.2700 (Stats_math.kolmogorov_sf 1.0);
+  Alcotest.(check (float 1e-4)) "sf 2.0" 0.00067 (Stats_math.kolmogorov_sf 2.0);
+  Alcotest.(check (float 1e-12)) "sf 0 = 1" 1. (Stats_math.kolmogorov_sf 0.)
+
+let test_ks_test_behaviour () =
+  (* An evenly spread sample against the uniform CDF passes; the same
+     sample against a badly shifted CDF fails. *)
+  let samples = Array.init 100 (fun i -> (float_of_int i +. 0.5) /. 100.) in
+  let uniform = Stats_math.ks_test ~cdf:(fun x -> Float.max 0. (Float.min 1. x)) ~samples in
+  Alcotest.(check bool) "uniform sample accepted" true (uniform.Stats_math.ks_p_value > 0.9);
+  Alcotest.(check int) "n recorded" 100 uniform.Stats_math.n;
+  let shifted = Stats_math.ks_test ~cdf:(fun x -> Float.max 0. (Float.min 1. (x ** 3.))) ~samples in
+  Alcotest.(check bool) "shifted CDF rejected" true (shifted.Stats_math.ks_p_value < 1e-6);
+  Alcotest.check_raises "empty sample rejected"
+    (Invalid_argument "Stats_math.ks_test: no samples") (fun () ->
+      ignore (Stats_math.ks_test ~cdf:Fun.id ~samples:[||]))
+
 let test_descriptive_stats () =
   let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
   feq "mean" 5. (Stats_math.mean a);
@@ -118,6 +158,10 @@ let suite =
     Alcotest.test_case "chi-square extreme misfit" `Quick test_chi_square_test_extreme_misfit;
     Alcotest.test_case "chi-square zero-expectation cells" `Quick test_chi_square_test_zero_cells;
     Alcotest.test_case "chi-square length mismatch" `Quick test_chi_square_test_mismatch;
+    Alcotest.test_case "G-test tracks Pearson" `Quick test_g_test_tracks_chi_square;
+    Alcotest.test_case "normal survival function" `Quick test_normal_sf_known;
+    Alcotest.test_case "Kolmogorov survival function" `Quick test_kolmogorov_sf_known;
+    Alcotest.test_case "one-sample KS test" `Quick test_ks_test_behaviour;
     Alcotest.test_case "mean / variance" `Quick test_descriptive_stats;
     Alcotest.test_case "median / percentile" `Quick test_median_percentile;
     Alcotest.test_case "percentile leaves input intact" `Quick test_percentile_does_not_mutate;
