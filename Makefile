@@ -12,10 +12,14 @@
 #                      (default 1_000_000)
 #   RSJ_SKIP_MICRO=1   skip the bechamel micro-benchmarks
 #   RSJ_SKIP_PAPER=1   skip the paper-harness figures
+#   RSJ_ONLY_PARALLEL=1  run only the parallel/* benches
 #   RSJ_CONF_TRIALS    samples per conformance cell (default 60;
 #                      raise for a deep statistical sweep)
+#   RSJ_DOMAINS        comma list of domain counts the parallel test
+#                      suite exercises (default 1,2,4)
+#   RSJ_CHUNK_SIZE     chunk-queue scheduler chunk size override
 
-.PHONY: all build check test smoke bench conformance clean
+.PHONY: all build check test smoke bench bench-parallel conformance clean
 
 all: build
 
@@ -44,6 +48,15 @@ conformance:
 # with the knobs above.
 bench:
 	dune exec bench/main.exe
+
+# bench-parallel = the parallel runtime on its own: the equivalence
+# tests at RSJ_DOMAINS ∈ {1, 2, 4} (@parallel-equiv), then only the
+# parallel/* bechamel benches — per-strategy runs at d ∈ {1, 2, 4}
+# plus the static-shards-vs-chunk-queue skew comparison. Speedups
+# need real spare cores; on a single-core host expect overhead.
+bench-parallel:
+	dune build @parallel-equiv
+	RSJ_ONLY_PARALLEL=1 dune exec bench/main.exe
 
 clean:
 	dune clean

@@ -14,8 +14,10 @@
    Environment knobs: RSJ_N1, RSJ_N2, RSJ_DOMAIN, RSJ_SCALE, RSJ_SEED,
    RSJ_REPS (paper harness); RSJ_BENCH_QUOTA (seconds per bechamel
    test, default 0.5); RSJ_PAR_N1 (outer-relation size of the
-   parallel/* benches, default 1,000,000); RSJ_SKIP_MICRO=1 to skip
-   layer 2; RSJ_SKIP_PAPER=1 to skip layer 1. *)
+   parallel/* benches, default 1,000,000); RSJ_CHUNK_SIZE (scheduler
+   chunk size override, see Rsj_parallel); RSJ_SKIP_MICRO=1 to skip
+   layer 2; RSJ_SKIP_PAPER=1 to skip layer 1; RSJ_ONLY_PARALLEL=1 to
+   run only the parallel/* benches (what `make bench-parallel` sets). *)
 
 open Bechamel
 open Toolkit
@@ -129,20 +131,36 @@ let parallel_tests () =
     | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> 1_000_000)
     | None -> 1_000_000
   in
-  let pair =
-    Zipf_tables.make_pair ~seed:42 ~n1 ~n2:(max 1 (n1 / 4)) ~z1:0. ~z2:0. ~domain:1_000 ()
+  let make_env ?histogram_fraction ~z1 ~z2 () =
+    let pair =
+      Zipf_tables.make_pair ~seed:42 ~n1 ~n2:(max 1 (n1 / 4)) ~z1 ~z2 ~domain:1_000 ()
+    in
+    let env =
+      Strategy.make_env ~seed:42 ?histogram_fraction ~left:pair.outer ~right:pair.inner
+        ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
+    in
+    ignore (Strategy.env_right_index env);
+    ignore (Strategy.env_right_stats env);
+    ignore (Strategy.env_histogram env);
+    (pair, env)
   in
-  let env =
-    Strategy.make_env ~seed:42 ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
-      ~right_key:Zipf_tables.col2 ()
-  in
-  ignore (Strategy.env_right_index env);
-  ignore (Strategy.env_right_stats env);
+  let pair, env = make_env ~z1:0. ~z2:0. () in
+  (* The partition strategies (and Olken's acceptance rate) are built
+     for skew — at z = (0,0) almost every join value is low-frequency,
+     so FPS/Index/Hybrid degenerate to scanning nearly the whole join.
+     Bench them at z = (2,3), the same cell the figB/figE micro benches
+     use, with a 0.5% statistics threshold (the paper's figF sweeps
+     this knob): at this scale the default 5% keeps only two values,
+     leaving a multi-million-tuple lo-side join; at 0.5% the histogram
+     captures the heavy values and the lo side is the designed light
+     tail. *)
+  let _, env_skew = make_env ~histogram_fraction:0.005 ~z1:2. ~z2:3. () in
   let r = max 1 (n1 / 100) in
-  let stream_bench d =
+  let strategy_bench tag strategy d =
+    let e, ztag = if tag = "stream" then (env, "z00") else (env_skew, "z23") in
     Test.make
-      ~name:(Printf.sprintf "parallel/stream-z00-d%d" d)
-      (Staged.stage (fun () -> ignore (Rsj_parallel.run env Strategy.Stream ~r ~domains:d)))
+      ~name:(Printf.sprintf "parallel/%s-%s-d%d" tag ztag d)
+      (Staged.stage (fun () -> ignore (Rsj_parallel.run e strategy ~r ~domains:d)))
   in
   let index_bench d =
     Test.make
@@ -150,9 +168,66 @@ let parallel_tests () =
       (Staged.stage (fun () ->
            ignore (Rsj_index.Hash_index.build_parallel pair.inner ~key:Zipf_tables.col2 ~domains:d)))
   in
-  [ stream_bench 1; stream_bench 2; stream_bench 4; index_bench 1; index_bench 4 ]
+  (* Skew-rebalance comparison: R2 is Zipf z=2 and R1 is sorted so its
+     heavy join keys (largest m2) cluster in the leading chunks — the
+     per-tuple cost of Naive's scan is proportional to m2(v), so a
+     static one-shard-per-domain split strands nearly all the join
+     output on domain 0 while the chunk queue lets finished domains
+     claim the remaining heavy chunks. Static sharding is reproduced by
+     pinning [chunk_size] to ceil(n/domains). *)
+  let skew_tests =
+    let sn1 = max 1 (n1 / 10) in
+    let spair =
+      Zipf_tables.make_pair ~seed:43 ~n1:sn1 ~n2:(max 1 (sn1 / 2)) ~z1:0. ~z2:2. ~domain:1_000 ()
+    in
+    let m2 = Hashtbl.create 1_024 in
+    Rsj_relation.Relation.iter spair.inner (fun t ->
+        let v = Rsj_relation.Tuple.attr t Zipf_tables.col2 in
+        let n = try Hashtbl.find m2 v with Not_found -> 0 in
+        Hashtbl.replace m2 v (n + 1));
+    let weight t =
+      let v = Rsj_relation.Tuple.attr t Zipf_tables.col2 in
+      try Hashtbl.find m2 v with Not_found -> 0
+    in
+    let rows = Rsj_relation.Relation.to_array spair.outer in
+    Array.sort (fun a b -> compare (weight b) (weight a)) rows;
+    let sorted =
+      Rsj_relation.Relation.of_tuples ~name:"outer-heavy-first"
+        (Rsj_relation.Relation.schema spair.outer)
+        (Array.to_list rows)
+    in
+    let senv =
+      Strategy.make_env ~seed:42 ~left:sorted ~right:spair.inner ~left_key:Zipf_tables.col2
+        ~right_key:Zipf_tables.col2 ()
+    in
+    let sr = max 1 (sn1 / 100) in
+    let domains = 4 in
+    let static_chunk = (sn1 + domains - 1) / domains in
+    [
+      Test.make ~name:"parallel/skew-naive-static-d4"
+        (Staged.stage (fun () ->
+             ignore
+               (Rsj_parallel.run ~chunk_size:static_chunk senv Strategy.Naive ~r:sr ~domains)));
+      Test.make ~name:"parallel/skew-naive-chunkq-d4"
+        (Staged.stage (fun () -> ignore (Rsj_parallel.run senv Strategy.Naive ~r:sr ~domains)));
+    ]
+  in
+  List.concat
+    [
+      List.concat_map
+        (fun (tag, strategy) -> List.map (strategy_bench tag strategy) [ 1; 2; 4 ])
+        [
+          ("stream", Strategy.Stream);
+          ("olken", Strategy.Olken);
+          ("fps", Strategy.Frequency_partition);
+          ("index", Strategy.Index_sample);
+          ("hybrid", Strategy.Hybrid_count);
+        ];
+      [ index_bench 1; index_bench 4 ];
+      skew_tests;
+    ]
 
-let run_micro () =
+let run_micro tests =
   let quota =
     match Sys.getenv_opt "RSJ_BENCH_QUOTA" with
     | Some s -> ( match float_of_string_opt s with Some q when q > 0. -> q | _ -> 0.5)
@@ -174,9 +249,12 @@ let run_micro () =
           in
           Printf.printf "  %-36s %14.1f ns/run\n%!" name est)
         tbl)
-    (micro_tests () @ parallel_tests ())
+    tests
 
 let () =
-  let skip name = Sys.getenv_opt name = Some "1" in
-  if not (skip "RSJ_SKIP_PAPER") then Rsj_harness.Experiments.run_all Format.std_formatter;
-  if not (skip "RSJ_SKIP_MICRO") then run_micro ()
+  let on name = Sys.getenv_opt name = Some "1" in
+  if on "RSJ_ONLY_PARALLEL" then run_micro (parallel_tests ())
+  else begin
+    if not (on "RSJ_SKIP_PAPER") then Rsj_harness.Experiments.run_all Format.std_formatter;
+    if not (on "RSJ_SKIP_MICRO") then run_micro (micro_tests () @ parallel_tests ())
+  end

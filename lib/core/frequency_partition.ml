@@ -1,7 +1,6 @@
 open Rsj_relation
 open Rsj_exec
 module End_biased = Rsj_stats.Histogram.End_biased
-module Vtbl = Internals.Vtbl
 
 type detail = { n_hi : int; n_lo : int; r_hi : int; r_lo : int }
 
@@ -11,48 +10,16 @@ let sample rng ~metrics ~r ~left ~left_key ~right ~right_key ~histogram =
      Naive-Sample — the saving comes from probing it with S1 instead of
      all of Rhi1. *)
   let tbl = Internals.build_join_hash metrics right ~right_key in
-  (* Single pass over R1 (step 2): low-frequency tuples flow straight
-     into the Jlo side of the join; high-frequency tuples are filtered
-     through the weighted reservoir, collecting Rhi1 frequency
-     statistics on the way. *)
-  let s1_res = Reservoir.Wr.create ~r in
-  let m1_hi : int ref Vtbl.t = Vtbl.create 64 in
-  let jlo_res = Reservoir.Wr.create ~r in
-  let n_lo = ref 0 in
+  let frequency = End_biased.frequency histogram in
+  (* Single pass over R1 (step 2): hi/lo routing through the shared
+     accumulator (Internals.Partition). *)
+  let acc = Internals.Partition.create ~r in
+  let lo_matches _metrics v = Internals.hash_matches tbl v in
   Stream0.iter
-    (fun t1 ->
-      let v = Tuple.attr t1 left_key in
-      if Value.is_null v then ()
-      else begin
-        metrics.stats_lookups <- metrics.stats_lookups + 1;
-        match End_biased.frequency histogram v with
-        | Some m2v ->
-            (* High-frequency side: weight by m2(v) from the histogram. *)
-            Reservoir.Wr.feed rng s1_res ~weight:(float_of_int m2v) t1;
-            (match Vtbl.find_opt m1_hi v with
-            | Some cell -> incr cell
-            | None -> Vtbl.replace m1_hi v (ref 1))
-        | None ->
-            (* Low-frequency side: Naive — join immediately, stream the
-               output through the unweighted WR reservoir (U2). *)
-            let matches = Internals.hash_matches tbl v in
-            Array.iter
-              (fun t2 ->
-                metrics.join_output_tuples <- metrics.join_output_tuples + 1;
-                incr n_lo;
-                Reservoir.Wr.feed rng jlo_res ~weight:1. (Tuple.join t1 t2))
-              matches
-      end)
+    (fun t1 -> Internals.Partition.route rng metrics acc ~left_key ~frequency ~lo_matches t1)
     left;
-  (* Exact |Jhi| from the collected Rhi1 statistics and the histogram. *)
-  let n_hi =
-    Vtbl.fold
-      (fun v m1v acc ->
-        match End_biased.frequency histogram v with
-        | Some m2v -> acc + (!m1v * m2v)
-        | None -> acc)
-      m1_hi 0
-  in
+  let n_hi = Internals.Partition.n_hi acc ~frequency in
+  let n_lo = Internals.Partition.n_lo acc in
   (* Group-Sample the high side: join S1 with R2hi through the same
      hash table, one uniform pick per S1 slot (step 4). The counter
      charges the full group size — the S1 ⋈ R2hi intermediate the
@@ -61,22 +28,11 @@ let sample rng ~metrics ~r ~left ~left_key ~right ~right_key ~histogram =
      the shared hash bucket, so wall-clock scales with r while the
      work model reports the paper-faithful intermediate. The benches
      report both. *)
-  let s1 = Reservoir.Wr.contents s1_res in
+  let s1 = Internals.Partition.s1 acc in
   let hi_pool =
-    Array.map
-      (fun t1 ->
-        let v = Tuple.attr t1 left_key in
-        let matches = Internals.hash_matches tbl v in
-        if Array.length matches = 0 then
-          failwith
-            "Frequency_partition.sample: sampled hi tuple has no match in R2 (stale histogram?)"
-        else begin
-          metrics.join_output_tuples <- metrics.join_output_tuples + Array.length matches;
-          Tuple.join t1 (Rsj_util.Prng.pick rng matches)
-        end)
-      s1
+    Internals.fps_hi_pick rng metrics ~matches:(Internals.hash_matches tbl) ~left_key s1
   in
-  let lo_pool = Reservoir.Wr.contents jlo_res in
-  let out, r_hi, r_lo = Internals.binomial_combine rng ~r ~n_hi ~n_lo:!n_lo ~hi_pool ~lo_pool in
+  let lo_pool = Internals.Partition.lo_pool acc in
+  let out, r_hi, r_lo = Internals.binomial_combine rng ~r ~n_hi ~n_lo ~hi_pool ~lo_pool in
   metrics.output_tuples <- metrics.output_tuples + Array.length out;
-  (out, { n_hi; n_lo = !n_lo; r_hi; r_lo })
+  (out, { n_hi; n_lo; r_hi; r_lo })

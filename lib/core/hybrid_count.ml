@@ -1,60 +1,33 @@
 open Rsj_relation
 open Rsj_exec
 module End_biased = Rsj_stats.Histogram.End_biased
-module Vtbl = Internals.Vtbl
 
 let sample rng ~metrics ~r ~left ~left_key ~right ~right_key ~histogram =
   let open Metrics in
   (* Scan 1 of R2: hash only the low-frequency tuples (the high side
      never joins through the hash). *)
-  let is_low v = Option.is_none (End_biased.frequency histogram v) in
+  let frequency = End_biased.frequency histogram in
+  let is_low v = Option.is_none (frequency v) in
   let tbl = Internals.build_join_hash ~keep:is_low metrics right ~right_key in
-  (* Pass over R1: route by the histogram, as in Frequency-Partition. *)
-  let s1_res = Reservoir.Wr.create ~r in
-  let m1_hi : int ref Vtbl.t = Vtbl.create 64 in
-  let jlo_res = Reservoir.Wr.create ~r in
-  let n_lo = ref 0 in
+  (* Pass over R1: hi/lo routing through the shared accumulator, as in
+     Frequency-Partition. *)
+  let acc = Internals.Partition.create ~r in
+  let lo_matches _metrics v = Internals.hash_matches tbl v in
   Stream0.iter
-    (fun t1 ->
-      let v = Tuple.attr t1 left_key in
-      if Value.is_null v then ()
-      else begin
-        metrics.stats_lookups <- metrics.stats_lookups + 1;
-        match End_biased.frequency histogram v with
-        | Some m2v ->
-            Reservoir.Wr.feed rng s1_res ~weight:(float_of_int m2v) t1;
-            (match Vtbl.find_opt m1_hi v with
-            | Some cell -> incr cell
-            | None -> Vtbl.replace m1_hi v (ref 1))
-        | None ->
-            let matches = Internals.hash_matches tbl v in
-            Array.iter
-              (fun t2 ->
-                metrics.join_output_tuples <- metrics.join_output_tuples + 1;
-                incr n_lo;
-                Reservoir.Wr.feed rng jlo_res ~weight:1. (Tuple.join t1 t2))
-              matches
-      end)
+    (fun t1 -> Internals.Partition.route rng metrics acc ~left_key ~frequency ~lo_matches t1)
     left;
-  let n_hi =
-    Vtbl.fold
-      (fun v m1v acc ->
-        match End_biased.frequency histogram v with
-        | Some m2v -> acc + (!m1v * m2v)
-        | None -> acc)
-      m1_hi 0
-  in
+  let n_hi = Internals.Partition.n_hi acc ~frequency in
+  let n_lo = Internals.Partition.n_lo acc in
   (* Scan 2 of R2: Count-Sample the high side (populations from the
      histogram; low values are absent from the S1 groups so the engine
      skips them). *)
-  let s1 = Reservoir.Wr.contents s1_res in
+  let s1 = Internals.Partition.s1 acc in
   let hi_pool =
     Internals.count_sample_scan rng metrics ~strategy:"Hybrid_count.sample" ~s1 ~left_key ~right
       ~right_key
-      ~population:(fun v ->
-        match End_biased.frequency histogram v with Some m2v -> m2v | None -> 0)
+      ~population:(fun v -> match frequency v with Some m2v -> m2v | None -> 0)
   in
-  let lo_pool = Reservoir.Wr.contents jlo_res in
-  let out, r_hi, r_lo = Internals.binomial_combine rng ~r ~n_hi ~n_lo:!n_lo ~hi_pool ~lo_pool in
+  let lo_pool = Internals.Partition.lo_pool acc in
+  let out, r_hi, r_lo = Internals.binomial_combine rng ~r ~n_hi ~n_lo ~hi_pool ~lo_pool in
   metrics.output_tuples <- metrics.output_tuples + Array.length out;
-  (out, { Frequency_partition.n_hi; n_lo = !n_lo; r_hi; r_lo })
+  (out, { Frequency_partition.n_hi; n_lo; r_hi; r_lo })

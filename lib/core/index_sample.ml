@@ -2,62 +2,27 @@ open Rsj_relation
 open Rsj_exec
 module End_biased = Rsj_stats.Histogram.End_biased
 module Hash_index = Rsj_index.Hash_index
-module Vtbl = Internals.Vtbl
 
 let sample rng ~metrics ~r ~left ~left_key ~right_index ~histogram =
   let open Metrics in
-  let s1_res = Reservoir.Wr.create ~r in
-  let m1_hi : int ref Vtbl.t = Vtbl.create 64 in
-  let jlo_res = Reservoir.Wr.create ~r in
-  let n_lo = ref 0 in
+  let frequency = End_biased.frequency histogram in
+  (* Pass over R1: hi/lo routing through the shared accumulator; low
+     values resolve their matches through the R2 index instead of a
+     per-run hash table. *)
+  let acc = Internals.Partition.create ~r in
+  let lo_matches (m : Metrics.t) v =
+    m.index_probes <- m.index_probes + 1;
+    Hash_index.matching_tuples right_index v
+  in
   Stream0.iter
-    (fun t1 ->
-      let v = Tuple.attr t1 left_key in
-      if Value.is_null v then ()
-      else begin
-        metrics.stats_lookups <- metrics.stats_lookups + 1;
-        match End_biased.frequency histogram v with
-        | Some m2v ->
-            Reservoir.Wr.feed rng s1_res ~weight:(float_of_int m2v) t1;
-            (match Vtbl.find_opt m1_hi v with
-            | Some cell -> incr cell
-            | None -> Vtbl.replace m1_hi v (ref 1))
-        | None ->
-            metrics.index_probes <- metrics.index_probes + 1;
-            let matches = Hash_index.matching_tuples right_index v in
-            Array.iter
-              (fun t2 ->
-                metrics.join_output_tuples <- metrics.join_output_tuples + 1;
-                incr n_lo;
-                Reservoir.Wr.feed rng jlo_res ~weight:1. (Tuple.join t1 t2))
-              matches
-      end)
+    (fun t1 -> Internals.Partition.route rng metrics acc ~left_key ~frequency ~lo_matches t1)
     left;
-  let n_hi =
-    Vtbl.fold
-      (fun v m1v acc ->
-        match End_biased.frequency histogram v with
-        | Some m2v -> acc + (!m1v * m2v)
-        | None -> acc)
-      m1_hi 0
-  in
+  let n_hi = Internals.Partition.n_hi acc ~frequency in
+  let n_lo = Internals.Partition.n_lo acc in
   (* High side à la Stream-Sample: one random match per sampled tuple. *)
-  let s1 = Reservoir.Wr.contents s1_res in
-  let hi_pool =
-    Array.map
-      (fun t1 ->
-        let v = Tuple.attr t1 left_key in
-        metrics.index_probes <- metrics.index_probes + 1;
-        match Hash_index.random_match right_index rng v with
-        | Some t2 ->
-            metrics.join_output_tuples <- metrics.join_output_tuples + 1;
-            Tuple.join t1 t2
-        | None ->
-            failwith
-              "Index_sample.sample: sampled hi tuple has no match in R2 (stale histogram?)")
-      s1
-  in
-  let lo_pool = Reservoir.Wr.contents jlo_res in
-  let out, r_hi, r_lo = Internals.binomial_combine rng ~r ~n_hi ~n_lo:!n_lo ~hi_pool ~lo_pool in
+  let s1 = Internals.Partition.s1 acc in
+  let hi_pool = Internals.index_hi_pick rng metrics ~right_index ~left_key s1 in
+  let lo_pool = Internals.Partition.lo_pool acc in
+  let out, r_hi, r_lo = Internals.binomial_combine rng ~r ~n_hi ~n_lo ~hi_pool ~lo_pool in
   metrics.output_tuples <- metrics.output_tuples + Array.length out;
-  (out, { Frequency_partition.n_hi; n_lo = !n_lo; r_hi; r_lo })
+  (out, { Frequency_partition.n_hi; n_lo; r_hi; r_lo })

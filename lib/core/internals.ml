@@ -36,6 +36,127 @@ let hash_matches tbl v : Tuple.t array =
   if Value.is_null v then [||]
   else match Vtbl.find_opt tbl v with Some rows -> rows | None -> [||]
 
+(* The hi/lo routing pass shared by Frequency-Partition, Hybrid-Count
+   and Index-Sample (paper §6 step 2): each R1 tuple either feeds the
+   weighted S1 reservoir (high-frequency side, weight m2(v) from the
+   end-biased histogram) while its value's Rhi1 frequency is tallied,
+   or joins immediately and streams the pairs through the unweighted
+   Jlo reservoir (low-frequency side). The accumulator is mergeable —
+   both reservoirs merge and the tallies add — so the pass can run
+   per-chunk across domains and fold back in chunk order
+   (Rsj_parallel), with the exact same distribution as one sequential
+   pass. *)
+module Partition = struct
+  type t = {
+    s1_res : Tuple.t Reservoir.Wr.t;
+    m1_hi : int ref Vtbl.t;
+    jlo_res : Tuple.t Reservoir.Wr.t;
+    mutable n_lo : int;
+  }
+
+  let create ~r =
+    {
+      s1_res = Reservoir.Wr.create ~r;
+      m1_hi = Vtbl.create 64;
+      jlo_res = Reservoir.Wr.create ~r;
+      n_lo = 0;
+    }
+
+  (* Route one R1 tuple. [frequency] is the histogram lookup (Some m2v
+     for high-frequency values); [lo_matches] resolves a low value's R2
+     matches (hash probe or index probe — the caller charges whichever
+     metric applies). Does NOT count tuples_scanned: sequential callers
+     get that from the dispatch stream wrapper, parallel callers count
+     per chunk. *)
+  let route rng (metrics : Metrics.t) acc ~left_key ~frequency
+      ~(lo_matches : Metrics.t -> Value.t -> Tuple.t array) t1 =
+    let open Metrics in
+    let v = Tuple.attr t1 left_key in
+    if Value.is_null v then ()
+    else begin
+      metrics.stats_lookups <- metrics.stats_lookups + 1;
+      match (frequency v : int option) with
+      | Some m2v ->
+          Reservoir.Wr.feed rng acc.s1_res ~weight:(float_of_int m2v) t1;
+          (match Vtbl.find_opt acc.m1_hi v with
+          | Some cell -> incr cell
+          | None -> Vtbl.replace acc.m1_hi v (ref 1))
+      | None ->
+          let matches = lo_matches metrics v in
+          Array.iter
+            (fun t2 ->
+              metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+              acc.n_lo <- acc.n_lo + 1;
+              Reservoir.Wr.feed rng acc.jlo_res ~weight:1. (Tuple.join t1 t2))
+            matches
+    end
+
+  let merge rng a b =
+    let m1_hi = Vtbl.create (Vtbl.length a.m1_hi + Vtbl.length b.m1_hi) in
+    let add tbl =
+      Vtbl.iter
+        (fun v cell ->
+          match Vtbl.find_opt m1_hi v with
+          | Some c -> c := !c + !cell
+          | None -> Vtbl.replace m1_hi v (ref !cell))
+        tbl
+    in
+    add a.m1_hi;
+    add b.m1_hi;
+    {
+      s1_res = Reservoir.Wr.merge rng a.s1_res b.s1_res;
+      m1_hi;
+      jlo_res = Reservoir.Wr.merge rng a.jlo_res b.jlo_res;
+      n_lo = a.n_lo + b.n_lo;
+    }
+
+  (* Exact |Jhi| from the collected Rhi1 tallies and the histogram. *)
+  let n_hi acc ~frequency =
+    Vtbl.fold
+      (fun v m1v a ->
+        match (frequency v : int option) with Some m2v -> a + (!m1v * m2v) | None -> a)
+      acc.m1_hi 0
+
+  let s1 acc = Reservoir.Wr.contents acc.s1_res
+  let lo_pool acc = Reservoir.Wr.contents acc.jlo_res
+  let n_lo acc = acc.n_lo
+end
+
+(* High-side pool, Frequency-Partition flavour (Group-Sample step 4):
+   one uniform pick among the matches of each S1 slot. The counter
+   charges the full group size — the S1 ⋈ R2hi intermediate, i.e.
+   Theorem 8's alpha·|J|. *)
+let fps_hi_pick rng (metrics : Metrics.t) ~(matches : Value.t -> Tuple.t array) ~left_key
+    (s1 : Tuple.t array) =
+  Array.map
+    (fun t1 ->
+      let v = Tuple.attr t1 left_key in
+      let ms = matches v in
+      if Array.length ms = 0 then
+        failwith
+          "Frequency_partition.sample: sampled hi tuple has no match in R2 (stale histogram?)"
+      else begin
+        metrics.Metrics.join_output_tuples <-
+          metrics.Metrics.join_output_tuples + Array.length ms;
+        Tuple.join t1 (Rsj_util.Prng.pick rng ms)
+      end)
+    s1
+
+(* High-side pool, Index-Sample flavour (à la Stream-Sample): one
+   random match per S1 slot through the R2 index. *)
+let index_hi_pick rng (metrics : Metrics.t) ~right_index ~left_key (s1 : Tuple.t array) =
+  Array.map
+    (fun t1 ->
+      let v = Tuple.attr t1 left_key in
+      metrics.Metrics.index_probes <- metrics.Metrics.index_probes + 1;
+      match Rsj_index.Hash_index.random_match right_index rng v with
+      | Some t2 ->
+          metrics.Metrics.join_output_tuples <- metrics.Metrics.join_output_tuples + 1;
+          Tuple.join t1 t2
+      | None ->
+          failwith "Index_sample.sample: sampled hi tuple has no match in R2 (stale histogram?)")
+    s1
+
 (* The Count-Sample matching engine (paper §6.4 steps 2-4), shared by
    Count-Sample and Hybrid-Count-Sample. Groups the S1 entries by join
    value, then scans [right] running one Black-Box U1 per value with

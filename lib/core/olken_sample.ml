@@ -2,46 +2,65 @@ open Rsj_relation
 open Rsj_exec
 module Hash_index = Rsj_index.Hash_index
 
-let sample rng ~metrics ~r ~left ~left_key ~right_index ?m_bound
-    ?(max_iterations = 500_000_000) () =
-  if r > 0 && Relation.cardinality left = 0 then
-    invalid_arg "Olken_sample.sample: empty R1 with r > 0";
-  let m =
-    match m_bound with
-    | Some m ->
-        if m < Hash_index.max_multiplicity right_index then
-          invalid_arg "Olken_sample.sample: m_bound below the true maximum multiplicity";
-        m
-    | None -> Hash_index.max_multiplicity right_index
-  in
-  if r > 0 && m = 0 then failwith "Olken_sample.sample: R2 has no joinable tuples";
-  let out = Array.make (max r 0) [||] in
-  let produced = ref 0 in
-  let iterations = ref 0 in
+let default_max_iterations = 500_000_000
+
+let resolve_m_bound ~right_index = function
+  | Some m ->
+      if m < Hash_index.max_multiplicity right_index then
+        invalid_arg "Olken_sample.sample: m_bound below the true maximum multiplicity";
+      m
+  | None -> Hash_index.max_multiplicity right_index
+
+let attempt rng ~metrics ~left ~left_key ~right_index ~m =
   let open Metrics in
-  while !produced < r do
-    incr iterations;
-    if !iterations > max_iterations then
-      failwith "Olken_sample.sample: iteration budget exhausted (join empty or near-empty?)";
-    metrics.random_accesses <- metrics.random_accesses + 1;
-    let t1 = Relation.random_row left rng in
-    let v = Tuple.attr t1 left_key in
-    metrics.index_probes <- metrics.index_probes + 1;
-    match Hash_index.random_match right_index rng v with
-    | None -> metrics.rejected_samples <- metrics.rejected_samples + 1
-    | Some t2 ->
-        (* The acceptance probability reads m2(v) from the statistics
-           (the paper's Olken assumes full statistics for R2), not
-           through another index traversal. *)
-        let m2v = Hash_index.multiplicity right_index v in
-        metrics.stats_lookups <- metrics.stats_lookups + 1;
-        let accept_p = float_of_int m2v /. float_of_int m in
-        if Rsj_util.Prng.bernoulli rng accept_p then begin
-          metrics.join_output_tuples <- metrics.join_output_tuples + 1;
-          out.(!produced) <- Tuple.join t1 t2;
+  metrics.random_accesses <- metrics.random_accesses + 1;
+  let t1 = Relation.random_row left rng in
+  let v = Tuple.attr t1 left_key in
+  metrics.index_probes <- metrics.index_probes + 1;
+  match Hash_index.random_match right_index rng v with
+  | None ->
+      metrics.rejected_samples <- metrics.rejected_samples + 1;
+      None
+  | Some t2 ->
+      (* The acceptance probability reads m2(v) from the statistics
+         (the paper's Olken assumes full statistics for R2), not
+         through another index traversal. *)
+      let m2v = Hash_index.multiplicity right_index v in
+      metrics.stats_lookups <- metrics.stats_lookups + 1;
+      let accept_p = float_of_int m2v /. float_of_int m in
+      if Rsj_util.Prng.bernoulli rng accept_p then begin
+        metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+        Some (Tuple.join t1 t2)
+      end
+      else begin
+        metrics.rejected_samples <- metrics.rejected_samples + 1;
+        None
+      end
+
+let sample rng ~metrics ~r ~left ~left_key ~right_index ?m_bound
+    ?(max_iterations = default_max_iterations) () =
+  (* r = 0 asks for nothing: return before touching the input, so an
+     empty or non-joining R1 (where the rejection loop could only spin
+     its whole iteration budget) is never an error for a no-op draw. *)
+  if r <= 0 then [||]
+  else begin
+    if Relation.cardinality left = 0 then
+      invalid_arg "Olken_sample.sample: empty R1 with r > 0";
+    let m = resolve_m_bound ~right_index m_bound in
+    if m = 0 then failwith "Olken_sample.sample: R2 has no joinable tuples";
+    let out = Array.make r [||] in
+    let produced = ref 0 in
+    let iterations = ref 0 in
+    while !produced < r do
+      incr iterations;
+      if !iterations > max_iterations then
+        failwith "Olken_sample.sample: iteration budget exhausted (join empty or near-empty?)";
+      match attempt rng ~metrics ~left ~left_key ~right_index ~m with
+      | Some t ->
+          out.(!produced) <- t;
           incr produced
-        end
-        else metrics.rejected_samples <- metrics.rejected_samples + 1
-  done;
-  metrics.output_tuples <- metrics.output_tuples + r;
-  out
+      | None -> ()
+    done;
+    metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + r;
+    out
+  end

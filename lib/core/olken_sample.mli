@@ -11,6 +11,25 @@
 open Rsj_relation
 open Rsj_exec
 
+val default_max_iterations : int
+(** The default global iteration budget ([500_000_000]). *)
+
+val attempt :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  left:Relation.t ->
+  left_key:int ->
+  right_index:Rsj_index.Hash_index.t ->
+  m:int ->
+  Tuple.t option
+(** One accept/reject round: a uniform t1, a uniform matching t2, a
+    Bernoulli(m2(t1.A)/m) acceptance. [Some (t1 ⋈ t2)] on acceptance,
+    [None] on rejection or when t1 has no match. Each call is an iid
+    draw — conditional on acceptance the joined tuple is uniform on
+    R1 ⋈ R2 — which is what lets the parallel runtime run independent
+    rounds speculatively on every domain
+    ({!Rsj_parallel}). [m] must bound every m2(v). *)
+
 val sample :
   Rsj_util.Prng.t ->
   metrics:Metrics.t ->
@@ -22,11 +41,14 @@ val sample :
   ?max_iterations:int ->
   unit ->
   Tuple.t array
-(** WR sample of size [r] from R1 ⋈ R2.
+(** WR sample of size [r] from R1 ⋈ R2. [r <= 0] returns [[||]]
+    immediately, before inspecting the input — an empty join is never
+    an error (and never costs an iteration) when nothing was asked
+    for.
 
     [m_bound] is the upper bound M on m2(v) (default: the exact maximum
     from the index, the most favourable choice for Olken — a looser
     bound only increases rejections). [max_iterations] (default
-    [500_000_000]) guards against an empty join, where the loop would
-    never accept: exceeding it raises [Failure]. Raises
+    {!default_max_iterations}) guards against an empty join, where the
+    loop would never accept: exceeding it raises [Failure]. Raises
     [Invalid_argument] if [left] is empty with [r > 0]. *)

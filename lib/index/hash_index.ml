@@ -18,7 +18,7 @@ type t = {
   key : int;
   buckets : bucket Vtbl.t;  (* value -> row ids, in row order *)
   mutable max_mult : int;
-  mutable probes : int;
+  probes : int Atomic.t;  (* probed concurrently by the parallel runtime *)
 }
 
 let count_range relation ~key ~lo ~hi () =
@@ -52,7 +52,7 @@ let build relation ~key =
         b.rows.(b.fill) <- i;
         b.fill <- b.fill + 1
       end);
-  { relation; key; buckets; max_mult; probes = 0 }
+  { relation; key; buckets; max_mult; probes = Atomic.make 0 }
 
 let build_parallel relation ~key ~domains =
   if domains <= 1 then build relation ~key
@@ -108,7 +108,7 @@ let build_parallel relation ~key ~domains =
     fill_range 0 bounds.(0) bounds.(1) ();
     Array.iter Domain.join fillers;
     Vtbl.iter (fun _ b -> b.fill <- Array.length b.rows) buckets;
-    { relation; key; buckets; max_mult; probes = 0 }
+    { relation; key; buckets; max_mult; probes = Atomic.make 0 }
   end
 
 let relation t = t.relation
@@ -117,7 +117,7 @@ let key t = t.key
 let empty_rows : int array = [||]
 
 let lookup t v =
-  t.probes <- t.probes + 1;
+  Atomic.incr t.probes;
   if Value.is_null v then empty_rows
   else match Vtbl.find_opt t.buckets v with Some b -> b.rows | None -> empty_rows
 
@@ -141,4 +141,4 @@ let distinct_keys t =
   out
 
 let max_multiplicity t = t.max_mult
-let probe_count t = t.probes
+let probe_count t = Atomic.get t.probes

@@ -1,0 +1,64 @@
+(* Chunk-queue scheduler: dynamic work distribution over a fixed set
+   of chunks.
+
+   The static `Relation.shards` split gives every domain exactly one
+   contiguous range up front; under skew (a Zipf-clustered R1, a hot
+   hash bucket) one shard can carry most of the work while the other
+   domains sit idle. Here the chunks sit behind a single atomic
+   cursor instead: each domain claims the next unclaimed chunk with a
+   fetch-and-add, so a domain that finishes cheap chunks immediately
+   steals the remaining ones and the imbalance is bounded by one
+   chunk's worth of work per domain.
+
+   Determinism: the racy part is only *which domain* runs a chunk.
+   Each chunk's result lands in its own slot of the result array (the
+   fetch-and-add hands out each index exactly once), so as long as
+   [task i] depends only on [i] — per-chunk split generators, not
+   per-domain ones — the result array is a deterministic function of
+   the inputs, and callers that combine results in chunk order get
+   schedule-independent output. *)
+
+type stats = {
+  chunks : int;  (* chunks handed out in total *)
+  claims : int array;  (* chunks claimed by each domain, index 0 = caller *)
+}
+
+let default_chunk_size ~n ~domains =
+  match Sys.getenv_opt "RSJ_CHUNK_SIZE" with
+  | Some s when String.trim s <> "" -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> v
+      | _ -> invalid_arg (Printf.sprintf "RSJ_CHUNK_SIZE must be a positive integer, got %S" s))
+  | _ ->
+      (* Aim for ~4 claims per domain so stealing has slack to act on,
+         capped so huge relations still get cache-friendly chunks. *)
+      max 1 (min 4096 (n / (4 * max 1 domains)))
+
+let run ~domains ~chunks ~task =
+  if domains <= 0 then invalid_arg "Chunk_scheduler.run: domains <= 0";
+  if chunks < 0 then invalid_arg "Chunk_scheduler.run: chunks < 0";
+  let results = Array.make chunks None in
+  let cursor = Atomic.make 0 in
+  let worker () =
+    let mine = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < chunks then begin
+        results.(i) <- Some (task i);
+        incr mine
+      end
+      else continue := false
+    done;
+    !mine
+  in
+  let handles = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  let claims = Array.make domains 0 in
+  claims.(0) <- worker ();
+  Array.iteri (fun i h -> claims.(i + 1) <- Domain.join h) handles;
+  let out =
+    Array.map
+      (function Some r -> r | None -> assert false (* every index was handed out *))
+      results
+  in
+  (out, { chunks; claims })

@@ -1,0 +1,36 @@
+(** Chunk-queue scheduler: dynamic work distribution over a fixed set
+    of chunks.
+
+    Replaces the static one-contiguous-shard-per-domain split for the
+    parallel runtime's scans: all chunk indices sit behind one atomic
+    cursor and every domain claims the next index with a
+    fetch-and-add, so domains that draw cheap chunks steal the
+    remaining ones instead of idling — the residual imbalance is at
+    most one chunk of work per domain, whatever the skew.
+
+    Only the chunk→domain assignment is racy. [task i] must depend
+    only on [i] (derive per-chunk generators with
+    {!Rsj_util.Prng.split_n}, not per-domain ones); then the result
+    array — one slot per chunk, each written exactly once — is a
+    deterministic, schedule-independent function of the input, and
+    combining it in chunk order gives reproducible samples. *)
+
+type stats = {
+  chunks : int;  (** Chunks handed out in total. *)
+  claims : int array;  (** Chunks claimed per domain; index 0 is the calling domain. *)
+}
+
+val default_chunk_size : n:int -> domains:int -> int
+(** Fixed chunk size for an [n]-row scan: [n / (4·domains)] clamped to
+    [\[1, 4096\]] — about four claims per domain, so stealing has
+    slack to act on. The [RSJ_CHUNK_SIZE] environment variable
+    overrides it; raises [Invalid_argument] when set to anything but
+    a positive integer. *)
+
+val run : domains:int -> chunks:int -> task:(int -> 'a) -> 'a array * stats
+(** [run ~domains ~chunks ~task] evaluates [task i] for every
+    [i ∈ \[0, chunks)] across [domains] domains (the caller runs as
+    domain 0, [domains - 1] are spawned), claiming indices off the
+    shared cursor. Returns the results in chunk order plus the
+    per-domain claim counts. Raises [Invalid_argument] when [domains
+    <= 0] or [chunks < 0]. *)

@@ -1,36 +1,57 @@
-(* Parallel sampling runtime on OCaml 5 domains.
+(* Parallel sampling runtime on OCaml 5 domains — full strategy
+   coverage.
 
-   The Case-B strategies are single-pass over R1, so the hot loop
-   shards cleanly: each domain feeds a private reservoir over a
-   contiguous shard of the input against the shared read-only
-   Hash_index / Frequency structures, then the per-shard reservoirs
-   merge on the calling domain (Reservoir.*.merge), which is
-   distribution-identical to one sequential pass. Metrics are
-   per-domain and summed at the end, so no counter is ever written
-   from two domains. *)
+   Scans are distributed by the chunk-queue scheduler
+   (Chunk_scheduler): the relation is cut into fixed-size chunks that
+   sit behind one atomic cursor, and each domain claims the next chunk
+   with a fetch-and-add, so skewed chunks cannot strand work on one
+   domain the way the old static `Relation.shards` split could. Each
+   chunk carries its own split generator, metrics and mergeable state
+   (Reservoir.Wr / Reservoir.Unit / Internals.Partition); the results
+   land in per-chunk slots and merge on the calling domain in chunk
+   order. Because chunk state depends only on the chunk index — never
+   on which domain ran it — every chunked strategy is deterministic
+   for a fixed seed and distribution-identical to one sequential pass
+   (the reservoir merges preserve the slot laws).
+
+   Olken-Sample is the one strategy that is not a scan: it is a
+   sequence of iid accept/reject rounds. It parallelizes
+   speculatively: every domain runs independent rounds with its own
+   split generator into a private buffer, a shared atomic ticket
+   counter hands out acceptance slots, and domains stop once r tickets
+   are gone. Accepted pairs are iid uniform on the join no matter
+   which domain produced them or when, and ticketing/stopping look
+   only at the counter — never at the sampled values — so discarding
+   post-r acceptances keeps the output law exactly Olken's. The
+   trade-off: which rounds land is timing-dependent, so Olken at
+   domains > 1 is distribution-identical but not bit-reproducible.
+
+   Auxiliary structures (hash index, frequency statistics, histogram)
+   are shared read-only; work counters are per-chunk Metrics.t values
+   summed at the end (the index's probe counter is atomic), so no
+   mutable state crosses domains unsynchronized. *)
 
 open Rsj_relation
 open Rsj_exec
 module Strategy = Rsj_core.Strategy
 module Reservoir = Rsj_core.Reservoir
 module Internals = Rsj_core.Internals
+module Olken_sample = Rsj_core.Olken_sample
 module Frequency = Rsj_stats.Frequency
+module End_biased = Rsj_stats.Histogram.End_biased
 module Hash_index = Rsj_index.Hash_index
 module Prng = Rsj_util.Prng
+module Chunk_scheduler = Chunk_scheduler
 
 let default_domains () = Domain.recommended_domain_count ()
 
 let is_parallelizable = function
-  | Strategy.Naive | Strategy.Stream | Strategy.Group | Strategy.Count_sample -> true
-  | Strategy.Olken | Strategy.Frequency_partition | Strategy.Index_sample
+  | Strategy.Naive | Strategy.Olken | Strategy.Stream | Strategy.Group
+  | Strategy.Frequency_partition | Strategy.Index_sample | Strategy.Count_sample
   | Strategy.Hybrid_count ->
-      (* Olken is a sequence of dependent rejection rounds; the
-         partition strategies interleave two samplers over one pass
-         with a shared histogram split — both inherently sequential
-         in this runtime. *)
-      false
+      true
 
-(* Run [f k] for k in 0..domains-1, one domain each, shard 0 on the
+(* Run [f k] for k in 0..domains-1, one domain each, k = 0 on the
    calling domain so [domains] domains run in total. *)
 let fan_out ~domains f =
   let handles = Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1))) in
@@ -39,46 +60,69 @@ let fan_out ~domains f =
   Array.iteri (fun i h -> out.(i + 1) <- Domain.join h) handles;
   out
 
-let sum_metrics parts =
-  Array.fold_left (fun acc (_, m) -> Metrics.add acc m) (Metrics.create ()) parts
+(* One chunk-scheduled pass over [relation]. [make ()] builds a chunk's
+   private accumulator, [feed metrics rng state t] consumes one tuple;
+   each chunk gets its own generator (split by chunk index, so the
+   result is independent of which domain claims it) and its own
+   metrics, with the scan itself counted here. Results come back in
+   chunk order. *)
+let chunked_pass ~domains ~chunk_size ~rng ~make ~feed relation =
+  let chunks = Relation.chunk_count relation ~chunk_size in
+  let rngs = Prng.split_n rng chunks in
+  let task i =
+    let metrics = Metrics.create () in
+    let state = make () in
+    Stream0.iter
+      (fun t ->
+        metrics.Metrics.tuples_scanned <- metrics.Metrics.tuples_scanned + 1;
+        feed metrics rngs.(i) state t)
+      (Relation.chunk relation ~chunk_size i);
+    (state, metrics)
+  in
+  Chunk_scheduler.run ~domains ~chunks ~task
 
-(* One weighted-WR reservoir pass over [relation], sharded. [feed]
-   receives the shard's private metrics, rng and reservoir plus one
-   tuple; it decides weights and does its own counting. *)
-let sharded_wr_pass ~domains ~rngs ~r ~feed relation =
-  let shards = Relation.shards relation ~n:domains in
-  fan_out ~domains (fun k ->
-      let metrics = Metrics.create () in
-      let res = Reservoir.Wr.create ~r in
-      Stream0.iter (fun t -> feed metrics rngs.(k) res t) shards.(k);
-      (res, metrics))
-
-let merge_wr rng parts =
-  let acc = ref (fst parts.(0)) in
-  Array.iteri (fun i (res, _) -> if i > 0 then acc := Reservoir.Wr.merge rng !acc res) parts;
-  !acc
+(* Fold (state, metrics) chunk results in chunk order. [merge_rng] is
+   consumed sequentially on the calling domain, so the fold is as
+   deterministic as the parts. *)
+let fold_parts ~merge_rng ~merge ~empty (parts : _ array) =
+  if Array.length parts = 0 then (empty (), Metrics.create ())
+  else begin
+    let state = ref (fst parts.(0)) in
+    let metrics = ref (snd parts.(0)) in
+    for i = 1 to Array.length parts - 1 do
+      state := merge merge_rng !state (fst parts.(i));
+      metrics := Metrics.add !metrics (snd parts.(i))
+    done;
+    (!state, !metrics)
+  end
 
 (* Weighted WR sample of R1 with weights m2(t.A) from the frequency
    statistics — the shared first step of Stream-, Group- and
    Count-Sample. Returns the merged sample and the summed scan
    metrics. *)
-let parallel_s1 env ~r ~domains ~rngs rng =
+let parallel_s1 env ~r ~domains ~chunk_size rng =
   let stats = Strategy.env_right_stats env in
   let left_key = Strategy.env_left_key env in
-  let feed metrics shard_rng res t =
-    let open Metrics in
-    metrics.tuples_scanned <- metrics.tuples_scanned + 1;
-    metrics.stats_lookups <- metrics.stats_lookups + 1;
-    let w = float_of_int (Frequency.frequency stats (Tuple.attr t left_key)) in
-    Reservoir.Wr.feed shard_rng res ~weight:w t
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun () -> Reservoir.Wr.create ~r)
+      ~feed:(fun metrics chunk_rng res t ->
+        metrics.Metrics.stats_lookups <- metrics.Metrics.stats_lookups + 1;
+        let w = float_of_int (Frequency.frequency stats (Tuple.attr t left_key)) in
+        Reservoir.Wr.feed chunk_rng res ~weight:w t)
+      (Strategy.env_left env)
   in
-  let parts = sharded_wr_pass ~domains ~rngs ~r ~feed (Strategy.env_left env) in
-  (Reservoir.Wr.contents (merge_wr rng parts), sum_metrics parts)
+  let res, metrics =
+    fold_parts ~merge_rng ~merge:Reservoir.Wr.merge ~empty:(fun () -> Reservoir.Wr.create ~r)
+      parts
+  in
+  (Reservoir.Wr.contents res, metrics)
 
-let run_stream env ~r ~domains rng =
+let run_stream env ~r ~domains ~chunk_size rng =
   let open Metrics in
-  let rngs = Prng.split_n rng domains in
-  let s1, metrics = parallel_s1 env ~r ~domains ~rngs rng in
+  let s1, metrics = parallel_s1 env ~r ~domains ~chunk_size rng in
   let index = Strategy.env_right_index env in
   let out =
     Array.map
@@ -89,17 +133,16 @@ let run_stream env ~r ~domains rng =
         | Some t2 ->
             metrics.join_output_tuples <- metrics.join_output_tuples + 1;
             Tuple.join t1 t2
-        | None ->
-            failwith "Rsj_parallel.run(Stream): sampled tuple has no match in R2")
+        | None -> failwith "Rsj_parallel.run(Stream): sampled tuple has no match in R2")
       s1
   in
   metrics.output_tuples <- metrics.output_tuples + Array.length out;
   (out, metrics)
 
-let run_group env ~r ~domains rng =
+let run_group env ~r ~domains ~chunk_for rng =
   let open Metrics in
-  let rngs = Prng.split_n rng domains in
-  let s1, metrics = parallel_s1 env ~r ~domains ~rngs rng in
+  let n1 = Relation.cardinality (Strategy.env_left env) in
+  let s1, metrics = parallel_s1 env ~r ~domains ~chunk_size:(chunk_for n1) rng in
   if Array.length s1 = 0 then ([||], metrics)
   else begin
     let left_key = Strategy.env_left_key env in
@@ -114,42 +157,38 @@ let run_group env ~r ~domains rng =
         | Some cell -> cell := i :: !cell
         | None -> Internals.Vtbl.replace groups v (ref [ i ]))
       s1;
-    (* Sharded R2 scan: each domain keeps one unit reservoir per S1
-       entry; merging element-wise reproduces the per-group uniform
-       pick of Group-Sample step 3. *)
-    let scan_rngs = Prng.split_n rng domains in
-    let shards = Relation.shards (Strategy.env_right env) ~n:domains in
-    let parts =
-      fan_out ~domains (fun k ->
-          let m = Metrics.create () in
-          let reservoirs = Array.init (Array.length s1) (fun _ -> Reservoir.Unit.create ()) in
-          Stream0.iter
-            (fun t2 ->
-              m.tuples_scanned <- m.tuples_scanned + 1;
-              let v = Tuple.attr t2 right_key in
-              if not (Value.is_null v) then
-                match Internals.Vtbl.find_opt groups v with
-                | None -> ()
-                | Some cell ->
-                    List.iter
-                      (fun i ->
-                        m.join_output_tuples <- m.join_output_tuples + 1;
-                        Reservoir.Unit.feed scan_rngs.(k) reservoirs.(i) t2)
-                      !cell)
-            shards.(k);
-          (reservoirs, m))
+    (* Chunk-scheduled R2 scan: each chunk keeps one unit reservoir per
+       S1 entry; merging element-wise in chunk order reproduces the
+       per-group uniform pick of Group-Sample step 3. *)
+    let right = Strategy.env_right env in
+    let n2 = Relation.cardinality right in
+    let scan_rng = Prng.split rng in
+    let merge_rng = Prng.split rng in
+    let parts, _ =
+      chunked_pass ~domains ~chunk_size:(chunk_for n2) ~rng:scan_rng
+        ~make:(fun () -> Array.init (Array.length s1) (fun _ -> Reservoir.Unit.create ()))
+        ~feed:(fun m chunk_rng reservoirs t2 ->
+          let v = Tuple.attr t2 right_key in
+          if not (Value.is_null v) then
+            match Internals.Vtbl.find_opt groups v with
+            | None -> ()
+            | Some cell ->
+                List.iter
+                  (fun i ->
+                    m.join_output_tuples <- m.join_output_tuples + 1;
+                    Reservoir.Unit.feed chunk_rng reservoirs.(i) t2)
+                  !cell)
+        right
     in
-    let metrics = ref metrics in
-    Array.iter (fun (_, m) -> metrics := Metrics.add !metrics m) parts;
-    let metrics = !metrics in
-    let merged =
-      Array.init (Array.length s1) (fun i ->
-          let acc = ref (fst parts.(0)).(i) in
-          for k = 1 to domains - 1 do
-            acc := Reservoir.Unit.merge rng !acc (fst parts.(k)).(i)
-          done;
-          !acc)
+    let merge_unit_arrays mrng a b =
+      Array.init (Array.length a) (fun i -> Reservoir.Unit.merge mrng a.(i) b.(i))
     in
+    let merged, scan_metrics =
+      fold_parts ~merge_rng ~merge:merge_unit_arrays
+        ~empty:(fun () -> Array.init (Array.length s1) (fun _ -> Reservoir.Unit.create ()))
+        parts
+    in
+    let metrics = Metrics.add metrics scan_metrics in
     let out =
       Array.mapi
         (fun i res ->
@@ -162,10 +201,9 @@ let run_group env ~r ~domains rng =
     (out, metrics)
   end
 
-let run_count env ~r ~domains rng =
+let run_count env ~r ~domains ~chunk_size rng =
   let open Metrics in
-  let rngs = Prng.split_n rng domains in
-  let s1, metrics = parallel_s1 env ~r ~domains ~rngs rng in
+  let s1, metrics = parallel_s1 env ~r ~domains ~chunk_size rng in
   let stats = Strategy.env_right_stats env in
   (* The R2 scan runs one sequential U1 per sampled value (each needs
      the value's tuples in a single stream), so it stays on the
@@ -180,7 +218,7 @@ let run_count env ~r ~domains rng =
   metrics.output_tuples <- metrics.output_tuples + Array.length out;
   (out, metrics)
 
-let run_naive env ~r ~domains rng =
+let run_naive env ~r ~domains ~chunk_size rng =
   let open Metrics in
   let main_metrics = Metrics.create () in
   let tbl =
@@ -188,38 +226,192 @@ let run_naive env ~r ~domains rng =
       ~right_key:(Strategy.env_right_key env)
   in
   let left_key = Strategy.env_left_key env in
-  let rngs = Prng.split_n rng domains in
-  let feed metrics shard_rng res t1 =
-    metrics.tuples_scanned <- metrics.tuples_scanned + 1;
-    Array.iter
-      (fun t2 ->
-        metrics.join_output_tuples <- metrics.join_output_tuples + 1;
-        Reservoir.Wr.feed shard_rng res ~weight:1. (Tuple.join t1 t2))
-      (Internals.hash_matches tbl (Tuple.attr t1 left_key))
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun () -> Reservoir.Wr.create ~r)
+      ~feed:(fun metrics chunk_rng res t1 ->
+        Array.iter
+          (fun t2 ->
+            metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+            Reservoir.Wr.feed chunk_rng res ~weight:1. (Tuple.join t1 t2))
+          (Internals.hash_matches tbl (Tuple.attr t1 left_key)))
+      (Strategy.env_left env)
   in
-  let parts = sharded_wr_pass ~domains ~rngs ~r ~feed (Strategy.env_left env) in
-  let out = Reservoir.Wr.contents (merge_wr rng parts) in
-  let metrics = Metrics.add main_metrics (sum_metrics parts) in
+  let res, scan_metrics =
+    fold_parts ~merge_rng ~merge:Reservoir.Wr.merge ~empty:(fun () -> Reservoir.Wr.create ~r)
+      parts
+  in
+  let out = Reservoir.Wr.contents res in
+  let metrics = Metrics.add main_metrics scan_metrics in
   metrics.output_tuples <- metrics.output_tuples + Array.length out;
   (out, metrics)
 
-let run env strategy ~r ~domains =
+(* Speculative Olken: every domain runs independent accept/reject
+   rounds (Olken_sample.attempt — iid, uniform on the join conditional
+   on acceptance) into a private buffer. A shared atomic counter hands
+   out acceptance tickets; a domain keeps a pair only for tickets
+   below r and stops once the tickets are gone, so exactly r pairs
+   survive in total. Ticketing, stopping and the domain-order
+   concatenation below depend only on counters and timing — never on
+   the sampled values — so the surviving pairs are r iid uniform draws
+   from the join, exactly the sequential Olken law. The global
+   iteration budget is divided evenly across domains. *)
+let run_olken env ~r ~domains rng =
+  let open Metrics in
+  if r = 0 then ([||], Metrics.create ())
+  else begin
+    let left = Strategy.env_left env in
+    if Relation.cardinality left = 0 then
+      invalid_arg "Rsj_parallel.run(Olken): empty R1 with r > 0";
+    let left_key = Strategy.env_left_key env in
+    let right_index = Strategy.env_right_index env in
+    let m = Hash_index.max_multiplicity right_index in
+    if m = 0 then failwith "Rsj_parallel.run(Olken): R2 has no joinable tuples";
+    let budget = max 1 (Olken_sample.default_max_iterations / domains) in
+    let rngs = Prng.split_n rng domains in
+    let tickets = Atomic.make 0 in
+    let parts =
+      fan_out ~domains (fun k ->
+          let metrics = Metrics.create () in
+          let buf = ref [] in
+          let iterations = ref 0 in
+          let exhausted = ref false in
+          let finished = ref false in
+          while (not !finished) && not !exhausted do
+            if Atomic.get tickets >= r then finished := true
+            else begin
+              incr iterations;
+              if !iterations > budget then exhausted := true
+              else
+                match
+                  Olken_sample.attempt rngs.(k) ~metrics ~left ~left_key ~right_index ~m
+                with
+                | Some t -> if Atomic.fetch_and_add tickets 1 < r then buf := t :: !buf
+                | None -> ()
+            end
+          done;
+          (Array.of_list (List.rev !buf), metrics))
+    in
+    let out = Array.concat (Array.to_list (Array.map fst parts)) in
+    let metrics =
+      Array.fold_left (fun acc (_, m) -> Metrics.add acc m) (Metrics.create ()) parts
+    in
+    if Array.length out < r then
+      failwith
+        "Rsj_parallel.run(Olken): iteration budget exhausted (join empty or near-empty?)";
+    metrics.output_tuples <- metrics.output_tuples + r;
+    (out, metrics)
+  end
+
+(* The shared hi/lo routing pass of the partition strategies
+   (Internals.Partition), chunk-scheduled over R1. [lo_matches]
+   resolves a low-frequency value's R2 matches against the shared
+   read-only structure (hash table or index). *)
+let partition_pass env ~r ~domains ~chunk_size rng ~lo_matches =
+  let left_key = Strategy.env_left_key env in
+  let frequency = End_biased.frequency (Strategy.env_histogram env) in
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun () -> Internals.Partition.create ~r)
+      ~feed:(fun metrics chunk_rng acc t1 ->
+        Internals.Partition.route chunk_rng metrics acc ~left_key ~frequency ~lo_matches t1)
+      (Strategy.env_left env)
+  in
+  fold_parts ~merge_rng ~merge:Internals.Partition.merge
+    ~empty:(fun () -> Internals.Partition.create ~r)
+    parts
+
+(* Combine a merged partition accumulator into the final sample:
+   exact |Jhi| from the tallies, the strategy-specific hi pool, the
+   binomial hi/lo split. Runs on the calling domain — the pools have
+   size r. *)
+let partition_finish env ~r rng metrics acc ~hi_pool =
+  let open Metrics in
+  let frequency = End_biased.frequency (Strategy.env_histogram env) in
+  let n_hi = Internals.Partition.n_hi acc ~frequency in
+  let n_lo = Internals.Partition.n_lo acc in
+  let hi_pool = hi_pool metrics (Internals.Partition.s1 acc) in
+  let lo_pool = Internals.Partition.lo_pool acc in
+  let out, _r_hi, _r_lo = Internals.binomial_combine rng ~r ~n_hi ~n_lo ~hi_pool ~lo_pool in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+let run_frequency_partition env ~r ~domains ~chunk_size rng =
+  let main_metrics = Metrics.create () in
+  let tbl =
+    Internals.build_join_hash main_metrics (Strategy.env_right env)
+      ~right_key:(Strategy.env_right_key env)
+  in
+  let lo_matches _metrics v = Internals.hash_matches tbl v in
+  let acc, scan_metrics = partition_pass env ~r ~domains ~chunk_size rng ~lo_matches in
+  let metrics = Metrics.add main_metrics scan_metrics in
+  partition_finish env ~r rng metrics acc ~hi_pool:(fun m s1 ->
+      Internals.fps_hi_pick rng m
+        ~matches:(Internals.hash_matches tbl)
+        ~left_key:(Strategy.env_left_key env) s1)
+
+let run_hybrid_count env ~r ~domains ~chunk_size rng =
+  let main_metrics = Metrics.create () in
+  let frequency = End_biased.frequency (Strategy.env_histogram env) in
+  let is_low v = Option.is_none (frequency v) in
+  let tbl =
+    Internals.build_join_hash ~keep:is_low main_metrics (Strategy.env_right env)
+      ~right_key:(Strategy.env_right_key env)
+  in
+  let lo_matches _metrics v = Internals.hash_matches tbl v in
+  let acc, scan_metrics = partition_pass env ~r ~domains ~chunk_size rng ~lo_matches in
+  let metrics = Metrics.add main_metrics scan_metrics in
+  partition_finish env ~r rng metrics acc ~hi_pool:(fun m s1 ->
+      (* Count-Sample's R2 scan runs one sequential U1 per sampled
+         value, so the hi finish stays on the calling domain. *)
+      Internals.count_sample_scan rng m ~strategy:"Rsj_parallel.run(Hybrid)" ~s1
+        ~left_key:(Strategy.env_left_key env)
+        ~right:(Strategy.env_right env)
+        ~right_key:(Strategy.env_right_key env)
+        ~population:(fun v -> match frequency v with Some m2v -> m2v | None -> 0))
+
+let run_index_sample env ~r ~domains ~chunk_size rng =
+  let right_index = Strategy.env_right_index env in
+  let lo_matches (m : Metrics.t) v =
+    m.Metrics.index_probes <- m.Metrics.index_probes + 1;
+    Hash_index.matching_tuples right_index v
+  in
+  let acc, metrics = partition_pass env ~r ~domains ~chunk_size rng ~lo_matches in
+  partition_finish env ~r rng metrics acc ~hi_pool:(fun m s1 ->
+      Internals.index_hi_pick rng m ~right_index ~left_key:(Strategy.env_left_key env) s1)
+
+let run ?chunk_size env strategy ~r ~domains =
   if domains < 0 then invalid_arg "Rsj_parallel.run: domains < 0";
   if r < 0 then invalid_arg "Rsj_parallel.run: r < 0";
-  if domains <= 1 || not (is_parallelizable strategy) then Strategy.run env strategy ~r
+  (match chunk_size with
+  | Some c when c <= 0 -> invalid_arg "Rsj_parallel.run: chunk_size <= 0"
+  | _ -> ());
+  if domains <= 1 then Strategy.run env strategy ~r
   else begin
     Strategy.prepare env strategy;
+    let chunk_for n =
+      match chunk_size with
+      | Some c -> c
+      | None -> Chunk_scheduler.default_chunk_size ~n ~domains
+    in
+    let c1 = chunk_for (Relation.cardinality (Strategy.env_left env)) in
     let rng = Prng.split (Strategy.env_rng env) in
     let t0 = Unix.gettimeofday () in
     let sample, metrics =
       match strategy with
-      | Strategy.Stream -> run_stream env ~r ~domains rng
-      | Strategy.Group -> run_group env ~r ~domains rng
-      | Strategy.Count_sample -> run_count env ~r ~domains rng
-      | Strategy.Naive -> run_naive env ~r ~domains rng
-      | Strategy.Olken | Strategy.Frequency_partition | Strategy.Index_sample
-      | Strategy.Hybrid_count ->
-          assert false
+      | Strategy.Stream -> run_stream env ~r ~domains ~chunk_size:c1 rng
+      | Strategy.Group -> run_group env ~r ~domains ~chunk_for rng
+      | Strategy.Count_sample -> run_count env ~r ~domains ~chunk_size:c1 rng
+      | Strategy.Naive -> run_naive env ~r ~domains ~chunk_size:c1 rng
+      | Strategy.Olken -> run_olken env ~r ~domains rng
+      | Strategy.Frequency_partition ->
+          run_frequency_partition env ~r ~domains ~chunk_size:c1 rng
+      | Strategy.Index_sample -> run_index_sample env ~r ~domains ~chunk_size:c1 rng
+      | Strategy.Hybrid_count -> run_hybrid_count env ~r ~domains ~chunk_size:c1 rng
     in
     let elapsed_seconds = Unix.gettimeofday () -. t0 in
     { Strategy.strategy; sample; metrics; elapsed_seconds }

@@ -1,40 +1,64 @@
-(** Parallel sampling runtime on OCaml 5 domains.
+(** Parallel sampling runtime on OCaml 5 domains — all eight
+    strategies.
 
-    The Case-B strategies (paper §5–6) consume R1 in a single pass, so
-    their hot loop shards: {!run} splits R1 into contiguous shards
-    ({!Rsj_relation.Relation.shards}), gives each shard a private
-    domain, generator ({!Rsj_util.Prng.split_n}) and reservoir, and
-    combines the per-shard reservoirs with the weighted merges of
-    {!Rsj_core.Reservoir} — a sample distribution-identical to the
-    sequential pass. Auxiliary structures (hash index, frequency
-    statistics) are shared read-only; work counters are per-domain
-    {!Rsj_exec.Metrics.t} values summed at the end, so no mutable state
-    crosses domains.
+    Scans (everything except Olken) are distributed by the chunk-queue
+    scheduler {!Chunk_scheduler}: R1 — and R2, for Group-Sample's
+    second pass — is cut into fixed-size chunks
+    ({!Rsj_relation.Relation.chunk}) behind one atomic cursor, and
+    domains claim chunks with a fetch-and-add, so a skew-heavy range
+    cannot strand work on one domain the way a static contiguous split
+    can. Every chunk carries its own split generator
+    ({!Rsj_util.Prng.split_n}), metrics and mergeable accumulator
+    (weighted/unit reservoirs, the hi/lo partition state); results
+    land in per-chunk slots and merge on the calling domain in chunk
+    order. Chunk state depends only on the chunk index, never on the
+    claiming domain, so chunked strategies are bit-deterministic for a
+    fixed seed and distribution-identical to a sequential pass.
 
-    Parallel construction of the auxiliary structures themselves lives
-    with them: {!Rsj_index.Hash_index.build_parallel} and
-    {!Rsj_stats.Frequency.of_relation_parallel}. *)
+    Olken-Sample parallelizes {e speculatively}: each domain runs
+    independent accept/reject rounds ({!Rsj_core.Olken_sample.attempt})
+    into a private buffer, and a shared atomic counter hands out the r
+    acceptance tickets — ticketing and stopping never look at the
+    sampled values, so the surviving pairs keep Olken's law, but which
+    rounds land is timing-dependent: distribution-identical, not
+    bit-reproducible, at [domains > 1].
+
+    Auxiliary structures (hash index, frequency statistics, histogram)
+    are shared read-only across domains; their parallel construction
+    lives with them ({!Rsj_index.Hash_index.build_parallel},
+    {!Rsj_stats.Frequency.of_relation_parallel}). *)
 
 module Strategy = Rsj_core.Strategy
+
+module Chunk_scheduler : module type of Chunk_scheduler
+(** The chunk-queue scheduler, exposed for tests and benchmarks. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible [~domains] for
     the current machine. *)
 
 val is_parallelizable : Strategy.t -> bool
-(** Whether {!run} has a sharded execution for the strategy. True for
-    Naive-, Stream-, Group- and Count-Sample (single-pass over R1);
-    false for Olken (dependent rejection rounds) and the partition
-    strategies (two interleaved samplers over one pass), which fall
-    back to the sequential runner. *)
+(** Whether {!run} has a parallel execution for the strategy. True for
+    all eight strategies: the single-pass scans are chunk-scheduled,
+    the partition strategies route hi/lo per chunk through mergeable
+    accumulators, and Olken runs speculative rejection rounds on every
+    domain. *)
 
-val run : Strategy.env -> Strategy.t -> r:int -> domains:int -> Strategy.result
+val run :
+  ?chunk_size:int -> Strategy.env -> Strategy.t -> r:int -> domains:int -> Strategy.result
 (** [run env strategy ~r ~domains] draws a WR sample of size [r] like
-    {!Strategy.run}, executing the strategy across [domains] domains
-    when it is parallelizable and [domains > 1]; otherwise it behaves
-    exactly as {!Strategy.run}. The sample's distribution does not
-    depend on [domains] (the per-shard reservoirs merge into the same
-    law); the particular tuples drawn for a given seed do. As in
-    {!Strategy.run}, auxiliary structures are forced before the clock
-    starts, and a fresh child generator is split off the env per run.
-    Raises [Invalid_argument] when [r] or [domains] is negative. *)
+    {!Strategy.run}, executed across [domains] domains when
+    [domains > 1]; at [domains <= 1] it behaves exactly as
+    {!Strategy.run}. The sample's distribution never depends on
+    [domains] or [chunk_size]; for a fixed seed the drawn tuples are
+    reproducible for every strategy except Olken at [domains > 1]
+    (speculative ticketing — see above). As in {!Strategy.run},
+    auxiliary structures are forced before the clock starts and a
+    fresh child generator is split off the env per run.
+
+    [chunk_size] overrides the scheduler's
+    {!Chunk_scheduler.default_chunk_size} (setting it to
+    [ceil (n / domains)] reproduces the old static one-shard-per-domain
+    split, which is how the benchmarks compare static sharding against
+    the chunk queue). Raises [Invalid_argument] when [r] or [domains]
+    is negative or [chunk_size <= 0]. *)

@@ -47,11 +47,26 @@ val stream_range : t -> lo:int -> hi:int -> Tuple.t Stream0.t
 
 val shards : t -> n:int -> Tuple.t Stream0.t array
 (** [shards t ~n] splits the row range into [n] contiguous,
-    near-equal-size sub-streams covering every row exactly once —
-    the unit of work distribution for the parallel runtime. The
+    near-equal-size sub-streams covering every row exactly once. The
     shards read shared storage and are safe to consume from distinct
     domains as long as the relation is not mutated meanwhile. Raises
     [Invalid_argument] if [n <= 0]. *)
+
+val chunk_count : t -> chunk_size:int -> int
+(** Number of fixed-size chunks covering the row range —
+    [ceil (cardinality / chunk_size)], 0 for an empty relation. The
+    unit of work distribution for the parallel runtime's chunk-queue
+    scheduler ({!Rsj_parallel.Chunk_scheduler}). Raises
+    [Invalid_argument] if [chunk_size <= 0]. *)
+
+val chunk : t -> chunk_size:int -> int -> Tuple.t Stream0.t
+(** [chunk t ~chunk_size i] is the [i]-th fixed-size range
+    [\[i·chunk_size, min ((i+1)·chunk_size) cardinality)] as a
+    single-pass cursor; the [chunk_count] chunks partition the rows
+    exactly. Like {!shards}, chunks read shared storage and may be
+    consumed from distinct domains while the relation is not mutated.
+    Raises [Invalid_argument] when [i] is outside
+    [\[0, chunk_count)]. *)
 
 val to_list : t -> Tuple.t list
 val to_array : t -> Tuple.t array

@@ -3,6 +3,7 @@ module Strategy = Rsj_core.Strategy
 module Semantics = Rsj_core.Semantics
 module Convert = Rsj_core.Convert
 module Negative = Rsj_core.Negative
+module Chain_sample = Rsj_core.Chain_sample
 module Zipf_tables = Rsj_workload.Zipf_tables
 module Report = Rsj_harness.Report
 module Prng = Rsj_util.Prng
@@ -130,6 +131,13 @@ let cf_fraction config ~join_size =
 
 let run_cell kconfig config ~pair ~oracle ~cell_index cell =
   let join_size = Oracle.size oracle in
+  (* Parallel cells cost ~domains× more per trial (every trial spawns
+     that many domains), so scale their trial count down by the domain
+     count, floored. The d=1 cell pins the strategy's law at full
+     power; the d>1 cells check that the chunk-scheduled path agrees
+     with it, and the bugs they exist to catch (lost chunks, double
+     merges, biased ticketing) are gross, large-effect distortions. *)
+  let trials = max 15 (config.trials / max 1 cell.domains) in
   let draws = ref 0 in
   let make_env attempt =
     Strategy.make_env
@@ -140,7 +148,7 @@ let run_cell kconfig config ~pair ~oracle ~cell_index cell =
   let tally env draw1 =
     let counts = Oracle.counter oracle in
     let total = ref 0 in
-    for _ = 1 to config.trials do
+    for _ = 1 to trials do
       let s = draw1 env in
       total := !total + Array.length s;
       Array.iter (Oracle.observe oracle counts) s
@@ -164,7 +172,7 @@ let run_cell kconfig config ~pair ~oracle ~cell_index cell =
               tally (make_env attempt) (fun env ->
                   draw_wor env cell.strategy ~r:config.r ~domains:cell.domains)
             in
-            (Oracle.wor_expected oracle ~trials:config.trials ~r:config.r, counts))
+            (Oracle.wor_expected oracle ~trials ~r:config.r, counts))
     | Semantics.CF ->
         (* Two laws to satisfy: uniformity of the included tuples and
            the Binomial(|J|, f) size. Bonferroni within the cell: the
@@ -185,12 +193,9 @@ let run_cell kconfig config ~pair ~oracle ~cell_index cell =
                      ~observed:counts)
             in
             let expected_total =
-              float_of_int config.trials
-              *. Semantics.expected_size Semantics.CF ~n:join_size ~f
+              float_of_int trials *. Semantics.expected_size Semantics.CF ~n:join_size ~f
             in
-            let sd =
-              sqrt (float_of_int (config.trials * join_size) *. f *. (1. -. f))
-            in
+            let sd = sqrt (float_of_int (trials * join_size) *. f *. (1. -. f)) in
             let z = (float_of_int total -. expected_total) /. Float.max 1e-9 sd in
             let p_size = Kernel.z_p_value z in
             match unif with
@@ -205,27 +210,54 @@ let run_cell kconfig config ~pair ~oracle ~cell_index cell =
 (* ------------------------------------------------------------------ *)
 (* Aggregate-estimate KS rows                                          *)
 
-(* Across trials, the Horvitz–Thompson sum estimate over a WR sample is
+(* Across trials, each estimator computed over a WR sample is
    asymptotically normal with exactly computable mean and variance (the
    oracle knows the population); KS-test the standardized estimates
-   against Φ. This gates the paper's §1 use case — aggregates over the
-   sample — not just per-tuple membership. *)
+   against Φ. This gates the paper's §1 use case — approximate
+   aggregates over the sample — not just per-tuple membership:
+
+   - SUM: the Horvitz–Thompson estimate n/r · Σ g(t), sd n·√(σ²/r);
+   - COUNT: the HT estimate n/r · #{t : pred(t)} of a selection count,
+     sd n·√(p(1−p)/r) with p the predicate's selectivity over J;
+   - AVG: the plain sample mean of g, sd √(σ²/r). *)
+type estimator = Sum | Count | Avg
+
+let all_estimators = [ Sum; Count; Avg ]
+let estimator_label = function Sum -> "HT-sum" | Count -> "HT-count" | Avg -> "AVG"
 let ks_sample_size = 48
 
-let aggregate_ks kconfig config ~pair ~oracle ~row_index strategy =
+let aggregate_ks kconfig config ~pair ~oracle ~row_index strategy est =
   let n = Oracle.size oracle in
+  let fn = float_of_int n in
+  let r = ks_sample_size in
+  let fr = float_of_int r in
   let g t = match Tuple.get t 0 with Value.Int i -> float_of_int i | _ -> 0. in
+  let pred t = match Tuple.get t 0 with Value.Int i -> i mod 2 = 0 | _ -> false in
   let universe = Oracle.universe oracle in
   let total = Array.fold_left (fun acc t -> acc +. g t) 0. universe in
-  let mean = total /. float_of_int n in
-  let var =
-    Array.fold_left (fun acc t -> acc +. ((g t -. mean) ** 2.)) 0. universe /. float_of_int n
+  let mean = total /. fn in
+  let var = Array.fold_left (fun acc t -> acc +. ((g t -. mean) ** 2.)) 0. universe /. fn in
+  let sum_g s = Array.fold_left (fun acc t -> acc +. g t) 0. s in
+  let count_pred s = Array.fold_left (fun acc t -> if pred t then acc +. 1. else acc) 0. s in
+  let standardize =
+    match est with
+    | Sum ->
+        let sd = fn *. sqrt (var /. fr) in
+        if sd <= 0. then invalid_arg "Conformance.aggregate_ks: degenerate SUM column";
+        fun s -> ((fn /. fr *. sum_g s) -. total) /. sd
+    | Count ->
+        let c = count_pred universe in
+        let p = c /. fn in
+        let sd = fn *. sqrt (p *. (1. -. p) /. fr) in
+        if sd <= 0. then invalid_arg "Conformance.aggregate_ks: degenerate COUNT predicate";
+        fun s -> ((fn /. fr *. count_pred s) -. c) /. sd
+    | Avg ->
+        let sd = sqrt (var /. fr) in
+        if sd <= 0. then invalid_arg "Conformance.aggregate_ks: degenerate AVG column";
+        fun s -> ((sum_g s /. fr) -. mean) /. sd
   in
-  let r = ks_sample_size in
-  let sd = float_of_int n *. sqrt (var /. float_of_int r) in
-  if sd <= 0. then invalid_arg "Conformance.aggregate_ks: degenerate aggregate column";
   Kernel.run_ks kconfig
-    ~name:(Strategy.name strategy ^ " HT-sum")
+    ~name:(Strategy.name strategy ^ " " ^ estimator_label est)
     ~cdf:(fun x -> 1. -. Stats_math.normal_sf x)
     ~sample:(fun ~attempt ->
       let env =
@@ -235,11 +267,26 @@ let aggregate_ks kconfig config ~pair ~oracle ~row_index strategy =
           ~right_key:Zipf_tables.col2 ()
       in
       Array.init config.trials (fun _ ->
-          let s = (Strategy.run env strategy ~r).Strategy.sample in
-          let est =
-            float_of_int n /. float_of_int r *. Array.fold_left (fun acc t -> acc +. g t) 0. s
-          in
-          (est -. total) /. sd))
+          standardize (Strategy.run env strategy ~r).Strategy.sample))
+
+(* ------------------------------------------------------------------ *)
+(* Chain-join rows                                                     *)
+
+(* The 3-relation chain walker (Chain_sample) held to the same policy
+   as the 2-relation cells: chi-square of pooled WR draws against the
+   uniform law over the exactly enumerated chain join, one row per
+   skew. *)
+let default_chain_skews = [ 0.5; 2.0 ]
+
+let chain_spec ~seed ~z =
+  let mk i rows =
+    Zipf_tables.make ~seed:(seed + (31 * i)) ~name:(Printf.sprintf "chain%d" i) ~rows ~z
+      ~domain:5 ()
+  in
+  {
+    Chain_sample.relations = [| mk 0 24; mk 1 30; mk 2 36 |];
+    join_keys = [| (Zipf_tables.col2, Zipf_tables.col2); (Zipf_tables.col2, Zipf_tables.col2) |];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Negative control                                                    *)
@@ -263,6 +310,7 @@ type summary = {
   config : config;
   results : cell_result list;
   aggregates : (string * Kernel.outcome) list;
+  chains : (string * Kernel.outcome) list;
   control : Kernel.outcome;
   comparisons : int;
   all_pass : bool;
@@ -281,7 +329,21 @@ let wr_uniformity ?(config = Kernel.default) ~trials ~universe ~draw () =
       done;
       (Oracle.wr_expected oracle ~draws:!total, counts))
 
-let run ?config ?cells ?(with_aggregates = true) ?(with_control = true) () =
+let chain_row kconfig config ~row_index z =
+  let spec = chain_spec ~seed:(mix config.seed 0xC4A1 row_index) ~z in
+  let universe = Oracle.universe (Oracle.of_chain spec) in
+  let prepared = Chain_sample.prepare spec in
+  let outcome =
+    wr_uniformity ~config:kconfig ~trials:config.trials ~universe
+      ~draw:(fun ~attempt ->
+        let rng = Prng.create ~seed:(mix config.seed (0xC4A1 + row_index) (attempt + 1)) () in
+        fun () -> Chain_sample.sample prepared rng ~r:config.r ())
+      ()
+  in
+  (Printf.sprintf "chain walk z=%g" z, outcome)
+
+let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_control = true) ()
+    =
   let config = match config with Some c -> c | None -> default_config () in
   if config.trials <= 0 then invalid_arg "Conformance.run: trials <= 0";
   if config.r <= 0 then invalid_arg "Conformance.run: r <= 0";
@@ -297,10 +359,13 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_control = true) () =
   in
   let ks_rows =
     if with_aggregates then
-      List.sort_uniq compare (List.map (fun c -> c.strategy) cells)
+      List.concat_map
+        (fun strategy -> List.map (fun est -> (strategy, est)) all_estimators)
+        (List.sort_uniq compare (List.map (fun c -> c.strategy) cells))
     else []
   in
-  let comparisons = List.length cells + List.length ks_rows in
+  let chain_zs = if with_chains then default_chain_skews else [] in
+  let comparisons = List.length cells + List.length ks_rows + List.length chain_zs in
   let kconfig =
     {
       Kernel.significance = config.significance;
@@ -334,11 +399,13 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_control = true) () =
   in
   let aggregates =
     List.mapi
-      (fun i strategy ->
+      (fun i (strategy, est) ->
         let pair, oracle = instance ks_skew.label in
-        (Strategy.name strategy, aggregate_ks kconfig config ~pair ~oracle ~row_index:i strategy))
+        ( Strategy.name strategy ^ " " ^ estimator_label est,
+          aggregate_ks kconfig config ~pair ~oracle ~row_index:i strategy est ))
       ks_rows
   in
+  let chains = List.mapi (fun i z -> chain_row kconfig config ~row_index:i z) chain_zs in
   let control =
     if with_control then
       let _, oracle = instance ks_skew.label in
@@ -348,9 +415,10 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_control = true) () =
   let all_pass =
     List.for_all (fun r -> r.outcome.Kernel.passed) results
     && List.for_all (fun (_, o) -> o.Kernel.passed) aggregates
+    && List.for_all (fun (_, o) -> o.Kernel.passed) chains
     && (not with_control || not control.Kernel.passed)
   in
-  { config; results; aggregates; control; comparisons; all_pass }
+  { config; results; aggregates; chains; control; comparisons; all_pass }
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -389,6 +457,21 @@ let report summary =
             (if o.Kernel.passed then "PASS" else "FAIL");
           ])
         summary.aggregates
+    @ List.map
+        (fun (name, (o : Kernel.outcome)) ->
+          [
+            name;
+            "with-replacement";
+            "chain";
+            "1";
+            "-";
+            string_of_int (summary.config.trials * summary.config.r);
+            o.Kernel.name;
+            p_cell o.Kernel.p_value;
+            string_of_int o.Kernel.attempts;
+            (if o.Kernel.passed then "PASS" else "FAIL");
+          ])
+        summary.chains
     @ [
         [
           "biased control";

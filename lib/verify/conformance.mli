@@ -10,10 +10,15 @@
       pooled draws against uniform; WoR cells test the hypergeometric
       marginal inclusion counts; CF cells conjoin conditional
       uniformity with a z-test of the Binomial(|J|, f) total size.
-    - {b Aggregates}: per strategy, a KS test of standardized
-      Horvitz–Thompson SUM estimates against the normal CDF — gating
-      the paper's §1 use case (approximate aggregates over the
-      sample), not just membership frequencies.
+    - {b Aggregates}: per strategy × estimator, a KS test of
+      standardized estimates against the normal CDF — gating the
+      paper's §1 use case (approximate aggregates over the sample),
+      not just membership frequencies. Three estimators per strategy:
+      the Horvitz–Thompson SUM, the Horvitz–Thompson COUNT of a
+      selection predicate, and the sample-mean AVG.
+    - {b Chains}: the 3-relation chain walker
+      ({!Rsj_core.Chain_sample}) chi-squared against the uniform law
+      over the exactly enumerated chain join, one row per chain skew.
     - {b Negative control}: a deliberately biased WR sampler
       ({!Rsj_core.Negative.biased_wr_draw}) run through the same
       kernel; the run only passes when the control is {e rejected},
@@ -73,19 +78,38 @@ val matrix :
     {!default_skews} × {!default_domain_counts} = 144 × |skews|
     cells). *)
 
+type estimator = Sum | Count | Avg
+(** Aggregate estimators KS-gated per strategy: Horvitz–Thompson SUM,
+    Horvitz–Thompson COUNT of a selection predicate (even outer row
+    id), and the sample-mean AVG. *)
+
+val all_estimators : estimator list
+val estimator_label : estimator -> string
+
+val default_chain_skews : float list
+(** Zipf parameters of the chain rows ([\[0.5; 2.0\]]). *)
+
 type summary = {
   config : config;
   results : cell_result list;
-  aggregates : (string * Kernel.outcome) list;  (** Strategy → KS row. *)
+  aggregates : (string * Kernel.outcome) list;
+      (** Strategy × estimator → KS row. *)
+  chains : (string * Kernel.outcome) list;  (** Chain skew → chi-square row. *)
   control : Kernel.outcome;
   comparisons : int;  (** Bonferroni divisor actually applied. *)
   all_pass : bool;
-      (** Every cell and aggregate passed AND the control was
-          rejected. *)
+      (** Every cell, aggregate and chain row passed AND the control
+          was rejected. *)
 }
 
 val run :
-  ?config:config -> ?cells:cell list -> ?with_aggregates:bool -> ?with_control:bool -> unit -> summary
+  ?config:config ->
+  ?cells:cell list ->
+  ?with_aggregates:bool ->
+  ?with_chains:bool ->
+  ?with_control:bool ->
+  unit ->
+  summary
 (** Execute the sweep. Workload pairs and oracles are built once per
     skew; every cell attempt re-derives its own seed from
     [config.seed], the cell index and the attempt number, so the whole

@@ -162,54 +162,12 @@ let test_oracle_chain_matches_walker () =
   Array.iter (Oracle.observe oracle counts) sample
 (* observe raises if any draw is outside the enumerated chain join *)
 
-(* ------------------------------------------------------------------ *)
-(* Conformance gates for the sequential-only strategies (the parallel
-   suite covers Naive/Stream/Group/Count): each at two Zipf skews.     *)
-
-let sequential_conformance_strategies =
-  [ Strategy.Frequency_partition; Strategy.Hybrid_count; Strategy.Index_sample ]
-
-let two_skews = [ (0.5, 1.); (1., 2.) ]
-
-let test_sequential_strategies_conform () =
-  List.iter
-    (fun strategy ->
-      List.iter
-        (fun (z1, z2) ->
-          let pair = small_pair ~z1 ~z2 () in
-          let universe = Oracle.universe (Oracle.of_env (env_of pair)) in
-          let outcome =
-            Conformance.wr_uniformity ~trials:150 ~universe
-              ~draw:(fun ~attempt ->
-                let env = env_of ~seed:(0x51 + (97 * attempt)) pair in
-                fun () -> (Strategy.run env strategy ~r:16).Strategy.sample)
-              ()
-          in
-          Alcotest.(check bool)
-            (Printf.sprintf "%s z=(%g,%g) uniform over J (p=%.4f, attempts=%d)"
-               (Strategy.name strategy) z1 z2 outcome.Kernel.p_value outcome.Kernel.attempts)
-            true outcome.Kernel.passed)
-        two_skews)
-    sequential_conformance_strategies
-
-let test_chain_sample_conforms () =
-  List.iter
-    (fun z ->
-      let spec = chain_spec ~z () in
-      let universe = Oracle.universe (Oracle.of_chain spec) in
-      let prepared = Chain_sample.prepare spec in
-      let outcome =
-        Conformance.wr_uniformity ~trials:150 ~universe
-          ~draw:(fun ~attempt ->
-            let rng = Prng.create ~seed:(0xC4 + (97 * attempt)) () in
-            fun () -> Chain_sample.sample prepared rng ~r:16 ())
-          ()
-      in
-      Alcotest.(check bool)
-        (Printf.sprintf "chain walk z=%g uniform over J (p=%.4f, attempts=%d)" z
-           outcome.Kernel.p_value outcome.Kernel.attempts)
-        true outcome.Kernel.passed)
-    [ 0.5; 2. ]
+(* The standalone per-strategy and chain-walker gates that used to live
+   here are promoted into the matrix runner itself: every strategy now
+   runs through Rsj_parallel.run in the cells (including the four
+   newly-parallel ones at domains 2 and 4), and Conformance.run grows
+   chain rows at two skews. The mini-run below and the full sweep
+   under @conformance exercise both. *)
 
 (* ------------------------------------------------------------------ *)
 (* Negative control: the kernel must have power, not just tolerance.   *)
@@ -230,8 +188,9 @@ let test_biased_sampler_rejected () =
   Alcotest.(check int) "every attempt rejected" 3 outcome.Kernel.attempts
 
 (* ------------------------------------------------------------------ *)
-(* End-to-end matrix runner (reduced matrix; the full 152-comparison
-   sweep runs under @conformance / rsj verify).                        *)
+(* End-to-end matrix runner (reduced matrix; the full 170-comparison
+   sweep — 144 cells + 24 estimator KS rows + 2 chain rows — runs
+   under @conformance / rsj verify).                                   *)
 
 let test_conformance_run_mini () =
   let config =
@@ -245,7 +204,9 @@ let test_conformance_run_mini () =
   in
   Alcotest.(check int) "2 strategies x 3 semantics x 1 skew x 2 domains" 12 (List.length cells);
   let summary = Conformance.run ~config ~cells () in
-  Alcotest.(check int) "comparisons = cells + KS rows" 14 summary.Conformance.comparisons;
+  Alcotest.(check int) "comparisons = cells + estimator KS rows + chain rows"
+    (12 + (2 * 3) + 2)
+    summary.Conformance.comparisons;
   Alcotest.(check bool) "mini matrix passes and control is rejected" true
     summary.Conformance.all_pass;
   Alcotest.(check bool) "control rejected" false summary.Conformance.control.Kernel.passed;
@@ -303,9 +264,6 @@ let suite =
     Alcotest.test_case "oracle matches plan enumeration" `Quick test_oracle_matches_plan;
     Alcotest.test_case "oracle expected-count laws" `Quick test_oracle_expected_laws;
     Alcotest.test_case "oracle chain = walker weights" `Quick test_oracle_chain_matches_walker;
-    Alcotest.test_case "sequential strategies conform (2 skews)" `Slow
-      test_sequential_strategies_conform;
-    Alcotest.test_case "chain walker conforms (2 skews)" `Slow test_chain_sample_conforms;
     Alcotest.test_case "biased sampler is rejected" `Slow test_biased_sampler_rejected;
     Alcotest.test_case "matrix runner end to end" `Slow test_conformance_run_mini;
     Alcotest.test_case "matrix runner is deterministic" `Quick test_conformance_deterministic;

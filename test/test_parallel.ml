@@ -24,10 +24,30 @@ let full_join env =
   in
   Array.of_list (Rsj_exec.Plan.collect plan)
 
-let parallel_strategies =
-  [ Strategy.Naive; Strategy.Stream; Strategy.Group; Strategy.Count_sample ]
+(* Every strategy now has a parallel execution. *)
+let parallel_strategies = Strategy.all
 
-let domain_counts = [ 1; 2; 4 ]
+(* Domain counts under test; RSJ_DOMAINS ("1" or "2,4") narrows the
+   matrix so one binary can be swept per-domain-count by the
+   parallel-equiv alias. *)
+let domain_counts =
+  match Sys.getenv_opt "RSJ_DOMAINS" with
+  | Some s when String.trim s <> "" -> (
+      match
+        String.split_on_char ',' s |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+      with
+      | [] -> [ 1; 2; 4 ]
+      | l -> l)
+  | _ -> [ 1; 2; 4 ]
+
+let test_all_parallelizable () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Strategy.name s ^ " is parallelizable")
+        true
+        (Rsj_parallel.is_parallelizable s))
+    Strategy.all
 
 (* ------------------------------------------------------------------ *)
 (* Parallel strategy execution                                         *)
@@ -70,7 +90,24 @@ let test_parallel_emits_join_tuples () =
 let test_parallel_uniform () =
   let pair = Zipf_tables.make_pair ~seed:0xAB ~n1:40 ~n2:80 ~z1:1. ~z2:2. ~domain:6 () in
   let universe = full_join (small_env ()) in
-  let checks = List.length domain_counts * 2 in
+  (* Stream/Group cover the chunked-reservoir path, Olken the
+     speculative path, Frequency-Partition the chunked hi/lo routing;
+     the @conformance matrix sweeps the rest. Only domains > 1 are
+     tested here: domains = 1 is bit-identical to Strategy.run (see
+     the d=1 identity test), whose law test_strategies gates. One
+     domain count per run keeps the suite fast — the default is the
+     smallest parallel width, @parallel-equiv re-runs the suite at
+     RSJ_DOMAINS = 2 and 4, and the @conformance matrix chi-squares
+     every strategy at domains {1, 2, 4} on each runtest anyway. *)
+  let strategies =
+    [ Strategy.Stream; Strategy.Group; Strategy.Olken; Strategy.Frequency_partition ]
+  in
+  let domain_counts =
+    match List.filter (fun d -> d > 1) domain_counts with
+    | [] -> [ 2 ]
+    | l -> [ List.fold_left min max_int l ]
+  in
+  let checks = List.length domain_counts * List.length strategies in
   List.iter
     (fun s ->
       List.iter
@@ -78,7 +115,7 @@ let test_parallel_uniform () =
           let outcome =
             Rsj_verify.Conformance.wr_uniformity
               ~config:{ Rsj_verify.Kernel.default with comparisons = checks }
-              ~trials:200 ~universe
+              ~trials:120 ~universe
               ~draw:(fun ~attempt ->
                 let env =
                   Strategy.make_env
@@ -94,27 +131,48 @@ let test_parallel_uniform () =
                d outcome.Rsj_verify.Kernel.p_value outcome.Rsj_verify.Kernel.attempts)
             true outcome.Rsj_verify.Kernel.passed)
         domain_counts)
-    [ Strategy.Stream; Strategy.Group ]
+    strategies
 
+let tiny_schema_rel name vals =
+  Relation.of_tuples ~name Zipf_tables.schema
+    (List.mapi (fun i v -> [| Value.Int i; Value.Int v; Value.str "p" |]) vals)
+
+let tiny_env ~left ~right =
+  Strategy.make_env ~left:(tiny_schema_rel "L" left) ~right:(tiny_schema_rel "R" right)
+    ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
+
+(* r = 0 must be a no-op for every strategy, sequential and parallel —
+   including on degenerate inputs (empty R2, empty R1, empty join)
+   where a strategy that inspects the input first could spin its whole
+   rejection budget (Olken) or trip an emptiness guard. *)
 let test_parallel_r_zero () =
-  let env = small_env () in
-  List.iter
-    (fun s ->
-      let res = Rsj_parallel.run env s ~r:0 ~domains:4 in
-      Alcotest.(check int) (Strategy.name s ^ " r=0") 0 (Array.length res.Strategy.sample))
-    parallel_strategies
+  let check_r0 label env =
+    List.iter
+      (fun s ->
+        let seq = Strategy.run env s ~r:0 in
+        Alcotest.(check int)
+          (Printf.sprintf "%s r=0 sequential (%s)" (Strategy.name s) label)
+          0
+          (Array.length seq.Strategy.sample);
+        List.iter
+          (fun d ->
+            let res = Rsj_parallel.run env s ~r:0 ~domains:d in
+            Alcotest.(check int)
+              (Printf.sprintf "%s r=0 domains=%d (%s)" (Strategy.name s) d label)
+              0
+              (Array.length res.Strategy.sample))
+          domain_counts)
+      Strategy.all
+  in
+  check_r0 "skewed pair" (small_env ());
+  check_r0 "empty R2" (tiny_env ~left:[ 1; 2 ] ~right:[]);
+  check_r0 "empty R1" (tiny_env ~left:[] ~right:[ 1; 1; 2 ]);
+  check_r0 "empty join" (tiny_env ~left:[ 1; 2 ] ~right:[ 3; 4 ])
 
 let test_parallel_more_domains_than_rows () =
-  (* Shards beyond the relation's size are empty; the merge must cope. *)
-  let schema = Zipf_tables.schema in
-  let mk name vals =
-    Relation.of_tuples ~name schema
-      (List.mapi (fun i v -> [| Value.Int i; Value.Int v; Value.str "p" |]) vals)
-  in
-  let env =
-    Strategy.make_env ~left:(mk "L" [ 1; 2 ]) ~right:(mk "R" [ 1; 1; 2 ])
-      ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
-  in
+  (* Chunks beyond the relation's size don't exist; idle domains must
+     exit cleanly and the merge must cope. *)
+  let env = tiny_env ~left:[ 1; 2 ] ~right:[ 1; 1; 2 ] in
   List.iter
     (fun s ->
       let res = Rsj_parallel.run env s ~r:5 ~domains:8 in
@@ -123,8 +181,13 @@ let test_parallel_more_domains_than_rows () =
     parallel_strategies
 
 let test_parallel_deterministic () =
+  (* Chunk state depends only on the chunk index, so the sample is
+     reproducible at every domain count — except Olken above one
+     domain, whose speculative ticketing is timing-dependent (the law
+     is covered by the chi-square test above instead). *)
   List.iter
     (fun s ->
+      let domains = if s = Strategy.Olken then [ 1 ] else domain_counts in
       List.iter
         (fun d ->
           let r1 = Rsj_parallel.run (small_env ~seed:7 ()) s ~r:10 ~domains:d in
@@ -136,42 +199,129 @@ let test_parallel_deterministic () =
                 true
                 (Tuple.equal t r2.Strategy.sample.(i)))
             r1.Strategy.sample)
-        domain_counts)
+        domains)
     parallel_strategies
 
-let test_parallel_fallback_matches_sequential () =
-  (* Non-parallelizable strategies and domains=1 defer to Strategy.run;
-     same env seed must give the identical sample. *)
+let test_parallel_domains_one_is_sequential () =
+  (* domains <= 1 defers to Strategy.run for every strategy: same env
+     seed, identical sample. *)
   List.iter
     (fun s ->
       let seq = Strategy.run (small_env ~seed:5 ()) s ~r:12 in
-      let par = Rsj_parallel.run (small_env ~seed:5 ()) s ~r:12 ~domains:4 in
-      Alcotest.(check int) (Strategy.name s ^ " fallback size") (Array.length seq.Strategy.sample)
+      let par = Rsj_parallel.run (small_env ~seed:5 ()) s ~r:12 ~domains:1 in
+      Alcotest.(check int) (Strategy.name s ^ " d=1 size") (Array.length seq.Strategy.sample)
         (Array.length par.Strategy.sample);
       Array.iteri
         (fun i t ->
-          Alcotest.(check bool) (Strategy.name s ^ " fallback identical") true
+          Alcotest.(check bool) (Strategy.name s ^ " d=1 identical") true
             (Tuple.equal t par.Strategy.sample.(i)))
         seq.Strategy.sample)
-    [ Strategy.Olken; Strategy.Frequency_partition; Strategy.Index_sample; Strategy.Hybrid_count ]
+    parallel_strategies
 
 let test_parallel_metrics_sum () =
   (* tuples_scanned covers every R1 tuple exactly once regardless of
-     the shard count (Group also scans R2 once). *)
+     the chunking (Group and Naive also scan R2 once; Index-Sample
+     only R1). *)
   let env = small_env () in
   let n1 = Relation.cardinality (Strategy.env_left env) in
   let n2 = Relation.cardinality (Strategy.env_right env) in
+  let expectations =
+    [
+      (Strategy.Stream, n1, "n1");
+      (Strategy.Group, n1 + n2, "n1+n2");
+      (Strategy.Naive, n1 + n2, "n1+n2");
+      (Strategy.Index_sample, n1, "n1");
+      (Strategy.Frequency_partition, n1 + n2, "n1+n2");
+    ]
+  in
   List.iter
     (fun d ->
-      let res = Rsj_parallel.run env Strategy.Stream ~r:20 ~domains:d in
-      Alcotest.(check int)
-        (Printf.sprintf "stream domains=%d scans n1" d)
-        n1 res.Strategy.metrics.Rsj_exec.Metrics.tuples_scanned;
-      let resg = Rsj_parallel.run env Strategy.Group ~r:20 ~domains:d in
-      Alcotest.(check int)
-        (Printf.sprintf "group domains=%d scans n1+n2" d)
-        (n1 + n2) resg.Strategy.metrics.Rsj_exec.Metrics.tuples_scanned)
+      List.iter
+        (fun (s, expected, what) ->
+          let res = Rsj_parallel.run env s ~r:20 ~domains:d in
+          Alcotest.(check int)
+            (Printf.sprintf "%s domains=%d scans %s" (Strategy.name s) d what)
+            expected res.Strategy.metrics.Rsj_exec.Metrics.tuples_scanned)
+        expectations)
     domain_counts
+
+(* ------------------------------------------------------------------ *)
+(* Chunk-queue scheduler                                               *)
+
+module Chunk_scheduler = Rsj_parallel.Chunk_scheduler
+
+let test_scheduler_results_in_order () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun chunks ->
+          let out, stats = Chunk_scheduler.run ~domains ~chunks ~task:(fun i -> i * i) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "d=%d chunks=%d results in chunk order" domains chunks)
+            (Array.init chunks (fun i -> i * i))
+            out;
+          Alcotest.(check int)
+            (Printf.sprintf "d=%d chunks=%d all chunks handed out" domains chunks)
+            chunks stats.Chunk_scheduler.chunks;
+          Alcotest.(check int)
+            (Printf.sprintf "d=%d chunks=%d claims sum to chunks" domains chunks)
+            chunks
+            (Array.fold_left ( + ) 0 stats.Chunk_scheduler.claims);
+          Alcotest.(check int)
+            (Printf.sprintf "d=%d chunks=%d one claim slot per domain" domains chunks)
+            domains
+            (Array.length stats.Chunk_scheduler.claims))
+        [ 0; 1; 7; 64 ])
+    [ 1; 2; 4 ]
+
+let test_scheduler_rejects_bad_args () =
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "domains=0 rejected" true
+    (rejects (fun () -> Chunk_scheduler.run ~domains:0 ~chunks:1 ~task:(fun i -> i)));
+  Alcotest.(check bool) "chunks<0 rejected" true
+    (rejects (fun () -> Chunk_scheduler.run ~domains:2 ~chunks:(-1) ~task:(fun i -> i)));
+  Alcotest.(check bool) "run chunk_size<=0 rejected" true
+    (rejects (fun () ->
+         Rsj_parallel.run ~chunk_size:0 (small_env ()) Strategy.Stream ~r:1 ~domains:2))
+
+let test_scheduler_default_chunk_size () =
+  (* Only meaningful when the env override is not set (the test runner
+     never sets it). *)
+  match Sys.getenv_opt "RSJ_CHUNK_SIZE" with
+  | Some _ -> ()
+  | None ->
+      Alcotest.(check int) "small n floors at 1" 1
+        (Chunk_scheduler.default_chunk_size ~n:3 ~domains:4);
+      Alcotest.(check int) "mid n ~ n/(4d)" 625
+        (Chunk_scheduler.default_chunk_size ~n:10_000 ~domains:4);
+      Alcotest.(check int) "huge n caps at 4096" 4096
+        (Chunk_scheduler.default_chunk_size ~n:10_000_000 ~domains:2)
+
+let test_explicit_chunk_size_same_sample () =
+  (* chunk_size changes the schedule, never the sample: per-chunk state
+     is split by chunk index, and merges are distribution-preserving —
+     but bit-identity across chunk sizes is NOT promised (different
+     split trees), so this checks determinism within each size and the
+     static-shard size (ceil n/d) specifically. *)
+  List.iter
+    (fun cs ->
+      let a = Rsj_parallel.run ~chunk_size:cs (small_env ~seed:11 ()) Strategy.Naive ~r:8 ~domains:2 in
+      let b = Rsj_parallel.run ~chunk_size:cs (small_env ~seed:11 ()) Strategy.Naive ~r:8 ~domains:2 in
+      Alcotest.(check int) (Printf.sprintf "chunk_size=%d size" cs) 8
+        (Array.length a.Strategy.sample);
+      Array.iteri
+        (fun i t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk_size=%d reproducible" cs)
+            true
+            (Tuple.equal t b.Strategy.sample.(i)))
+        a.Strategy.sample)
+    [ 1; 7; 20; 40 ]
 
 (* ------------------------------------------------------------------ *)
 (* Reservoir merges                                                    *)
@@ -383,14 +533,22 @@ let test_split_n () =
 
 let suite =
   [
+    Alcotest.test_case "every strategy is parallelizable" `Quick test_all_parallelizable;
     Alcotest.test_case "parallel run returns r tuples" `Quick test_parallel_returns_r;
     Alcotest.test_case "parallel output is join tuples" `Quick test_parallel_emits_join_tuples;
     Alcotest.test_case "parallel sample is WR-uniform (chi-square)" `Slow test_parallel_uniform;
     Alcotest.test_case "parallel r = 0" `Quick test_parallel_r_zero;
     Alcotest.test_case "more domains than rows" `Quick test_parallel_more_domains_than_rows;
     Alcotest.test_case "parallel seeded reproducibility" `Quick test_parallel_deterministic;
-    Alcotest.test_case "sequential fallback is exact" `Quick test_parallel_fallback_matches_sequential;
+    Alcotest.test_case "domains = 1 is exactly sequential" `Quick
+      test_parallel_domains_one_is_sequential;
     Alcotest.test_case "metrics sum across domains" `Quick test_parallel_metrics_sum;
+    Alcotest.test_case "scheduler returns results in chunk order" `Quick
+      test_scheduler_results_in_order;
+    Alcotest.test_case "scheduler rejects bad arguments" `Quick test_scheduler_rejects_bad_args;
+    Alcotest.test_case "scheduler default chunk size" `Quick test_scheduler_default_chunk_size;
+    Alcotest.test_case "explicit chunk sizes stay deterministic" `Quick
+      test_explicit_chunk_size_same_sample;
     Alcotest.test_case "Wr.merge conserves mass" `Quick test_wr_merge_mass_conservation;
     Alcotest.test_case "Wr.merge with an empty shard" `Quick test_wr_merge_empty_side;
     Alcotest.test_case "Wr.merge at r = 0" `Quick test_wr_merge_r_zero;
