@@ -19,7 +19,7 @@
 #                      suite exercises (default 1,2,4)
 #   RSJ_CHUNK_SIZE     chunk-queue scheduler chunk size override
 
-.PHONY: all build check test smoke bench bench-parallel conformance clean
+.PHONY: all build check test smoke bench bench-parallel bench-json pool conformance clean
 
 all: build
 
@@ -57,6 +57,18 @@ bench:
 bench-parallel:
 	dune build @parallel-equiv
 	RSJ_ONLY_PARALLEL=1 dune exec bench/main.exe
+
+# bench-json = machine-readable perf trajectory: strategy × domains
+# median wall-times over the pooled runtime plus the domain-pool spawn
+# counters, written to BENCH_parallel.json. CI-friendly scale
+# (RSJ_PAR_N1 default 100_000; RSJ_REPS medians, default 3).
+bench-json:
+	dune exec bench/main.exe -- --json
+
+# pool = the Domain_pool lifecycle + bit-identity suite on its own
+# (also runs inside `make test`).
+pool:
+	dune build @pool
 
 clean:
 	dune clean

@@ -17,7 +17,12 @@
    parallel/* benches, default 1,000,000); RSJ_CHUNK_SIZE (scheduler
    chunk size override, see Rsj_parallel); RSJ_SKIP_MICRO=1 to skip
    layer 2; RSJ_SKIP_PAPER=1 to skip layer 1; RSJ_ONLY_PARALLEL=1 to
-   run only the parallel/* benches (what `make bench-parallel` sets). *)
+   run only the parallel/* benches (what `make bench-parallel` sets).
+
+   `--json` (what `make bench-json` passes) skips both layers and
+   instead writes BENCH_parallel.json: strategy × domain-count median
+   wall-times over the pooled runtime plus the domain-pool spawn
+   counters, at a CI-friendly scale (RSJ_PAR_N1 default 100,000). *)
 
 open Bechamel
 open Toolkit
@@ -227,6 +232,105 @@ let parallel_tests () =
       skew_tests;
     ]
 
+(* --json: machine-readable strategy × domains wall-times, written to
+   BENCH_parallel.json so the perf trajectory is tracked across PRs.
+   Scaled for CI (RSJ_PAR_N1 default 100,000 here, vs 1,000,000 for the
+   interactive parallel/* benches); RSJ_REPS medians out scheduler
+   noise. The pool counters land in the same file — the spawn economy
+   is the headline number on a single-core container where wall-clock
+   speedups cannot materialise. *)
+let run_json () =
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+    | None -> default
+  in
+  let n1 = getenv_int "RSJ_PAR_N1" 100_000 in
+  let n2 = max 1 (n1 / 4) in
+  let reps = getenv_int "RSJ_REPS" 3 in
+  let make_env ?histogram_fraction ~z1 ~z2 () =
+    let pair = Zipf_tables.make_pair ~seed:42 ~n1 ~n2 ~z1 ~z2 ~domain:1_000 () in
+    let env =
+      Strategy.make_env ~seed:42 ?histogram_fraction ~left:pair.outer ~right:pair.inner
+        ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
+    in
+    ignore (Strategy.env_right_index env);
+    ignore (Strategy.env_right_stats env);
+    ignore (Strategy.env_histogram env);
+    env
+  in
+  let env_uniform = make_env ~z1:0. ~z2:0. () in
+  let env_skew = make_env ~histogram_fraction:0.005 ~z1:2. ~z2:3. () in
+  let r = max 1 (n1 / 100) in
+  (* Same cell assignment as the parallel/* bechamel benches: the
+     partition strategies (and Olken's acceptance loop) are built for
+     skew; the scan strategies run the uniform cell. *)
+  let cell_of = function
+    | Strategy.Olken | Strategy.Frequency_partition | Strategy.Index_sample
+    | Strategy.Hybrid_count ->
+        (env_skew, "z23")
+    | Strategy.Naive | Strategy.Stream | Strategy.Group | Strategy.Count_sample ->
+        (env_uniform, "z00")
+  in
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let time_wr env strategy d =
+    median
+      (Array.init reps (fun _ ->
+           (Rsj_parallel.run env strategy ~r ~domains:d).Strategy.elapsed_seconds))
+  in
+  let time_wor env strategy d =
+    median
+      (Array.init reps (fun _ ->
+           (Rsj_parallel.run_wor env strategy ~r ~domains:d).Strategy.elapsed_seconds))
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  let rows =
+    List.concat_map
+      (fun strategy ->
+        let env, ztag = cell_of strategy in
+        List.concat_map
+          (fun d ->
+            let wr = time_wr env strategy d in
+            (* WoR over the full eight-strategy × width grid at bench
+               scale would dominate the run; one WoR series (Stream, the
+               batch-conversion path) plus Naive (the direct chunked
+               Vitter path) tracks both pooled WoR mechanisms. *)
+            let wor =
+              match strategy with
+              | Strategy.Naive | Strategy.Stream -> Some (time_wor env strategy d)
+              | _ -> None
+            in
+            let row semantics seconds =
+              Printf.sprintf
+                {|    {"strategy": %S, "skew": %S, "semantics": %S, "domains": %d, "seconds": %.6f}|}
+                (Strategy.name strategy) ztag semantics d seconds
+            in
+            row "WR" wr :: (match wor with Some s -> [ row "WoR" s ] | None -> []))
+          domain_counts)
+      Strategy.all
+  in
+  let c = Domain_pool.counters () in
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    {|{
+  "workload": {"n1": %d, "n2": %d, "domain": 1000, "seed": 42, "r": %d, "reps": %d},
+  "results": [
+%s
+  ],
+  "pool": {"worker_spawns": %d, "parallel_jobs": %d, "unpooled_spawn_equivalent": %d}
+}
+|}
+    n1 n2 r reps
+    (String.concat ",\n" rows)
+    c.Domain_pool.spawned c.Domain_pool.parallel_jobs c.Domain_pool.unpooled_spawn_equivalent;
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json (%d rows; pool: %d spawns for %d parallel jobs)\n%!"
+    (List.length rows) c.Domain_pool.spawned c.Domain_pool.parallel_jobs
+
 let run_micro tests =
   let quota =
     match Sys.getenv_opt "RSJ_BENCH_QUOTA" with
@@ -253,7 +357,8 @@ let run_micro tests =
 
 let () =
   let on name = Sys.getenv_opt name = Some "1" in
-  if on "RSJ_ONLY_PARALLEL" then run_micro (parallel_tests ())
+  if Array.exists (( = ) "--json") Sys.argv then run_json ()
+  else if on "RSJ_ONLY_PARALLEL" then run_micro (parallel_tests ())
   else begin
     if not (on "RSJ_SKIP_PAPER") then Rsj_harness.Experiments.run_all Format.std_formatter;
     if not (on "RSJ_SKIP_MICRO") then run_micro (micro_tests () @ parallel_tests ())

@@ -95,15 +95,14 @@ let sample_cmd =
       & info [ "domains" ]
           ~docv:"N"
           ~doc:
-            "Execute across N OCaml domains (default 1 = sequential). Applies to the \
-             parallelizable strategies (Naive, Stream, Group, Count); others fall back to \
-             the sequential runner. Incompatible with --without-replacement.")
+            "Execute across N OCaml domains (default 1). All eight strategies run on the \
+             pooled chunk-scheduled runtime, with or without --without-replacement; for a \
+             fixed --seed the sample is identical at every N (except Olken at N > 1, whose \
+             speculative rounds are timing-dependent).")
   in
   let run left right strategy r wor show_metrics domains seed =
     if r < 0 then `Error (false, "--r must be non-negative")
     else if domains < 1 then `Error (false, "--domains must be at least 1")
-    else if wor && domains > 1 then
-      `Error (false, "--without-replacement runs sequentially; drop --domains")
     else begin
       try
         let l = Rsj_relation.Csv_io.load ~path:left Zipf_tables.schema in
@@ -113,7 +112,7 @@ let sample_cmd =
             ~right_key:Zipf_tables.col2 ()
         in
         let result =
-          if wor then Strategy.run_wor env strategy ~r
+          if wor then Rsj_parallel.run_wor env strategy ~r ~domains
           else Rsj_parallel.run env strategy ~r ~domains
         in
         Array.iter
@@ -304,6 +303,12 @@ let verify_cmd =
         if summary.Rsj_verify.Conformance.all_pass then begin
           Printf.printf "conformance: all %d comparisons pass; negative control rejected\n"
             summary.Rsj_verify.Conformance.comparisons;
+          let c = Domain_pool.counters () in
+          Printf.printf
+            "domain pool: %d worker spawns served %d parallel jobs (spawn-per-call would \
+             have cost %d spawns)\n"
+            c.Domain_pool.spawned c.Domain_pool.parallel_jobs
+            c.Domain_pool.unpooled_spawn_equivalent;
           `Ok ()
         end
         else `Error (false, "conformance failures (see report)")
@@ -317,7 +322,8 @@ let verify_cmd =
       ~doc:
         "Statistical conformance sweep: every strategy \xc3\x97 semantics (WR/WoR/CF) \xc3\x97 \
          skew \xc3\x97 domains {1,2,4} against the exact join-distribution oracle, plus \
-         aggregate-estimate KS tests and a biased negative control."
+         aggregate-estimate KS tests per strategy \xc3\x97 estimator \xc3\x97 domain count and a \
+         biased negative control."
   in
   Cmd.v info Term.(ret (const run $ trials $ r $ alpha $ retries $ csv $ seed_arg))
 

@@ -94,6 +94,52 @@ module Unit = struct
     { kept; fed }
 end
 
+module Multi = struct
+  type 'a t = { k : int; slots : 'a option array; mutable fed : int }
+
+  let create ~k =
+    if k < 0 then invalid_arg "Reservoir.Multi.create: k < 0";
+    { k; slots = Array.make k None; fed = 0 }
+
+  let feed rng t x =
+    t.fed <- t.fed + 1;
+    if t.k > 0 then begin
+      if t.fed = 1 then Array.fill t.slots 0 t.k (Some x)
+      else begin
+        (* Each slot keeps x with probability 1/fed independently;
+           batched into one Binomial(k, 1/fed) draw plus a uniform
+           choice of positions — Σ E[flips] = k·H(fed), not k per
+           element. *)
+        let p = 1. /. float_of_int t.fed in
+        let flips = Dist.binomial rng ~n:t.k ~p in
+        if flips > 0 then
+          Array.iter (fun s -> t.slots.(s) <- Some x) (Prng.sample_distinct rng ~k:flips ~n:t.k)
+      end
+    end
+
+  let fed_count t = t.fed
+  let size t = t.k
+  let get t i = t.slots.(i)
+
+  let merge rng a b =
+    if a.k <> b.k then invalid_arg "Reservoir.Multi.merge: mismatched slot counts";
+    let fed = a.fed + b.fed in
+    if b.fed = 0 then { k = a.k; slots = Array.copy a.slots; fed }
+    else if a.fed = 0 then { k = a.k; slots = Array.copy b.slots; fed }
+    else begin
+      (* Slot i of each side is an independent unit reservoir over that
+         side's feed, so slot i merges exactly like Unit.merge: keep
+         [a]'s pick with probability fed_a/fed. The per-slot coins are
+         iid, so they batch into one Binomial(k, fed_a/fed) count plus
+         a uniform choice of which positions keep [a] — the merged
+         slots stay iid uniform over the union of both feeds. *)
+      let keep = Dist.binomial rng ~n:a.k ~p:(float_of_int a.fed /. float_of_int fed) in
+      let slots = Array.copy b.slots in
+      Array.iter (fun s -> slots.(s) <- a.slots.(s)) (Prng.sample_distinct rng ~k:keep ~n:a.k);
+      { k = a.k; slots; fed }
+    end
+end
+
 module Wor = struct
   type 'a t = { r : int; mutable slots : 'a array; mutable filled : int; mutable fed : int }
 

@@ -59,6 +59,36 @@ module Unit : sig
       Fresh value; inputs untouched. *)
 end
 
+(** k independent unit reservoirs over one stream, fed as a batch —
+    after feeding n elements, slot i holds a uniform pick of the n,
+    independently across slots (picks are with replacement across
+    slots). Equivalent to an array of k {!Unit}s but with one
+    Binomial(k, 1/n) draw per fed element instead of k coins — the
+    thinning trick of the sequential Count-Sample scan
+    ({!Internals.count_sample_scan}), which is what makes the parallel
+    per-group R2 scans cost O(|R2|·mean-binomial) rather than the full
+    S1 ⋈ R2 output. *)
+module Multi : sig
+  type 'a t
+
+  val create : k:int -> 'a t
+  val feed : Prng.t -> 'a t -> 'a -> unit
+  val fed_count : 'a t -> int
+
+  val size : 'a t -> int
+  (** The slot count k. *)
+
+  val get : 'a t -> int -> 'a option
+  (** [get t i] is slot i's pick — uniform over everything fed, iid
+      across slots; [None] if nothing was fed. *)
+
+  val merge : Prng.t -> 'a t -> 'a t -> 'a t
+  (** [merge rng a b]: slot-wise {!Unit.merge} law (keep [a]'s pick
+      with probability fed_a/(fed_a+fed_b)), batched into one binomial
+      plus a distinct-position choice. Fresh value; inputs untouched.
+      Raises [Invalid_argument] when the slot counts differ. *)
+end
+
 (** Unweighted WoR reservoir (Vitter's Algorithm R) in push style. *)
 module Wor : sig
   type 'a t

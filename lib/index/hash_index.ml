@@ -59,18 +59,16 @@ let build_parallel relation ~key ~domains =
   else begin
     let n = Relation.cardinality relation in
     let bounds = Array.init (domains + 1) (fun k -> k * n / domains) in
-    (* Pass 1, parallel: count each contiguous row shard separately. *)
-    let handles =
-      Array.init (domains - 1) (fun k ->
-          Domain.spawn (count_range relation ~key ~lo:bounds.(k + 1) ~hi:bounds.(k + 2)))
+    (* Pass 1, parallel: count each contiguous row shard separately,
+       one pooled worker per shard. *)
+    let parts =
+      Domain_pool.run (Domain_pool.global ()) ~domains (fun k ->
+          count_range relation ~key ~lo:bounds.(k) ~hi:bounds.(k + 1) ())
     in
-    let part0 = count_range relation ~key ~lo:bounds.(0) ~hi:bounds.(1) () in
-    let parts = Array.make domains part0 in
-    Array.iteri (fun i h -> parts.(i + 1) <- Domain.join h) handles;
     (* Merge the per-shard count tables into per-shard starting offsets
        (prefix sums in shard order); the running table ends up holding
        the global multiplicities. *)
-    let running = Vtbl.create (Vtbl.length part0) in
+    let running = Vtbl.create (Vtbl.length parts.(0)) in
     let cursors =
       Array.map
         (fun part ->
@@ -101,12 +99,9 @@ let build_parallel relation ~key ~domains =
         end
       done
     in
-    let fillers =
-      Array.init (domains - 1) (fun k ->
-          Domain.spawn (fill_range (k + 1) bounds.(k + 1) bounds.(k + 2)))
-    in
-    fill_range 0 bounds.(0) bounds.(1) ();
-    Array.iter Domain.join fillers;
+    ignore
+      (Domain_pool.run (Domain_pool.global ()) ~domains (fun k ->
+           fill_range k bounds.(k) bounds.(k + 1) ()));
     Vtbl.iter (fun _ b -> b.fill <- Array.length b.rows) buckets;
     { relation; key; buckets; max_mult; probes = Atomic.make 0 }
   end

@@ -10,36 +10,45 @@
    steals the remaining ones and the imbalance is bounded by one
    chunk's worth of work per domain.
 
+   Domains come from the persistent pool (Domain_pool), so a scan pays
+   a condvar wake per worker instead of a spawn+join per worker.
+
    Determinism: the racy part is only *which domain* runs a chunk.
    Each chunk's result lands in its own slot of the result array (the
    fetch-and-add hands out each index exactly once), so as long as
    [task i] depends only on [i] — per-chunk split generators, not
    per-domain ones — the result array is a deterministic function of
    the inputs, and callers that combine results in chunk order get
-   schedule-independent output. *)
+   schedule-independent output. The chunk size itself never depends on
+   the domain count, so the chunk cut — and with it every split
+   generator — is identical at any pool size. *)
 
 type stats = {
   chunks : int;  (* chunks handed out in total *)
   claims : int array;  (* chunks claimed by each domain, index 0 = caller *)
 }
 
-let default_chunk_size ~n ~domains =
+let default_chunk_size ~n =
   match Sys.getenv_opt "RSJ_CHUNK_SIZE" with
   | Some s when String.trim s <> "" -> (
       match int_of_string_opt (String.trim s) with
       | Some v when v > 0 -> v
       | _ -> invalid_arg (Printf.sprintf "RSJ_CHUNK_SIZE must be a positive integer, got %S" s))
   | _ ->
-      (* Aim for ~4 claims per domain so stealing has slack to act on,
-         capped so huge relations still get cache-friendly chunks. *)
-      max 1 (min 4096 (n / (4 * max 1 domains)))
+      (* ~16 chunks per scan so stealing has slack to act on at any
+         realistic domain count, capped so huge relations still get
+         cache-friendly chunks. Deliberately independent of the domain
+         count: the chunk cut fixes the per-chunk generators, so a
+         domain-count-dependent size would break bit-identity across
+         pool widths. *)
+      max 1 (min 4096 (n / 16))
 
-let run ~domains ~chunks ~task =
+let run ?pool ~domains ~chunks ~task () =
   if domains <= 0 then invalid_arg "Chunk_scheduler.run: domains <= 0";
   if chunks < 0 then invalid_arg "Chunk_scheduler.run: chunks < 0";
   let results = Array.make chunks None in
   let cursor = Atomic.make 0 in
-  let worker () =
+  let worker _k =
     let mine = ref 0 in
     let continue = ref true in
     while !continue do
@@ -52,10 +61,8 @@ let run ~domains ~chunks ~task =
     done;
     !mine
   in
-  let handles = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-  let claims = Array.make domains 0 in
-  claims.(0) <- worker ();
-  Array.iteri (fun i h -> claims.(i + 1) <- Domain.join h) handles;
+  let pool = match pool with Some p -> p | None -> Domain_pool.global () in
+  let claims = Domain_pool.run pool ~domains worker in
   let out =
     Array.map
       (function Some r -> r | None -> assert false (* every index was handed out *))

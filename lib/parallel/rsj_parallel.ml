@@ -1,5 +1,5 @@
 (* Parallel sampling runtime on OCaml 5 domains — full strategy
-   coverage.
+   coverage, WR and WoR, on the persistent worker pool.
 
    Scans are distributed by the chunk-queue scheduler
    (Chunk_scheduler): the relation is cut into fixed-size chunks that
@@ -7,12 +7,29 @@
    with a fetch-and-add, so skewed chunks cannot strand work on one
    domain the way the old static `Relation.shards` split could. Each
    chunk carries its own split generator, metrics and mergeable state
-   (Reservoir.Wr / Reservoir.Unit / Internals.Partition); the results
-   land in per-chunk slots and merge on the calling domain in chunk
-   order. Because chunk state depends only on the chunk index — never
-   on which domain ran it — every chunked strategy is deterministic
-   for a fixed seed and distribution-identical to one sequential pass
-   (the reservoir merges preserve the slot laws).
+   (Reservoir.Wr / Reservoir.Unit / Reservoir.Wor /
+   Internals.Partition); the results land in per-chunk slots and merge
+   on the calling domain in chunk order. Because chunk state depends
+   only on the chunk index — never on which domain ran it — and the
+   chunk cut never depends on the domain count, every chunked strategy
+   is bit-deterministic for a fixed seed at any domain count, and
+   distribution-identical to one sequential pass (the reservoir merges
+   preserve the slot laws).
+
+   Worker domains come from the persistent Domain_pool: spawned once,
+   parked between calls, woken per scan — so a conformance sweep of
+   thousands of parallel calls pays a handful of spawns instead of
+   thousands.
+
+   Count-Sample and Hybrid-Count's R2 matching step runs through the
+   same machinery: one unit reservoir per sampled S1 entry per chunk,
+   merged element-wise with the U1 merge law. In the sequential engine
+   each S1 entry's pick is an independent uniform draw from its
+   value's R2 tuples (the binomial assignment gives every outstanding
+   entry the current tuple with probability 1/(population - seen));
+   an entry's merged unit reservoir is exactly such a draw, so the
+   parallel scan keeps the law while auditing the reservoirs' fed
+   counts against the claimed populations for staleness.
 
    Olken-Sample is the one strategy that is not a scan: it is a
    sequence of iid accept/reject rounds. It parallelizes
@@ -36,6 +53,7 @@ open Rsj_exec
 module Strategy = Rsj_core.Strategy
 module Reservoir = Rsj_core.Reservoir
 module Internals = Rsj_core.Internals
+module Convert = Rsj_core.Convert
 module Olken_sample = Rsj_core.Olken_sample
 module Frequency = Rsj_stats.Frequency
 module End_biased = Rsj_stats.Histogram.End_biased
@@ -50,15 +68,6 @@ let is_parallelizable = function
   | Strategy.Frequency_partition | Strategy.Index_sample | Strategy.Count_sample
   | Strategy.Hybrid_count ->
       true
-
-(* Run [f k] for k in 0..domains-1, one domain each, k = 0 on the
-   calling domain so [domains] domains run in total. *)
-let fan_out ~domains f =
-  let handles = Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1))) in
-  let first = f 0 in
-  let out = Array.make domains first in
-  Array.iteri (fun i h -> out.(i + 1) <- Domain.join h) handles;
-  out
 
 (* One chunk-scheduled pass over [relation]. [make ()] builds a chunk's
    private accumulator, [feed metrics rng state t] consumes one tuple;
@@ -79,7 +88,7 @@ let chunked_pass ~domains ~chunk_size ~rng ~make ~feed relation =
       (Relation.chunk relation ~chunk_size i);
     (state, metrics)
   in
-  Chunk_scheduler.run ~domains ~chunks ~task
+  Chunk_scheduler.run ~domains ~chunks ~task ()
 
 (* Fold (state, metrics) chunk results in chunk order. [merge_rng] is
    consumed sequentially on the calling domain, so the fold is as
@@ -95,6 +104,21 @@ let fold_parts ~merge_rng ~merge ~empty (parts : _ array) =
     done;
     (!state, !metrics)
   end
+
+(* In-place Metrics accumulation, for call sites that thread a shared
+   mutable record (the partition finish) rather than folding fresh
+   ones. *)
+let absorb_metrics (dst : Metrics.t) (src : Metrics.t) =
+  let open Metrics in
+  dst.tuples_scanned <- dst.tuples_scanned + src.tuples_scanned;
+  dst.join_output_tuples <- dst.join_output_tuples + src.join_output_tuples;
+  dst.index_probes <- dst.index_probes + src.index_probes;
+  dst.hash_build_tuples <- dst.hash_build_tuples + src.hash_build_tuples;
+  dst.sort_tuples <- dst.sort_tuples + src.sort_tuples;
+  dst.output_tuples <- dst.output_tuples + src.output_tuples;
+  dst.random_accesses <- dst.random_accesses + src.random_accesses;
+  dst.rejected_samples <- dst.rejected_samples + src.rejected_samples;
+  dst.stats_lookups <- dst.stats_lookups + src.stats_lookups
 
 (* Weighted WR sample of R1 with weights m2(t.A) from the frequency
    statistics — the shared first step of Stream-, Group- and
@@ -139,82 +163,158 @@ let run_stream env ~r ~domains ~chunk_size rng =
   metrics.output_tuples <- metrics.output_tuples + Array.length out;
   (out, metrics)
 
+(* Chunk-scheduled R2 matching shared by Group-Sample's step 3 and the
+   Count-Sample scans. Each S1 entry needs an independent uniform pick
+   over its value's R2 tuples (the per-group U1 of the sequential
+   engines); feeding one unit reservoir per entry would cost the full
+   S1 ⋈ R2 output, so each join value instead owns one Multi
+   reservoir per chunk — k iid unit picks fed with a single binomial
+   draw per matching R2 tuple, the same thinning
+   Internals.count_sample_scan uses. Per-value reservoirs are merged
+   in chunk order with the slot-wise U1 coin law; values and group
+   members keep their S1 first-occurrence order, so the whole scan is
+   deterministic at any pool width. Returns, per group in that order,
+   (join value, member indices into s1, merged reservoir), plus the
+   scan metrics. *)
+let per_group_r2_scan env ~domains ~chunk_size rng ~(s1 : Tuple.t array) =
+  let left_key = Strategy.env_left_key env in
+  let right_key = Strategy.env_right_key env in
+  (* Group the S1 entries by join value; the table is read-only
+     during the R2 scan, so every domain may probe it. *)
+  let gids : (int * int list ref) Internals.Vtbl.t =
+    Internals.Vtbl.create (2 * max 1 (Array.length s1))
+  in
+  let next = ref 0 in
+  let order = ref [] in
+  Array.iteri
+    (fun i t1 ->
+      let v = Tuple.attr t1 left_key in
+      match Internals.Vtbl.find_opt gids v with
+      | Some (_, cell) -> cell := i :: !cell
+      | None ->
+          Internals.Vtbl.replace gids v (!next, ref [ i ]);
+          order := v :: !order;
+          incr next)
+    s1;
+  let values = Array.of_list (List.rev !order) in
+  let members =
+    Array.map
+      (fun v ->
+        let _, cell = Internals.Vtbl.find gids v in
+        Array.of_list (List.rev !cell))
+      values
+  in
+  let fresh_multis () =
+    Array.map (fun mem -> Reservoir.Multi.create ~k:(Array.length mem)) members
+  in
+  let right = Strategy.env_right env in
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass ~domains ~chunk_size ~rng:scan_rng ~make:fresh_multis
+      ~feed:(fun _m chunk_rng multis t2 ->
+        let v = Tuple.attr t2 right_key in
+        if not (Value.is_null v) then
+          match Internals.Vtbl.find_opt gids v with
+          | None -> ()
+          | Some (g, _) -> Reservoir.Multi.feed chunk_rng multis.(g) t2)
+      right
+  in
+  let merge_multi_arrays mrng a b =
+    let n = Array.length a in
+    if n = 0 then [||]
+    else begin
+      let out = Array.make n a.(0) in
+      for g = 0 to n - 1 do
+        out.(g) <- Reservoir.Multi.merge mrng a.(g) b.(g)
+      done;
+      out
+    end
+  in
+  let merged, metrics = fold_parts ~merge_rng ~merge:merge_multi_arrays ~empty:fresh_multis parts in
+  ((values, members, merged), metrics)
+
 let run_group env ~r ~domains ~chunk_for rng =
   let open Metrics in
   let n1 = Relation.cardinality (Strategy.env_left env) in
   let s1, metrics = parallel_s1 env ~r ~domains ~chunk_size:(chunk_for n1) rng in
   if Array.length s1 = 0 then ([||], metrics)
   else begin
-    let left_key = Strategy.env_left_key env in
-    let right_key = Strategy.env_right_key env in
-    (* Group the S1 entries by join value; the table is read-only
-       during the R2 scan, so every domain may probe it. *)
-    let groups : int list ref Internals.Vtbl.t = Internals.Vtbl.create (2 * r) in
-    Array.iteri
-      (fun i t1 ->
-        let v = Tuple.attr t1 left_key in
-        match Internals.Vtbl.find_opt groups v with
-        | Some cell -> cell := i :: !cell
-        | None -> Internals.Vtbl.replace groups v (ref [ i ]))
-      s1;
-    (* Chunk-scheduled R2 scan: each chunk keeps one unit reservoir per
-       S1 entry; merging element-wise in chunk order reproduces the
-       per-group uniform pick of Group-Sample step 3. *)
-    let right = Strategy.env_right env in
-    let n2 = Relation.cardinality right in
-    let scan_rng = Prng.split rng in
-    let merge_rng = Prng.split rng in
-    let parts, _ =
-      chunked_pass ~domains ~chunk_size:(chunk_for n2) ~rng:scan_rng
-        ~make:(fun () -> Array.init (Array.length s1) (fun _ -> Reservoir.Unit.create ()))
-        ~feed:(fun m chunk_rng reservoirs t2 ->
-          let v = Tuple.attr t2 right_key in
-          if not (Value.is_null v) then
-            match Internals.Vtbl.find_opt groups v with
-            | None -> ()
-            | Some cell ->
-                List.iter
-                  (fun i ->
-                    m.join_output_tuples <- m.join_output_tuples + 1;
-                    Reservoir.Unit.feed chunk_rng reservoirs.(i) t2)
-                  !cell)
-        right
-    in
-    let merge_unit_arrays mrng a b =
-      Array.init (Array.length a) (fun i -> Reservoir.Unit.merge mrng a.(i) b.(i))
-    in
-    let merged, scan_metrics =
-      fold_parts ~merge_rng ~merge:merge_unit_arrays
-        ~empty:(fun () -> Array.init (Array.length s1) (fun _ -> Reservoir.Unit.create ()))
-        parts
+    let n2 = Relation.cardinality (Strategy.env_right env) in
+    let (_values, members, merged), scan_metrics =
+      per_group_r2_scan env ~domains ~chunk_size:(chunk_for n2) rng ~s1
     in
     let metrics = Metrics.add metrics scan_metrics in
-    let out =
-      Array.mapi
-        (fun i res ->
-          match Reservoir.Unit.get res with
-          | Some t2 -> Tuple.join s1.(i) t2
-          | None -> failwith "Rsj_parallel.run(Group): sampled tuple has no match in R2")
-        merged
-    in
+    let out = Array.make (Array.length s1) s1.(0) in
+    Array.iteri
+      (fun g mem ->
+        Array.iteri
+          (fun j i ->
+            match Reservoir.Multi.get merged.(g) j with
+            | Some t2 ->
+                metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+                out.(i) <- Tuple.join s1.(i) t2
+            | None -> failwith "Rsj_parallel.run(Group): sampled tuple has no match in R2")
+          mem)
+      members;
     metrics.output_tuples <- metrics.output_tuples + Array.length out;
     (out, metrics)
   end
 
-let run_count env ~r ~domains ~chunk_size rng =
+(* Count-Sample's R2 matching, parallelized: the per-group Multi
+   reservoirs above replace the sequential per-group U1 scan, and the
+   fed counts are audited against the claimed populations afterwards
+   so stale statistics fail with the same diagnostics as the
+   sequential engine (Internals.count_sample_scan). *)
+let parallel_count_scan env ~domains ~chunk_size rng ~strategy ~(s1 : Tuple.t array)
+    ~population =
+  if Array.length s1 = 0 then ([||], Metrics.create ())
+  else begin
+    let open Metrics in
+    let left_key = Strategy.env_left_key env in
+    Array.iter
+      (fun t1 ->
+        if population (Tuple.attr t1 left_key) <= 0 then
+          failwith (strategy ^ ": sampled value has no frequency in the statistics"))
+      s1;
+    let (values, members, merged), metrics =
+      per_group_r2_scan env ~domains ~chunk_size rng ~s1
+    in
+    let out = Array.make (Array.length s1) s1.(0) in
+    Array.iteri
+      (fun g mem ->
+        let pop = population values.(g) in
+        let fed = Reservoir.Multi.fed_count merged.(g) in
+        if fed > pop then
+          failwith (strategy ^ ": R2 holds more tuples of a value than the statistics claim");
+        if fed < pop then
+          failwith (strategy ^ ": statistics overstate a value's frequency (stale statistics?)");
+        Array.iteri
+          (fun j i ->
+            match Reservoir.Multi.get merged.(g) j with
+            | Some t2 ->
+                metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+                out.(i) <- Tuple.join s1.(i) t2
+            | None ->
+                (* fed = pop > 0 guarantees every slot holds a pick. *)
+                assert false)
+          mem)
+      members;
+    (out, metrics)
+  end
+
+let run_count env ~r ~domains ~chunk_for rng =
   let open Metrics in
-  let s1, metrics = parallel_s1 env ~r ~domains ~chunk_size rng in
+  let n1 = Relation.cardinality (Strategy.env_left env) in
+  let s1, metrics = parallel_s1 env ~r ~domains ~chunk_size:(chunk_for n1) rng in
   let stats = Strategy.env_right_stats env in
-  (* The R2 scan runs one sequential U1 per sampled value (each needs
-     the value's tuples in a single stream), so it stays on the
-     calling domain. *)
-  let out =
-    Internals.count_sample_scan rng metrics ~strategy:"Rsj_parallel.run(Count)" ~s1
-      ~left_key:(Strategy.env_left_key env)
-      ~right:(Strategy.env_right env)
-      ~right_key:(Strategy.env_right_key env)
+  let n2 = Relation.cardinality (Strategy.env_right env) in
+  let out, scan_metrics =
+    parallel_count_scan env ~domains ~chunk_size:(chunk_for n2) rng
+      ~strategy:"Rsj_parallel.run(Count)" ~s1
       ~population:(fun v -> Frequency.frequency stats v)
   in
+  let metrics = Metrics.add metrics scan_metrics in
   metrics.output_tuples <- metrics.output_tuples + Array.length out;
   (out, metrics)
 
@@ -273,7 +373,7 @@ let run_olken env ~r ~domains rng =
     let rngs = Prng.split_n rng domains in
     let tickets = Atomic.make 0 in
     let parts =
-      fan_out ~domains (fun k ->
+      Domain_pool.run (Domain_pool.global ()) ~domains (fun k ->
           let metrics = Metrics.create () in
           let buf = ref [] in
           let iterations = ref 0 in
@@ -354,7 +454,9 @@ let run_frequency_partition env ~r ~domains ~chunk_size rng =
         ~matches:(Internals.hash_matches tbl)
         ~left_key:(Strategy.env_left_key env) s1)
 
-let run_hybrid_count env ~r ~domains ~chunk_size rng =
+let run_hybrid_count env ~r ~domains ~chunk_for rng =
+  let n1 = Relation.cardinality (Strategy.env_left env) in
+  let n2 = Relation.cardinality (Strategy.env_right env) in
   let main_metrics = Metrics.create () in
   let frequency = End_biased.frequency (Strategy.env_histogram env) in
   let is_low v = Option.is_none (frequency v) in
@@ -363,16 +465,21 @@ let run_hybrid_count env ~r ~domains ~chunk_size rng =
       ~right_key:(Strategy.env_right_key env)
   in
   let lo_matches _metrics v = Internals.hash_matches tbl v in
-  let acc, scan_metrics = partition_pass env ~r ~domains ~chunk_size rng ~lo_matches in
+  let acc, scan_metrics =
+    partition_pass env ~r ~domains ~chunk_size:(chunk_for n1) rng ~lo_matches
+  in
   let metrics = Metrics.add main_metrics scan_metrics in
   partition_finish env ~r rng metrics acc ~hi_pool:(fun m s1 ->
-      (* Count-Sample's R2 scan runs one sequential U1 per sampled
-         value, so the hi finish stays on the calling domain. *)
-      Internals.count_sample_scan rng m ~strategy:"Rsj_parallel.run(Hybrid)" ~s1
-        ~left_key:(Strategy.env_left_key env)
-        ~right:(Strategy.env_right env)
-        ~right_key:(Strategy.env_right_key env)
-        ~population:(fun v -> match frequency v with Some m2v -> m2v | None -> 0))
+      (* The hi pool is Count-Sample on the high-frequency values: the
+         chunk-scheduled per-entry R2 scan replaces the sequential U1
+         pass here too. *)
+      let out, hi_metrics =
+        parallel_count_scan env ~domains ~chunk_size:(chunk_for n2) rng
+          ~strategy:"Rsj_parallel.run(Hybrid)" ~s1
+          ~population:(fun v -> match frequency v with Some m2v -> m2v | None -> 0)
+      in
+      absorb_metrics m hi_metrics;
+      out)
 
 let run_index_sample env ~r ~domains ~chunk_size rng =
   let right_index = Strategy.env_right_index env in
@@ -384,19 +491,22 @@ let run_index_sample env ~r ~domains ~chunk_size rng =
   partition_finish env ~r rng metrics acc ~hi_pool:(fun m s1 ->
       Internals.index_hi_pick rng m ~right_index ~left_key:(Strategy.env_left_key env) s1)
 
+let validate ~caller ?chunk_size ~r ~domains () =
+  if domains < 0 then invalid_arg (caller ^ ": domains < 0");
+  if r < 0 then invalid_arg (caller ^ ": r < 0");
+  match chunk_size with
+  | Some c when c <= 0 -> invalid_arg (caller ^ ": chunk_size <= 0")
+  | _ -> ()
+
 let run ?chunk_size env strategy ~r ~domains =
-  if domains < 0 then invalid_arg "Rsj_parallel.run: domains < 0";
-  if r < 0 then invalid_arg "Rsj_parallel.run: r < 0";
-  (match chunk_size with
-  | Some c when c <= 0 -> invalid_arg "Rsj_parallel.run: chunk_size <= 0"
-  | _ -> ());
-  if domains <= 1 then Strategy.run env strategy ~r
+  validate ~caller:"Rsj_parallel.run" ?chunk_size ~r ~domains ();
+  if domains = 0 then Strategy.run env strategy ~r
   else begin
     Strategy.prepare env strategy;
     let chunk_for n =
       match chunk_size with
       | Some c -> c
-      | None -> Chunk_scheduler.default_chunk_size ~n ~domains
+      | None -> Chunk_scheduler.default_chunk_size ~n
     in
     let c1 = chunk_for (Relation.cardinality (Strategy.env_left env)) in
     let rng = Prng.split (Strategy.env_rng env) in
@@ -405,13 +515,110 @@ let run ?chunk_size env strategy ~r ~domains =
       match strategy with
       | Strategy.Stream -> run_stream env ~r ~domains ~chunk_size:c1 rng
       | Strategy.Group -> run_group env ~r ~domains ~chunk_for rng
-      | Strategy.Count_sample -> run_count env ~r ~domains ~chunk_size:c1 rng
+      | Strategy.Count_sample -> run_count env ~r ~domains ~chunk_for rng
       | Strategy.Naive -> run_naive env ~r ~domains ~chunk_size:c1 rng
       | Strategy.Olken -> run_olken env ~r ~domains rng
       | Strategy.Frequency_partition ->
           run_frequency_partition env ~r ~domains ~chunk_size:c1 rng
       | Strategy.Index_sample -> run_index_sample env ~r ~domains ~chunk_size:c1 rng
-      | Strategy.Hybrid_count -> run_hybrid_count env ~r ~domains ~chunk_size:c1 rng
+      | Strategy.Hybrid_count -> run_hybrid_count env ~r ~domains ~chunk_for rng
+    in
+    let elapsed_seconds = Unix.gettimeofday () -. t0 in
+    { Strategy.strategy; sample; metrics; elapsed_seconds }
+  end
+
+(* Parallel WoR, Naive path: the join is enumerated by the chunked R1
+   scan and every join tuple is fed into the chunk's Wor (Vitter
+   Algorithm R) reservoir; the chunk-order merge applies the Wor merge
+   law, so the merged reservoir holds a uniform without-replacement
+   sample of min (r, |J|) join positions — the same law as one
+   sequential Algorithm R pass over the join stream. *)
+let run_wor_naive env ~r ~domains ~chunk_size rng =
+  let open Metrics in
+  let main_metrics = Metrics.create () in
+  let tbl =
+    Internals.build_join_hash main_metrics (Strategy.env_right env)
+      ~right_key:(Strategy.env_right_key env)
+  in
+  let left_key = Strategy.env_left_key env in
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun () -> Reservoir.Wor.create ~r)
+      ~feed:(fun metrics chunk_rng res t1 ->
+        Array.iter
+          (fun t2 ->
+            metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+            Reservoir.Wor.feed chunk_rng res (Tuple.join t1 t2))
+          (Internals.hash_matches tbl (Tuple.attr t1 left_key)))
+      (Strategy.env_left env)
+  in
+  let res, scan_metrics =
+    fold_parts ~merge_rng ~merge:Reservoir.Wor.merge
+      ~empty:(fun () -> Reservoir.Wor.create ~r)
+      parts
+  in
+  let out = Reservoir.Wor.contents res in
+  let metrics = Metrics.add main_metrics scan_metrics in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+(* Parallel WoR, every other strategy: the §3 conversion — draw WR
+   batches through the chunk-scheduled runtime and reject duplicates
+   (Convert.wr_to_wor) until [target] distinct join tuples have
+   accumulated. Identical to Strategy.run_wor except each batch is a
+   pooled parallel draw. *)
+let run_wor_batches ?chunk_size env strategy ~domains ~target =
+  let dedup_rng = Prng.split (Strategy.env_rng env) in
+  let metrics = ref (Metrics.create ()) in
+  let collected = Hashtbl.create (2 * max 1 target) in
+  let out = ref [] in
+  let count = ref 0 in
+  let rounds = ref 0 in
+  while !count < target && !rounds < 64 do
+    incr rounds;
+    let batch = run ?chunk_size env strategy ~r:target ~domains in
+    metrics := Metrics.add !metrics batch.Strategy.metrics;
+    let deduped =
+      Convert.wr_to_wor dedup_rng ~key:Tuple.hash ~r:(target - !count)
+        batch.Strategy.sample
+    in
+    Array.iter
+      (fun t ->
+        let k = Tuple.hash t in
+        if not (Hashtbl.mem collected k) then begin
+          Hashtbl.replace collected k ();
+          out := t :: !out;
+          incr count
+        end)
+      deduped
+  done;
+  if !count < target then
+    failwith "Rsj_parallel.run_wor: failed to accumulate distinct samples (very small join?)";
+  (Array.of_list (List.rev !out), !metrics)
+
+let run_wor ?chunk_size env strategy ~r ~domains =
+  validate ~caller:"Rsj_parallel.run_wor" ?chunk_size ~r ~domains ();
+  if domains = 0 then Strategy.run_wor env strategy ~r
+  else begin
+    Strategy.prepare env strategy;
+    let target = min r (Strategy.env_join_size env) in
+    let t0 = Unix.gettimeofday () in
+    let sample, metrics =
+      if target = 0 then ([||], Metrics.create ())
+      else
+        match strategy with
+        | Strategy.Naive ->
+            let n1 = Relation.cardinality (Strategy.env_left env) in
+            let chunk_size =
+              match chunk_size with
+              | Some c -> c
+              | None -> Chunk_scheduler.default_chunk_size ~n:n1
+            in
+            let rng = Prng.split (Strategy.env_rng env) in
+            run_wor_naive env ~r:target ~domains ~chunk_size rng
+        | _ -> run_wor_batches ?chunk_size env strategy ~domains ~target
     in
     let elapsed_seconds = Unix.gettimeofday () -. t0 in
     { Strategy.strategy; sample; metrics; elapsed_seconds }

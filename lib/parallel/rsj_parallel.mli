@@ -1,19 +1,27 @@
 (** Parallel sampling runtime on OCaml 5 domains — all eight
-    strategies.
+    strategies, WR and WoR.
+
+    Worker domains come from the persistent {!Domain_pool}: spawned
+    once, parked on a condition variable between calls, reused by
+    every parallel entry point in the tree, so a sweep of thousands of
+    parallel calls pays O(max domains) spawns rather than
+    O(calls × domains).
 
     Scans (everything except Olken) are distributed by the chunk-queue
-    scheduler {!Chunk_scheduler}: R1 — and R2, for Group-Sample's
-    second pass — is cut into fixed-size chunks
+    scheduler {!Chunk_scheduler}: R1 — and R2, for the Group-Sample
+    and Count-Sample matching passes — is cut into fixed-size chunks
     ({!Rsj_relation.Relation.chunk}) behind one atomic cursor, and
     domains claim chunks with a fetch-and-add, so a skew-heavy range
     cannot strand work on one domain the way a static contiguous split
     can. Every chunk carries its own split generator
     ({!Rsj_util.Prng.split_n}), metrics and mergeable accumulator
-    (weighted/unit reservoirs, the hi/lo partition state); results
-    land in per-chunk slots and merge on the calling domain in chunk
-    order. Chunk state depends only on the chunk index, never on the
-    claiming domain, so chunked strategies are bit-deterministic for a
-    fixed seed and distribution-identical to a sequential pass.
+    (weighted/unit/without-replacement reservoirs, the hi/lo partition
+    state); results land in per-chunk slots and merge on the calling
+    domain in chunk order. Chunk state depends only on the chunk index
+    — never on the claiming domain — and the chunk cut never depends
+    on the domain count, so chunked strategies are bit-deterministic
+    for a fixed seed {e at every domain count} and
+    distribution-identical to a sequential pass.
 
     Olken-Sample parallelizes {e speculatively}: each domain runs
     independent accept/reject rounds ({!Rsj_core.Olken_sample.attempt})
@@ -26,7 +34,8 @@
     Auxiliary structures (hash index, frequency statistics, histogram)
     are shared read-only across domains; their parallel construction
     lives with them ({!Rsj_index.Hash_index.build_parallel},
-    {!Rsj_stats.Frequency.of_relation_parallel}). *)
+    {!Rsj_stats.Frequency.of_relation_parallel}) and draws workers
+    from the same pool. *)
 
 module Strategy = Rsj_core.Strategy
 
@@ -41,20 +50,24 @@ val is_parallelizable : Strategy.t -> bool
 (** Whether {!run} has a parallel execution for the strategy. True for
     all eight strategies: the single-pass scans are chunk-scheduled,
     the partition strategies route hi/lo per chunk through mergeable
-    accumulators, and Olken runs speculative rejection rounds on every
-    domain. *)
+    accumulators, Count-Sample/Hybrid-Count's R2 matching runs
+    per-entry unit reservoirs, and Olken runs speculative rejection
+    rounds on every domain. *)
 
 val run :
   ?chunk_size:int -> Strategy.env -> Strategy.t -> r:int -> domains:int -> Strategy.result
 (** [run env strategy ~r ~domains] draws a WR sample of size [r] like
-    {!Strategy.run}, executed across [domains] domains when
-    [domains > 1]; at [domains <= 1] it behaves exactly as
-    {!Strategy.run}. The sample's distribution never depends on
-    [domains] or [chunk_size]; for a fixed seed the drawn tuples are
-    reproducible for every strategy except Olken at [domains > 1]
-    (speculative ticketing — see above). As in {!Strategy.run},
-    auxiliary structures are forced before the clock starts and a
-    fresh child generator is split off the env per run.
+    {!Strategy.run}, executed through the chunk-scheduled pooled
+    runtime for every [domains >= 1] ([domains - 1] pool workers plus
+    the caller; at [domains = 1] the caller runs every chunk itself).
+    [domains = 0] is the explicit sequential escape: exactly
+    {!Strategy.run}, no chunking. The sample's distribution never
+    depends on [domains] or [chunk_size]; for a fixed seed the drawn
+    tuples are bit-identical across all [domains >= 1] for every
+    strategy except Olken at [domains > 1] (speculative ticketing —
+    see above). As in {!Strategy.run}, auxiliary structures are forced
+    before the clock starts and a fresh child generator is split off
+    the env per run.
 
     [chunk_size] overrides the scheduler's
     {!Chunk_scheduler.default_chunk_size} (setting it to
@@ -62,3 +75,27 @@ val run :
     split, which is how the benchmarks compare static sharding against
     the chunk queue). Raises [Invalid_argument] when [r] or [domains]
     is negative or [chunk_size <= 0]. *)
+
+val run_wor :
+  ?chunk_size:int -> Strategy.env -> Strategy.t -> r:int -> domains:int -> Strategy.result
+(** [run_wor env strategy ~r ~domains] draws a without-replacement
+    sample of [min r |J|] distinct join tuples like
+    {!Strategy.run_wor}, executed on the pooled runtime for
+    [domains >= 1] ([domains = 0] falls back to {!Strategy.run_wor}).
+
+    Naive-Sample gets a direct parallel path: every chunk of the R1
+    scan feeds its enumerated join tuples into a private
+    without-replacement reservoir (Vitter's Algorithm R,
+    {!Rsj_core.Reservoir.Wor}), and the chunk-order merge applies the
+    Wor merge law — the merged reservoir is distributed exactly as one
+    sequential Algorithm R pass over the join stream. Every other
+    strategy keeps the §3 conversion of {!Strategy.run_wor} — WR
+    batches deduplicated by {!Rsj_core.Convert.wr_to_wor} until the
+    target is reached — with each batch drawn through {!run}, so the
+    batches themselves are parallel.
+
+    Deterministic for a fixed seed across all [domains >= 1] (Olken
+    excepted, as for {!run}). Raises [Failure] when 64 batch rounds
+    cannot accumulate the target (degenerate joins), like
+    {!Strategy.run_wor}; raises [Invalid_argument] on negative [r] or
+    [domains] or non-positive [chunk_size]. *)

@@ -42,20 +42,17 @@ let merge a b =
 let of_relation_parallel ?(domains = 1) rel ~key =
   if domains <= 1 then of_relation rel ~key
   else begin
-    (* Count each contiguous shard on its own domain; the per-shard
-       tables merge by addition, so the result is exactly
-       [of_relation]'s table. *)
+    (* Count each contiguous shard on a pooled worker; the per-shard
+       tables merge by addition in shard order, so the result is
+       exactly [of_relation]'s table. *)
     let shards = Relation.shards rel ~n:domains in
-    let worker s () = of_stream s ~key in
-    let handles =
-      Array.init (domains - 1) (fun i -> Domain.spawn (worker shards.(i + 1)))
+    let parts =
+      Domain_pool.run (Domain_pool.global ()) ~domains (fun k -> of_stream shards.(k) ~key)
     in
-    let acc = worker shards.(0) () in
-    Array.iter
-      (fun h ->
-        let part = Domain.join h in
-        Vtbl.iter (fun v c -> bump acc v c) part.counts)
-      handles;
+    let acc = parts.(0) in
+    for k = 1 to domains - 1 do
+      Vtbl.iter (fun v c -> bump acc v c) parts.(k).counts
+    done;
     acc
   end
 

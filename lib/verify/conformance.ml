@@ -84,37 +84,13 @@ let mix a b c = abs ((a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE35
 (* ------------------------------------------------------------------ *)
 (* Semantics-specific draws                                            *)
 
-(* WoR via the §3 conversion, but dispatching each WR batch through the
-   parallel runtime so domains > 1 cells exercise the sharded path end
-   to end (Strategy.run_wor is sequential-only). *)
+(* WoR through the runtime's own parallel path
+   (Rsj_parallel.run_wor): Naive cells exercise the chunked Vitter
+   reservoirs + Wor merge, every other strategy the pooled WR-batch §3
+   conversion — so the domains > 1 WoR cells gate exactly what the CLI
+   executes. *)
 let draw_wor env strategy ~r ~domains =
-  let n = Strategy.env_join_size env in
-  let target = min r n in
-  if target = 0 then [||]
-  else begin
-    let rng = Prng.split (Strategy.env_rng env) in
-    let collected = Hashtbl.create (2 * target) in
-    let out = ref [] in
-    let count = ref 0 in
-    let rounds = ref 0 in
-    while !count < target && !rounds < 64 do
-      incr rounds;
-      let batch = (Rsj_parallel.run env strategy ~r:target ~domains).Strategy.sample in
-      let deduped = Convert.wr_to_wor rng ~key:Tuple.hash ~r:(target - !count) batch in
-      Array.iter
-        (fun t ->
-          let k = Tuple.hash t in
-          if not (Hashtbl.mem collected k) then begin
-            Hashtbl.replace collected k ();
-            out := t :: !out;
-            incr count
-          end)
-        deduped
-    done;
-    if !count < target then
-      failwith "Conformance.draw_wor: failed to accumulate distinct samples";
-    Array.of_list !out
-  end
+  (Rsj_parallel.run_wor env strategy ~r ~domains).Strategy.sample
 
 (* CF as Binomial(|J|, f) size + uniform WoR subset of that size — the
    exact law of independent per-tuple coin flips over the join. *)
@@ -226,7 +202,11 @@ let all_estimators = [ Sum; Count; Avg ]
 let estimator_label = function Sum -> "HT-sum" | Count -> "HT-count" | Avg -> "AVG"
 let ks_sample_size = 48
 
-let aggregate_ks kconfig config ~pair ~oracle ~row_index strategy est =
+let aggregate_ks kconfig config ~pair ~oracle ~row_index strategy est ~domains =
+  (* Like the cells: the d > 1 rows re-test the same estimator law over
+     the chunk-scheduled path with trial counts scaled down by the
+     width — the d = 1 row pins the law at full power. *)
+  let trials = max 15 (config.trials / max 1 domains) in
   let n = Oracle.size oracle in
   let fn = float_of_int n in
   let r = ks_sample_size in
@@ -266,8 +246,8 @@ let aggregate_ks kconfig config ~pair ~oracle ~row_index strategy est =
           ~left:pair.Zipf_tables.outer ~right:pair.Zipf_tables.inner ~left_key:Zipf_tables.col2
           ~right_key:Zipf_tables.col2 ()
       in
-      Array.init config.trials (fun _ ->
-          standardize (Strategy.run env strategy ~r).Strategy.sample))
+      Array.init trials (fun _ ->
+          standardize (Rsj_parallel.run env strategy ~r ~domains).Strategy.sample))
 
 (* ------------------------------------------------------------------ *)
 (* Chain-join rows                                                     *)
@@ -309,7 +289,7 @@ let negative_control kconfig config ~oracle =
 type summary = {
   config : config;
   results : cell_result list;
-  aggregates : (string * Kernel.outcome) list;
+  aggregates : (string * int * Kernel.outcome) list;
   chains : (string * Kernel.outcome) list;
   control : Kernel.outcome;
   comparisons : int;
@@ -358,9 +338,20 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_co
     match List.rev skews with [] -> List.hd default_skews | last :: _ -> last
   in
   let ks_rows =
+    (* One estimator KS row per strategy × estimator × domain count in
+       the matrix, so the aggregate laws are gated over the parallel
+       path at the same widths as the per-tuple cells. *)
     if with_aggregates then
+      let ks_domains =
+        match List.sort_uniq compare (List.map (fun c -> c.domains) cells) with
+        | [] -> [ 1 ]
+        | l -> l
+      in
       List.concat_map
-        (fun strategy -> List.map (fun est -> (strategy, est)) all_estimators)
+        (fun strategy ->
+          List.concat_map
+            (fun est -> List.map (fun domains -> (strategy, est, domains)) ks_domains)
+            all_estimators)
         (List.sort_uniq compare (List.map (fun c -> c.strategy) cells))
     else []
   in
@@ -399,10 +390,11 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_co
   in
   let aggregates =
     List.mapi
-      (fun i (strategy, est) ->
+      (fun i (strategy, est, domains) ->
         let pair, oracle = instance ks_skew.label in
         ( Strategy.name strategy ^ " " ^ estimator_label est,
-          aggregate_ks kconfig config ~pair ~oracle ~row_index:i strategy est ))
+          domains,
+          aggregate_ks kconfig config ~pair ~oracle ~row_index:i strategy est ~domains ))
       ks_rows
   in
   let chains = List.mapi (fun i z -> chain_row kconfig config ~row_index:i z) chain_zs in
@@ -414,7 +406,7 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_co
   in
   let all_pass =
     List.for_all (fun r -> r.outcome.Kernel.passed) results
-    && List.for_all (fun (_, o) -> o.Kernel.passed) aggregates
+    && List.for_all (fun (_, _, o) -> o.Kernel.passed) aggregates
     && List.for_all (fun (_, o) -> o.Kernel.passed) chains
     && (not with_control || not control.Kernel.passed)
   in
@@ -443,14 +435,15 @@ let report summary =
         ])
       summary.results
     @ List.map
-        (fun (name, o) ->
+        (fun (name, domains, o) ->
           [
             name;
             "with-replacement";
             "aggregate";
-            "1";
+            string_of_int domains;
             "-";
-            string_of_int (summary.config.trials * ks_sample_size);
+            string_of_int
+              (max 15 (summary.config.trials / max 1 domains) * ks_sample_size);
             "KS";
             p_cell o.Kernel.p_value;
             string_of_int o.Kernel.attempts;

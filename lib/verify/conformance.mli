@@ -10,12 +10,13 @@
       pooled draws against uniform; WoR cells test the hypergeometric
       marginal inclusion counts; CF cells conjoin conditional
       uniformity with a z-test of the Binomial(|J|, f) total size.
-    - {b Aggregates}: per strategy × estimator, a KS test of
-      standardized estimates against the normal CDF — gating the
-      paper's §1 use case (approximate aggregates over the sample),
-      not just membership frequencies. Three estimators per strategy:
-      the Horvitz–Thompson SUM, the Horvitz–Thompson COUNT of a
-      selection predicate, and the sample-mean AVG.
+    - {b Aggregates}: per strategy × estimator × domain count, a KS
+      test of standardized estimates against the normal CDF — gating
+      the paper's §1 use case (approximate aggregates over the
+      sample), not just membership frequencies, over the pooled
+      parallel path at every matrix width. Three estimators per
+      strategy: the Horvitz–Thompson SUM, the Horvitz–Thompson COUNT
+      of a selection predicate, and the sample-mean AVG.
     - {b Chains}: the 3-relation chain walker
       ({!Rsj_core.Chain_sample}) chi-squared against the uniform law
       over the exactly enumerated chain join, one row per chain skew.
@@ -92,8 +93,10 @@ val default_chain_skews : float list
 type summary = {
   config : config;
   results : cell_result list;
-  aggregates : (string * Kernel.outcome) list;
-      (** Strategy × estimator → KS row. *)
+  aggregates : (string * int * Kernel.outcome) list;
+      (** Strategy × estimator × domain count → (label, domains, KS
+          row): the estimator laws are gated over the parallel path at
+          every domain count in the matrix, not just d = 1. *)
   chains : (string * Kernel.outcome) list;  (** Chain skew → chi-square row. *)
   control : Kernel.outcome;
   comparisons : int;  (** Bonferroni divisor actually applied. *)

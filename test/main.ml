@@ -15,6 +15,7 @@ let () =
       ("convert", Test_convert.suite);
       ("strategies", Test_strategies.suite);
       ("parallel", Test_parallel.suite);
+      ("pool", Test_pool.suite);
       ("conformance", Test_conformance.suite);
       ("join_tree", Test_join_tree.suite);
       ("negative", Test_negative.suite);

@@ -188,9 +188,9 @@ let test_biased_sampler_rejected () =
   Alcotest.(check int) "every attempt rejected" 3 outcome.Kernel.attempts
 
 (* ------------------------------------------------------------------ *)
-(* End-to-end matrix runner (reduced matrix; the full 170-comparison
-   sweep — 144 cells + 24 estimator KS rows + 2 chain rows — runs
-   under @conformance / rsj verify).                                   *)
+(* End-to-end matrix runner (reduced matrix; the full 218-comparison
+   sweep — 144 cells + 72 estimator KS rows (strategy × estimator ×
+   domains) + 2 chain rows — runs under @conformance / rsj verify).    *)
 
 let test_conformance_run_mini () =
   let config =
@@ -205,7 +205,7 @@ let test_conformance_run_mini () =
   Alcotest.(check int) "2 strategies x 3 semantics x 1 skew x 2 domains" 12 (List.length cells);
   let summary = Conformance.run ~config ~cells () in
   Alcotest.(check int) "comparisons = cells + estimator KS rows + chain rows"
-    (12 + (2 * 3) + 2)
+    (12 + (2 * 3 * 2) + 2)
     summary.Conformance.comparisons;
   Alcotest.(check bool) "mini matrix passes and control is rejected" true
     summary.Conformance.all_pass;

@@ -93,8 +93,9 @@ let test_parallel_uniform () =
   (* Stream/Group cover the chunked-reservoir path, Olken the
      speculative path, Frequency-Partition the chunked hi/lo routing;
      the @conformance matrix sweeps the rest. Only domains > 1 are
-     tested here: domains = 1 is bit-identical to Strategy.run (see
-     the d=1 identity test), whose law test_strategies gates. One
+     tested here: domains = 1 runs the same chunk cut and is
+     bit-identical to the wider widths (see test_pool), and the
+     sequential engine's law is gated by test_strategies. One
      domain count per run keeps the suite fast — the default is the
      smallest parallel width, @parallel-equiv re-runs the suite at
      RSJ_DOMAINS = 2 and 4, and the @conformance matrix chi-squares
@@ -202,18 +203,110 @@ let test_parallel_deterministic () =
         domains)
     parallel_strategies
 
-let test_parallel_domains_one_is_sequential () =
-  (* domains <= 1 defers to Strategy.run for every strategy: same env
-     seed, identical sample. *)
+let test_parallel_domains_zero_is_sequential () =
+  (* domains = 0 is the explicit sequential escape: exactly
+     Strategy.run, same env seed, identical sample. (domains = 1 runs
+     the chunked path on the caller so its output matches the wider
+     widths instead — see test_pool.) *)
   List.iter
     (fun s ->
       let seq = Strategy.run (small_env ~seed:5 ()) s ~r:12 in
-      let par = Rsj_parallel.run (small_env ~seed:5 ()) s ~r:12 ~domains:1 in
-      Alcotest.(check int) (Strategy.name s ^ " d=1 size") (Array.length seq.Strategy.sample)
+      let par = Rsj_parallel.run (small_env ~seed:5 ()) s ~r:12 ~domains:0 in
+      Alcotest.(check int) (Strategy.name s ^ " d=0 size") (Array.length seq.Strategy.sample)
         (Array.length par.Strategy.sample);
       Array.iteri
         (fun i t ->
-          Alcotest.(check bool) (Strategy.name s ^ " d=1 identical") true
+          Alcotest.(check bool) (Strategy.name s ^ " d=0 identical") true
+            (Tuple.equal t par.Strategy.sample.(i)))
+        seq.Strategy.sample)
+    parallel_strategies
+
+(* ------------------------------------------------------------------ *)
+(* Parallel without-replacement                                        *)
+
+let test_parallel_wor_basics () =
+  let env = small_env () in
+  let members = Hashtbl.create 1024 in
+  Array.iter (fun t -> Hashtbl.replace members t ()) (full_join env);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          let res = Rsj_parallel.run_wor env s ~r:25 ~domains:d in
+          Alcotest.(check int)
+            (Printf.sprintf "%s WoR domains=%d returns r" (Strategy.name s) d)
+            25
+            (Array.length res.Strategy.sample);
+          let distinct =
+            List.sort_uniq compare
+              (Array.to_list (Array.map Tuple.hash res.Strategy.sample))
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s WoR domains=%d distinct" (Strategy.name s) d)
+            25 (List.length distinct);
+          Array.iter
+            (fun t ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s WoR domains=%d emits only join tuples" (Strategy.name s) d)
+                true (Hashtbl.mem members t))
+            res.Strategy.sample)
+        domain_counts)
+    parallel_strategies
+
+let test_parallel_wor_clamps_to_join_size () =
+  (* |J| = 3 here: r beyond the join must clamp, and r = 0 / domains on
+     an empty join must no-op, at every width. *)
+  List.iter
+    (fun d ->
+      let res =
+        Rsj_parallel.run_wor (tiny_env ~left:[ 1; 2 ] ~right:[ 1; 1; 2 ]) Strategy.Naive ~r:10
+          ~domains:d
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "domains=%d clamps to |J|" d)
+        3
+        (Array.length res.Strategy.sample);
+      let empty =
+        Rsj_parallel.run_wor (tiny_env ~left:[ 1; 2 ] ~right:[ 3; 4 ]) Strategy.Stream ~r:5
+          ~domains:d
+      in
+      Alcotest.(check int) (Printf.sprintf "domains=%d empty join" d) 0
+        (Array.length empty.Strategy.sample))
+    domain_counts
+
+let test_parallel_wor_deterministic () =
+  List.iter
+    (fun s ->
+      let domains = if s = Strategy.Olken then [ 1 ] else domain_counts in
+      List.iter
+        (fun d ->
+          let r1 = Rsj_parallel.run_wor (small_env ~seed:7 ()) s ~r:10 ~domains:d in
+          let r2 = Rsj_parallel.run_wor (small_env ~seed:7 ()) s ~r:10 ~domains:d in
+          Alcotest.(check int)
+            (Printf.sprintf "%s WoR domains=%d size" (Strategy.name s) d)
+            (Array.length r1.Strategy.sample)
+            (Array.length r2.Strategy.sample);
+          Array.iteri
+            (fun i t ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s WoR domains=%d reproducible" (Strategy.name s) d)
+                true
+                (Tuple.equal t r2.Strategy.sample.(i)))
+            r1.Strategy.sample)
+        domains)
+    parallel_strategies
+
+let test_parallel_wor_domains_zero_is_sequential () =
+  List.iter
+    (fun s ->
+      let seq = Strategy.run_wor (small_env ~seed:5 ()) s ~r:12 in
+      let par = Rsj_parallel.run_wor (small_env ~seed:5 ()) s ~r:12 ~domains:0 in
+      Alcotest.(check int) (Strategy.name s ^ " WoR d=0 size")
+        (Array.length seq.Strategy.sample)
+        (Array.length par.Strategy.sample);
+      Array.iteri
+        (fun i t ->
+          Alcotest.(check bool) (Strategy.name s ^ " WoR d=0 identical") true
             (Tuple.equal t par.Strategy.sample.(i)))
         seq.Strategy.sample)
     parallel_strategies
@@ -255,7 +348,7 @@ let test_scheduler_results_in_order () =
     (fun domains ->
       List.iter
         (fun chunks ->
-          let out, stats = Chunk_scheduler.run ~domains ~chunks ~task:(fun i -> i * i) in
+          let out, stats = Chunk_scheduler.run ~domains ~chunks ~task:(fun i -> i * i) () in
           Alcotest.(check (array int))
             (Printf.sprintf "d=%d chunks=%d results in chunk order" domains chunks)
             (Array.init chunks (fun i -> i * i))
@@ -282,9 +375,9 @@ let test_scheduler_rejects_bad_args () =
     with Invalid_argument _ -> true
   in
   Alcotest.(check bool) "domains=0 rejected" true
-    (rejects (fun () -> Chunk_scheduler.run ~domains:0 ~chunks:1 ~task:(fun i -> i)));
+    (rejects (fun () -> Chunk_scheduler.run ~domains:0 ~chunks:1 ~task:(fun i -> i) ()));
   Alcotest.(check bool) "chunks<0 rejected" true
-    (rejects (fun () -> Chunk_scheduler.run ~domains:2 ~chunks:(-1) ~task:(fun i -> i)));
+    (rejects (fun () -> Chunk_scheduler.run ~domains:2 ~chunks:(-1) ~task:(fun i -> i) ()));
   Alcotest.(check bool) "run chunk_size<=0 rejected" true
     (rejects (fun () ->
          Rsj_parallel.run ~chunk_size:0 (small_env ()) Strategy.Stream ~r:1 ~domains:2))
@@ -296,11 +389,11 @@ let test_scheduler_default_chunk_size () =
   | Some _ -> ()
   | None ->
       Alcotest.(check int) "small n floors at 1" 1
-        (Chunk_scheduler.default_chunk_size ~n:3 ~domains:4);
-      Alcotest.(check int) "mid n ~ n/(4d)" 625
-        (Chunk_scheduler.default_chunk_size ~n:10_000 ~domains:4);
+        (Chunk_scheduler.default_chunk_size ~n:3);
+      Alcotest.(check int) "mid n ~ n/16" 625
+        (Chunk_scheduler.default_chunk_size ~n:10_000);
       Alcotest.(check int) "huge n caps at 4096" 4096
-        (Chunk_scheduler.default_chunk_size ~n:10_000_000 ~domains:2)
+        (Chunk_scheduler.default_chunk_size ~n:10_000_000)
 
 let test_explicit_chunk_size_same_sample () =
   (* chunk_size changes the schedule, never the sample: per-chunk state
@@ -540,8 +633,15 @@ let suite =
     Alcotest.test_case "parallel r = 0" `Quick test_parallel_r_zero;
     Alcotest.test_case "more domains than rows" `Quick test_parallel_more_domains_than_rows;
     Alcotest.test_case "parallel seeded reproducibility" `Quick test_parallel_deterministic;
-    Alcotest.test_case "domains = 1 is exactly sequential" `Quick
-      test_parallel_domains_one_is_sequential;
+    Alcotest.test_case "domains = 0 is exactly sequential" `Quick
+      test_parallel_domains_zero_is_sequential;
+    Alcotest.test_case "parallel WoR basics" `Quick test_parallel_wor_basics;
+    Alcotest.test_case "parallel WoR clamps to join size" `Quick
+      test_parallel_wor_clamps_to_join_size;
+    Alcotest.test_case "parallel WoR seeded reproducibility" `Quick
+      test_parallel_wor_deterministic;
+    Alcotest.test_case "WoR domains = 0 is exactly sequential" `Quick
+      test_parallel_wor_domains_zero_is_sequential;
     Alcotest.test_case "metrics sum across domains" `Quick test_parallel_metrics_sum;
     Alcotest.test_case "scheduler returns results in chunk order" `Quick
       test_scheduler_results_in_order;
