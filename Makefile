@@ -18,8 +18,13 @@
 #   RSJ_DOMAINS        comma list of domain counts the parallel test
 #                      suite exercises (default 1,2,4)
 #   RSJ_CHUNK_SIZE     chunk-queue scheduler chunk size override
+#   RSJ_TRACE          telemetry switch: RSJ_TRACE=1 (or =path.json)
+#                      makes any rsj command record spans and write a
+#                      Chrome Trace Event JSON on exit
+#   RSJ_TRACE_CAP      per-domain trace ring capacity in events
+#                      (default 32768; overflow counts as dropped)
 
-.PHONY: all build check test smoke bench bench-parallel bench-json pool conformance clean
+.PHONY: all build check test smoke bench bench-parallel bench-json pool conformance obs trace clean
 
 all: build
 
@@ -69,6 +74,19 @@ bench-json:
 # (also runs inside `make test`).
 pool:
 	dune build @pool
+
+# obs = the telemetry subsystem end to end: unit suite + CLI artifact
+# round-trip (trace JSON and Prometheus text parsed back). Also runs
+# inside `make test`.
+obs:
+	dune build @obs
+
+# trace = record a parallel run and write trace.json for Perfetto
+# (ui.perfetto.dev) or chrome://tracing. Pick the strategy with
+# TRACE_STRATEGY (default naive); rsj trace --help for more knobs.
+TRACE_STRATEGY ?= naive
+trace:
+	dune exec bin/rsj.exe -- trace $(TRACE_STRATEGY) --out trace.json --domains 4
 
 clean:
 	dune clean

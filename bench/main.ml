@@ -288,31 +288,93 @@ let run_json () =
            (Rsj_parallel.run_wor env strategy ~r ~domains:d).Strategy.elapsed_seconds))
   in
   let domain_counts = [ 1; 2; 4 ] in
-  let rows =
-    List.concat_map
+  (* Untraced pass first: these medians are the perf-trajectory numbers
+     (telemetry off is the default, so the only instrumentation cost
+     here is one branch per hook). *)
+  let timings =
+    List.map
       (fun strategy ->
         let env, ztag = cell_of strategy in
+        ( strategy,
+          ztag,
+          List.map
+            (fun d ->
+              let wr = time_wr env strategy d in
+              (* WoR over the full eight-strategy × width grid at bench
+                 scale would dominate the run; one WoR series (Stream,
+                 the batch-conversion path) plus Naive (the direct
+                 chunked Vitter path) tracks both pooled WoR
+                 mechanisms. *)
+              let wor =
+                match strategy with
+                | Strategy.Naive | Strategy.Stream -> Some (time_wor env strategy d)
+                | _ -> None
+              in
+              (d, wr, wor))
+            domain_counts ))
+      Strategy.all
+  in
+  let rows =
+    List.concat_map
+      (fun (strategy, ztag, per_d) ->
         List.concat_map
-          (fun d ->
-            let wr = time_wr env strategy d in
-            (* WoR over the full eight-strategy × width grid at bench
-               scale would dominate the run; one WoR series (Stream, the
-               batch-conversion path) plus Naive (the direct chunked
-               Vitter path) tracks both pooled WoR mechanisms. *)
-            let wor =
-              match strategy with
-              | Strategy.Naive | Strategy.Stream -> Some (time_wor env strategy d)
-              | _ -> None
-            in
+          (fun (d, wr, wor) ->
             let row semantics seconds =
               Printf.sprintf
                 {|    {"strategy": %S, "skew": %S, "semantics": %S, "domains": %d, "seconds": %.6f}|}
                 (Strategy.name strategy) ztag semantics d seconds
             in
             row "WR" wr :: (match wor with Some s -> [ row "WoR" s ] | None -> []))
-          domain_counts)
+          per_d)
+      timings
+  in
+  (* Traced pass: the same WR grid at d = 4 with telemetry on. The
+     strategy/chunk histograms observe only while enabled, so the
+     quantiles below summarize exactly this pass, and the ratio against
+     the untraced medians is the measured cost of tracing itself
+     (EXPERIMENTS.md V10). *)
+  let module Obs = Rsj_obs in
+  Obs.set_enabled true;
+  Obs.Trace.clear ();
+  let traced =
+    List.map
+      (fun strategy ->
+        let env, _ = cell_of strategy in
+        (strategy, time_wr env strategy 4))
       Strategy.all
   in
+  Obs.set_enabled false;
+  let trace_events = List.length (Obs.Trace.events ()) in
+  Obs.Trace.clear ();
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v in
+  let strategy_hist strategy =
+    Obs.Registry.histogram
+      ~labels:[ ("strategy", Strategy.name strategy); ("domains", "4") ]
+      "rsj_strategy_run_seconds"
+  in
+  let telemetry_rows =
+    List.map
+      (fun (strategy, traced_s) ->
+        let untraced_s =
+          match List.find_opt (fun (s, _, _) -> s = strategy) timings with
+          | Some (_, _, per_d) ->
+              List.find_map (fun (d, wr, _) -> if d = 4 then Some wr else None) per_d
+          | None -> None
+        in
+        let h = strategy_hist strategy in
+        Printf.sprintf
+          {|    {"strategy": %S, "untraced_median_s": %s, "traced_median_s": %s, "trace_overhead_ratio": %s, "p50_s": %s, "p99_s": %s}|}
+          (Strategy.name strategy)
+          (match untraced_s with Some s -> num s | None -> "null")
+          (num traced_s)
+          (match untraced_s with
+          | Some u when u > 0. -> num (traced_s /. u)
+          | _ -> "null")
+          (num (Obs.Registry.quantile h 0.5))
+          (num (Obs.Registry.quantile h 0.99)))
+      traced
+  in
+  let chunk_h = Obs.Registry.histogram "rsj_chunk_service_seconds" in
   let c = Domain_pool.counters () in
   let oc = open_out "BENCH_parallel.json" in
   Printf.fprintf oc
@@ -321,11 +383,23 @@ let run_json () =
   "results": [
 %s
   ],
+  "telemetry": {
+    "trace_events": %d,
+    "per_strategy_d4": [
+%s
+    ],
+    "chunk_service": {"count": %d, "p50_s": %s, "p99_s": %s}
+  },
   "pool": {"worker_spawns": %d, "parallel_jobs": %d, "unpooled_spawn_equivalent": %d}
 }
 |}
     n1 n2 r reps
     (String.concat ",\n" rows)
+    trace_events
+    (String.concat ",\n" telemetry_rows)
+    (Obs.Registry.observed_count chunk_h)
+    (num (Obs.Registry.quantile chunk_h 0.5))
+    (num (Obs.Registry.quantile chunk_h 0.99))
     c.Domain_pool.spawned c.Domain_pool.parallel_jobs c.Domain_pool.unpooled_spawn_equivalent;
   close_out oc;
   Printf.printf "wrote BENCH_parallel.json (%d rows; pool: %d spawns for %d parallel jobs)\n%!"

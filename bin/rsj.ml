@@ -9,12 +9,17 @@
                  negative results)
      verify      statistical conformance sweep against the exact
                  join-distribution oracle
+     trace       run one strategy with span tracing on and write a
+                 Chrome Trace Event JSON (Perfetto / chrome://tracing)
+     metrics     run the strategies with telemetry on and print the
+                 counter/histogram registry (Prometheus text or JSON)
      explain     show the strategy requirement table (Table 1) *)
 
 open Cmdliner
 module Zipf_tables = Rsj_workload.Zipf_tables
 module Strategy = Rsj_core.Strategy
 module Experiments = Rsj_harness.Experiments
+module Obs = Rsj_obs
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -22,6 +27,34 @@ module Experiments = Rsj_harness.Experiments
 let seed_arg =
   let doc = "PRNG seed (all commands are reproducible from it)." in
   Arg.(value & opt int 0x5EED & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record the run as Chrome Trace Event JSON in $(docv), openable in Perfetto \
+     (ui.perfetto.dev) or chrome://tracing. Equivalent to running under \
+     $(b,RSJ_TRACE)=$(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* The --trace flag and the RSJ_TRACE variable resolve to one
+   destination; the flag wins. *)
+let trace_dest cli = match cli with Some _ -> cli | None -> Obs.env_trace_path ()
+
+let report_trace path =
+  let events = List.length (Obs.Trace.events ()) in
+  let dropped = Obs.Trace.dropped () in
+  Obs.Trace.write_file path;
+  Printf.eprintf "# trace: %d events%s -> %s\n" events
+    (if dropped > 0 then Printf.sprintf " (+%d dropped by ring overflow)" dropped else "")
+    path
+
+let with_tracing dest f =
+  match dest with
+  | None -> f ()
+  | Some path ->
+      Obs.set_enabled true;
+      Obs.Trace.clear ();
+      Fun.protect f ~finally:(fun () -> report_trace path)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -100,11 +133,12 @@ let sample_cmd =
              fixed --seed the sample is identical at every N (except Olken at N > 1, whose \
              speculative rounds are timing-dependent).")
   in
-  let run left right strategy r wor show_metrics domains seed =
+  let run left right strategy r wor show_metrics domains seed trace =
     if r < 0 then `Error (false, "--r must be non-negative")
     else if domains < 1 then `Error (false, "--domains must be at least 1")
     else begin
       try
+        with_tracing (trace_dest trace) @@ fun () ->
         let l = Rsj_relation.Csv_io.load ~path:left Zipf_tables.schema in
         let rt = Rsj_relation.Csv_io.load ~path:right Zipf_tables.schema in
         let env =
@@ -137,7 +171,9 @@ let sample_cmd =
   Cmd.v
     info
     Term.(
-      ret (const run $ left $ right $ strategy $ r $ wor $ show_metrics $ domains $ seed_arg))
+      ret
+        (const run $ left $ right $ strategy $ r $ wor $ show_metrics $ domains $ seed_arg
+       $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -278,12 +314,13 @@ let verify_cmd =
           ~doc:"Extra independently seeded attempts before a cell is declared failed.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit the report as CSV instead of a table.") in
-  let run trials r alpha retries csv seed =
+  let run trials r alpha retries csv seed trace =
     if r <= 0 then `Error (false, "--r must be positive")
     else if alpha <= 0. || alpha >= 1. then `Error (false, "--alpha must be in (0,1)")
     else if retries < 0 then `Error (false, "--retries must be non-negative")
     else begin
       try
+        with_tracing (trace_dest trace) @@ fun () ->
         let base = Rsj_verify.Conformance.default_config () in
         let config =
           {
@@ -303,12 +340,13 @@ let verify_cmd =
         if summary.Rsj_verify.Conformance.all_pass then begin
           Printf.printf "conformance: all %d comparisons pass; negative control rejected\n"
             summary.Rsj_verify.Conformance.comparisons;
-          let c = Domain_pool.counters () in
-          Printf.printf
-            "domain pool: %d worker spawns served %d parallel jobs (spawn-per-call would \
-             have cost %d spawns)\n"
-            c.Domain_pool.spawned c.Domain_pool.parallel_jobs
-            c.Domain_pool.unpooled_spawn_equivalent;
+          (* The pool's spawn accounting now lives in the metric
+             registry — export it from there (the one counter-export
+             path) rather than re-formatting by hand. *)
+          print_string
+            (Obs.Registry.to_prometheus
+               ~only:(fun name -> String.starts_with ~prefix:"rsj_pool_" name)
+               ());
           `Ok ()
         end
         else `Error (false, "conformance failures (see report)")
@@ -325,7 +363,122 @@ let verify_cmd =
          aggregate-estimate KS tests per strategy \xc3\x97 estimator \xc3\x97 domain count and a \
          biased negative control."
   in
-  Cmd.v info Term.(ret (const run $ trials $ r $ alpha $ retries $ csv $ seed_arg))
+  Cmd.v info Term.(ret (const run $ trials $ r $ alpha $ retries $ csv $ seed_arg $ trace_arg))
+
+(* ------------------------------------------------------------------ *)
+(* trace / metrics                                                     *)
+
+(* Synthetic §8.1 workload shared by the two telemetry commands. *)
+let workload_args =
+  let n1 = Arg.(value & opt int 2_000 & info [ "n1" ] ~docv:"N1" ~doc:"Outer table rows.") in
+  let n2 = Arg.(value & opt int 8_000 & info [ "n2" ] ~docv:"N2" ~doc:"Inner table rows.") in
+  let z1 = Arg.(value & opt float 1. & info [ "z1" ] ~docv:"Z1" ~doc:"Outer Zipf parameter.") in
+  let z2 = Arg.(value & opt float 1. & info [ "z2" ] ~docv:"Z2" ~doc:"Inner Zipf parameter.") in
+  let domain =
+    Arg.(value & opt int 400 & info [ "domain" ] ~docv:"D" ~doc:"Distinct join values.")
+  in
+  Term.(const (fun n1 n2 z1 z2 domain -> (n1, n2, z1, z2, domain)) $ n1 $ n2 $ z1 $ z2 $ domain)
+
+let make_workload ~seed (n1, n2, z1, z2, domain) =
+  if n1 <= 0 || n2 <= 0 then failwith "--n1/--n2 must be positive"
+  else if domain <= 0 then failwith "--domain must be positive"
+  else if z1 < 0. || z2 < 0. then failwith "--z1/--z2 must be non-negative"
+  else Zipf_tables.make_pair ~seed ~n1 ~n2 ~z1 ~z2 ~domain ()
+
+let run_strategy ~seed ~wor ~r ~domains pair strategy =
+  let env =
+    Strategy.make_env ~seed ~left:pair.Zipf_tables.outer ~right:pair.Zipf_tables.inner
+      ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ()
+  in
+  if wor then Rsj_parallel.run_wor env strategy ~r ~domains
+  else Rsj_parallel.run env strategy ~r ~domains
+
+let trace_cmd =
+  let strategy =
+    Arg.(
+      required
+      & pos 0 (some strategy_conv) None
+      & info [] ~docv:"STRATEGY" ~doc:"Strategy to trace.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the Chrome Trace Event JSON.")
+  in
+  let r = Arg.(value & opt int 256 & info [ "r" ] ~docv:"R" ~doc:"Sample size.") in
+  let domains =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"OCaml domains to run across.")
+  in
+  let wor =
+    Arg.(value & flag & info [ "without-replacement" ] ~doc:"Trace the WoR path instead of WR.")
+  in
+  let run strategy out r domains wor workload seed =
+    if r < 0 then `Error (false, "--r must be non-negative")
+    else if domains < 1 then `Error (false, "--domains must be at least 1")
+    else begin
+      try
+        let pair = make_workload ~seed workload in
+        Obs.set_enabled true;
+        Obs.Trace.clear ();
+        let result = run_strategy ~seed ~wor ~r ~domains pair strategy in
+        report_trace out;
+        Printf.printf
+          "%s: traced %d-tuple %s sample over %d domains (join size %d, %.4fs) -> %s\n"
+          (Strategy.name strategy)
+          (Array.length result.Strategy.sample)
+          (if wor then "WoR" else "WR")
+          domains (Zipf_tables.join_size pair) result.Strategy.elapsed_seconds out;
+        `Ok ()
+      with
+      | Failure msg -> `Error (false, msg)
+      | Invalid_argument msg -> `Error (false, msg)
+    end
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Run one strategy on a synthetic \xc2\xa78.1 workload with span tracing on and write \
+         the Chrome Trace Event JSON: pool spawn/park/job spans, per-chunk scheduler spans \
+         tagged by domain (skew evidence), and the strategy span. Open the file in Perfetto \
+         (ui.perfetto.dev) or chrome://tracing."
+  in
+  Cmd.v info Term.(ret (const run $ strategy $ out $ r $ domains $ wor $ workload_args $ seed_arg))
+
+let metrics_cmd =
+  let r = Arg.(value & opt int 64 & info [ "r" ] ~docv:"R" ~doc:"Sample size per strategy.") in
+  let domains =
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc:"OCaml domains to run across.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON (with p50/p99) instead of Prometheus text.")
+  in
+  let run r domains json workload seed =
+    if r < 0 then `Error (false, "--r must be non-negative")
+    else if domains < 1 then `Error (false, "--domains must be at least 1")
+    else begin
+      try
+        let pair = make_workload ~seed workload in
+        Obs.set_enabled true;
+        List.iter
+          (fun strategy -> ignore (run_strategy ~seed ~wor:false ~r ~domains pair strategy))
+          Strategy.all;
+        if json then print_endline (Obs.Json.to_string (Obs.Registry.to_json ()))
+        else print_string (Obs.Registry.to_prometheus ());
+        `Ok ()
+      with
+      | Failure msg -> `Error (false, msg)
+      | Invalid_argument msg -> `Error (false, msg)
+    end
+  in
+  let info =
+    Cmd.info "metrics"
+      ~doc:
+        "Run all eight strategies on a synthetic \xc2\xa78.1 workload with telemetry on and \
+         print the metric registry: pool/chunk/strategy counters and histograms, in \
+         Prometheus text exposition format (or JSON with $(b,--json))."
+  in
+  Cmd.v info Term.(ret (const run $ r $ domains $ json $ workload_args $ seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -343,7 +496,15 @@ let main =
   let info = Cmd.info "rsj" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      generate_cmd; sample_cmd; query_cmd; experiment_cmd; validate_cmd; verify_cmd; explain_cmd;
+      generate_cmd;
+      sample_cmd;
+      query_cmd;
+      experiment_cmd;
+      validate_cmd;
+      verify_cmd;
+      trace_cmd;
+      metrics_cmd;
+      explain_cmd;
     ]
 
 let () = exit (Cmd.eval main)

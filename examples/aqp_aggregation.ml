@@ -33,7 +33,7 @@ let () =
   (* Exact answers via the full join (the cost AQP avoids). *)
   let metrics = Metrics.create () in
   let exact_sum = ref 0. and exact_count = ref 0 and exact_even = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rsj_obs.Clock.now_s () in
   let naive = Strategy.run env Strategy.Naive ~r:1 in
   ignore naive;
   (* run the actual exact aggregation over a fresh full join stream *)
@@ -54,7 +54,7 @@ let () =
       incr exact_count;
       if rid mod 2 = 0 then incr exact_even)
     (Rsj_exec.Plan.run ~metrics plan);
-  let exact_time = Unix.gettimeofday () -. t0 in
+  let exact_time = Rsj_obs.Clock.now_s () -. t0 in
   let exact_avg = !exact_sum /. float_of_int !exact_count in
   Printf.printf "exact: AVG = %.2f, COUNT(even) = %d  (%.3fs, %d tuples processed)\n\n"
     exact_avg !exact_even exact_time (Metrics.total_work metrics);

@@ -61,9 +61,9 @@ let () =
 
   let r = 1_000 in
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Rsj_obs.Clock.now_s () in
     let x = f () in
-    (x, Unix.gettimeofday () -. t0)
+    (x, Rsj_obs.Clock.now_s () -. t0)
   in
 
   let m_naive = Metrics.create () in

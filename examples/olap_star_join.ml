@@ -61,9 +61,9 @@ let () =
   let col_month = 1 and col_amount = 4 and col_category = 6 in
 
   let r = 20_000 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rsj_obs.Clock.now_s () in
   let sample = Chain_sample.sample prepared rng ~r () in
-  let sampling_time = Unix.gettimeofday () -. t0 in
+  let sampling_time = Rsj_obs.Clock.now_s () -. t0 in
 
   (* Q1: total january sales (the paper's dashboard aggregate). *)
   let january t = Value.to_int_exn (Tuple.get t col_month) = 1 in
@@ -71,12 +71,12 @@ let () =
 
   (* Exact answer for comparison (this computes the join; the point of
      the library is that production queries would skip this). *)
-  let t1 = Unix.gettimeofday () in
+  let t1 = Rsj_obs.Clock.now_s () in
   let exact = ref 0. in
   Relation.iter sales (fun row ->
       let d = Value.to_int_exn (Tuple.get row 0) in
       if d <= 30 then exact := !exact +. Value.to_float_exn (Tuple.get row 2));
-  let exact_time = Unix.gettimeofday () -. t1 in
+  let exact_time = Rsj_obs.Clock.now_s () -. t1 in
 
   Printf.printf "Q1  SUM(amount) WHERE month = 1\n";
   Printf.printf "    estimate : %.0f   (95%% CI [%.0f, %.0f])\n" est.Aqp.value est.Aqp.ci_low

@@ -1,4 +1,15 @@
 open Rsj_util
+module Obs = Rsj_obs
+
+(* Slot overwrites across every reservoir flavour — the observable cost
+   of keeping the sample uniform as the stream grows. Gated on the
+   tracing switch: the disabled hot path stays a single branch. *)
+let displacements =
+  Obs.Registry.counter
+    ~help:"Reservoir slot displacements (overwrites of an occupied slot)"
+    "rsj_reservoir_displacements_total"
+
+let note_displacements n = if Obs.enabled () then Obs.Registry.add displacements n
 
 module Wr = struct
   type 'a t = {
@@ -22,6 +33,7 @@ module Wr = struct
         let p = weight /. t.total in
         let flips = Dist.binomial rng ~n:t.r ~p in
         if flips > 0 then begin
+          note_displacements flips;
           let slots = Prng.sample_distinct rng ~k:flips ~n:t.r in
           Array.iter (fun s -> t.slots.(s) <- x) slots
         end
@@ -112,8 +124,10 @@ module Multi = struct
            element. *)
         let p = 1. /. float_of_int t.fed in
         let flips = Dist.binomial rng ~n:t.k ~p in
-        if flips > 0 then
+        if flips > 0 then begin
+          note_displacements flips;
           Array.iter (fun s -> t.slots.(s) <- Some x) (Prng.sample_distinct rng ~k:flips ~n:t.k)
+        end
       end
     end
 
@@ -157,7 +171,10 @@ module Wor = struct
       end
       else begin
         let j = Prng.int rng t.fed in
-        if j < t.r then t.slots.(j) <- x
+        if j < t.r then begin
+          note_displacements 1;
+          t.slots.(j) <- x
+        end
       end
     end
     else t.fed <- t.fed + 1

@@ -124,7 +124,7 @@ type result = {
   elapsed_seconds : float;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Rsj_obs.Clock.now_s ()
 
 let dispatch env strategy rng metrics ~r =
   (* Strategies treat their R1 input as an opaque stream; the scan is

@@ -10,6 +10,25 @@ type t = {
   mutable stats_lookups : int;
 }
 
+(* Single field-spec table. Every per-field operation below is derived
+   from it, so reset/copy/add/to_assoc/pp cannot drift apart when a
+   counter is added: the compiler forces the new field into [create]'s
+   record literal, and everything else reads this list. [output_tuples]
+   is the one field excluded from [total_work] (delivering the sample
+   is the caller's demand, not strategy work). *)
+let fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("tuples_scanned", (fun m -> m.tuples_scanned), fun m v -> m.tuples_scanned <- v);
+    ("join_output_tuples", (fun m -> m.join_output_tuples), fun m v -> m.join_output_tuples <- v);
+    ("index_probes", (fun m -> m.index_probes), fun m v -> m.index_probes <- v);
+    ("hash_build_tuples", (fun m -> m.hash_build_tuples), fun m v -> m.hash_build_tuples <- v);
+    ("sort_tuples", (fun m -> m.sort_tuples), fun m v -> m.sort_tuples <- v);
+    ("output_tuples", (fun m -> m.output_tuples), fun m v -> m.output_tuples <- v);
+    ("random_accesses", (fun m -> m.random_accesses), fun m v -> m.random_accesses <- v);
+    ("rejected_samples", (fun m -> m.rejected_samples), fun m v -> m.rejected_samples <- v);
+    ("stats_lookups", (fun m -> m.stats_lookups), fun m v -> m.stats_lookups <- v);
+  ]
+
 let create () =
   {
     tuples_scanned = 0;
@@ -23,59 +42,24 @@ let create () =
     stats_lookups = 0;
   }
 
-let reset m =
-  m.tuples_scanned <- 0;
-  m.join_output_tuples <- 0;
-  m.index_probes <- 0;
-  m.hash_build_tuples <- 0;
-  m.sort_tuples <- 0;
-  m.output_tuples <- 0;
-  m.random_accesses <- 0;
-  m.rejected_samples <- 0;
-  m.stats_lookups <- 0
+let reset m = List.iter (fun (_, _, set) -> set m 0) fields
 
 let copy m =
-  {
-    tuples_scanned = m.tuples_scanned;
-    join_output_tuples = m.join_output_tuples;
-    index_probes = m.index_probes;
-    hash_build_tuples = m.hash_build_tuples;
-    sort_tuples = m.sort_tuples;
-    output_tuples = m.output_tuples;
-    random_accesses = m.random_accesses;
-    rejected_samples = m.rejected_samples;
-    stats_lookups = m.stats_lookups;
-  }
+  let c = create () in
+  List.iter (fun (_, get, set) -> set c (get m)) fields;
+  c
 
 let add a b =
-  {
-    tuples_scanned = a.tuples_scanned + b.tuples_scanned;
-    join_output_tuples = a.join_output_tuples + b.join_output_tuples;
-    index_probes = a.index_probes + b.index_probes;
-    hash_build_tuples = a.hash_build_tuples + b.hash_build_tuples;
-    sort_tuples = a.sort_tuples + b.sort_tuples;
-    output_tuples = a.output_tuples + b.output_tuples;
-    random_accesses = a.random_accesses + b.random_accesses;
-    rejected_samples = a.rejected_samples + b.rejected_samples;
-    stats_lookups = a.stats_lookups + b.stats_lookups;
-  }
+  let c = create () in
+  List.iter (fun (_, get, set) -> set c (get a + get b)) fields;
+  c
+
+let to_assoc m = List.map (fun (name, get, _) -> (name, get m)) fields
 
 let total_work m =
-  m.tuples_scanned + m.join_output_tuples + m.index_probes + m.hash_build_tuples
-  + m.sort_tuples + m.random_accesses + m.rejected_samples + m.stats_lookups
-
-let to_assoc m =
-  [
-    ("tuples_scanned", m.tuples_scanned);
-    ("join_output_tuples", m.join_output_tuples);
-    ("index_probes", m.index_probes);
-    ("hash_build_tuples", m.hash_build_tuples);
-    ("sort_tuples", m.sort_tuples);
-    ("output_tuples", m.output_tuples);
-    ("random_accesses", m.random_accesses);
-    ("rejected_samples", m.rejected_samples);
-    ("stats_lookups", m.stats_lookups);
-  ]
+  List.fold_left
+    (fun acc (name, get, _) -> if String.equal name "output_tuples" then acc else acc + get m)
+    0 fields
 
 let pp ppf m =
   Format.fprintf ppf "@[<v>";

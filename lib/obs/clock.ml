@@ -1,0 +1,19 @@
+(* The one clock in the tree.
+
+   Every wall-time read in lib/, bin/, bench/, test/ and examples/
+   funnels through this module; the @clock-hygiene dune rule greps the
+   rest of the codebase to keep it that way. Confinement matters for
+   reproducibility: seeded sampling must never consume a clock value,
+   so one grep-auditable module is the difference between "the trace
+   changed the sample" being impossible and being a code review
+   question.
+
+   OCaml 5.1's stdlib exposes no monotonic clock; we use
+   Unix.gettimeofday offset from process start. For the second-scale
+   spans traced here that is monotone in practice, and the offset keeps
+   trace timestamps small enough that Perfetto's microsecond axis stays
+   readable. *)
+
+let epoch = Unix.gettimeofday ()
+let now_s () = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6

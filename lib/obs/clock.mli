@@ -1,0 +1,17 @@
+(** The one clock in the tree.
+
+    All wall-time reads go through this module — the [@clock-hygiene]
+    dune rule (in the style of [@spawn-hygiene]) fails the build if
+    [Unix.gettimeofday]/[Sys.time]/[Mtime]-style reads appear anywhere
+    else — so seeded sampling can be audited to never consume a clock
+    value, and traces can never perturb samples. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds (Unix epoch); what the strategy results'
+    [elapsed_seconds] and the harness' medians are measured with. *)
+
+val now_us : unit -> float
+(** Microseconds since process start — the span timestamp unit of the
+    Chrome Trace Event format. Monotone in practice for the
+    second-scale runs traced here (the stdlib exposes no true monotonic
+    clock). *)

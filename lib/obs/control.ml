@@ -1,0 +1,22 @@
+(* The master telemetry switch.
+
+   One atomic bool read per instrumentation hook: with telemetry off,
+   every hook in the runtime reduces to a single branch on this flag —
+   no clock read, no allocation, no registry lookup. Spans and timed
+   histogram observations are gated here; the always-on counters (the
+   pool's spawn accounting) bypass the flag because they are plain
+   atomic increments and pre-date the subsystem as public API. *)
+
+let parse_env = function
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let flag = Atomic.make (parse_env (Sys.getenv_opt "RSJ_TRACE"))
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let env_trace_path () =
+  match Sys.getenv_opt "RSJ_TRACE" with
+  | None | Some "" | Some "0" -> None
+  | Some "1" -> Some "trace.json"
+  | Some path -> Some path

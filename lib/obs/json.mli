@@ -1,0 +1,28 @@
+(** Minimal JSON values: enough for the telemetry exporters to emit
+    well-formed documents (escaping, number formatting) and for the
+    test suite to parse the emitted artifacts back — deliberately not a
+    general JSON library and not a new dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. [Float nan] prints as [null] (JSON has no NaN);
+    integral floats keep a trailing [.0] so they stay floats on
+    re-parse. *)
+
+val parse : string -> (t, string) result
+(** Recursive-descent parser for the subset this library emits plus
+    standard escapes ([\uXXXX] decodes to UTF-8). Numbers without
+    [./e/E] parse as [Int], others as [Float]. Rejects trailing
+    garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the field [k] if present; [None] on any
+    other constructor. *)

@@ -18,7 +18,16 @@
 
    This is the only module in the tree that calls the domain spawn
    primitive; a dune rule greps the rest of the codebase to keep it
-   that way. *)
+   that way.
+
+   Telemetry: the spawn/job counters live in Obs.Registry (the one
+   counter-export path; Domain_pool.counters reads them back for the
+   legacy record API), and when tracing is enabled the pool emits
+   spawn/park/job spans plus a submit→start wake-latency histogram —
+   the park/wake cost that motivated the pool becomes visible per
+   worker in Perfetto. All timed hooks gate on Obs.enabled. *)
+
+module Obs = Rsj_obs
 
 type worker = {
   mutex : Mutex.t;
@@ -36,9 +45,21 @@ type t = {
   mutable in_use : bool;
 }
 
-let spawned_total = Atomic.make 0
-let jobs_total = Atomic.make 0
-let legacy_total = Atomic.make 0
+let spawned_total =
+  Obs.Registry.counter ~help:"Worker domains ever spawned by any pool"
+    "rsj_pool_workers_spawned_total"
+
+let jobs_total =
+  Obs.Registry.counter ~help:"Domain_pool.run calls with domains > 1" "rsj_pool_parallel_jobs_total"
+
+let legacy_total =
+  Obs.Registry.counter
+    ~help:"Spawns a pool-less spawn-per-call runtime would have performed for the same jobs"
+    "rsj_pool_unpooled_spawn_equivalent_total"
+
+let wake_latency =
+  Obs.Registry.histogram ~help:"Pool job submit-to-start latency (condvar wake), seconds"
+    "rsj_pool_wake_latency_seconds"
 
 type counters = {
   spawned : int;
@@ -48,9 +69,9 @@ type counters = {
 
 let counters () =
   {
-    spawned = Atomic.get spawned_total;
-    parallel_jobs = Atomic.get jobs_total;
-    unpooled_spawn_equivalent = Atomic.get legacy_total;
+    spawned = Obs.Registry.value spawned_total;
+    parallel_jobs = Obs.Registry.value jobs_total;
+    unpooled_spawn_equivalent = Obs.Registry.value legacy_total;
   }
 
 let worker_loop w =
@@ -69,7 +90,13 @@ let worker_loop w =
     | None ->
         if w.stop then Mutex.unlock w.mutex
         else begin
+          (* Park span: one per Condition.wait, so a worker's idle gaps
+             between jobs are visible next to the jobs themselves. *)
+          let t0 = if Obs.enabled () then Obs.Clock.now_us () else 0. in
           Condition.wait w.cond w.mutex;
+          if Obs.enabled () && t0 > 0. then
+            Obs.Trace.complete ~cat:"pool" "pool.park" ~ts:t0
+              ~dur:(Float.max 0. (Obs.Clock.now_us () -. t0));
           loop ()
         end
   in
@@ -85,8 +112,10 @@ let spawn_worker () =
       stop = false;
     }
   in
-  Atomic.incr spawned_total;
-  let handle = Domain.spawn (fun () -> worker_loop w) in
+  Obs.Registry.incr spawned_total;
+  let handle =
+    Obs.Trace.with_span ~cat:"pool" "pool.spawn" (fun () -> Domain.spawn (fun () -> worker_loop w))
+  in
   (w, handle)
 
 (* Grow to [n] workers. Caller holds [t.lock]. *)
@@ -135,13 +164,27 @@ let run_on_caller domains f =
   done;
   out
 
+(* Wrap a worker-bound task so its submit→start wake latency and its
+   execution span are recorded on the worker's own ring. The closure is
+   only built when telemetry is on; otherwise the task passes through
+   untouched. *)
+let instrument k task =
+  if not (Obs.enabled ()) then task
+  else begin
+    let submitted = Obs.Clock.now_us () in
+    fun () ->
+      let started = Obs.Clock.now_us () in
+      Obs.Registry.observe wake_latency (Float.max 0. (started -. submitted) /. 1e6);
+      Obs.Trace.with_span ~cat:"pool" ~args:[ ("worker", Rsj_obs.Json.Int k) ] "pool.job" task
+  end
+
 let run t ~domains f =
   if domains < 0 then invalid_arg "Domain_pool.run: domains < 0";
   if domains = 0 then [||]
   else if domains = 1 then [| f 0 |]
   else begin
-    Atomic.incr jobs_total;
-    ignore (Atomic.fetch_and_add legacy_total (domains - 1));
+    Obs.Registry.incr jobs_total;
+    Obs.Registry.add legacy_total (domains - 1);
     let claimed =
       Mutex.lock t.lock;
       Fun.protect
@@ -170,11 +213,17 @@ let run t ~domains f =
             t.in_use <- false;
             Mutex.unlock t.lock)
           (fun () ->
-            Array.iteri (fun i w -> submit w (task (i + 1))) ws;
-            task 0 ();
-            (* Barrier: every claimed worker back to idle before any
-               result or error slot is read. *)
-            Array.iter await ws);
+            Obs.Trace.with_span ~cat:"pool"
+              ~args:[ ("domains", Rsj_obs.Json.Int domains) ]
+              "pool.run"
+              (fun () ->
+                Array.iteri (fun i w -> submit w (instrument (i + 1) (task (i + 1)))) ws;
+                Obs.Trace.with_span ~cat:"pool"
+                  ~args:[ ("worker", Rsj_obs.Json.Int 0) ]
+                  "pool.job" (task 0);
+                (* Barrier: every claimed worker back to idle before any
+                   result or error slot is read. *)
+                Array.iter await ws));
         Array.iter
           (function
             | Some (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -69,7 +69,16 @@ val shutdown : t -> unit
     Process-wide counters over every pool, used by the benchmarks and
     EXPERIMENTS.md V9 to show the amortisation: [spawned] is what the
     pooled runtime actually paid, [unpooled_spawn_equivalent] is what
-    the old spawn-per-call design would have paid for the same jobs. *)
+    the old spawn-per-call design would have paid for the same jobs.
+
+    Since the telemetry subsystem (DESIGN.md §9) these counters live in
+    [Obs.Registry] ([rsj_pool_workers_spawned_total],
+    [rsj_pool_parallel_jobs_total],
+    [rsj_pool_unpooled_spawn_equivalent_total]) — the registry is the
+    single counter-export path — and {!counters} merely reads them back
+    into the record shape. When tracing is enabled the pool also emits
+    spawn/park/job spans and a submit→start wake-latency histogram
+    ([rsj_pool_wake_latency_seconds]). *)
 
 type counters = {
   spawned : int;  (** Worker domains ever spawned by any pool. *)

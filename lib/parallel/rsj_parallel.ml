@@ -60,8 +60,42 @@ module End_biased = Rsj_stats.Histogram.End_biased
 module Hash_index = Rsj_index.Hash_index
 module Prng = Rsj_util.Prng
 module Chunk_scheduler = Chunk_scheduler
+module Obs = Rsj_obs
 
 let default_domains () = Domain.recommended_domain_count ()
+
+(* Telemetry around a whole strategy run: a "strategy.<name>" span
+   (cat "strategy") encloses the scan/merge work — pool.run, pool.job
+   and chunk spans nest temporally inside it — and, after the run, the
+   work counters fold into the registry (the rsj_metrics_ family) and
+   the wall-time into a per-strategy histogram. One branch when off. *)
+let strategy_seconds strategy ~domains =
+  Obs.Registry.histogram ~help:"Whole-strategy sampling run wall time, seconds"
+    ~labels:[ ("strategy", Strategy.name strategy); ("domains", string_of_int domains) ]
+    "rsj_strategy_run_seconds"
+
+let observed ?(absorb = true) ~semantics strategy ~r ~domains body =
+  if not (Obs.enabled ()) then body ()
+  else
+    Obs.Trace.with_span ~cat:"strategy"
+      ~args:
+        [
+          ("strategy", Obs.Json.Str (Strategy.name strategy));
+          ("semantics", Obs.Json.Str semantics);
+          ("r", Obs.Json.Int r);
+          ("domains", Obs.Json.Int domains);
+        ]
+      ("strategy." ^ Strategy.name strategy)
+      (fun () ->
+        let result = body () in
+        (* WoR batch conversion re-enters [run] per batch, which already
+           absorbs each batch's counters — the outer wrapper must not
+           absorb the summed record again. *)
+        if absorb then
+          Obs.Registry.absorb_assoc ~prefix:"rsj_metrics_"
+            (Metrics.to_assoc result.Strategy.metrics);
+        Obs.Registry.observe (strategy_seconds strategy ~domains) result.Strategy.elapsed_seconds;
+        result)
 
 let is_parallelizable = function
   | Strategy.Naive | Strategy.Olken | Strategy.Stream | Strategy.Group
@@ -402,6 +436,18 @@ let run_olken env ~r ~domains rng =
       failwith
         "Rsj_parallel.run(Olken): iteration budget exhausted (join empty or near-empty?)";
     metrics.output_tuples <- metrics.output_tuples + r;
+    (* Acceptance/rejection tallies as first-class registry counters, so
+       the rejection-rate churn Olken trades for its index probes is
+       readable off `rsj metrics` without diffing work records. *)
+    if Obs.enabled () then begin
+      Obs.Registry.add
+        (Obs.Registry.counter ~help:"Olken rounds rejected by the m2(v)/m ceiling coin"
+           "rsj_olken_rejections_total")
+        metrics.rejected_samples;
+      Obs.Registry.add
+        (Obs.Registry.counter ~help:"Olken rounds accepted" "rsj_olken_acceptances_total")
+        r
+    end;
     (out, metrics)
   end
 
@@ -503,28 +549,29 @@ let run ?chunk_size env strategy ~r ~domains =
   if domains = 0 then Strategy.run env strategy ~r
   else begin
     Strategy.prepare env strategy;
-    let chunk_for n =
-      match chunk_size with
-      | Some c -> c
-      | None -> Chunk_scheduler.default_chunk_size ~n
-    in
-    let c1 = chunk_for (Relation.cardinality (Strategy.env_left env)) in
-    let rng = Prng.split (Strategy.env_rng env) in
-    let t0 = Unix.gettimeofday () in
-    let sample, metrics =
-      match strategy with
-      | Strategy.Stream -> run_stream env ~r ~domains ~chunk_size:c1 rng
-      | Strategy.Group -> run_group env ~r ~domains ~chunk_for rng
-      | Strategy.Count_sample -> run_count env ~r ~domains ~chunk_for rng
-      | Strategy.Naive -> run_naive env ~r ~domains ~chunk_size:c1 rng
-      | Strategy.Olken -> run_olken env ~r ~domains rng
-      | Strategy.Frequency_partition ->
-          run_frequency_partition env ~r ~domains ~chunk_size:c1 rng
-      | Strategy.Index_sample -> run_index_sample env ~r ~domains ~chunk_size:c1 rng
-      | Strategy.Hybrid_count -> run_hybrid_count env ~r ~domains ~chunk_for rng
-    in
-    let elapsed_seconds = Unix.gettimeofday () -. t0 in
-    { Strategy.strategy; sample; metrics; elapsed_seconds }
+    observed ~semantics:"WR" strategy ~r ~domains (fun () ->
+        let chunk_for n =
+          match chunk_size with
+          | Some c -> c
+          | None -> Chunk_scheduler.default_chunk_size ~n
+        in
+        let c1 = chunk_for (Relation.cardinality (Strategy.env_left env)) in
+        let rng = Prng.split (Strategy.env_rng env) in
+        let t0 = Obs.Clock.now_s () in
+        let sample, metrics =
+          match strategy with
+          | Strategy.Stream -> run_stream env ~r ~domains ~chunk_size:c1 rng
+          | Strategy.Group -> run_group env ~r ~domains ~chunk_for rng
+          | Strategy.Count_sample -> run_count env ~r ~domains ~chunk_for rng
+          | Strategy.Naive -> run_naive env ~r ~domains ~chunk_size:c1 rng
+          | Strategy.Olken -> run_olken env ~r ~domains rng
+          | Strategy.Frequency_partition ->
+              run_frequency_partition env ~r ~domains ~chunk_size:c1 rng
+          | Strategy.Index_sample -> run_index_sample env ~r ~domains ~chunk_size:c1 rng
+          | Strategy.Hybrid_count -> run_hybrid_count env ~r ~domains ~chunk_for rng
+        in
+        let elapsed_seconds = Obs.Clock.now_s () -. t0 in
+        { Strategy.strategy; sample; metrics; elapsed_seconds })
   end
 
 (* Parallel WoR, Naive path: the join is enumerated by the chunked R1
@@ -603,23 +650,28 @@ let run_wor ?chunk_size env strategy ~r ~domains =
   if domains = 0 then Strategy.run_wor env strategy ~r
   else begin
     Strategy.prepare env strategy;
-    let target = min r (Strategy.env_join_size env) in
-    let t0 = Unix.gettimeofday () in
-    let sample, metrics =
-      if target = 0 then ([||], Metrics.create ())
-      else
-        match strategy with
-        | Strategy.Naive ->
-            let n1 = Relation.cardinality (Strategy.env_left env) in
-            let chunk_size =
-              match chunk_size with
-              | Some c -> c
-              | None -> Chunk_scheduler.default_chunk_size ~n:n1
-            in
-            let rng = Prng.split (Strategy.env_rng env) in
-            run_wor_naive env ~r:target ~domains ~chunk_size rng
-        | _ -> run_wor_batches ?chunk_size env strategy ~domains ~target
-    in
-    let elapsed_seconds = Unix.gettimeofday () -. t0 in
-    { Strategy.strategy; sample; metrics; elapsed_seconds }
+    (* Only the direct chunked-Vitter path (Naive) absorbs its counters
+       here; the batch-conversion path re-enters [run], which absorbs
+       per batch. *)
+    let absorb = match strategy with Strategy.Naive -> true | _ -> false in
+    observed ~absorb ~semantics:"WoR" strategy ~r ~domains (fun () ->
+        let target = min r (Strategy.env_join_size env) in
+        let t0 = Obs.Clock.now_s () in
+        let sample, metrics =
+          if target = 0 then ([||], Metrics.create ())
+          else
+            match strategy with
+            | Strategy.Naive ->
+                let n1 = Relation.cardinality (Strategy.env_left env) in
+                let chunk_size =
+                  match chunk_size with
+                  | Some c -> c
+                  | None -> Chunk_scheduler.default_chunk_size ~n:n1
+                in
+                let rng = Prng.split (Strategy.env_rng env) in
+                run_wor_naive env ~r:target ~domains ~chunk_size rng
+            | _ -> run_wor_batches ?chunk_size env strategy ~domains ~target
+        in
+        let elapsed_seconds = Obs.Clock.now_s () -. t0 in
+        { Strategy.strategy; sample; metrics; elapsed_seconds })
   end

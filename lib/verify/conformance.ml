@@ -9,6 +9,7 @@ module Report = Rsj_harness.Report
 module Prng = Rsj_util.Prng
 module Dist = Rsj_util.Dist
 module Stats_math = Rsj_util.Stats_math
+module Obs = Rsj_obs
 
 type skew = { label : string; z1 : float; z2 : float }
 
@@ -106,6 +107,16 @@ let cf_fraction config ~join_size =
   Float.min 0.9 (float_of_int config.r /. float_of_int (max 1 join_size))
 
 let run_cell kconfig config ~pair ~oracle ~cell_index cell =
+  Obs.Trace.with_span ~cat:"verify"
+    ~args:
+      [
+        ("strategy", Obs.Json.Str (Strategy.name cell.strategy));
+        ("semantics", Obs.Json.Str (Semantics.to_string cell.semantics));
+        ("skew", Obs.Json.Str cell.skew.label);
+        ("domains", Obs.Json.Int cell.domains);
+      ]
+    "verify.cell"
+  @@ fun () ->
   let join_size = Oracle.size oracle in
   (* Parallel cells cost ~domains× more per trial (every trial spawns
      that many domains), so scale their trial count down by the domain
@@ -203,6 +214,15 @@ let estimator_label = function Sum -> "HT-sum" | Count -> "HT-count" | Avg -> "A
 let ks_sample_size = 48
 
 let aggregate_ks kconfig config ~pair ~oracle ~row_index strategy est ~domains =
+  Obs.Trace.with_span ~cat:"verify"
+    ~args:
+      [
+        ("strategy", Obs.Json.Str (Strategy.name strategy));
+        ("estimator", Obs.Json.Str (estimator_label est));
+        ("domains", Obs.Json.Int domains);
+      ]
+    "verify.ks"
+  @@ fun () ->
   (* Like the cells: the d > 1 rows re-test the same estimator law over
      the chunk-scheduled path with trial counts scaled down by the
      width — the d = 1 row pins the law at full power. *)
@@ -272,6 +292,7 @@ let chain_spec ~seed ~z =
 (* Negative control                                                    *)
 
 let negative_control kconfig config ~oracle =
+  Obs.Trace.with_span ~cat:"verify" "verify.control" @@ fun () ->
   let trials = max 200 (4 * config.trials) in
   Kernel.run kconfig Kernel.Chi_square ~sample:(fun ~attempt ->
       let rng = Prng.create ~seed:(mix config.seed 0xBAD (attempt + 1)) () in
@@ -310,6 +331,10 @@ let wr_uniformity ?(config = Kernel.default) ~trials ~universe ~draw () =
       (Oracle.wr_expected oracle ~draws:!total, counts))
 
 let chain_row kconfig config ~row_index z =
+  Obs.Trace.with_span ~cat:"verify"
+    ~args:[ ("z", Obs.Json.Float z) ]
+    "verify.chain"
+  @@ fun () ->
   let spec = chain_spec ~seed:(mix config.seed 0xC4A1 row_index) ~z in
   let universe = Oracle.universe (Oracle.of_chain spec) in
   let prepared = Chain_sample.prepare spec in

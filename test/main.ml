@@ -11,6 +11,8 @@ let () =
       ("index", Test_index.suite);
       ("stats", Test_stats.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
+      ("obs_artifacts", Test_obs.artifacts_suite);
       ("black_box", Test_black_box.suite);
       ("convert", Test_convert.suite);
       ("strategies", Test_strategies.suite);

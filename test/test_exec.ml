@@ -109,6 +109,50 @@ let test_metrics_ops () =
   Alcotest.(check int) "reset" 0 (Metrics.total_work a);
   Alcotest.(check int) "assoc entries" 9 (List.length (Metrics.to_assoc c))
 
+(* Exercise every counter through the derived operations at once, so a
+   field dropped from the spec table (the drift the refactor guards
+   against) fails here rather than silently exporting zeros. *)
+let test_metrics_field_spec_consistency () =
+  let m = Metrics.create () in
+  m.Metrics.tuples_scanned <- 1;
+  m.Metrics.join_output_tuples <- 2;
+  m.Metrics.index_probes <- 3;
+  m.Metrics.hash_build_tuples <- 4;
+  m.Metrics.sort_tuples <- 5;
+  m.Metrics.output_tuples <- 6;
+  m.Metrics.random_accesses <- 7;
+  m.Metrics.rejected_samples <- 8;
+  m.Metrics.stats_lookups <- 9;
+  let expected =
+    [
+      ("tuples_scanned", 1);
+      ("join_output_tuples", 2);
+      ("index_probes", 3);
+      ("hash_build_tuples", 4);
+      ("sort_tuples", 5);
+      ("output_tuples", 6);
+      ("random_accesses", 7);
+      ("rejected_samples", 8);
+      ("stats_lookups", 9);
+    ]
+  in
+  Alcotest.(check (list (pair string int))) "to_assoc sees every field" expected
+    (Metrics.to_assoc m);
+  Alcotest.(check (list (pair string int))) "copy round-trips every field" expected
+    (Metrics.to_assoc (Metrics.copy m));
+  Alcotest.(check (list (pair string int))) "add doubles every field"
+    (List.map (fun (k, v) -> (k, 2 * v)) expected)
+    (Metrics.to_assoc (Metrics.add m m));
+  (* total_work is the assoc sum minus delivered output tuples. *)
+  Alcotest.(check int) "total_work excludes output_tuples"
+    (List.fold_left (fun acc (_, v) -> acc + v) 0 expected - m.Metrics.output_tuples)
+    (Metrics.total_work m);
+  let c = Metrics.copy m in
+  Metrics.reset c;
+  Alcotest.(check (list (pair string int))) "reset zeroes every field"
+    (List.map (fun (k, _) -> (k, 0)) expected)
+    (Metrics.to_assoc c)
+
 let test_transform_node () =
   (* A transform doubling every first column models a sampling operator
      splice point. *)
@@ -212,6 +256,7 @@ let suite =
     Alcotest.test_case "sort and limit" `Quick test_sort_limit;
     Alcotest.test_case "metrics counted by operators" `Quick test_metrics_counting;
     Alcotest.test_case "metrics arithmetic" `Quick test_metrics_ops;
+    Alcotest.test_case "metrics field-spec consistency" `Quick test_metrics_field_spec_consistency;
     Alcotest.test_case "transform extension point" `Quick test_transform_node;
     Alcotest.test_case "pipelined source node" `Quick test_source_node;
     Alcotest.test_case "explain renders" `Quick test_explain_renders;
