@@ -103,12 +103,13 @@ module Partition = struct
     in
     add a.m1_hi;
     add b.m1_hi;
-    {
-      s1_res = Reservoir.Wr.merge rng a.s1_res b.s1_res;
-      m1_hi;
-      jlo_res = Reservoir.Wr.merge rng a.jlo_res b.jlo_res;
-      n_lo = a.n_lo + b.n_lo;
-    }
+    (* Explicit lets pin the generator consumption order (s1 then jlo):
+       record-field evaluation order is unspecified, and the data-plane
+       twin (Internals_int) must merge in the same order to stay
+       bit-identical. *)
+    let s1_res = Reservoir.Wr.merge rng a.s1_res b.s1_res in
+    let jlo_res = Reservoir.Wr.merge rng a.jlo_res b.jlo_res in
+    { s1_res; m1_hi; jlo_res; n_lo = a.n_lo + b.n_lo }
 
   (* Exact |Jhi| from the collected Rhi1 tallies and the histogram. *)
   let n_hi acc ~frequency =
@@ -178,16 +179,24 @@ let count_sample_scan rng (metrics : Metrics.t) ~strategy ~(s1 : Tuple.t array) 
       }
     end in
     let member_lists : Tuple.t list ref Vtbl.t = Vtbl.create (2 * Array.length s1) in
+    (* Group in S1 first-occurrence order — a deterministic order shared
+       with the data-plane twin (which cannot reproduce Vtbl iteration
+       order), so the per-group shuffles below consume the generator
+       identically in both planes. *)
+    let order = ref [] in
     Array.iter
       (fun t1 ->
         let v = Tuple.attr t1 left_key in
         match Vtbl.find_opt member_lists v with
         | Some cell -> cell := t1 :: !cell
-        | None -> Vtbl.replace member_lists v (ref [ t1 ]))
+        | None ->
+            Vtbl.replace member_lists v (ref [ t1 ]);
+            order := v :: !order)
       s1;
     let groups : G.t Vtbl.t = Vtbl.create (Vtbl.length member_lists) in
-    Vtbl.iter
-      (fun v cell ->
+    List.iter
+      (fun v ->
+        let cell = Vtbl.find member_lists v in
         let members = Array.of_list !cell in
         Rsj_util.Prng.shuffle_in_place rng members;
         let population = population v in
@@ -195,7 +204,7 @@ let count_sample_scan rng (metrics : Metrics.t) ~strategy ~(s1 : Tuple.t array) 
           failwith (strategy ^ ": sampled value has no frequency in the statistics");
         Vtbl.replace groups v
           { G.outstanding = Array.length members; seen = 0; population; members; next_member = 0 })
-      member_lists;
+      (List.rev !order);
     let out = ref [] in
     Relation.iter right (fun t2 ->
         metrics.tuples_scanned <- metrics.tuples_scanned + 1;
@@ -237,7 +246,7 @@ let count_sample_scan rng (metrics : Metrics.t) ~strategy ~(s1 : Tuple.t array) 
    samples of their subdomain of size >= needed draws (pools shorter
    than the draw count indicate an empty subdomain and must only occur
    with the matching n_* equal to 0). *)
-let binomial_combine rng ~r ~n_hi ~n_lo ~(hi_pool : Tuple.t array) ~(lo_pool : Tuple.t array) =
+let binomial_combine rng ~r ~n_hi ~n_lo ~hi_pool ~lo_pool =
   if n_hi < 0 || n_lo < 0 then invalid_arg "binomial_combine: negative join sizes";
   let total = n_hi + n_lo in
   if total = 0 then ([||], 0, 0)

@@ -38,6 +38,21 @@ val sample_known_n :
     join work. Raises [Failure] if the join produces fewer than [n]
     tuples. *)
 
+val sample_int :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  r:int ->
+  left:Relation.t ->
+  right:Relation.t ->
+  keys1:int array ->
+  keys2:int array ->
+  Tuple.t array
+(** Columnar twin of {!sample}: both join columns as
+    {!Column.int_view} extractions; the hash build, probe scan and
+    reservoir feed run over flat ints and packed row pairs, with
+    winners rehydrated by row id. Bit-identical output to the boxed
+    path from the same generator state. *)
+
 val sample_cf :
   Rsj_util.Prng.t ->
   metrics:Metrics.t ->

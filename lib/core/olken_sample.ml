@@ -37,6 +37,62 @@ let attempt rng ~metrics ~left ~left_key ~right_index ~m =
         None
       end
 
+(* Columnar twin of [attempt]: same draw order (uniform row, index
+   pick, m2 probe, acceptance coin) over the flat key column; returns
+   the packed row pair, or -1 on rejection. *)
+let attempt_int rng ~(metrics : Metrics.t) ~left_n ~(keys1 : int array) ~right_index ~m =
+  let open Metrics in
+  metrics.random_accesses <- metrics.random_accesses + 1;
+  let row = Rsj_util.Prng.int rng left_n in
+  let k = Array.unsafe_get keys1 row in
+  metrics.index_probes <- metrics.index_probes + 1;
+  match Hash_index.random_match_row right_index rng k with
+  | -1 ->
+      metrics.rejected_samples <- metrics.rejected_samples + 1;
+      -1
+  | r2 ->
+      let m2v = Hash_index.multiplicity_key right_index k in
+      metrics.stats_lookups <- metrics.stats_lookups + 1;
+      let accept_p = float_of_int m2v /. float_of_int m in
+      if Rsj_util.Prng.bernoulli rng accept_p then begin
+        metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+        Internals_int.pack row r2
+      end
+      else begin
+        metrics.rejected_samples <- metrics.rejected_samples + 1;
+        -1
+      end
+
+let sample_int rng ~metrics ~r ~left ~(keys1 : int array) ~right_index ?m_bound
+    ?(max_iterations = default_max_iterations) () =
+  if r <= 0 then [||]
+  else begin
+    if Relation.cardinality left = 0 then
+      invalid_arg "Olken_sample.sample: empty R1 with r > 0";
+    let m = resolve_m_bound ~right_index m_bound in
+    if m = 0 then failwith "Olken_sample.sample: R2 has no joinable tuples";
+    let left_n = Relation.cardinality left in
+    let right = Hash_index.relation right_index in
+    let out = Array.make r [||] in
+    let produced = ref 0 in
+    let iterations = ref 0 in
+    while !produced < r do
+      incr iterations;
+      if !iterations > max_iterations then
+        failwith "Olken_sample.sample: iteration budget exhausted (join empty or near-empty?)";
+      let p = attempt_int rng ~metrics ~left_n ~keys1 ~right_index ~m in
+      if p >= 0 then begin
+        out.(!produced) <-
+          Tuple.join
+            (Relation.get left (Internals_int.unpack_left p))
+            (Relation.get right (Internals_int.unpack_right p));
+        incr produced
+      end
+    done;
+    metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + r;
+    out
+  end
+
 let sample rng ~metrics ~r ~left ~left_key ~right_index ?m_bound
     ?(max_iterations = default_max_iterations) () =
   (* r = 0 asks for nothing: return before touching the input, so an

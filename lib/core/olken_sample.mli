@@ -30,6 +30,34 @@ val attempt :
     rounds speculatively on every domain
     ({!Rsj_parallel}). [m] must bound every m2(v). *)
 
+val attempt_int :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  left_n:int ->
+  keys1:int array ->
+  right_index:Rsj_index.Hash_index.t ->
+  m:int ->
+  int
+(** Columnar twin of {!attempt} over the flat R1 key column: the packed
+    (left row, right row) pair ({!Internals_int.pack}) on acceptance,
+    [-1] on rejection — drawing from the generator exactly as
+    {!attempt} does. *)
+
+val sample_int :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  r:int ->
+  left:Relation.t ->
+  keys1:int array ->
+  right_index:Rsj_index.Hash_index.t ->
+  ?m_bound:int ->
+  ?max_iterations:int ->
+  unit ->
+  Tuple.t array
+(** Columnar twin of {!sample}: the rejection loop runs {!attempt_int}
+    and only accepted pairs are rehydrated. Bit-identical output to the
+    boxed path from the same generator state. *)
+
 val sample :
   Rsj_util.Prng.t ->
   metrics:Metrics.t ->

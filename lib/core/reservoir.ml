@@ -49,6 +49,17 @@ module Wr = struct
   let total_weight t = t.total
   let contents t = Array.copy t.slots
 
+  (* Lift a data-plane kernel's (Wr_int) finished state into a regular
+     reservoir so the existing merge tree applies unchanged. The parts
+     must describe a reservoir the feed sequence above could have
+     produced: [slots] of length [r] once anything was fed, empty
+     otherwise. *)
+  let of_parts ~r ~slots ~fed ~total =
+    if r < 0 then invalid_arg "Reservoir.Wr.of_parts: r < 0";
+    if fed > 0 && Array.length slots <> r then
+      invalid_arg "Reservoir.Wr.of_parts: slots length <> r";
+    if fed = 0 then create ~r else { r; slots; fed; total }
+
   let merge rng a b =
     if a.r <> b.r then invalid_arg "Reservoir.Wr.merge: mismatched slot counts";
     let fed = a.fed + b.fed in

@@ -9,6 +9,11 @@
 
 open Rsj_util
 
+val note_displacements : int -> unit
+(** Bump the reservoir displacement counter (a single branch when
+    tracing is disabled). Exposed so the data-plane kernel ({!Wr_int})
+    can report the same telemetry as the feeds below. *)
+
 (** Weighted WR reservoir of a fixed number of slots. After feeding
     elements x with weights w(x), each slot independently holds element
     x with probability w(x)/W — i.e. the slots are r iid weighted draws
@@ -31,6 +36,11 @@ module Wr : sig
   val contents : 'a t -> 'a array
   (** The r draws; [[||]] when nothing with positive weight was fed.
       Fresh array. *)
+
+  val of_parts : r:int -> slots:'a array -> fed:int -> total:float -> 'a t
+  (** Lift a finished {!Wr_int} kernel state into a reservoir (slots
+      array is taken over, not copied). The parts must describe a state
+      the feed above could have produced. *)
 
   val merge : Prng.t -> 'a t -> 'a t -> 'a t
   (** [merge rng a b] is a fresh reservoir distributed as if one

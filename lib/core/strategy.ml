@@ -87,6 +87,13 @@ type env = {
   left_stats : Frequency.t Lazy.t;
   right_index : Hash_index.t Lazy.t;
   histogram : Histogram.End_biased.t Lazy.t;
+  (* Columnar key views for the compact data plane: extracted once per
+     env, [None] when a column is not int-viewable. Mode-independent —
+     the Column.mode switch gates which plane the dispatch consults,
+     not whether the view exists (the bench toggles modes on one
+     prebuilt env). *)
+  left_key_view : int array option Lazy.t;
+  right_key_view : int array option Lazy.t;
 }
 
 let make_env ?(seed = 0x5EED) ?(histogram_fraction = 0.05) ~left ~right ~left_key ~right_key () =
@@ -105,6 +112,8 @@ let make_env ?(seed = 0x5EED) ?(histogram_fraction = 0.05) ~left ~right ~left_ke
       lazy
         (Histogram.End_biased.build_fraction (Lazy.force right_stats)
            ~fraction:histogram_fraction);
+    left_key_view = lazy (Column.int_view left ~col:left_key);
+    right_key_view = lazy (Column.int_view right ~col:right_key);
   }
 
 let env_left env = env.left
@@ -116,6 +125,8 @@ let env_right_stats env = Lazy.force env.right_stats
 let env_right_index env = Lazy.force env.right_index
 let env_histogram env = Lazy.force env.histogram
 let env_join_size env = Frequency.join_size (Lazy.force env.left_stats) (Lazy.force env.right_stats)
+let env_left_key_view env = Lazy.force env.left_key_view
+let env_right_key_view env = Lazy.force env.right_key_view
 
 type result = {
   strategy : t;
@@ -126,26 +137,67 @@ type result = {
 
 let now () = Rsj_obs.Clock.now_s ()
 
+(* Whether dispatch should take the columnar fast path: the session
+   data-plane mode says int AND every plane the strategy needs exists
+   (int-viewable key columns, int-keyed statistics/index planes).
+   Anything missing escapes to the boxed twin — same distribution, and
+   for the twinned strategies the very same draws. *)
+let int_mode () = Column.mode () = Column.Int_keys
+
 let dispatch env strategy rng metrics ~r =
   (* Strategies treat their R1 input as an opaque stream; the scan is
      counted here so pipelined inputs (whose own operators already
-     count) are never double-counted. *)
+     count) are never double-counted. (The columnar twins bypass the
+     wrapper and count their flat scans themselves.) *)
   let left () =
     Stream0.on_element
       (fun _ -> metrics.Metrics.tuples_scanned <- metrics.Metrics.tuples_scanned + 1)
       (Relation.to_stream env.left)
   in
   match strategy with
-  | Naive ->
-      Naive_sample.sample rng ~metrics ~r ~left:(left ()) ~right:env.right
-        ~left_key:env.left_key ~right_key:env.right_key
-  | Olken ->
-      Olken_sample.sample rng ~metrics ~r ~left:env.left ~left_key:env.left_key
-        ~right_index:(Lazy.force env.right_index) ()
-  | Stream ->
-      Stream_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
-        ~right_index:(Lazy.force env.right_index)
-        ~right_stats:(Lazy.force env.right_stats) ()
+  | Naive -> (
+      let boxed () =
+        Naive_sample.sample rng ~metrics ~r ~left:(left ()) ~right:env.right
+          ~left_key:env.left_key ~right_key:env.right_key
+      in
+      if not (int_mode ()) then boxed ()
+      else
+        match (Lazy.force env.left_key_view, Lazy.force env.right_key_view) with
+        | Some keys1, Some keys2 ->
+            Naive_sample.sample_int rng ~metrics ~r ~left:env.left ~right:env.right ~keys1
+              ~keys2
+        | _ -> boxed ())
+  | Olken -> (
+      let boxed () =
+        Olken_sample.sample rng ~metrics ~r ~left:env.left ~left_key:env.left_key
+          ~right_index:(Lazy.force env.right_index) ()
+      in
+      if not (int_mode ()) then boxed ()
+      else
+        let index = Lazy.force env.right_index in
+        match (Lazy.force env.left_key_view, Hash_index.int_plane index) with
+        | Some keys1, Some _ ->
+            Olken_sample.sample_int rng ~metrics ~r ~left:env.left ~keys1 ~right_index:index
+              ()
+        | _ -> boxed ())
+  | Stream -> (
+      let boxed () =
+        Stream_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
+          ~right_index:(Lazy.force env.right_index)
+          ~right_stats:(Lazy.force env.right_stats) ()
+      in
+      if not (int_mode ()) then boxed ()
+      else
+        let index = Lazy.force env.right_index in
+        match
+          ( Lazy.force env.left_key_view,
+            Frequency.int_counter (Lazy.force env.right_stats),
+            Hash_index.int_plane index )
+        with
+        | Some keys, Some freq, Some _ ->
+            Stream_sample.sample_int rng ~metrics ~r ~left:env.left ~keys ~right_index:index
+              ~freq ()
+        | _ -> boxed ())
   | Group ->
       Group_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
         ~right:env.right ~right_key:env.right_key
@@ -158,10 +210,23 @@ let dispatch env strategy rng metrics ~r =
       fst
         (Index_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
            ~right_index:(Lazy.force env.right_index) ~histogram:(Lazy.force env.histogram))
-  | Count_sample ->
-      Count_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
-        ~right:env.right ~right_key:env.right_key
-        ~right_stats:(Lazy.force env.right_stats)
+  | Count_sample -> (
+      let boxed () =
+        Count_sample.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
+          ~right:env.right ~right_key:env.right_key
+          ~right_stats:(Lazy.force env.right_stats)
+      in
+      if not (int_mode ()) then boxed ()
+      else
+        match
+          ( Lazy.force env.left_key_view,
+            Lazy.force env.right_key_view,
+            Frequency.int_counter (Lazy.force env.right_stats) )
+        with
+        | Some keys1, Some keys2, Some freq ->
+            Count_sample.sample_int rng ~metrics ~r ~left:env.left ~right:env.right ~keys1
+              ~keys2 ~freq
+        | _ -> boxed ())
   | Hybrid_count ->
       fst
         (Hybrid_count.sample rng ~metrics ~r ~left:(left ()) ~left_key:env.left_key
@@ -178,9 +243,23 @@ let prepare env strategy =
       ignore (Lazy.force env.right_stats)
   | Statistics -> ignore (Lazy.force env.right_stats)
   | Partial_statistics -> ignore (Lazy.force env.histogram));
-  match strategy with
+  (match strategy with
   | Index_sample -> ignore (Lazy.force env.right_index)
-  | Naive | Olken | Stream | Group | Frequency_partition | Count_sample | Hybrid_count -> ()
+  | Naive | Olken | Stream | Group | Frequency_partition | Count_sample | Hybrid_count -> ());
+  (* The compact data plane's structures count as pre-existing too:
+     key-column extractions and the int twins of whatever statistics
+     the strategy is entitled to are forced before the clock starts,
+     like the indexes and statistics above. *)
+  if int_mode () then begin
+    ignore (Lazy.force env.left_key_view);
+    ignore (Lazy.force env.right_key_view);
+    (match r2_requirement strategy with
+    | Statistics | Index_or_stats ->
+        ignore (Frequency.int_counter (Lazy.force env.right_stats))
+    | Partial_statistics ->
+        ignore (Histogram.End_biased.int_tracked (Lazy.force env.histogram))
+    | Nothing | Index -> ())
+  end
 
 let run env strategy ~r =
   prepare env strategy;

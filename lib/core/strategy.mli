@@ -75,6 +75,13 @@ val env_histogram : env -> Rsj_stats.Histogram.End_biased.t
 val env_join_size : env -> int
 (** Exact |R1 ⋈ R2| (forces statistics on both sides). *)
 
+val env_left_key_view : env -> int array option
+val env_right_key_view : env -> int array option
+(** The join columns as flat {!Column.int_view} extractions ([None]
+    when not int-viewable), cached per env. These are the compact data
+    plane's inputs; {!run} and the parallel runtime consult them when
+    {!Column.mode} is [Int_keys]. *)
+
 type result = {
   strategy : t;
   sample : Tuple.t array;

@@ -33,3 +33,19 @@ val sample :
     O(1) memory, output begins before R1 is drained; otherwise the
     reservoir Black-Box WR2 is used, which needs no advance knowledge.
     Both produce identical distributions. *)
+
+val sample_int :
+  Rsj_util.Prng.t ->
+  metrics:Metrics.t ->
+  r:int ->
+  left:Relation.t ->
+  keys:int array ->
+  right_index:Rsj_index.Hash_index.t ->
+  freq:Rsj_index.Int_index.Counter.t ->
+  unit ->
+  Tuple.t array
+(** Columnar twin of the reservoir (WR2 + [right_stats]) path of
+    {!sample}: [keys] is R1's join column as a {!Column.int_view},
+    [freq] the statistics' int counter; the S1 inner loop is
+    allocation-free and winners are rehydrated by row id. Bit-identical
+    output to the boxed path from the same generator state. *)

@@ -19,7 +19,18 @@ type t = {
   buckets : bucket Vtbl.t;  (* value -> row ids, in row order *)
   mutable max_mult : int;
   probes : int Atomic.t;  (* probed concurrently by the parallel runtime *)
+  int_plane : Int_index.t option;  (* data-plane twin when the column is int-viewable *)
 }
+
+(* The int plane is built whenever the key column admits a flat int
+   view, independently of the Column.mode switch: the mode gates which
+   plane the strategies consult, and the bench toggles it on prebuilt
+   indexes. In-bucket row order matches the boxed buckets (storage
+   order), so uniform in-bucket picks agree between planes. *)
+let build_int_plane relation ~key =
+  match Column.int_view relation ~col:key with
+  | Some keys -> Some (Int_index.build ~keys ())
+  | None -> None
 
 let count_range relation ~key ~lo ~hi () =
   let counts = Vtbl.create 1024 in
@@ -52,7 +63,8 @@ let build relation ~key =
         b.rows.(b.fill) <- i;
         b.fill <- b.fill + 1
       end);
-  { relation; key; buckets; max_mult; probes = Atomic.make 0 }
+  { relation; key; buckets; max_mult; probes = Atomic.make 0;
+    int_plane = build_int_plane relation ~key }
 
 let build_parallel relation ~key ~domains =
   if domains <= 1 then build relation ~key
@@ -103,7 +115,8 @@ let build_parallel relation ~key ~domains =
       (Domain_pool.run (Domain_pool.global ()) ~domains (fun k ->
            fill_range k bounds.(k) bounds.(k + 1) ()));
     Vtbl.iter (fun _ b -> b.fill <- Array.length b.rows) buckets;
-    { relation; key; buckets; max_mult; probes = Atomic.make 0 }
+    { relation; key; buckets; max_mult; probes = Atomic.make 0;
+      int_plane = build_int_plane relation ~key }
   end
 
 let relation t = t.relation
@@ -137,3 +150,20 @@ let distinct_keys t =
 
 let max_multiplicity t = t.max_mult
 let probe_count t = Atomic.get t.probes
+
+(* Data-plane accessors: same probe accounting as their boxed twins
+   (lookup costs one probe regardless of plane). *)
+let int_plane t = t.int_plane
+let note_probe t = Atomic.incr t.probes
+
+let multiplicity_key t k =
+  Atomic.incr t.probes;
+  match t.int_plane with
+  | Some ip -> Int_index.multiplicity ip k
+  | None -> invalid_arg "Hash_index.multiplicity_key: no int plane"
+
+let random_match_row t rng k =
+  Atomic.incr t.probes;
+  match t.int_plane with
+  | Some ip -> Int_index.random_row ip rng k
+  | None -> invalid_arg "Hash_index.random_match_row: no int plane"

@@ -48,3 +48,23 @@ val probe_count : t -> int
 (** Number of probes served since construction ({!lookup},
     {!multiplicity}, {!matching_tuples}, {!random_match} each count 1);
     feeds the work model. *)
+
+val int_plane : t -> Int_index.t option
+(** The int-specialised twin of the bucket table, built whenever the
+    key column admits a {!Column.int_view}. In-bucket row order matches
+    the boxed buckets, so uniform picks agree between planes. *)
+
+val note_probe : t -> unit
+(** Count one probe served through the raw {!int_plane} (callers that
+    walk the int-plane buckets directly still owe the work model a
+    probe, like {!lookup} charges on the boxed side). *)
+
+val multiplicity_key : t -> int -> int
+(** {!multiplicity} through the int plane (one probe, like its boxed
+    twin). Raises [Invalid_argument] when there is no int plane. *)
+
+val random_match_row : t -> Rsj_util.Prng.t -> int -> int
+(** {!random_match} through the int plane: a uniform matching row id,
+    or -1 when m(v) = 0 — drawing from the generator exactly as the
+    boxed twin does. Raises [Invalid_argument] when there is no int
+    plane. *)

@@ -537,6 +537,506 @@ let run_index_sample env ~r ~domains ~chunk_size rng =
   partition_finish env ~r rng metrics acc ~hi_pool:(fun m s1 ->
       Internals.index_hi_pick rng m ~right_index ~left_key:(Strategy.env_left_key env) s1)
 
+(* ------------------------------------------------------------------ *)
+(* Compact data plane: columnar int twins of the chunked strategies.
+
+   When Column.mode is Int_keys and every structure a strategy needs
+   has an int plane (flat key views, int-keyed statistics/histogram
+   counters, the index's Int_index twin), the chunk workers below scan
+   flat [lo, hi) ranges of the shared key columns instead of pulling
+   Stream0 cursors over boxed tuples, feed allocation-free Wr_int
+   kernels (or plain reservoirs of row ids / packed row pairs), and
+   rehydrate only the accepted winners through Relation.get. Every
+   twin consumes the generator draw-for-draw like its boxed
+   counterpart — same chunk cut, same split order, same per-chunk and
+   merge draws — so a fixed seed yields bit-identical samples on
+   either plane (pinned by test/test_dataplane.ml). Anything without
+   an int plane falls back to the boxed path. *)
+
+module Internals_int = Rsj_core.Internals_int
+module Int_index = Rsj_index.Int_index
+module Counter = Int_index.Counter
+module Wr_int = Rsj_util.Wr_int
+
+let int_mode () = Column.mode () = Column.Int_keys
+
+let rehydrate env pairs =
+  let left = Strategy.env_left env in
+  let right = Strategy.env_right env in
+  Array.map
+    (fun p ->
+      Tuple.join
+        (Relation.get left (Internals_int.unpack_left p))
+        (Relation.get right (Internals_int.unpack_right p)))
+    pairs
+
+(* Int twin of [chunked_pass]: the same chunk cut and per-chunk
+   generator split, but [feed] consumes a whole [lo, hi) row range in
+   one call so the call sites can write flat loops over the shared key
+   column. [make] receives the chunk's generator (the Wr_int kernels
+   capture its state); [seal] converts the chunk state for merging
+   (and releases any captured generator state). *)
+let chunked_pass_int ~domains ~chunk_size ~rng ~make ~feed ~seal relation =
+  let chunks = Relation.chunk_count relation ~chunk_size in
+  let n = Relation.cardinality relation in
+  let rngs = Prng.split_n rng chunks in
+  let task i =
+    let metrics = Metrics.create () in
+    let state = make rngs.(i) in
+    let lo = i * chunk_size in
+    let hi = min ((i + 1) * chunk_size) n in
+    feed metrics rngs.(i) state ~lo ~hi;
+    metrics.Metrics.tuples_scanned <- metrics.Metrics.tuples_scanned + (hi - lo);
+    (seal state, metrics)
+  in
+  Chunk_scheduler.run ~domains ~chunks ~task ()
+
+let parallel_s1_int env ~r ~domains ~chunk_size rng ~(keys1 : int array) ~freq =
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass_int ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun crng -> Wr_int.create ~on_displace:Reservoir.note_displacements crng ~r)
+      ~feed:(fun metrics _crng ker ~lo ~hi ->
+        metrics.Metrics.stats_lookups <- metrics.Metrics.stats_lookups + (hi - lo);
+        for row = lo to hi - 1 do
+          Wr_int.feed ker ~weight:(Counter.get freq (Array.unsafe_get keys1 row)) row
+        done)
+      ~seal:(fun ker ->
+        Wr_int.finish ker;
+        Reservoir.Wr.of_parts ~r ~slots:(Wr_int.contents ker) ~fed:(Wr_int.fed_count ker)
+          ~total:(Wr_int.total_weight ker))
+      (Strategy.env_left env)
+  in
+  let res, metrics =
+    fold_parts ~merge_rng ~merge:Reservoir.Wr.merge ~empty:(fun () -> Reservoir.Wr.create ~r)
+      parts
+  in
+  (Reservoir.Wr.contents res, metrics)
+
+let run_stream_int env ~r ~domains ~chunk_size rng ~keys1 ~freq =
+  let open Metrics in
+  let s1, metrics = parallel_s1_int env ~r ~domains ~chunk_size rng ~keys1 ~freq in
+  let index = Strategy.env_right_index env in
+  let left = Strategy.env_left env in
+  let right = Strategy.env_right env in
+  let out =
+    Array.map
+      (fun row ->
+        metrics.index_probes <- metrics.index_probes + 1;
+        match Hash_index.random_match_row index rng keys1.(row) with
+        | -1 -> failwith "Rsj_parallel.run(Stream): sampled tuple has no match in R2"
+        | r2 ->
+            metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+            Tuple.join (Relation.get left row) (Relation.get right r2))
+      s1
+  in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+let run_naive_int env ~r ~domains ~chunk_size rng ~(keys1 : int array) ~keys2 =
+  let open Metrics in
+  let main_metrics = Metrics.create () in
+  let tbl = Internals_int.build_join_index main_metrics ~keys:keys2 in
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass_int ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun crng -> Wr_int.create ~on_displace:Reservoir.note_displacements crng ~r)
+      ~feed:(fun metrics _crng ker ~lo ~hi ->
+        let matched = ref 0 in
+        for row = lo to hi - 1 do
+          match Int_index.find_gid tbl (Array.unsafe_get keys1 row) with
+          | -1 -> ()
+          | g ->
+              let s = Int_index.gid_start tbl g in
+              let m = Int_index.gid_multiplicity tbl g in
+              for j = s to s + m - 1 do
+                Wr_int.feed ker ~weight:1 (Internals_int.pack row (Int_index.row tbl j))
+              done;
+              matched := !matched + m
+        done;
+        metrics.join_output_tuples <- metrics.join_output_tuples + !matched)
+      ~seal:(fun ker ->
+        Wr_int.finish ker;
+        Reservoir.Wr.of_parts ~r ~slots:(Wr_int.contents ker) ~fed:(Wr_int.fed_count ker)
+          ~total:(Wr_int.total_weight ker))
+      (Strategy.env_left env)
+  in
+  let res, scan_metrics =
+    fold_parts ~merge_rng ~merge:Reservoir.Wr.merge ~empty:(fun () -> Reservoir.Wr.create ~r)
+      parts
+  in
+  let out = rehydrate env (Reservoir.Wr.contents res) in
+  let metrics = Metrics.add main_metrics scan_metrics in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+(* Int twin of [per_group_r2_scan]: groups keyed by raw int through a
+   Counter (gid+1, so 0 means absent), members as s1 indices in the
+   same first-occurrence order, Multi reservoirs over R2 row ids. *)
+let per_group_r2_scan_int env ~domains ~chunk_size rng ~(s1 : int array) ~(keys1 : int array)
+    ~(keys2 : int array) =
+  let n1 = Array.length s1 in
+  let gids = Counter.create ~capacity:(2 * max 1 n1) () in
+  let order = Array.make (max 1 n1) 0 in
+  let cells = Array.make (max 1 n1) [] in
+  let ngroups = ref 0 in
+  Array.iteri
+    (fun i row ->
+      let k = keys1.(row) in
+      match Counter.get gids k with
+      | 0 ->
+          incr ngroups;
+          Counter.add gids k !ngroups;
+          order.(!ngroups - 1) <- k;
+          cells.(!ngroups - 1) <- [ i ]
+      | g -> cells.(g - 1) <- i :: cells.(g - 1))
+    s1;
+  let group_keys = Array.sub order 0 !ngroups in
+  let members = Array.init !ngroups (fun g -> Array.of_list (List.rev cells.(g))) in
+  let fresh_multis () =
+    Array.map (fun mem -> Reservoir.Multi.create ~k:(Array.length mem)) members
+  in
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass_int ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun _crng -> fresh_multis ())
+      ~feed:(fun _m crng multis ~lo ~hi ->
+        for row = lo to hi - 1 do
+          let k = Array.unsafe_get keys2 row in
+          let g = Counter.get gids k in
+          if g > 0 then Reservoir.Multi.feed crng multis.(g - 1) row
+        done)
+      ~seal:(fun s -> s)
+      (Strategy.env_right env)
+  in
+  let merge_multi_arrays mrng a b =
+    let n = Array.length a in
+    if n = 0 then [||]
+    else begin
+      let out = Array.make n a.(0) in
+      for g = 0 to n - 1 do
+        out.(g) <- Reservoir.Multi.merge mrng a.(g) b.(g)
+      done;
+      out
+    end
+  in
+  let merged, metrics = fold_parts ~merge_rng ~merge:merge_multi_arrays ~empty:fresh_multis parts in
+  ((group_keys, members, merged), metrics)
+
+let run_group_int env ~r ~domains ~chunk_for rng ~keys1 ~keys2 ~freq =
+  let open Metrics in
+  let n1 = Relation.cardinality (Strategy.env_left env) in
+  let s1, metrics = parallel_s1_int env ~r ~domains ~chunk_size:(chunk_for n1) rng ~keys1 ~freq in
+  if Array.length s1 = 0 then ([||], metrics)
+  else begin
+    let n2 = Relation.cardinality (Strategy.env_right env) in
+    let (_group_keys, members, merged), scan_metrics =
+      per_group_r2_scan_int env ~domains ~chunk_size:(chunk_for n2) rng ~s1 ~keys1 ~keys2
+    in
+    let metrics = Metrics.add metrics scan_metrics in
+    let pairs = Array.make (Array.length s1) 0 in
+    Array.iteri
+      (fun g mem ->
+        Array.iteri
+          (fun j i ->
+            match Reservoir.Multi.get merged.(g) j with
+            | Some r2 ->
+                metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+                pairs.(i) <- Internals_int.pack s1.(i) r2
+            | None -> failwith "Rsj_parallel.run(Group): sampled tuple has no match in R2")
+          mem)
+      members;
+    let out = rehydrate env pairs in
+    metrics.output_tuples <- metrics.output_tuples + Array.length out;
+    (out, metrics)
+  end
+
+let parallel_count_scan_int env ~domains ~chunk_size rng ~strategy ~(s1 : int array) ~keys1
+    ~keys2 ~(population : int -> int) =
+  if Array.length s1 = 0 then ([||], Metrics.create ())
+  else begin
+    let open Metrics in
+    Array.iter
+      (fun row ->
+        if population keys1.(row) <= 0 then
+          failwith (strategy ^ ": sampled value has no frequency in the statistics"))
+      s1;
+    let (group_keys, members, merged), metrics =
+      per_group_r2_scan_int env ~domains ~chunk_size rng ~s1 ~keys1 ~keys2
+    in
+    let pairs = Array.make (Array.length s1) 0 in
+    Array.iteri
+      (fun g mem ->
+        let pop = population group_keys.(g) in
+        let fed = Reservoir.Multi.fed_count merged.(g) in
+        if fed > pop then
+          failwith (strategy ^ ": R2 holds more tuples of a value than the statistics claim");
+        if fed < pop then
+          failwith (strategy ^ ": statistics overstate a value's frequency (stale statistics?)");
+        Array.iteri
+          (fun j i ->
+            match Reservoir.Multi.get merged.(g) j with
+            | Some r2 ->
+                metrics.join_output_tuples <- metrics.join_output_tuples + 1;
+                pairs.(i) <- Internals_int.pack s1.(i) r2
+            | None ->
+                (* fed = pop > 0 guarantees every slot holds a pick. *)
+                assert false)
+          mem)
+      members;
+    (pairs, metrics)
+  end
+
+let run_count_int env ~r ~domains ~chunk_for rng ~keys1 ~keys2 ~freq =
+  let open Metrics in
+  let n1 = Relation.cardinality (Strategy.env_left env) in
+  let s1, metrics = parallel_s1_int env ~r ~domains ~chunk_size:(chunk_for n1) rng ~keys1 ~freq in
+  let n2 = Relation.cardinality (Strategy.env_right env) in
+  let pairs, scan_metrics =
+    parallel_count_scan_int env ~domains ~chunk_size:(chunk_for n2) rng
+      ~strategy:"Rsj_parallel.run(Count)" ~s1 ~keys1 ~keys2
+      ~population:(fun k -> Counter.get freq k)
+  in
+  let metrics = Metrics.add metrics scan_metrics in
+  let out = rehydrate env pairs in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+let run_olken_int env ~r ~domains rng ~keys1 =
+  let open Metrics in
+  if r = 0 then ([||], Metrics.create ())
+  else begin
+    let left = Strategy.env_left env in
+    if Relation.cardinality left = 0 then
+      invalid_arg "Rsj_parallel.run(Olken): empty R1 with r > 0";
+    let left_n = Relation.cardinality left in
+    let right_index = Strategy.env_right_index env in
+    let m = Hash_index.max_multiplicity right_index in
+    if m = 0 then failwith "Rsj_parallel.run(Olken): R2 has no joinable tuples";
+    let budget = max 1 (Olken_sample.default_max_iterations / domains) in
+    let rngs = Prng.split_n rng domains in
+    let tickets = Atomic.make 0 in
+    let parts =
+      Domain_pool.run (Domain_pool.global ()) ~domains (fun k ->
+          let metrics = Metrics.create () in
+          let buf = ref [] in
+          let iterations = ref 0 in
+          let exhausted = ref false in
+          let finished = ref false in
+          while (not !finished) && not !exhausted do
+            if Atomic.get tickets >= r then finished := true
+            else begin
+              incr iterations;
+              if !iterations > budget then exhausted := true
+              else begin
+                let p =
+                  Olken_sample.attempt_int rngs.(k) ~metrics ~left_n ~keys1 ~right_index ~m
+                in
+                if p >= 0 then
+                  if Atomic.fetch_and_add tickets 1 < r then buf := p :: !buf
+              end
+            end
+          done;
+          (Array.of_list (List.rev !buf), metrics))
+    in
+    let pairs = Array.concat (Array.to_list (Array.map fst parts)) in
+    let metrics =
+      Array.fold_left (fun acc (_, m) -> Metrics.add acc m) (Metrics.create ()) parts
+    in
+    if Array.length pairs < r then
+      failwith
+        "Rsj_parallel.run(Olken): iteration budget exhausted (join empty or near-empty?)";
+    let out = rehydrate env pairs in
+    metrics.output_tuples <- metrics.output_tuples + r;
+    if Obs.enabled () then begin
+      Obs.Registry.add
+        (Obs.Registry.counter ~help:"Olken rounds rejected by the m2(v)/m ceiling coin"
+           "rsj_olken_rejections_total")
+        metrics.rejected_samples;
+      Obs.Registry.add
+        (Obs.Registry.counter ~help:"Olken rounds accepted" "rsj_olken_acceptances_total")
+        r
+    end;
+    (out, metrics)
+  end
+
+let partition_pass_int env ~r ~domains ~chunk_size rng ~(keys1 : int array) ~tracked ~lo_tbl
+    ~on_lo_probe =
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass_int ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun crng -> Internals_int.Partition.create_kernels crng ~r)
+      ~feed:(fun metrics _crng kers ~lo ~hi ->
+        for row = lo to hi - 1 do
+          Internals_int.Partition.route metrics kers ~tracked ~lo_tbl ~on_lo_probe row
+            (Array.unsafe_get keys1 row)
+        done)
+      ~seal:(Internals_int.Partition.seal ~r)
+      (Strategy.env_left env)
+  in
+  fold_parts ~merge_rng ~merge:Internals_int.Partition.merge
+    ~empty:(fun () -> Internals_int.Partition.create ~r)
+    parts
+
+let partition_finish_int env ~r rng metrics acc ~tracked ~hi_pool =
+  let open Metrics in
+  let n_hi = Internals_int.Partition.n_hi acc ~tracked in
+  let n_lo = Internals_int.Partition.n_lo acc in
+  let hi_pool = hi_pool metrics (Internals_int.Partition.s1 acc) in
+  let lo_pool = Internals_int.Partition.lo_pool acc in
+  let pairs, _r_hi, _r_lo = Internals.binomial_combine rng ~r ~n_hi ~n_lo ~hi_pool ~lo_pool in
+  let out = rehydrate env pairs in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+let run_frequency_partition_int env ~r ~domains ~chunk_size rng ~keys1 ~keys2 ~tracked =
+  let main_metrics = Metrics.create () in
+  let tbl = Internals_int.build_join_index main_metrics ~keys:keys2 in
+  let acc, scan_metrics =
+    partition_pass_int env ~r ~domains ~chunk_size rng ~keys1 ~tracked ~lo_tbl:tbl
+      ~on_lo_probe:(fun _ -> ())
+  in
+  let metrics = Metrics.add main_metrics scan_metrics in
+  partition_finish_int env ~r rng metrics acc ~tracked ~hi_pool:(fun m s1 ->
+      Internals_int.fps_hi_pick rng m ~tbl ~keys1 s1)
+
+let run_hybrid_count_int env ~r ~domains ~chunk_for rng ~keys1 ~keys2 ~tracked =
+  let n1 = Relation.cardinality (Strategy.env_left env) in
+  let n2 = Relation.cardinality (Strategy.env_right env) in
+  let main_metrics = Metrics.create () in
+  let is_low k = Counter.get tracked k = 0 in
+  let tbl = Internals_int.build_join_index ~keep:is_low main_metrics ~keys:keys2 in
+  let acc, scan_metrics =
+    partition_pass_int env ~r ~domains ~chunk_size:(chunk_for n1) rng ~keys1 ~tracked
+      ~lo_tbl:tbl
+      ~on_lo_probe:(fun _ -> ())
+  in
+  let metrics = Metrics.add main_metrics scan_metrics in
+  partition_finish_int env ~r rng metrics acc ~tracked ~hi_pool:(fun m s1 ->
+      let pairs, hi_metrics =
+        parallel_count_scan_int env ~domains ~chunk_size:(chunk_for n2) rng
+          ~strategy:"Rsj_parallel.run(Hybrid)" ~s1 ~keys1 ~keys2
+          ~population:(fun k -> Counter.get tracked k)
+      in
+      absorb_metrics m hi_metrics;
+      pairs)
+
+let run_index_sample_int env ~r ~domains ~chunk_size rng ~keys1 ~tracked ~lo_tbl =
+  let right_index = Strategy.env_right_index env in
+  let on_lo_probe (m : Metrics.t) =
+    m.Metrics.index_probes <- m.Metrics.index_probes + 1;
+    Hash_index.note_probe right_index
+  in
+  let acc, metrics =
+    partition_pass_int env ~r ~domains ~chunk_size rng ~keys1 ~tracked ~lo_tbl ~on_lo_probe
+  in
+  partition_finish_int env ~r rng metrics acc ~tracked ~hi_pool:(fun m s1 ->
+      Internals_int.index_hi_pick rng m ~right_index ~keys1 s1)
+
+let run_wor_naive_int env ~r ~domains ~chunk_size rng ~(keys1 : int array) ~keys2 =
+  let open Metrics in
+  let main_metrics = Metrics.create () in
+  let tbl = Internals_int.build_join_index main_metrics ~keys:keys2 in
+  let scan_rng = Prng.split rng in
+  let merge_rng = Prng.split rng in
+  let parts, _ =
+    chunked_pass_int ~domains ~chunk_size ~rng:scan_rng
+      ~make:(fun _crng -> Reservoir.Wor.create ~r)
+      ~feed:(fun metrics crng res ~lo ~hi ->
+        let matched = ref 0 in
+        for row = lo to hi - 1 do
+          match Int_index.find_gid tbl (Array.unsafe_get keys1 row) with
+          | -1 -> ()
+          | g ->
+              let s = Int_index.gid_start tbl g in
+              let m = Int_index.gid_multiplicity tbl g in
+              for j = s to s + m - 1 do
+                Reservoir.Wor.feed crng res (Internals_int.pack row (Int_index.row tbl j))
+              done;
+              matched := !matched + m
+        done;
+        metrics.join_output_tuples <- metrics.join_output_tuples + !matched)
+      ~seal:(fun s -> s)
+      (Strategy.env_left env)
+  in
+  let res, scan_metrics =
+    fold_parts ~merge_rng ~merge:Reservoir.Wor.merge
+      ~empty:(fun () -> Reservoir.Wor.create ~r)
+      parts
+  in
+  let out = rehydrate env (Reservoir.Wor.contents res) in
+  let metrics = Metrics.add main_metrics scan_metrics in
+  metrics.output_tuples <- metrics.output_tuples + Array.length out;
+  (out, metrics)
+
+(* Per-strategy data-plane gates: the int twin runs only when every
+   structure it consults has an int plane. The gates only force
+   structures the strategy is entitled to (prepare has already forced
+   them). *)
+let stream_int_ctx env =
+  if not (int_mode ()) then None
+  else
+    match
+      ( Strategy.env_left_key_view env,
+        Frequency.int_counter (Strategy.env_right_stats env),
+        Hash_index.int_plane (Strategy.env_right_index env) )
+    with
+    | Some keys1, Some freq, Some _ -> Some (keys1, freq)
+    | _ -> None
+
+let s1_scan_int_ctx env =
+  if not (int_mode ()) then None
+  else
+    match
+      ( Strategy.env_left_key_view env,
+        Strategy.env_right_key_view env,
+        Frequency.int_counter (Strategy.env_right_stats env) )
+    with
+    | Some keys1, Some keys2, Some freq -> Some (keys1, keys2, freq)
+    | _ -> None
+
+let naive_int_ctx env =
+  if not (int_mode ()) then None
+  else
+    match (Strategy.env_left_key_view env, Strategy.env_right_key_view env) with
+    | Some keys1, Some keys2 -> Some (keys1, keys2)
+    | _ -> None
+
+let olken_int_ctx env =
+  if not (int_mode ()) then None
+  else
+    match
+      (Strategy.env_left_key_view env, Hash_index.int_plane (Strategy.env_right_index env))
+    with
+    | Some keys1, Some _ -> Some keys1
+    | _ -> None
+
+let partition_int_ctx env =
+  if not (int_mode ()) then None
+  else
+    match
+      ( Strategy.env_left_key_view env,
+        Strategy.env_right_key_view env,
+        End_biased.int_tracked (Strategy.env_histogram env) )
+    with
+    | Some keys1, Some keys2, Some tracked -> Some (keys1, keys2, tracked)
+    | _ -> None
+
+let index_int_ctx env =
+  if not (int_mode ()) then None
+  else
+    match
+      ( Strategy.env_left_key_view env,
+        End_biased.int_tracked (Strategy.env_histogram env),
+        Hash_index.int_plane (Strategy.env_right_index env) )
+    with
+    | Some keys1, Some tracked, Some lo_tbl -> Some (keys1, tracked, lo_tbl)
+    | _ -> None
+
 let validate ~caller ?chunk_size ~r ~domains () =
   if domains < 0 then invalid_arg (caller ^ ": domains < 0");
   if r < 0 then invalid_arg (caller ^ ": r < 0");
@@ -560,15 +1060,47 @@ let run ?chunk_size env strategy ~r ~domains =
         let t0 = Obs.Clock.now_s () in
         let sample, metrics =
           match strategy with
-          | Strategy.Stream -> run_stream env ~r ~domains ~chunk_size:c1 rng
-          | Strategy.Group -> run_group env ~r ~domains ~chunk_for rng
-          | Strategy.Count_sample -> run_count env ~r ~domains ~chunk_for rng
-          | Strategy.Naive -> run_naive env ~r ~domains ~chunk_size:c1 rng
-          | Strategy.Olken -> run_olken env ~r ~domains rng
-          | Strategy.Frequency_partition ->
-              run_frequency_partition env ~r ~domains ~chunk_size:c1 rng
-          | Strategy.Index_sample -> run_index_sample env ~r ~domains ~chunk_size:c1 rng
-          | Strategy.Hybrid_count -> run_hybrid_count env ~r ~domains ~chunk_for rng
+          | Strategy.Stream -> (
+              match stream_int_ctx env with
+              | Some (keys1, freq) ->
+                  run_stream_int env ~r ~domains ~chunk_size:c1 rng ~keys1 ~freq
+              | None -> run_stream env ~r ~domains ~chunk_size:c1 rng)
+          | Strategy.Group -> (
+              match s1_scan_int_ctx env with
+              | Some (keys1, keys2, freq) ->
+                  run_group_int env ~r ~domains ~chunk_for rng ~keys1 ~keys2 ~freq
+              | None -> run_group env ~r ~domains ~chunk_for rng)
+          | Strategy.Count_sample -> (
+              match s1_scan_int_ctx env with
+              | Some (keys1, keys2, freq) ->
+                  run_count_int env ~r ~domains ~chunk_for rng ~keys1 ~keys2 ~freq
+              | None -> run_count env ~r ~domains ~chunk_for rng)
+          | Strategy.Naive -> (
+              match naive_int_ctx env with
+              | Some (keys1, keys2) ->
+                  run_naive_int env ~r ~domains ~chunk_size:c1 rng ~keys1 ~keys2
+              | None -> run_naive env ~r ~domains ~chunk_size:c1 rng)
+          | Strategy.Olken -> (
+              match olken_int_ctx env with
+              | Some keys1 -> run_olken_int env ~r ~domains rng ~keys1
+              | None -> run_olken env ~r ~domains rng)
+          | Strategy.Frequency_partition -> (
+              match partition_int_ctx env with
+              | Some (keys1, keys2, tracked) ->
+                  run_frequency_partition_int env ~r ~domains ~chunk_size:c1 rng ~keys1
+                    ~keys2 ~tracked
+              | None -> run_frequency_partition env ~r ~domains ~chunk_size:c1 rng)
+          | Strategy.Index_sample -> (
+              match index_int_ctx env with
+              | Some (keys1, tracked, lo_tbl) ->
+                  run_index_sample_int env ~r ~domains ~chunk_size:c1 rng ~keys1 ~tracked
+                    ~lo_tbl
+              | None -> run_index_sample env ~r ~domains ~chunk_size:c1 rng)
+          | Strategy.Hybrid_count -> (
+              match partition_int_ctx env with
+              | Some (keys1, keys2, tracked) ->
+                  run_hybrid_count_int env ~r ~domains ~chunk_for rng ~keys1 ~keys2 ~tracked
+              | None -> run_hybrid_count env ~r ~domains ~chunk_for rng)
         in
         let elapsed_seconds = Obs.Clock.now_s () -. t0 in
         { Strategy.strategy; sample; metrics; elapsed_seconds })
@@ -669,7 +1201,10 @@ let run_wor ?chunk_size env strategy ~r ~domains =
                   | None -> Chunk_scheduler.default_chunk_size ~n:n1
                 in
                 let rng = Prng.split (Strategy.env_rng env) in
-                run_wor_naive env ~r:target ~domains ~chunk_size rng
+                (match naive_int_ctx env with
+                | Some (keys1, keys2) ->
+                    run_wor_naive_int env ~r:target ~domains ~chunk_size rng ~keys1 ~keys2
+                | None -> run_wor_naive env ~r:target ~domains ~chunk_size rng)
             | _ -> run_wor_batches ?chunk_size env strategy ~domains ~target
         in
         let elapsed_seconds = Obs.Clock.now_s () -. t0 in

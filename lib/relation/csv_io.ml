@@ -123,12 +123,49 @@ let split_with_null_info line =
   flush ();
   List.rev !fields
 
+(* Exception-free int parse for the load hot path: a manual digit loop
+   covers the overwhelmingly common [+-]?[0-9]+ shape without the
+   Failure-raising round trip inside [int_of_string_opt]'s caml_int_of_string,
+   and anything it cannot prove in-range and decimal (overflow, '_'
+   separators, 0x/0o/0b prefixes, stray characters) falls back to
+   [int_of_string_opt] so accepted spellings are exactly unchanged.
+   Accumulates in negative space so min_int parses without wrapping. *)
+let parse_int s =
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    let c0 = String.unsafe_get s 0 in
+    let neg = c0 = '-' in
+    let start = if neg || c0 = '+' then 1 else 0 in
+    if n = start then None
+    else begin
+      let lim = min_int / 10 in
+      let acc = ref 0 in
+      let i = ref start in
+      let fast = ref true in
+      while !fast && !i < n do
+        let d = Char.code (String.unsafe_get s !i) - Char.code '0' in
+        if d < 0 || d > 9 then fast := false
+        else if !acc < lim then fast := false
+        else begin
+          let a = !acc * 10 in
+          if a < min_int + d then fast := false else acc := a - d;
+          if !fast then incr i
+        end
+      done;
+      if not !fast then int_of_string_opt s
+      else if neg then Some !acc
+      else if !acc = min_int then int_of_string_opt s
+      else Some (- !acc)
+    end
+  end
+
 let value_of_field ~line_no ~col (raw, was_quoted) ty =
   if raw = "" && not was_quoted then Value.Null
   else
     match ty with
     | Value.T_int -> (
-        match int_of_string_opt raw with
+        match parse_int raw with
         | Some x -> Value.Int x
         | None ->
             failwith

@@ -17,5 +17,12 @@ val load : path:string -> Schema.t -> Relation.t
 val parse_line : string -> string list
 (** Exposed for tests: split one CSV record into raw fields. *)
 
+val parse_int : string -> int option
+(** Exception-free int parse. A manual digit loop accepts the plain
+    decimal shape [[+-]?[0-9]+] when it fits in an [int]; everything
+    else (overflow, ['_'] separators, radix prefixes, junk) defers to
+    [int_of_string_opt], so the accepted language is exactly
+    [int_of_string_opt]'s. *)
+
 val escape_field : string -> string
 (** Exposed for tests: quote a field if it needs quoting. *)

@@ -77,7 +77,14 @@ val random_row : t -> Rsj_util.Prng.t -> Tuple.t
     [Invalid_argument] on an empty relation. *)
 
 val column_values : t -> int -> Value.t array
-(** All values in one column, in row order. *)
+[@@ocaml.deprecated
+  "boxed column copy — hot paths use Column.int_view (the compact data plane's flat int \
+   extraction) instead"]
+(** All values in one column, in row order, as boxed values.
+
+    @deprecated Hot paths should use {!Column.int_view}: the flat
+    [int array] extraction that the sampling inner loops scan without
+    allocation. This boxed copy remains only for debug/report code. *)
 
 val pp_sample : ?limit:int -> Format.formatter -> t -> unit
 (** Debug printer showing up to [limit] rows (default 10). *)

@@ -20,8 +20,10 @@ let conforms v ty =
 
 let equal a b =
   match (a, b) with
-  | Null, Null -> true
+  (* Int first: join keys are overwhelmingly ints, and this is the
+     comparison every Vtbl probe performs. *)
   | Int x, Int y -> x = y
+  | Null, Null -> true
   | Float x, Float y -> Float.equal x y
   | Str x, Str y -> String.equal x y
   | (Null | Int _ | Float _ | Str _), _ -> false
@@ -40,7 +42,12 @@ let compare a b =
 
 let hash = function
   | Null -> 0x9E37
-  | Int x -> Hashtbl.hash x
+  | Int x ->
+      (* Fibonacci-style multiplicative mix, masked non-negative — no
+         trip through the generic [Hashtbl.hash] structural walker on
+         the hot int-key path. Injective up to the mask, so distinct
+         int keys never collide by construction. *)
+      (x * 0x2545F4914F6CDD1D) land max_int
   | Float x -> Hashtbl.hash x
   | Str s -> Hashtbl.hash s
 

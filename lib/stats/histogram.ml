@@ -8,7 +8,14 @@ module Vtbl = Hashtbl.Make (struct
 end)
 
 module End_biased = struct
-  type t = { threshold : int; tracked : int Vtbl.t; mass : int }
+  module Counter = Rsj_index.Int_index.Counter
+
+  (* Data-plane view of the tracked set, derived lazily: tracked counts
+     are >= threshold >= 1, so [Counter.get c k] = 0 unambiguously
+     means "not tracked" (low frequency). [Unavailable] marks histograms
+     tracking a non-int value. *)
+  type key_cache = Stale | Unavailable | Ready of Counter.t
+  type t = { threshold : int; tracked : int Vtbl.t; mass : int; mutable key_cache : key_cache }
 
   let build freq ~threshold =
     let threshold = max threshold 1 in
@@ -19,7 +26,29 @@ module End_biased = struct
           Vtbl.replace tracked v c;
           mass := !mass + c
         end);
-    { threshold; tracked; mass = !mass }
+    { threshold; tracked; mass = !mass; key_cache = Stale }
+
+  let int_tracked t =
+    match t.key_cache with
+    | Ready c -> Some c
+    | Unavailable -> None
+    | Stale ->
+        let ok = ref true in
+        let c = Counter.create ~capacity:(Vtbl.length t.tracked) () in
+        Vtbl.iter
+          (fun v n ->
+            match v with
+            | Value.Int x when x <> min_int -> Counter.add c x n
+            | _ -> ok := false)
+          t.tracked;
+        if !ok then begin
+          t.key_cache <- Ready c;
+          Some c
+        end
+        else begin
+          t.key_cache <- Unavailable;
+          None
+        end
 
   let build_fraction freq ~fraction =
     if fraction < 0. || fraction > 1. then

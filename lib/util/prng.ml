@@ -124,6 +124,23 @@ let sample_distinct t ~k ~n =
   shuffle_in_place t out;
   out
 
+(* Raw state transport for the data-plane kernel (Wr_int): the kernel
+   keeps the four state words in a Bytes buffer so its inner loop can
+   step the generator without touching this module's mutable int64
+   fields (stores into which would box). Layout: s0..s3 little-endian
+   at offsets 0, 8, 16, 24; callers provide a buffer of >= 32 bytes. *)
+let dump_state t buf =
+  Bytes.set_int64_le buf 0 t.s0;
+  Bytes.set_int64_le buf 8 t.s1;
+  Bytes.set_int64_le buf 16 t.s2;
+  Bytes.set_int64_le buf 24 t.s3
+
+let load_state t buf =
+  t.s0 <- Bytes.get_int64_le buf 0;
+  t.s1 <- Bytes.get_int64_le buf 8;
+  t.s2 <- Bytes.get_int64_le buf 16;
+  t.s3 <- Bytes.get_int64_le buf 24
+
 let state_fingerprint t =
   let mix acc x = Int64.add (Int64.mul acc 0x100000001B3L) x in
   mix (mix (mix (mix 0xCBF29CE484222325L t.s0) t.s1) t.s2) t.s3

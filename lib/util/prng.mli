@@ -72,6 +72,19 @@ val sample_distinct : t -> k:int -> n:int -> int array
     [\[0, n)] uniformly (Floyd's algorithm), in random order. Raises
     [Invalid_argument] if [k > n] or [k < 0]. *)
 
+val dump_state : t -> Bytes.t -> unit
+(** [dump_state t buf] writes the four state words into [buf] (little
+    endian at offsets 0, 8, 16, 24; [buf] must hold at least 32 bytes).
+    Raw state transport for the allocation-free data-plane kernel
+    ({!Wr_int}), which steps the generator inside a [Bytes] buffer so
+    its inner loop never stores into boxed int64 fields. While a dumped
+    state is live the owning [t] must not be drawn from; {!load_state}
+    hands the stream back. *)
+
+val load_state : t -> Bytes.t -> unit
+(** [load_state t buf] overwrites [t]'s state from a buffer written by
+    {!dump_state} (and possibly advanced by the kernel since). *)
+
 val state_fingerprint : t -> int64
 (** [state_fingerprint t] is a hash of the current state, used by tests to
     check that [copy] and [split] detach state as documented. *)

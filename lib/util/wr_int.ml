@@ -1,0 +1,200 @@
+(* Allocation-free weighted-WR reservoir over int elements — the inner
+   loop of the compact data plane.
+
+   Reservoir.Wr.feed is law-correct but allocates on every fed element:
+   the float weight boxes across the call, Dist.binomial's draw stores
+   boxed int64s back into the Prng.t record, and Prng.sample_distinct
+   builds a Hashtbl. None of that work is algorithmically necessary for
+   an int element stream, so this module re-implements the feed with
+   every loop-carried value held in unboxed storage:
+
+   - the xoshiro256** state lives in a Bytes buffer ([step] loads and
+     stores the four words with Bytes.{get,set}_int64_le, which the
+     compiler keeps in registers);
+   - loop-carried floats (total weight, the inversion deviate and pmf,
+     the pmf ratio) live in a float array, whose elements are stored
+     flat;
+   - Floyd's distinct sampling uses a preallocated scratch array with a
+     generation-stamped mark array for the membership test instead of a
+     Hashtbl. The stamp keeps each feed's membership O(1); a linear scan
+     here would make a feed with f displacements O(f²), which dominates
+     whole chunks right after a reservoir restart (f ≈ r/fed).
+
+   The draw sequence is bit-for-bit the one Reservoir.Wr.feed performs
+   (same generator steps, same branch structure), which the conformance
+   toggle RSJ_DATAPLANE and test/test_dataplane.ml's kernel-equivalence
+   check both pin. Rare regimes (p > 1/2, r·p above Dist's small-mean
+   threshold, pmf underflow) sync the packed state back into the Prng.t
+   and defer to Dist.binomial itself, so there is exactly one copy of
+   the non-trivial sampling math. *)
+
+type t = {
+  rng : Prng.t;  (* owner; stale while the packed state is live *)
+  st : Bytes.t;  (* s0..s3 at 0,8,16,24; last output word at 32 *)
+  freg : float array;  (* 0: total weight; 1: deviate; 2: pmf; 3: ratio *)
+  r : int;
+  slots : int array;  (* meaningful once fed > 0 *)
+  scratch : int array;  (* Floyd workspace, length r *)
+  mark : int array;  (* membership stamps: mark.(v) = gen iff v chosen this feed *)
+  mutable gen : int;  (* current stamp; bumped at each displacement round *)
+  mutable fed : int;
+  mutable ireg : int;  (* loop-carried int register *)
+  on_displace : int -> unit;
+}
+
+let create ?(on_displace = ignore) rng ~r =
+  if r < 0 then invalid_arg "Wr_int.create: r < 0";
+  let st = Bytes.create 40 in
+  Prng.dump_state rng st;
+  {
+    rng;
+    st;
+    freg = Array.make 4 0.;
+    r;
+    slots = Array.make r 0;
+    scratch = Array.make r 0;
+    mark = Array.make r 0;
+    gen = 0;
+    fed = 0;
+    ireg = 0;
+    on_displace;
+  }
+
+(* A second reservoir drawing from the SAME packed stream: shares the
+   owner Prng.t and the state buffer, so two kernels fed interleaved
+   (the partition route's s1/jlo pair) consume one generator stream
+   exactly like two Reservoir.Wr.feed call sites sharing one rng.
+   [finish] on either kernel releases the shared state. *)
+let create_linked ?(on_displace = ignore) t ~r =
+  if r < 0 then invalid_arg "Wr_int.create_linked: r < 0";
+  {
+    rng = t.rng;
+    st = t.st;
+    freg = Array.make 4 0.;
+    r;
+    slots = Array.make r 0;
+    scratch = Array.make r 0;
+    mark = Array.make r 0;
+    gen = 0;
+    fed = 0;
+    ireg = 0;
+    on_displace;
+  }
+
+(* One xoshiro256** step on the packed state; the output word lands at
+   offset 32. Mirrors Prng.bits64 exactly, rotl inlined. *)
+let step st =
+  let s0 = Bytes.get_int64_le st 0 in
+  let s1 = Bytes.get_int64_le st 8 in
+  let s2 = Bytes.get_int64_le st 16 in
+  let s3 = Bytes.get_int64_le st 24 in
+  let r5 = Int64.mul s1 5L in
+  Bytes.set_int64_le st 32
+    (Int64.mul (Int64.logor (Int64.shift_left r5 7) (Int64.shift_right_logical r5 57)) 9L);
+  let tt = Int64.shift_left s1 17 in
+  let s2 = Int64.logxor s2 s0 in
+  let s3 = Int64.logxor s3 s1 in
+  let s1 = Int64.logxor s1 s2 in
+  let s0 = Int64.logxor s0 s3 in
+  let s2 = Int64.logxor s2 tt in
+  let s3 = Int64.logor (Int64.shift_left s3 45) (Int64.shift_right_logical s3 19) in
+  Bytes.set_int64_le st 0 s0;
+  Bytes.set_int64_le st 8 s1;
+  Bytes.set_int64_le st 16 s2;
+  Bytes.set_int64_le st 24 s3
+
+let mask62 = 0x3FFF_FFFF_FFFF_FFFFL
+let max62 = Int64.to_int mask62
+
+(* Prng.int's rejection sampling on the packed state; callers guarantee
+   bound >= 2 (Prng.int returns 0 without drawing when bound = 1). *)
+let rec rand_int st bound =
+  step st;
+  let raw = Int64.to_int (Int64.logand (Bytes.get_int64_le st 32) mask62) in
+  let v = raw mod bound in
+  if raw - v > max62 - bound + 1 then rand_int st bound else v
+
+(* Rare-regime fallback: hand the stream back to the Prng.t, let
+   Dist.binomial do the work, re-pack. *)
+let slow_binomial t p =
+  Prng.load_state t.rng t.st;
+  let k = Dist.binomial t.rng ~n:t.r ~p in
+  Prng.dump_state t.rng t.st;
+  k
+
+let feed t ~weight row =
+  if weight < 0 then invalid_arg "Wr_int.feed: negative weight";
+  if weight > 0 && t.r > 0 then begin
+    t.fed <- t.fed + 1;
+    t.freg.(0) <- t.freg.(0) +. float_of_int weight;
+    if t.fed = 1 then Array.fill t.slots 0 t.r row
+    else begin
+      let p = float_of_int weight /. t.freg.(0) in
+      let flips =
+        if p > 0.5 || float_of_int t.r *. p > 30. then slow_binomial t p
+        else begin
+          (* Dist.binomial's small-mean branch: sequential inversion
+             from k = 0 on the pmf recurrence, one uniform deviate. *)
+          let q = 1. -. p in
+          let pmf0 = q ** float_of_int t.r in
+          if pmf0 = 0. then slow_binomial t p
+          else begin
+            t.freg.(3) <- p /. q;
+            step t.st;
+            t.freg.(1) <-
+              float_of_int (Int64.to_int (Int64.shift_right_logical (Bytes.get_int64_le t.st 32) 11))
+              *. 0x1.0p-53;
+            t.freg.(2) <- pmf0;
+            t.ireg <- 0;
+            while t.freg.(1) >= t.freg.(2) && t.ireg < t.r do
+              t.freg.(1) <- t.freg.(1) -. t.freg.(2);
+              t.freg.(2) <-
+                t.freg.(2)
+                *. (float_of_int (t.r - t.ireg) /. float_of_int (t.ireg + 1))
+                *. t.freg.(3);
+              t.ireg <- t.ireg + 1
+            done;
+            t.ireg
+          end
+        end
+      in
+      if flips > 0 then begin
+        t.on_displace flips;
+        (* Prng.sample_distinct ~k:flips ~n:r, draw for draw: Floyd's
+           loop then a Fisher–Yates shuffle of the chosen positions.
+           The shuffle only permutes positions that all receive the
+           same row, but its draws are part of the pinned stream. *)
+        t.gen <- t.gen + 1;
+        t.ireg <- 0;
+        for j = t.r - flips to t.r - 1 do
+          let v = if j = 0 then 0 else rand_int t.st (j + 1) in
+          (* j itself is always fresh: earlier rounds drew from [0, j),
+             so stamping the chosen position keeps membership exact. *)
+          let v = if Array.unsafe_get t.mark v = t.gen then j else v in
+          Array.unsafe_set t.mark v t.gen;
+          t.scratch.(t.ireg) <- v;
+          t.ireg <- t.ireg + 1
+        done;
+        for i = flips - 1 downto 1 do
+          let j = rand_int t.st (i + 1) in
+          let tmp = t.scratch.(i) in
+          t.scratch.(i) <- t.scratch.(j);
+          t.scratch.(j) <- tmp
+        done;
+        for s = 0 to flips - 1 do
+          t.slots.(t.scratch.(s)) <- row
+        done
+      end
+    end
+  end
+  else if weight > 0 then begin
+    (* r = 0: track mass only, as Reservoir.Wr.feed does. *)
+    t.fed <- t.fed + 1;
+    t.freg.(0) <- t.freg.(0) +. float_of_int weight
+  end
+
+let finish t = Prng.load_state t.rng t.st
+let fed_count t = t.fed
+let total_weight t = t.freg.(0)
+let size t = t.r
+let contents t = if t.fed = 0 then [||] else Array.sub t.slots 0 t.r

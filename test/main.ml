@@ -18,6 +18,7 @@ let () =
       ("strategies", Test_strategies.suite);
       ("parallel", Test_parallel.suite);
       ("pool", Test_pool.suite);
+      ("dataplane", Test_dataplane.suite);
       ("conformance", Test_conformance.suite);
       ("join_tree", Test_join_tree.suite);
       ("negative", Test_negative.suite);

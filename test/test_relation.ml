@@ -80,10 +80,14 @@ let test_random_row () =
        false
      with Invalid_argument _ -> true)
 
-let test_column_values () =
+let test_column_view () =
+  (* Column.int_view is the data plane's replacement for the boxed
+     Relation.column_values extraction (deprecated in hot paths). *)
   let r = sample () in
-  let col = Relation.column_values r 0 in
-  Alcotest.(check (array int)) "ids" [| 1; 2; 3 |] (Array.map Value.to_int_exn col)
+  (match Column.int_view r ~col:0 with
+  | Some ids -> Alcotest.(check (array int)) "ids" [| 1; 2; 3 |] ids
+  | None -> Alcotest.fail "int column should be viewable");
+  Alcotest.(check bool) "string column escapes to boxed" true (Column.int_view r ~col:1 = None)
 
 let test_to_array_is_copy () =
   let r = sample () in
@@ -149,6 +153,54 @@ let test_csv_parse_line () =
   Alcotest.(check (list string)) "quoted comma" [ "a,b"; "c" ] (Csv_io.parse_line "\"a,b\",c");
   Alcotest.(check (list string)) "escaped quote" [ "a\"b" ] (Csv_io.parse_line "\"a\"\"b\"")
 
+(* The manual digit loop must agree with int_of_string_opt on every
+   spelling — fast-path decimals, fallback shapes, and the overflow
+   boundary. *)
+let test_csv_parse_int () =
+  let io = Alcotest.(option int) in
+  let agree s = Alcotest.(check io) ("agrees on " ^ s) (int_of_string_opt s) (Csv_io.parse_int s) in
+  List.iter agree
+    [
+      "0"; "7"; "-7"; "+5"; "007"; "-007"; "";
+      "-"; "+"; "x"; "1x"; "-1x"; " 1"; "1 ";
+      string_of_int max_int; string_of_int min_int;
+      (* one past the boundary in each direction *)
+      "4611686018427387904"; "-4611686018427387905";
+      "99999999999999999999999999"; "-99999999999999999999999999";
+      (* fallback-only spellings int_of_string accepts *)
+      "1_000"; "0x10"; "0o17"; "0b101"; "-0x10";
+    ];
+  Alcotest.(check io) "negative" (Some (-123)) (Csv_io.parse_int "-123");
+  Alcotest.(check io) "leading zeros" (Some 42) (Csv_io.parse_int "042");
+  Alcotest.(check io) "explicit plus" (Some 5) (Csv_io.parse_int "+5");
+  Alcotest.(check io) "min_int exact" (Some min_int) (Csv_io.parse_int (string_of_int min_int));
+  Alcotest.(check io) "overflow is None" None (Csv_io.parse_int "4611686018427387904")
+
+let test_csv_int_roundtrip_extremes () =
+  let s = Schema.of_list [ ("a", Value.T_int); ("b", Value.T_int) ] in
+  let r =
+    Relation.of_tuples s
+      [
+        [| Value.Int max_int; Value.Int 1 |];
+        [| Value.Int min_int; Value.Int 2 |];
+        [| Value.Int 0; Value.Int (-1) |];
+        [| Value.Null; Value.Int 4 |];
+        [| Value.Int 5; Value.Null |];
+      ]
+  in
+  let path = Filename.temp_file "rsj_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv_io.save ~path r;
+      let back = Csv_io.load ~path s in
+      Alcotest.(check int) "5 rows" 5 (Relation.cardinality back);
+      Relation.iteri back (fun i t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "row %d survives" i)
+            true
+            (Tuple.equal t (Relation.get r i))))
+
 let test_tuple_ops () =
   let t = Tuple.of_ints [ 1; 2; 3 ] in
   Alcotest.(check int) "arity" 3 (Tuple.arity t);
@@ -178,11 +230,13 @@ let suite =
     Alcotest.test_case "iteration" `Quick test_iteration;
     Alcotest.test_case "to_stream matches contents" `Quick test_to_stream_matches;
     Alcotest.test_case "random_row" `Quick test_random_row;
-    Alcotest.test_case "column_values" `Quick test_column_values;
+    Alcotest.test_case "column int view" `Quick test_column_view;
     Alcotest.test_case "to_array is a copy" `Quick test_to_array_is_copy;
     Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
     Alcotest.test_case "csv null and quoting" `Quick test_csv_null_and_quoting;
     Alcotest.test_case "csv rejects bad header" `Quick test_csv_rejects_bad_header;
     Alcotest.test_case "csv parse_line" `Quick test_csv_parse_line;
+    Alcotest.test_case "csv parse_int agrees with int_of_string" `Quick test_csv_parse_int;
+    Alcotest.test_case "csv int roundtrip at the extremes" `Quick test_csv_int_roundtrip_extremes;
     Alcotest.test_case "tuple operations" `Quick test_tuple_ops;
   ]

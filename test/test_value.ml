@@ -26,6 +26,31 @@ let test_hash_consistent_with_equal () =
     (fun (a, b) -> Alcotest.(check int) "equal implies same hash" (Value.hash a) (Value.hash b))
     pairs
 
+(* The property the data plane's Vtbl consumers rely on, pinned over
+   arbitrary values (including the min_int/max_int extremes the Int
+   mixing multiply must survive): equal values hash equally, and the
+   Int fast path stays non-negative. *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map Value.int (oneof [ int; return min_int; return max_int; return 0 ]);
+        map Value.float float;
+        map Value.str (string_size (int_bound 8));
+      ])
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"equal a b implies hash a = hash b" ~count:1000
+    (QCheck.pair (QCheck.make value_gen) (QCheck.make value_gen))
+    (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let prop_int_hash_non_negative =
+  QCheck.Test.make ~name:"int hash is non-negative" ~count:1000
+    QCheck.(oneof [ int; make (Gen.return min_int); make (Gen.return max_int) ])
+    (fun x -> Value.hash (Value.Int x) >= 0)
+
 let test_conversions () =
   Alcotest.(check int) "to_int" 5 (Value.to_int_exn (Value.Int 5));
   Alcotest.(check (float 0.)) "int widens to float" 5. (Value.to_float_exn (Value.Int 5));
@@ -58,6 +83,8 @@ let suite =
     Alcotest.test_case "total order" `Quick test_compare_total_order;
     Alcotest.test_case "numeric cross-kind comparison" `Quick test_compare_numeric_cross_kind;
     Alcotest.test_case "hash consistent with equal" `Quick test_hash_consistent_with_equal;
+    QCheck_alcotest.to_alcotest prop_hash_consistent;
+    QCheck_alcotest.to_alcotest prop_int_hash_non_negative;
     Alcotest.test_case "conversions" `Quick test_conversions;
     Alcotest.test_case "type conformance" `Quick test_conforms;
     Alcotest.test_case "printing" `Quick test_printing;
