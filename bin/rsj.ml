@@ -113,8 +113,21 @@ let sample_cmd =
   let strategy =
     Arg.(
       value
-      & opt strategy_conv Strategy.Stream
-      & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc:"Sampling strategy.")
+      & opt (some strategy_conv) None
+      & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+          ~doc:
+            "Sampling strategy. When omitted the cost-based picker chooses one from the \
+             paper's cost formulas (see --explain).")
+  in
+  let explain =
+    Arg.(
+      value
+      & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the picker's decision trace (per-strategy costs and feasibility) and a \
+             per-query error report (CLT and Hoeffding confidence intervals for \
+             SUM/COUNT/AVG over col_rid) on stderr.")
   in
   let r = Arg.(value & opt int 10 & info [ "r" ] ~docv:"R" ~doc:"Sample size (WR semantics).") in
   let wor =
@@ -133,7 +146,7 @@ let sample_cmd =
              fixed --seed the sample is identical at every N (except Olken at N > 1, whose \
              speculative rounds are timing-dependent).")
   in
-  let run left right strategy r wor show_metrics domains seed trace =
+  let run left right strategy explain r wor show_metrics domains seed trace =
     if r < 0 then `Error (false, "--r must be non-negative")
     else if domains < 1 then `Error (false, "--domains must be at least 1")
     else begin
@@ -145,16 +158,41 @@ let sample_cmd =
           Strategy.make_env ~seed ~left:l ~right:rt ~left_key:Zipf_tables.col2
             ~right_key:Zipf_tables.col2 ()
         in
+        let strategy, decision =
+          match strategy with
+          | Some s -> (s, None)
+          | None ->
+              let catalog =
+                Rsj_optimizer.Catalog.of_env ~availability:Strategy.all_available env
+              in
+              let s, d =
+                Rsj_optimizer.Picker.choose_counted catalog
+                  (Rsj_optimizer.Cost_model.shape ~r)
+              in
+              (s, Some d)
+        in
         let result =
           if wor then Rsj_parallel.run_wor env strategy ~r ~domains
           else Rsj_parallel.run env strategy ~r ~domains
         in
+        (match decision with
+        | Some d when explain -> prerr_string (Rsj_optimizer.Picker.to_string d)
+        | Some d ->
+            Printf.eprintf "# picker: %s (%s)\n"
+              (Strategy.name d.Rsj_optimizer.Picker.chosen)
+              (Rsj_optimizer.Picker.reason_to_string d.Rsj_optimizer.Picker.reason)
+        | None -> ());
         Array.iter
           (fun t -> print_endline (Rsj_relation.Tuple.to_string t))
           result.Strategy.sample;
         Printf.eprintf "# %s: %d tuples in %.4fs (join size %d)\n" (Strategy.name strategy)
           (Array.length result.Strategy.sample)
           result.Strategy.elapsed_seconds (Strategy.env_join_size env);
+        if explain && Array.length result.Strategy.sample > 0 then
+          prerr_string
+            (Rsj_optimizer.Error_report.to_string
+               (Rsj_optimizer.Error_report.make ~sample:result.Strategy.sample
+                  ~n:(Strategy.env_join_size env) ~col:Zipf_tables.col_rid ()));
         if show_metrics then
           Format.eprintf "%a@." Rsj_exec.Metrics.pp result.Strategy.metrics;
         `Ok ()
@@ -172,8 +210,8 @@ let sample_cmd =
     info
     Term.(
       ret
-        (const run $ left $ right $ strategy $ r $ wor $ show_metrics $ domains $ seed_arg
-       $ trace_arg))
+        (const run $ left $ right $ strategy $ explain $ r $ wor $ show_metrics $ domains
+       $ seed_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -257,9 +295,19 @@ let query_cmd =
       match Rsj_sql.Engine.run ~seed catalog sql with
       | Error msg -> `Error (false, msg)
       | Ok result ->
-          if explain then
-            Format.printf "%a@." Rsj_exec.Plan.explain result.Rsj_sql.Engine.plan
+          if explain || result.Rsj_sql.Engine.explained then begin
+            Format.printf "%a@." Rsj_exec.Plan.explain result.Rsj_sql.Engine.plan;
+            match result.Rsj_sql.Engine.decision with
+            | Some d -> print_string (Rsj_optimizer.Picker.to_string d)
+            | None -> ()
+          end
           else begin
+            (match result.Rsj_sql.Engine.decision with
+            | Some d ->
+                Printf.eprintf "# picker: %s (%s)\n"
+                  (Strategy.name d.Rsj_optimizer.Picker.chosen)
+                  (Rsj_optimizer.Picker.reason_to_string d.Rsj_optimizer.Picker.reason)
+            | None -> ());
             let schema = result.Rsj_sql.Engine.schema in
             let header =
               Array.to_list (Rsj_relation.Schema.columns schema)

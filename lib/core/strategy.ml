@@ -76,6 +76,63 @@ let table1 () =
       (name s, requirement_to_string (r1_requirement s), requirement_to_string (r2_requirement s)))
     all
 
+(* ------------------------------------------------------------------ *)
+(* Catalog availability: which auxiliary structures exist              *)
+
+type availability = {
+  left_index : bool;
+  right_index : bool;
+  right_stats : bool;
+  right_histogram : bool;
+}
+
+let all_available =
+  { left_index = true; right_index = true; right_stats = true; right_histogram = true }
+
+let nothing_available =
+  { left_index = false; right_index = false; right_stats = false; right_histogram = false }
+
+exception Missing_structure of { strategy : string; structure : string }
+
+(* Structure names are stable identifiers: error messages, decision
+   traces and the negative tests all match on them. *)
+let missing_r1 avail = function
+  | Nothing -> None
+  | Index -> if avail.left_index then None else Some "index(R1)"
+  (* Table 1 never asks for R1 statistics, but the requirement type is
+     shared; name the structure anyway so a future strategy fails
+     loudly rather than silently passing. *)
+  | Index_or_stats -> if avail.left_index then None else Some "index(R1) or statistics(R1)"
+  | Statistics -> Some "statistics(R1)"
+  | Partial_statistics -> Some "end-biased histogram(R1)"
+
+let missing_r2 avail = function
+  | Nothing -> None
+  | Index -> if avail.right_index then None else Some "index(R2)"
+  | Index_or_stats ->
+      if avail.right_index || avail.right_stats then None
+      else Some "index(R2) or statistics(R2)"
+  | Statistics -> if avail.right_stats then None else Some "statistics(R2)"
+  | Partial_statistics ->
+      if avail.right_histogram then None else Some "end-biased histogram(R2)"
+
+let missing_structures avail strategy =
+  let base =
+    List.filter_map
+      (fun x -> x)
+      [ missing_r1 avail (r1_requirement strategy); missing_r2 avail (r2_requirement strategy) ]
+  in
+  (* Index-Sample additionally random-accesses the hi part of R2
+     (Table 1's "plus an index" footnote). *)
+  match strategy with
+  | Index_sample when not avail.right_index -> base @ [ "index(R2hi)" ]
+  | _ -> base
+
+let require_structures avail strategy =
+  match missing_structures avail strategy with
+  | [] -> ()
+  | structure :: _ -> raise (Missing_structure { strategy = name strategy; structure })
+
 type env = {
   rng : Rsj_util.Prng.t;
   left : Relation.t;

@@ -43,6 +43,36 @@ val requirement_to_string : requirement -> string
 val table1 : unit -> (string * string * string) list
 (** Rows of the paper's Table 1: (strategy, R1 info, R2 info). *)
 
+(** Which auxiliary structures the catalog actually has for a join
+    instance — the optimizer's view of Table 1's columns. The flags
+    describe availability, not construction cost: {!env} can always
+    build anything lazily, but a picker must not choose a strategy
+    whose requirements the declared catalog state cannot meet. *)
+type availability = {
+  left_index : bool;  (** Random access / index on R1. *)
+  right_index : bool;  (** Index on R2's join attribute. *)
+  right_stats : bool;  (** Full frequency statistics for R2. *)
+  right_histogram : bool;  (** End-biased histogram for R2. *)
+}
+
+val all_available : availability
+val nothing_available : availability
+
+exception Missing_structure of { strategy : string; structure : string }
+(** Raised by {!require_structures}; [structure] is the stable name of
+    the first absent requirement (e.g. ["index(R1)"],
+    ["statistics(R2)"], ["end-biased histogram(R2)"],
+    ["index(R2) or statistics(R2)"], ["index(R2hi)"]). *)
+
+val missing_structures : availability -> t -> string list
+(** Structure names required by the strategy (per {!r1_requirement} /
+    {!r2_requirement}, plus Index-Sample's hi-side index) that the
+    availability record does not provide; [[]] means runnable. *)
+
+val require_structures : availability -> t -> unit
+(** Raise {!Missing_structure} naming the first absent requirement, or
+    return unit when every requirement is met. *)
+
 (** A prepared join instance: both relations materialized (so any
     strategy can run), auxiliary structures built lazily so a strategy
     pays only for what it requires. *)

@@ -1,0 +1,44 @@
+(** Cost-based strategy selection with an explainable decision trace.
+
+    Given a {!Catalog.t} snapshot and a query shape, pick the feasible
+    strategy with the lowest expected cost ({!Cost_model.cost}),
+    breaking exact ties by a fixed preference order (Stream, Count,
+    Hybrid, Index, Frequency-Partition, Group, Olken, Naive). Every
+    decision carries the full candidate table so callers can render
+    [EXPLAIN SAMPLE] output without recomputation. *)
+
+type reason =
+  | Cheapest  (** Won the cost comparison among ≥ 2 feasible strategies. *)
+  | Only_feasible  (** No other strategy's requirements were met. *)
+
+val reason_to_string : reason -> string
+(** ["cheapest"] / ["only-feasible"] — the metric label values. *)
+
+type decision = {
+  chosen : Rsj_core.Strategy.t;
+  reason : reason;
+  shape : Cost_model.query_shape;
+  candidates : Cost_model.costing list;
+      (** All strategies in {!Rsj_core.Strategy.all} order, feasible or
+          not, with rendered formulas. *)
+  catalog_summary : string;  (** {!Catalog.describe} of the input. *)
+}
+
+val choose : Catalog.t -> Cost_model.query_shape -> Rsj_core.Strategy.t * decision
+(** Pure: no metrics side effects (for tests and batch sweeps). Always
+    succeeds — Naive requires nothing, so at least one candidate is
+    feasible. *)
+
+val choose_counted : Catalog.t -> Cost_model.query_shape -> Rsj_core.Strategy.t * decision
+(** {!choose}, then bump
+    [rsj_picker_choice_total{strategy,reason}] in {!Rsj_obs.Registry}.
+    The engine and CLI route through this one. *)
+
+val rank : Rsj_core.Strategy.t -> int
+(** The tie-break preference order (lower wins). Exposed so tests can
+    pin it. *)
+
+val pp : Format.formatter -> decision -> unit
+val to_string : decision -> string
+(** Multi-line trace: header with choice and reason, catalog summary,
+    then one row per candidate ([*] marks the winner). *)

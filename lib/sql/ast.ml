@@ -20,6 +20,7 @@ type direction = Asc | Desc
 type sample_clause = { size : int; strategy : string option }
 
 type query = {
+  explain : bool;  (** [EXPLAIN SELECT ...]: plan, don't execute. *)
   select : select_item list;
   from : (string * string option) list;
   where : condition list;
@@ -63,6 +64,7 @@ let select_item_to_string = function
       ^ (match alias with Some a -> " as " ^ a | None -> "")
 
 let pp_query ppf q =
+  if q.explain then Format.fprintf ppf "explain ";
   Format.fprintf ppf "select %s from %s"
     (String.concat ", " (List.map select_item_to_string q.select))
     (String.concat ", "

@@ -30,10 +30,14 @@ type direction = Asc | Desc
 
 type sample_clause = {
   size : int;  (** Sample size r (WR semantics). *)
-  strategy : string option;  (** Strategy name after USING; [None] = reservoir. *)
+  strategy : string option;
+      (** Strategy name after USING; [None] = cost-based picker (or a
+          root reservoir when the query shape is not a two-table
+          equi-join). *)
 }
 
 type query = {
+  explain : bool;  (** [EXPLAIN SELECT ...]: plan (and pick), don't execute. *)
   select : select_item list;
   from : (string * string option) list;  (** table [alias], join order = list order. *)
   where : condition list;

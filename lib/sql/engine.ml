@@ -12,6 +12,8 @@ type query_result = {
   rows : Tuple.t list;
   metrics : Metrics.t;
   plan : Plan.t;
+  decision : Rsj_optimizer.Picker.decision option;
+  explained : bool;
 }
 
 exception Plan_error of string
@@ -199,12 +201,19 @@ let filtered_relation b conds =
     out
   end
 
-let strategy_sample_plan ~seed bindings classified (sample : Ast.sample_clause) strategy_name =
-  let strategy =
-    match Strategy.of_name strategy_name with
-    | Some s -> s
-    | None -> fail "unknown sampling strategy %S" strategy_name
-  in
+let valid_strategy_names () =
+  String.concat ", " (List.map Strategy.name Strategy.all)
+
+(* How the sampling strategy was determined: spelled out in the query
+   ([USING <name>]) or left to the cost-based picker. *)
+type sample_route = Named of Strategy.t | Picked
+
+let picker_shape_ok bindings classified =
+  match (bindings, classified.equijoins, classified.residual) with
+  | [ _; _ ], [ _ ], [] -> true
+  | _ -> false
+
+let strategy_sample_plan ~seed bindings classified (sample : Ast.sample_clause) route =
   match (bindings, classified.equijoins, classified.residual) with
   | [ b1; b2 ], [ (l, r) ], [] ->
       (* Push constant selections below the sampling (selection
@@ -226,14 +235,29 @@ let strategy_sample_plan ~seed bindings classified (sample : Ast.sample_clause) 
       let env =
         Strategy.make_env ~seed ~left:left_rel ~right:right_rel ~left_key ~right_key ()
       in
+      let strategy, decision =
+        match route with
+        | Named s -> (s, None)
+        | Picked ->
+            (* The engine owns materialized relations, so every
+               auxiliary structure of Table 1 is constructible: the
+               picker decides on cost alone, over an exact catalog. *)
+            let catalog =
+              Rsj_optimizer.Catalog.of_env ~availability:Strategy.all_available env
+            in
+            let shape = Rsj_optimizer.Cost_model.shape ~r:sample.Ast.size in
+            let s, d = Rsj_optimizer.Picker.choose_counted catalog shape in
+            (s, Some d)
+      in
       let res = Strategy.run env strategy ~r:sample.Ast.size in
       let schema =
         Schema.concat (Relation.schema left_rel) (Relation.schema right_rel)
       in
       let rows = res.Strategy.sample in
-      Plan.source_of_stream ~name:(Printf.sprintf "Sample[%s, r=%d]" (Strategy.name strategy) sample.Ast.size)
-        schema
-        (fun () -> Stream0.of_array rows)
+      ( Plan.source_of_stream ~name:(Printf.sprintf "Sample[%s, r=%d]" (Strategy.name strategy) sample.Ast.size)
+          schema
+          (fun () -> Stream0.of_array rows),
+        decision )
   | _ ->
       fail
         "SAMPLE ... USING requires exactly two tables joined by one equi-join predicate and \
@@ -331,12 +355,26 @@ let plan_query_exn ?(seed = 0x5EED) catalog (query : Ast.query) =
   let sampled_source =
     match query.Ast.sample with
     | Some ({ Ast.strategy = Some strat; _ } as sample) ->
-        Some (strategy_sample_plan ~seed bindings classified sample strat)
+        let strategy =
+          match Strategy.of_name strat with
+          | Some s -> s
+          | None ->
+              fail "unknown sampling strategy %S (valid: %s)" strat
+                (valid_strategy_names ())
+        in
+        Some (strategy_sample_plan ~seed bindings classified sample (Named strategy))
+    | Some ({ Ast.strategy = None; _ } as sample)
+      when picker_shape_ok bindings classified ->
+        (* Plain SAMPLE n on the two-table equi-join shape: let the
+           cost-based picker route it into the join. Other shapes fall
+           through to the reservoir below. *)
+        Some (strategy_sample_plan ~seed bindings classified sample Picked)
     | Some _ | None -> None
   in
+  let decision = Option.bind sampled_source snd in
   let base_plan =
     match sampled_source with
-    | Some p -> p
+    | Some (p, _) -> p
     | None ->
         let joined, _bound, unused_joins = build_join_tree bindings classified.equijoins in
         (* Constant and residual conditions become filters above the
@@ -442,19 +480,31 @@ let plan_query_exn ?(seed = 0x5EED) catalog (query : Ast.query) =
       build_projection bindings query.Ast.select plan
     end
   in
-  match query.Ast.limit with Some n -> Plan.Limit (n, shaped) | None -> shaped
+  let final = match query.Ast.limit with Some n -> Plan.Limit (n, shaped) | None -> shaped in
+  (final, decision)
 
 let plan_query ?seed catalog query =
-  try Ok (plan_query_exn ?seed catalog query) with Plan_error msg -> Error msg
+  try Ok (fst (plan_query_exn ?seed catalog query)) with Plan_error msg -> Error msg
 
 let run_query ?seed catalog query =
-  match plan_query ?seed catalog query with
+  match (try Ok (plan_query_exn ?seed catalog query) with Plan_error msg -> Error msg) with
   | Error _ as e -> e
-  | Ok plan -> (
+  | Ok (plan, decision) -> (
       try
         let metrics = Metrics.create () in
-        let rows = Plan.collect ~metrics plan in
-        Ok { schema = Plan.schema_of plan; rows; metrics; plan }
+        let rows =
+          (* EXPLAIN: plan (and decide) but do not execute. *)
+          if query.Ast.explain then [] else Plan.collect ~metrics plan
+        in
+        Ok
+          {
+            schema = Plan.schema_of plan;
+            rows;
+            metrics;
+            plan;
+            decision;
+            explained = query.Ast.explain;
+          }
       with Plan_error msg -> Error msg)
 
 let run ?seed catalog input =

@@ -4,15 +4,22 @@
     of named relations, then runs it. The [SAMPLE n] clause implements
     the paper's proposal of sampling as a language primitive:
 
-    - [SAMPLE n] places a WR reservoir (Black-Box U2) at the root of
-      the query tree — the Naive-Sample construction, valid for any
-      query shape;
-    - [SAMPLE n USING <strategy>] pushes the sampling into the join per
-      the paper's strategies; this requires the query to be a single
-      equi-join of two tables (the setting of §5–6). Single-table
-      constant filters are pushed below the sampling first — selection
-      commutes with sampling (§1) — so [WHERE t1.a = t2.a AND t1.x > 5]
-      is sampled correctly.
+    - [SAMPLE n] on a single equi-join of two tables routes through the
+      cost-based picker ({!Rsj_optimizer.Picker}): the engine snapshots
+      an exact catalog, costs every strategy (Theorems 5–9), runs the
+      winner, and records the decision trace in the result. On any
+      other query shape it places a WR reservoir (Black-Box U2) at the
+      root of the query tree — the Naive-Sample construction, valid
+      for any query shape;
+    - [SAMPLE n USING <strategy>] pushes the named strategy into the
+      join; this requires the query to be a single equi-join of two
+      tables (the setting of §5–6). Single-table constant filters are
+      pushed below the sampling first — selection commutes with
+      sampling (§1) — so [WHERE t1.a = t2.a AND t1.x > 5] is sampled
+      correctly.
+    - [EXPLAIN SELECT ...] plans (and, for picked samples, decides)
+      without executing: the result carries the plan and decision with
+      no rows.
 
     Aggregation over a sample estimates the aggregate over the full
     result scaled via {!Rsj_core.Aqp} only in the examples; the engine
@@ -26,9 +33,12 @@ type catalog = (string * Relation.t) list
 
 type query_result = {
   schema : Schema.t;
-  rows : Tuple.t list;
+  rows : Tuple.t list;  (** Empty when [explained]. *)
   metrics : Rsj_exec.Metrics.t;
   plan : Rsj_exec.Plan.t;  (** The executed plan, for EXPLAIN. *)
+  decision : Rsj_optimizer.Picker.decision option;
+      (** Present iff the picker routed a plain [SAMPLE n]. *)
+  explained : bool;  (** The query carried an [EXPLAIN] prefix. *)
 }
 
 val plan_query : ?seed:int -> catalog -> Ast.query -> (Rsj_exec.Plan.t, string) result

@@ -103,7 +103,7 @@ let expect_symbol st sym =
   | None -> fail "expected %S, found end of input" sym
 
 let keywords =
-  [ "select"; "from"; "where"; "group"; "by"; "and"; "as"; "sample"; "using"; "limit"; "order"; "asc"; "desc";
+  [ "explain"; "select"; "from"; "where"; "group"; "by"; "and"; "as"; "sample"; "using"; "limit"; "order"; "asc"; "desc";
     "count"; "sum"; "avg"; "min"; "max" ]
 
 let ident st =
@@ -258,6 +258,7 @@ let positive_int st what =
   | None -> fail "expected integer after %s" what
 
 let query st =
+  let explain = accept_keyword st "explain" in
   expect_keyword st "select";
   let select = comma_separated st select_item in
   expect_keyword st "from";
@@ -303,7 +304,8 @@ let query st =
   | Some tok -> fail "unexpected trailing token %S" tok
   | None -> ());
   {
-    Ast.select;
+    Ast.explain;
+    select;
     from;
     where;
     group_by = Option.value ~default:[] !group_by;

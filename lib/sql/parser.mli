@@ -2,7 +2,7 @@
 
     Grammar (case-insensitive keywords):
     {v
-    query    ::= SELECT items FROM tables [WHERE conds]
+    query    ::= [EXPLAIN] SELECT items FROM tables [WHERE conds]
                  [GROUP BY columns] [SAMPLE int [USING ident]] [LIMIT int]
     items    ::= '*' | item (',' item)*
     item     ::= column [AS ident]

@@ -175,6 +175,20 @@ let normal_sf x =
   if x >= 0. then 0.5 *. regularized_gamma_q ~a:0.5 ~x:(x *. x /. 2.)
   else 1. -. (0.5 *. regularized_gamma_q ~a:0.5 ~x:(x *. x /. 2.))
 
+let normal_quantile p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg (Printf.sprintf "Stats_math.normal_quantile: p=%g outside (0,1)" p);
+  (* normal_sf is strictly decreasing: bisect for normal_sf x = 1 - p.
+     [-40, 40] covers every representable tail; 120 halvings take the
+     bracket far below float precision. *)
+  let target = 1. -. p in
+  let lo = ref (-40.) and hi = ref 40. in
+  for _ = 1 to 120 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if normal_sf mid > target then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
 let kolmogorov_sf lambda =
   (* Q_KS(λ) = 2 Σ_{j≥1} (-1)^{j-1} exp(-2 j² λ²); the series converges
      in a handful of terms for λ of interest. *)

@@ -55,6 +55,12 @@ val normal_sf : float -> float
 (** Upper-tail probability of the standard normal (via the regularized
     incomplete gamma; no erfc in the stdlib). *)
 
+val normal_quantile : float -> float
+(** Inverse standard-normal CDF: the [x] with [1 - normal_sf x = p]
+    (bisection on {!normal_sf}, accurate to ~1e-10). Backbone of the
+    confidence-parameterized CLT intervals in the optimizer's error
+    reports. Raises [Invalid_argument] unless [0 < p < 1]. *)
+
 val kolmogorov_sf : float -> float
 (** Asymptotic Kolmogorov distribution upper tail Q_KS(λ), the p-value
     backbone of {!ks_test}. *)

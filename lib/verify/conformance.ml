@@ -289,6 +289,85 @@ let chain_spec ~seed ~z =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Picker-routed rows                                                  *)
+
+(* The cost-based picker (Rsj_optimizer.Picker) is itself part of the
+   sampling path now — a wrong choice that routes to a strategy whose
+   requirements aren't really met, or a trace/execution mismatch, must
+   fail the sweep. Each row snapshots a catalog under one availability
+   profile, lets the picker choose, then holds the chosen strategy's
+   WR law to the same chi-square gate as the per-strategy cells. *)
+
+type picker_profile = {
+  plabel : string;
+  availability : Strategy.availability;
+}
+
+let default_picker_profiles =
+  [
+    { plabel = "full"; availability = Strategy.all_available };
+    {
+      plabel = "no-index";
+      availability =
+        {
+          Strategy.left_index = false;
+          right_index = false;
+          right_stats = true;
+          right_histogram = true;
+        };
+    };
+    {
+      plabel = "histogram-only";
+      availability =
+        {
+          Strategy.left_index = false;
+          right_index = false;
+          right_stats = false;
+          right_histogram = true;
+        };
+    };
+    { plabel = "none"; availability = Strategy.nothing_available };
+  ]
+
+let picker_row kconfig config ~pair ~oracle ~row_index profile ~domains =
+  Obs.Trace.with_span ~cat:"verify"
+    ~args:
+      [
+        ("profile", Obs.Json.Str profile.plabel);
+        ("domains", Obs.Json.Int domains);
+      ]
+    "verify.picker"
+  @@ fun () ->
+  let make_env attempt =
+    Strategy.make_env
+      ~seed:(mix config.seed (0x71C4 + row_index) attempt)
+      ~left:pair.Zipf_tables.outer ~right:pair.Zipf_tables.inner ~left_key:Zipf_tables.col2
+      ~right_key:Zipf_tables.col2 ()
+  in
+  (* The choice is a deterministic function of the catalog, which only
+     depends on the (attempt-independent) workload pair: decide once. *)
+  let chosen =
+    fst
+      (Rsj_optimizer.Picker.choose
+         (Rsj_optimizer.Catalog.of_env ~availability:profile.availability (make_env 0))
+         (Rsj_optimizer.Cost_model.shape ~r:config.r))
+  in
+  let trials = max 15 (config.trials / max 1 domains) in
+  let outcome =
+    Kernel.run kconfig Kernel.Chi_square ~sample:(fun ~attempt ->
+        let env = make_env attempt in
+        let counts = Oracle.counter oracle in
+        let total = ref 0 in
+        for _ = 1 to trials do
+          let s = (Rsj_parallel.run env chosen ~r:config.r ~domains).Strategy.sample in
+          total := !total + Array.length s;
+          Array.iter (Oracle.observe oracle counts) s
+        done;
+        (Oracle.wr_expected oracle ~draws:!total, counts))
+  in
+  (Printf.sprintf "picker[%s->%s]" profile.plabel (Strategy.name chosen), domains, outcome)
+
+(* ------------------------------------------------------------------ *)
 (* Negative control                                                    *)
 
 let negative_control kconfig config ~oracle =
@@ -312,6 +391,7 @@ type summary = {
   results : cell_result list;
   aggregates : (string * int * Kernel.outcome) list;
   chains : (string * Kernel.outcome) list;
+  pickers : (string * int * Kernel.outcome) list;
   control : Kernel.outcome;
   comparisons : int;
   all_pass : bool;
@@ -347,8 +427,8 @@ let chain_row kconfig config ~row_index z =
   in
   (Printf.sprintf "chain walk z=%g" z, outcome)
 
-let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_control = true) ()
-    =
+let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_control = true)
+    ?(with_pickers = true) ?(picker_profiles = default_picker_profiles) () =
   let config = match config with Some c -> c | None -> default_config () in
   if config.trials <= 0 then invalid_arg "Conformance.run: trials <= 0";
   if config.r <= 0 then invalid_arg "Conformance.run: r <= 0";
@@ -362,26 +442,36 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_co
   let ks_skew =
     match List.rev skews with [] -> List.hd default_skews | last :: _ -> last
   in
+  let matrix_domains =
+    match List.sort_uniq compare (List.map (fun c -> c.domains) cells) with
+    | [] -> [ 1 ]
+    | l -> l
+  in
   let ks_rows =
     (* One estimator KS row per strategy × estimator × domain count in
        the matrix, so the aggregate laws are gated over the parallel
        path at the same widths as the per-tuple cells. *)
     if with_aggregates then
-      let ks_domains =
-        match List.sort_uniq compare (List.map (fun c -> c.domains) cells) with
-        | [] -> [ 1 ]
-        | l -> l
-      in
       List.concat_map
         (fun strategy ->
           List.concat_map
-            (fun est -> List.map (fun domains -> (strategy, est, domains)) ks_domains)
+            (fun est -> List.map (fun domains -> (strategy, est, domains)) matrix_domains)
             all_estimators)
         (List.sort_uniq compare (List.map (fun c -> c.strategy) cells))
     else []
   in
   let chain_zs = if with_chains then default_chain_skews else [] in
-  let comparisons = List.length cells + List.length ks_rows + List.length chain_zs in
+  let picker_cells =
+    if with_pickers then
+      List.concat_map
+        (fun profile -> List.map (fun domains -> (profile, domains)) matrix_domains)
+        picker_profiles
+    else []
+  in
+  let comparisons =
+    List.length cells + List.length ks_rows + List.length chain_zs
+    + List.length picker_cells
+  in
   let kconfig =
     {
       Kernel.significance = config.significance;
@@ -423,6 +513,13 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_co
       ks_rows
   in
   let chains = List.mapi (fun i z -> chain_row kconfig config ~row_index:i z) chain_zs in
+  let pickers =
+    List.mapi
+      (fun i (profile, domains) ->
+        let pair, oracle = instance ks_skew.label in
+        picker_row kconfig config ~pair ~oracle ~row_index:i profile ~domains)
+      picker_cells
+  in
   let control =
     if with_control then
       let _, oracle = instance ks_skew.label in
@@ -433,9 +530,10 @@ let run ?config ?cells ?(with_aggregates = true) ?(with_chains = true) ?(with_co
     List.for_all (fun r -> r.outcome.Kernel.passed) results
     && List.for_all (fun (_, _, o) -> o.Kernel.passed) aggregates
     && List.for_all (fun (_, o) -> o.Kernel.passed) chains
+    && List.for_all (fun (_, _, o) -> o.Kernel.passed) pickers
     && (not with_control || not control.Kernel.passed)
   in
-  { config; results; aggregates; chains; control; comparisons; all_pass }
+  { config; results; aggregates; chains; pickers; control; comparisons; all_pass }
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -490,6 +588,22 @@ let report summary =
             (if o.Kernel.passed then "PASS" else "FAIL");
           ])
         summary.chains
+    @ List.map
+        (fun (name, domains, (o : Kernel.outcome)) ->
+          [
+            name;
+            "with-replacement";
+            "picker";
+            string_of_int domains;
+            "-";
+            string_of_int
+              (max 15 (summary.config.trials / max 1 domains) * summary.config.r);
+            o.Kernel.name;
+            p_cell o.Kernel.p_value;
+            string_of_int o.Kernel.attempts;
+            (if o.Kernel.passed then "PASS" else "FAIL");
+          ])
+        summary.pickers
     @ [
         [
           "biased control";

@@ -90,6 +90,19 @@ val estimator_label : estimator -> string
 val default_chain_skews : float list
 (** Zipf parameters of the chain rows ([\[0.5; 2.0\]]). *)
 
+type picker_profile = {
+  plabel : string;  (** Row label, e.g. ["histogram-only"]. *)
+  availability : Strategy.availability;
+}
+(** A declared catalog state handed to the cost-based picker
+    ({!Rsj_optimizer.Picker}): the picker chooses a strategy under this
+    profile and the chosen strategy's WR law is gated like any cell. *)
+
+val default_picker_profiles : picker_profile list
+(** Four states spanning Table 1's columns: ["full"] (everything),
+    ["no-index"] (statistics + histogram), ["histogram-only"], and
+    ["none"] (Naive territory). *)
+
 type summary = {
   config : config;
   results : cell_result list;
@@ -98,11 +111,16 @@ type summary = {
           row): the estimator laws are gated over the parallel path at
           every domain count in the matrix, not just d = 1. *)
   chains : (string * Kernel.outcome) list;  (** Chain skew → chi-square row. *)
+  pickers : (string * int * Kernel.outcome) list;
+      (** Picker profile × domain count → (["picker[profile->chosen]"],
+          domains, chi-square row): the strategy the picker chose under
+          that catalog profile, held to the WR uniform law over the
+          parallel path. *)
   control : Kernel.outcome;
   comparisons : int;  (** Bonferroni divisor actually applied. *)
   all_pass : bool;
-      (** Every cell, aggregate and chain row passed AND the control
-          was rejected. *)
+      (** Every cell, aggregate, chain and picker row passed AND the
+          control was rejected. *)
 }
 
 val run :
@@ -111,6 +129,8 @@ val run :
   ?with_aggregates:bool ->
   ?with_chains:bool ->
   ?with_control:bool ->
+  ?with_pickers:bool ->
+  ?picker_profiles:picker_profile list ->
   unit ->
   summary
 (** Execute the sweep. Workload pairs and oracles are built once per

@@ -188,9 +188,10 @@ let test_biased_sampler_rejected () =
   Alcotest.(check int) "every attempt rejected" 3 outcome.Kernel.attempts
 
 (* ------------------------------------------------------------------ *)
-(* End-to-end matrix runner (reduced matrix; the full 218-comparison
+(* End-to-end matrix runner (reduced matrix; the full 230-comparison
    sweep — 144 cells + 72 estimator KS rows (strategy × estimator ×
-   domains) + 2 chain rows — runs under @conformance / rsj verify).    *)
+   domains) + 2 chain rows + 12 picker rows (profile × domains) — runs
+   under @conformance / rsj verify).    *)
 
 let test_conformance_run_mini () =
   let config =
@@ -204,9 +205,22 @@ let test_conformance_run_mini () =
   in
   Alcotest.(check int) "2 strategies x 3 semantics x 1 skew x 2 domains" 12 (List.length cells);
   let summary = Conformance.run ~config ~cells () in
-  Alcotest.(check int) "comparisons = cells + estimator KS rows + chain rows"
-    (12 + (2 * 3 * 2) + 2)
+  Alcotest.(check int) "comparisons = cells + KS rows + chain rows + picker rows"
+    (12 + (2 * 3 * 2) + 2 + (4 * 2))
     summary.Conformance.comparisons;
+  Alcotest.(check int) "one picker row per profile x domain count" 8
+    (List.length summary.Conformance.pickers);
+  (* Under the skewed instance with a full catalog the picker must not
+     fall back to Naive; under the empty profile it must. *)
+  List.iter
+    (fun (label, _, _) ->
+      if String.length label >= 12 && String.sub label 0 12 = "picker[full-" then
+        Alcotest.(check bool) (label ^ " avoids Naive") false
+          (label = "picker[full->Naive-Sample]");
+      if String.length label >= 12 && String.sub label 0 12 = "picker[none-" then
+        Alcotest.(check string) "bare catalog routes to Naive"
+          "picker[none->Naive-Sample]" label)
+    summary.Conformance.pickers;
   Alcotest.(check bool) "mini matrix passes and control is rejected" true
     summary.Conformance.all_pass;
   Alcotest.(check bool) "control rejected" false summary.Conformance.control.Kernel.passed;
@@ -229,8 +243,14 @@ let test_conformance_deterministic () =
       ~skews:[ List.hd Conformance.default_skews ]
       ~domain_counts:[ 2 ] ()
   in
-  let s1 = Conformance.run ~config ~cells ~with_aggregates:false ~with_control:false () in
-  let s2 = Conformance.run ~config ~cells ~with_aggregates:false ~with_control:false () in
+  let s1 =
+    Conformance.run ~config ~cells ~with_aggregates:false ~with_control:false
+      ~with_pickers:false ()
+  in
+  let s2 =
+    Conformance.run ~config ~cells ~with_aggregates:false ~with_control:false
+      ~with_pickers:false ()
+  in
   List.iter2
     (fun (a : Conformance.cell_result) (b : Conformance.cell_result) ->
       Alcotest.(check (float 0.)) "same p-value bit for bit" a.outcome.Kernel.p_value

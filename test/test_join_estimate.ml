@@ -111,6 +111,82 @@ let test_disjoint_join_estimates_zero () =
   in
   Alcotest.(check (float 0.)) "no matches" 0. est.value
 
+let test_all_null_keys () =
+  (* SQL semantics: NULL joins nothing, so a join over all-null keys
+     is empty and every estimator must say 0 — not crash, not count
+     null-null "matches". *)
+  let schema = Zipf_tables.schema in
+  let nulls name =
+    Relation.of_tuples ~name schema
+      (List.init 30 (fun i -> [| Value.Int i; Value.Null; Value.str "p" |]))
+  in
+  let left = nulls "ln" and right = nulls "rn" in
+  let rng = Rsj_util.Prng.create ~seed:6 () in
+  let est =
+    Join_estimate.cross_product rng ~left ~right ~left_key:1 ~right_key:1 ~r1:40 ~r2:40
+  in
+  Alcotest.(check (float 0.)) "cross-product value" 0. est.value;
+  Alcotest.(check (float 0.)) "cross-product stderr" 0. est.stderr;
+  let idx = Rsj_index.Hash_index.build right ~key:1 in
+  let est2 = Join_estimate.index_assisted rng ~left ~right_index:idx ~left_key:1 ~draws:40 in
+  Alcotest.(check (float 0.)) "index-assisted value" 0. est2.value;
+  let stats = Frequency.of_relation right ~key:1 in
+  Alcotest.(check int) "null keys carry no statistics" 0 (Frequency.total stats);
+  let histogram = Histogram.End_biased.build_fraction stats ~fraction:0.05 in
+  let est3 =
+    Join_estimate.bifocal rng ~left ~right ~left_key:1 ~right_key:1 ~histogram ~draws:40
+  in
+  Alcotest.(check (float 0.)) "bifocal value" 0. est3.value
+
+let test_bifocal_zero_high_histogram () =
+  (* Uniform data can leave the end-biased histogram tracking nothing
+     (no value crosses the threshold). Bifocal then degenerates to
+     pure cold-side sampling and must still converge on the truth. *)
+  let pair, truth = instance ~z1:0. ~z2:0. in
+  let stats = Frequency.of_relation pair.inner ~key:Zipf_tables.col2 in
+  let histogram = Histogram.End_biased.build_fraction stats ~fraction:0.05 in
+  Alcotest.(check int) "histogram tracks nothing" 0
+    (Histogram.End_biased.tracked_count histogram);
+  let rng = Rsj_util.Prng.create ~seed:7 () in
+  let est =
+    Join_estimate.bifocal rng ~left:pair.outer ~right:pair.inner ~left_key:Zipf_tables.col2
+      ~right_key:Zipf_tables.col2 ~histogram ~draws:1_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f ± %.0f vs truth %.0f" est.value est.stderr truth)
+    true
+    (within_sigmas ~sigmas:4. est truth)
+
+let test_boxed_int_plane_agreement () =
+  (* The estimators read keys through Tuple.attr; the data plane's
+     global mode (boxed values vs flat int columns) must not change a
+     single bit of the estimate at equal seeds. *)
+  let pair, _ = instance ~z1:1. ~z2:2. in
+  let run_in mode =
+    let saved = Rsj_relation.Column.mode () in
+    Rsj_relation.Column.set_mode mode;
+    Fun.protect
+      ~finally:(fun () -> Rsj_relation.Column.set_mode saved)
+      (fun () ->
+        let rng = Rsj_util.Prng.create ~seed:8 () in
+        let idx = Rsj_index.Hash_index.build pair.inner ~key:Zipf_tables.col2 in
+        let ia =
+          Join_estimate.index_assisted rng ~left:pair.outer ~right_index:idx
+            ~left_key:Zipf_tables.col2 ~draws:300
+        in
+        let cp =
+          Join_estimate.cross_product rng ~left:pair.outer ~right:pair.inner
+            ~left_key:Zipf_tables.col2 ~right_key:Zipf_tables.col2 ~r1:300 ~r2:300
+        in
+        (ia, cp))
+  in
+  let ia_boxed, cp_boxed = run_in Rsj_relation.Column.Boxed in
+  let ia_int, cp_int = run_in Rsj_relation.Column.Int_keys in
+  Alcotest.(check (float 0.)) "index-assisted value agrees" ia_boxed.value ia_int.value;
+  Alcotest.(check (float 0.)) "index-assisted stderr agrees" ia_boxed.stderr ia_int.stderr;
+  Alcotest.(check (float 0.)) "cross-product value agrees" cp_boxed.value cp_int.value;
+  Alcotest.(check (float 0.)) "cross-product stderr agrees" cp_boxed.stderr cp_int.stderr
+
 let suite =
   [
     Alcotest.test_case "cross-product estimator" `Quick test_cross_product;
@@ -120,4 +196,7 @@ let suite =
       test_bifocal_beats_index_assisted_variance_under_skew;
     Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
     Alcotest.test_case "disjoint join" `Quick test_disjoint_join_estimates_zero;
+    Alcotest.test_case "all-null join keys" `Quick test_all_null_keys;
+    Alcotest.test_case "zero-high-frequency histogram" `Quick test_bifocal_zero_high_histogram;
+    Alcotest.test_case "boxed vs int-plane agreement" `Quick test_boxed_int_plane_agreement;
   ]

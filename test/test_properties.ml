@@ -272,7 +272,8 @@ let prop_parser_roundtrip =
       in
       let q =
         {
-          Rsj_sql.Ast.select = [ Rsj_sql.Ast.S_star ];
+          Rsj_sql.Ast.explain = false;
+          select = [ Rsj_sql.Ast.S_star ];
           from;
           where;
           group_by = [];

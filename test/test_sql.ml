@@ -243,6 +243,73 @@ let test_explain_available () =
   let s = Format.asprintf "%a" Rsj_exec.Plan.explain r.Engine.plan in
   Alcotest.(check bool) "plan renders" true (String.length s > 0)
 
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* Satellite: the unknown-strategy error enumerates every valid name,
+   so the user can fix the query without reading the source. *)
+let test_unknown_strategy_lists_names () =
+  let msg =
+    run_err
+      "select * from orders, customers where orders.cust = customers.cust sample 5 using bogus"
+  in
+  Alcotest.(check bool) ("mentions the bad name: " ^ msg) true (contains "\"bogus\"" msg);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        ("lists " ^ Rsj_core.Strategy.name s)
+        true
+        (contains (Rsj_core.Strategy.name s) msg))
+    Rsj_core.Strategy.all
+
+(* SAMPLE without USING on the two-table equi-join shape routes
+   through the cost-based picker: the decision is reported, and the
+   rows are a genuine WR join sample. *)
+let test_picker_routed_sample () =
+  let r =
+    run_ok "select * from orders, customers where orders.cust = customers.cust sample 3"
+  in
+  Alcotest.(check int) "3 rows" 3 (List.length r.Engine.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "join keys equal" true
+        (Value.equal (Tuple.get row 1) (Tuple.get row 3)))
+    r.Engine.rows;
+  match r.Engine.decision with
+  | None -> Alcotest.fail "picker decision missing"
+  | Some d ->
+      Alcotest.(check string) "picker chose the cheapest feasible strategy"
+        "Olken-Sample"
+        (Rsj_core.Strategy.name d.Rsj_optimizer.Picker.chosen);
+      let trace = Rsj_optimizer.Picker.to_string d in
+      Alcotest.(check bool) "trace shows the reason" true (contains "cheapest" trace);
+      Alcotest.(check bool) "trace lists candidates" true (contains "Naive-Sample" trace)
+
+(* An explicit USING bypasses the picker: no decision is attached. *)
+let test_named_strategy_skips_picker () =
+  let r =
+    run_ok
+      "select * from orders, customers where orders.cust = customers.cust sample 4 using stream"
+  in
+  Alcotest.(check bool) "no picker decision" true (r.Engine.decision = None)
+
+(* EXPLAIN plans (and, for picker-routed samples, decides) without
+   executing. *)
+let test_explain_query () =
+  let q = parse_ok "explain select * from orders sample 2" in
+  Alcotest.(check bool) "parser flags explain" true q.Ast.explain;
+  let r =
+    run_ok "explain select * from orders, customers where orders.cust = customers.cust sample 3"
+  in
+  Alcotest.(check bool) "explained" true r.Engine.explained;
+  Alcotest.(check int) "no rows executed" 0 (List.length r.Engine.rows);
+  Alcotest.(check bool) "decision still attached" true (r.Engine.decision <> None);
+  let plain = run_ok "explain select * from orders" in
+  Alcotest.(check bool) "single-table explain" true plain.Engine.explained;
+  Alcotest.(check int) "no rows" 0 (List.length plain.Engine.rows)
+
 let test_seed_reproducibility () =
   let q = "select * from orders, customers where orders.cust = customers.cust sample 4 using stream" in
   match (Engine.run ~seed:9 (catalog ()) q, Engine.run ~seed:9 (catalog ()) q) with
@@ -289,7 +356,12 @@ let suite =
     Alcotest.test_case "engine: global aggregates" `Quick test_global_aggregate;
     Alcotest.test_case "engine: min/max/count(col)" `Quick test_min_max_count_col;
     Alcotest.test_case "engine: limit" `Quick test_limit;
-    Alcotest.test_case "engine: SAMPLE n (reservoir)" `Quick test_plain_sample;
+    Alcotest.test_case "engine: SAMPLE n (picker-routed)" `Quick test_plain_sample;
+    Alcotest.test_case "engine: unknown USING lists valid names" `Quick
+      test_unknown_strategy_lists_names;
+    Alcotest.test_case "engine: picker routes plain SAMPLE" `Quick test_picker_routed_sample;
+    Alcotest.test_case "engine: USING bypasses picker" `Quick test_named_strategy_skips_picker;
+    Alcotest.test_case "engine: EXPLAIN plans without executing" `Quick test_explain_query;
     Alcotest.test_case "engine: SAMPLE USING stream" `Quick test_strategy_sample;
     Alcotest.test_case "engine: filter pushdown below sampling" `Quick
       test_strategy_sample_with_filter_pushdown;

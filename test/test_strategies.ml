@@ -317,6 +317,80 @@ let test_table1 () =
   Alcotest.(check string) "fps r1" "-" r1;
   Alcotest.(check string) "fps r2" "Partial Stats." r2
 
+(* The negative side of Table 1: every strategy, deprived of each
+   structure it requires, must refuse to run with a typed error naming
+   exactly that structure — never a generic failure, never silence. *)
+let test_missing_structure_matrix () =
+  let a = Strategy.all_available in
+  let no_left_index = { a with Strategy.left_index = false } in
+  let no_right_access = { a with Strategy.right_index = false; right_stats = false } in
+  let no_right_stats = { a with Strategy.right_stats = false } in
+  let no_histogram = { a with Strategy.right_histogram = false } in
+  let no_right_index = { a with Strategy.right_index = false } in
+  (* strategy, crippled availability, exact missing-structure list *)
+  let matrix =
+    [
+      (Strategy.Olken, no_left_index, [ "index(R1)" ]);
+      (Strategy.Olken, no_right_access, [ "index(R2) or statistics(R2)" ]);
+      ( Strategy.Olken,
+        Strategy.nothing_available,
+        [ "index(R1)"; "index(R2) or statistics(R2)" ] );
+      (Strategy.Stream, no_right_access, [ "index(R2) or statistics(R2)" ]);
+      (Strategy.Group, no_right_stats, [ "statistics(R2)" ]);
+      (Strategy.Count_sample, no_right_stats, [ "statistics(R2)" ]);
+      (Strategy.Frequency_partition, no_histogram, [ "end-biased histogram(R2)" ]);
+      (Strategy.Hybrid_count, no_histogram, [ "end-biased histogram(R2)" ]);
+      (Strategy.Index_sample, no_histogram, [ "end-biased histogram(R2)" ]);
+      (Strategy.Index_sample, no_right_index, [ "index(R2hi)" ]);
+      ( Strategy.Index_sample,
+        Strategy.nothing_available,
+        [ "end-biased histogram(R2)"; "index(R2hi)" ] );
+    ]
+  in
+  List.iter
+    (fun (s, availability, expected) ->
+      let label = Strategy.name s in
+      Alcotest.(check (list string))
+        (label ^ " missing list") expected
+        (Strategy.missing_structures availability s);
+      match Strategy.require_structures availability s with
+      | () -> Alcotest.failf "%s ran without %s" label (List.hd expected)
+      | exception Strategy.Missing_structure { strategy; structure } ->
+          Alcotest.(check string) (label ^ " error names the strategy") label strategy;
+          Alcotest.(check string)
+            (label ^ " error names the structure")
+            (List.hd expected) structure)
+    matrix;
+  (* Partial deprivation that leaves an alternative must still run:
+     Index/Stats. requirements accept either structure. *)
+  List.iter
+    (fun availability ->
+      List.iter
+        (fun s ->
+          Alcotest.(check (list string))
+            (Strategy.name s ^ " satisfied by the surviving structure")
+            []
+            (Strategy.missing_structures availability s))
+        [ Strategy.Olken; Strategy.Stream ])
+    [ no_right_index; no_right_stats ];
+  (* And the two poles: everything runs fully equipped; only Naive
+     runs bare. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string)) (Strategy.name s ^ " fully equipped") []
+        (Strategy.missing_structures a s))
+    Strategy.all;
+  List.iter
+    (fun s ->
+      let missing = Strategy.missing_structures Strategy.nothing_available s in
+      if s = Strategy.Naive then
+        Alcotest.(check (list string)) "naive needs nothing" [] missing
+      else
+        Alcotest.(check bool)
+          (Strategy.name s ^ " cannot run bare")
+          false (missing = []))
+    Strategy.all
+
 let test_of_name () =
   Alcotest.(check bool) "paper spelling" true
     (Strategy.of_name "Stream-Sample" = Some Strategy.Stream);
@@ -369,6 +443,7 @@ let suite =
     Alcotest.test_case "foreign-key join" `Quick test_foreign_key_join;
     Alcotest.test_case "WoR variant yields distinct tuples" `Quick test_run_wor_distinct;
     Alcotest.test_case "table 1 requirements" `Quick test_table1;
+    Alcotest.test_case "missing-structure matrix" `Quick test_missing_structure_matrix;
     Alcotest.test_case "strategy name parsing" `Quick test_of_name;
     Alcotest.test_case "seeded reproducibility" `Quick test_reproducibility;
   ]
