@@ -24,7 +24,7 @@
 #   RSJ_TRACE_CAP      per-domain trace ring capacity in events
 #                      (default 32768; overflow counts as dropped)
 
-.PHONY: all build check test smoke bench bench-parallel bench-json pool conformance obs trace clean
+.PHONY: all build check test smoke bench bench-parallel bench-json pool conformance obs trace serve serve-test serve-bench clean
 
 all: build
 
@@ -87,6 +87,25 @@ obs:
 TRACE_STRATEGY ?= naive
 trace:
 	dune exec bin/rsj.exe -- trace $(TRACE_STRATEGY) --out trace.json --domains 4
+
+# serve = run the sampling daemon on a local socket (SERVE_SOCKET to
+# move it; ctrl-C drains, unlinks the socket and snapshots metrics).
+SERVE_SOCKET ?= /tmp/rsj.sock
+serve:
+	dune exec bin/rsj.exe -- serve --socket $(SERVE_SOCKET)
+
+# serve-test = the service tier on its own: the warm-cache unit suite
+# plus the live-daemon round trip (also runs inside `make test`).
+serve-test:
+	dune build @serve @serve-hygiene
+
+# serve-bench = the cold-vs-warm load harness: one-shot `rsj sample`
+# subprocesses vs the same requests against a warm daemon, written to
+# BENCH_serve.json (p50/p99/qps; RSJ_SERVE_SOAK_SECONDS adds a soak
+# phase; SERVE_CLIENTS concurrent connections, default 4).
+SERVE_CLIENTS ?= 4
+serve-bench:
+	dune exec bin/rsj.exe -- bench-serve --clients $(SERVE_CLIENTS) --out BENCH_serve.json
 
 clean:
 	dune clean

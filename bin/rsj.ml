@@ -539,6 +539,233 @@ let explain_cmd =
   let info = Cmd.info "explain" ~doc:"Show which information each strategy requires (Table 1)." in
   Cmd.v info Term.(ret (const run $ const ()))
 
+(* ------------------------------------------------------------------ *)
+(* serve / client / bench-serve                                        *)
+
+module Server = Rsj_server.Server
+module Client = Rsj_server.Client
+
+let socket_arg =
+  let doc = "Server address: a Unix socket path, or tcp:HOST:PORT." in
+  Arg.(value & opt string "/tmp/rsj.sock" & info [ "socket" ] ~docv:"ADDR" ~doc)
+
+let serve_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-budget" ] ~docv:"N"
+          ~doc:
+            "Admission cap on queued sample tuples; requests beyond it fail with a typed \
+             'overloaded' error instead of queueing (default 1000000, or \
+             $(b,RSJ_SERVE_QUEUE_BUDGET)).")
+  in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write the final Prometheus metrics snapshot here on shutdown (default stderr, \
+             or $(b,RSJ_SERVE_SNAPSHOT)).")
+  in
+  let run socket budget snapshot =
+    match Server.addr_of_string socket with
+    | Error e -> `Error (false, e)
+    | Ok addr -> (
+        try
+          let base = Server.default_config addr in
+          let config =
+            {
+              base with
+              Server.max_queued_work = Option.value budget ~default:base.Server.max_queued_work;
+              snapshot_path =
+                (match snapshot with Some _ -> snapshot | None -> base.Server.snapshot_path);
+            }
+          in
+          Printf.eprintf "# rsj serve: listening on %s (queue budget %d)\n%!"
+            (Server.addr_to_string addr) config.Server.max_queued_work;
+          Server.run config;
+          Printf.eprintf "# rsj serve: drained and stopped\n%!";
+          `Ok ()
+        with Failure msg -> `Error (false, msg))
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the sampling daemon: clients register relations once, then sample/query over a \
+         newline-delimited JSON socket protocol while auxiliary structures stay warm in the \
+         per-relation cache. GET /metrics on the same socket serves Prometheus text. \
+         SIGINT/SIGTERM drain gracefully."
+  in
+  Cmd.v info Term.(ret (const run $ socket_arg $ budget $ snapshot))
+
+let client_cmd =
+  let args =
+    let doc =
+      "Operation and its arguments: ping | register NAME PATH.csv | sample LEFT RIGHT | \
+       query SQL | metrics | stats | invalidate NAME | shutdown."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"OP" ~doc)
+  in
+  let r = Arg.(value & opt int 10 & info [ "r" ] ~docv:"R" ~doc:"Sample size (sample op).") in
+  let strategy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+          ~doc:"Strategy for the sample op (default: the server's cost-based picker).")
+  in
+  let wor =
+    Arg.(value & flag & info [ "without-replacement" ] ~doc:"WoR semantics for the sample op.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Domains for the sample op.")
+  in
+  let on =
+    Arg.(value & opt string "col2" & info [ "on" ] ~docv:"COL" ~doc:"Join column (sample op).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Fail rather than start later than this.")
+  in
+  let print_reply (reply : Client.reply) =
+    List.iter
+      (fun row -> print_endline (Rsj_relation.Tuple.to_string (Array.of_list row)))
+      reply.Client.rows;
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Obs.Json.Str s when k = "prometheus" || k = "plan" -> print_string s
+        | v -> Printf.eprintf "# %s: %s\n" k (Obs.Json.to_string v))
+      reply.Client.detail
+  in
+  let run socket args r strategy wor domains on deadline seed =
+    match Server.addr_of_string socket with
+    | Error e -> `Error (false, e)
+    | Ok addr -> (
+        try
+          let client = Client.connect addr in
+          Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+          let reply =
+            match args with
+            | [ "ping" ] ->
+                if Client.ping client then Ok { Client.rows = []; detail = [ ("pong", Obs.Json.Bool true) ] }
+                else Error "no pong"
+            | [ "register"; name; path ] -> (
+                match Client.register_path client ~name ~path with
+                | Ok n -> Ok { Client.rows = []; detail = [ ("rows", Obs.Json.Int n) ] }
+                | Error e -> Error e)
+            | [ "sample"; left; right ] -> (
+                match
+                  Client.sample client ~left ~right ~r ?strategy ~seed ~wor ~domains ~on
+                    ?deadline_ms:deadline ()
+                with
+                | Ok reply -> Ok reply
+                | Error (code, msg) ->
+                    Error (Rsj_server.Protocol.error_code_to_string code ^ ": " ^ msg))
+            | [ "query"; sql ] -> (
+                match Client.query client ~sql ~seed ?deadline_ms:deadline () with
+                | Ok reply -> Ok reply
+                | Error (code, msg) ->
+                    Error (Rsj_server.Protocol.error_code_to_string code ^ ": " ^ msg))
+            | [ "metrics" ] -> (
+                match Client.metrics client with
+                | Ok text -> Ok { Client.rows = []; detail = [ ("prometheus", Obs.Json.Str text) ] }
+                | Error e -> Error e)
+            | [ "stats" ] -> (
+                match Client.cache_stats client with
+                | Ok detail -> Ok { Client.rows = []; detail }
+                | Error e -> Error e)
+            | [ "invalidate"; name ] -> (
+                match Client.invalidate client ~name with
+                | Ok () -> Ok { Client.rows = []; detail = [] }
+                | Error e -> Error e)
+            | [ "shutdown" ] -> (
+                match Client.shutdown client with
+                | Ok () -> Ok { Client.rows = []; detail = [ ("stopping", Obs.Json.Bool true) ] }
+                | Error e -> Error e)
+            | op :: _ -> Error (Printf.sprintf "unknown or malformed op %S (see --help)" op)
+            | [] -> Error "missing op"
+          in
+          match reply with
+          | Ok reply ->
+              print_reply reply;
+              `Ok ()
+          | Error msg -> `Error (false, msg)
+        with Failure msg -> `Error (false, msg))
+  in
+  let info =
+    Cmd.info "client"
+      ~doc:
+        "Talk to a running rsj serve daemon: register tables, draw warm samples, run SQL, \
+         read metrics, or shut it down."
+  in
+  Cmd.v
+    info
+    Term.(
+      ret (const run $ socket_arg $ args $ r $ strategy $ wor $ domains $ on $ deadline $ seed_arg))
+
+let bench_serve_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let requests =
+    Arg.(value & opt int 25 & info [ "requests" ] ~docv:"N" ~doc:"Warm requests per connection.")
+  in
+  let r = Arg.(value & opt int 64 & info [ "r" ] ~docv:"R" ~doc:"Sample size per request.") in
+  let cold_runs =
+    Arg.(value & opt int 5 & info [ "cold-runs" ] ~docv:"N" ~doc:"One-shot subprocess timings.")
+  in
+  let soak =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "soak" ] ~docv:"SECONDS"
+          ~doc:"Keep the warm load running this long (default 0, or $(b,RSJ_SERVE_SOAK_SECONDS)).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt string "stream"
+      & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc:"Strategy timed on both sides.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let run clients requests r cold_runs soak strategy out seed =
+    if clients < 1 then `Error (false, "--clients must be at least 1")
+    else if requests < 1 then `Error (false, "--requests must be at least 1")
+    else if r < 0 then `Error (false, "--r must be non-negative")
+    else if cold_runs < 1 then `Error (false, "--cold-runs must be at least 1")
+    else begin
+      try
+        let report =
+          Rsj_server.Bench_serve.run ~clients ~requests_per_client:requests ~r ~cold_runs
+            ~strategy ?soak_seconds:soak ~seed ~out ()
+        in
+        print_endline (Obs.Json.to_string report);
+        Printf.eprintf "# wrote %s\n" out;
+        `Ok ()
+      with Failure msg -> `Error (false, msg)
+    end
+  in
+  let info =
+    Cmd.info "bench-serve"
+      ~doc:
+        "Cold-vs-warm service benchmark: time one-shot rsj sample subprocesses against the \
+         same request served warm by a spawned rsj serve daemon over concurrent pipelined \
+         connections; report p50/p99 latency, throughput and the speedup to FILE."
+  in
+  Cmd.v
+    info
+    Term.(ret (const run $ clients $ requests $ r $ cold_runs $ soak $ strategy $ out $ seed_arg))
+
 let main =
   let doc = "Random sampling over joins (Chaudhuri, Motwani, Narasayya; SIGMOD 1999)" in
   let info = Cmd.info "rsj" ~version:"1.0.0" ~doc in
@@ -553,6 +780,9 @@ let main =
       trace_cmd;
       metrics_cmd;
       explain_cmd;
+      serve_cmd;
+      client_cmd;
+      bench_serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -153,8 +153,38 @@ type env = {
   right_key_view : int array option Lazy.t;
 }
 
-let make_env ?(seed = 0x5EED) ?(histogram_fraction = 0.05) ~left ~right ~left_key ~right_key () =
-  let right_stats = lazy (Frequency.of_relation right ~key:right_key) in
+(* Injection point for memoized auxiliary structures: a warm cache
+   (Rsj_cache.Structure_cache, which sits above this library) supplies
+   thunks instead of letting the env build privately. Thunks — not
+   values — so nothing is built until a strategy actually forces it,
+   exactly like the private lazies they replace. *)
+type prebuilt = {
+  p_left_stats : (unit -> Frequency.t) option;
+  p_right_stats : (unit -> Frequency.t) option;
+  p_right_index : (unit -> Hash_index.t) option;
+  p_histogram : (unit -> Histogram.End_biased.t) option;
+  p_left_key_view : (unit -> int array option) option;
+  p_right_key_view : (unit -> int array option) option;
+}
+
+let no_prebuilt =
+  {
+    p_left_stats = None;
+    p_right_stats = None;
+    p_right_index = None;
+    p_histogram = None;
+    p_left_key_view = None;
+    p_right_key_view = None;
+  }
+
+let make_env ?(seed = 0x5EED) ?(histogram_fraction = 0.05) ?(structures = no_prebuilt) ~left
+    ~right ~left_key ~right_key () =
+  let via thunk fallback =
+    match thunk with Some f -> lazy (f ()) | None -> Lazy.from_fun fallback
+  in
+  let right_stats =
+    via structures.p_right_stats (fun () -> Frequency.of_relation right ~key:right_key)
+  in
   {
     rng = Rsj_util.Prng.create ~seed ();
     left;
@@ -163,14 +193,18 @@ let make_env ?(seed = 0x5EED) ?(histogram_fraction = 0.05) ~left ~right ~left_ke
     right_key;
     histogram_fraction;
     right_stats;
-    left_stats = lazy (Frequency.of_relation left ~key:left_key);
-    right_index = lazy (Hash_index.build right ~key:right_key);
+    left_stats =
+      via structures.p_left_stats (fun () -> Frequency.of_relation left ~key:left_key);
+    right_index =
+      via structures.p_right_index (fun () -> Hash_index.build right ~key:right_key);
     histogram =
-      lazy
-        (Histogram.End_biased.build_fraction (Lazy.force right_stats)
-           ~fraction:histogram_fraction);
-    left_key_view = lazy (Column.int_view left ~col:left_key);
-    right_key_view = lazy (Column.int_view right ~col:right_key);
+      via structures.p_histogram (fun () ->
+          Histogram.End_biased.build_fraction (Lazy.force right_stats)
+            ~fraction:histogram_fraction);
+    left_key_view =
+      via structures.p_left_key_view (fun () -> Column.int_view left ~col:left_key);
+    right_key_view =
+      via structures.p_right_key_view (fun () -> Column.int_view right ~col:right_key);
   }
 
 let env_left env = env.left

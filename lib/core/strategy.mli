@@ -78,9 +78,27 @@ val require_structures : availability -> t -> unit
     pays only for what it requires. *)
 type env
 
+(** Optional supplier of already-built (or memoized) auxiliary
+    structures. Every field defaults to "build privately"; a warm
+    structure cache ({!Rsj_cache.Structure_cache}) passes thunks that
+    consult it instead, so repeated envs over the same relations stop
+    rebuilding. Thunks run at first force, never at env creation. *)
+type prebuilt = {
+  p_left_stats : (unit -> Rsj_stats.Frequency.t) option;
+  p_right_stats : (unit -> Rsj_stats.Frequency.t) option;
+  p_right_index : (unit -> Rsj_index.Hash_index.t) option;
+  p_histogram : (unit -> Rsj_stats.Histogram.End_biased.t) option;
+  p_left_key_view : (unit -> int array option) option;
+  p_right_key_view : (unit -> int array option) option;
+}
+
+val no_prebuilt : prebuilt
+(** All fields [None] — the default private builds. *)
+
 val make_env :
   ?seed:int ->
   ?histogram_fraction:float ->
+  ?structures:prebuilt ->
   left:Relation.t ->
   right:Relation.t ->
   left_key:int ->
@@ -88,7 +106,8 @@ val make_env :
   unit ->
   env
 (** [histogram_fraction] is the end-biased threshold as a fraction of
-    |R2| (the paper's k%; default 0.05 as in Figures A–E). *)
+    |R2| (the paper's k%; default 0.05 as in Figures A–E).
+    [structures] injects memoized builds (see {!prebuilt}). *)
 
 val env_left : env -> Relation.t
 val env_right : env -> Relation.t

@@ -1,13 +1,26 @@
 type t = {
   name : string;
   schema : Schema.t;
+  uid : int;  (* process-unique identity, assigned at creation *)
+  mutable version : int;  (* bumped on every mutation *)
   mutable rows : Tuple.t array;  (* slots [0, size) are live *)
   mutable size : int;
 }
 
+(* Identity counter for fingerprints. Atomic so relations may be
+   created from any domain (the parallel builders do). *)
+let next_uid = Atomic.make 0
+
 let create ?(name = "<anon>") ?(capacity = 64) schema =
   let capacity = max capacity 1 in
-  { name; schema; rows = Array.make capacity [||]; size = 0 }
+  {
+    name;
+    schema;
+    uid = Atomic.fetch_and_add next_uid 1;
+    version = 0;
+    rows = Array.make capacity [||];
+    size = 0;
+  }
 
 let name t = t.name
 let schema t = t.schema
@@ -23,7 +36,17 @@ let ensure_capacity t =
 let append_unchecked t row =
   ensure_capacity t;
   t.rows.(t.size) <- row;
-  t.size <- t.size + 1
+  t.size <- t.size + 1;
+  t.version <- t.version + 1
+
+let uid t = t.uid
+let version t = t.version
+
+(* A fingerprint identifies one immutable snapshot of one relation:
+   any append changes it, and no two relations ever share one. Derived
+   caches (Structure_cache) key on it so stale entries can never be
+   served after a mutation. *)
+let fingerprint t = (t.uid * 0x10001) lxor t.version
 
 let append t row =
   match Schema.validate t.schema row with

@@ -16,6 +16,18 @@ val schema : t -> Schema.t
 val cardinality : t -> int
 (** Number of rows — the paper's [n]. *)
 
+val uid : t -> int
+(** Process-unique identity assigned at creation; never reused. *)
+
+val version : t -> int
+(** Mutation counter: bumped on every {!append}/{!append_unchecked}. *)
+
+val fingerprint : t -> int
+(** Identifies one immutable snapshot of one relation: combines {!uid}
+    and {!version}, so any mutation (and any other relation) yields a
+    different fingerprint. The {!Rsj_cache.Structure_cache} keys its
+    memoized auxiliary structures on it. *)
+
 val append : t -> Tuple.t -> unit
 (** [append t row] validates [row] against the schema and stores it.
     Raises [Invalid_argument] with the validation message on mismatch. *)

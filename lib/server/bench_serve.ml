@@ -1,0 +1,237 @@
+module Json = Rsj_obs.Json
+module Clock = Rsj_obs.Clock
+module Zipf_tables = Rsj_workload.Zipf_tables
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let summarize latencies =
+  let a = Array.of_list latencies in
+  Array.sort compare a;
+  let mean = Array.fold_left ( +. ) 0. a /. float_of_int (max 1 (Array.length a)) in
+  (a, mean)
+
+let rm_rf_dir dir files =
+  List.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) files;
+  try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ()
+
+let devnull_out f =
+  let fd = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Fun.protect (fun () -> f fd) ~finally:(fun () -> Unix.close fd)
+
+(* One cold end-to-end run: a fresh [rsj sample] process paying CSV
+   load and structure construction before it can draw a single tuple. *)
+let cold_run ~left_csv ~right_csv ~strategy ~r ~seed =
+  devnull_out @@ fun devnull ->
+  let argv =
+    [|
+      Sys.executable_name; "sample"; left_csv; right_csv; "--strategy"; strategy; "-r";
+      string_of_int r; "--seed"; string_of_int seed;
+    |]
+  in
+  let t0 = Clock.now_s () in
+  let pid = Unix.create_process Sys.executable_name argv Unix.stdin devnull devnull in
+  let _, status = Unix.waitpid [] pid in
+  let dt = Clock.now_s () -. t0 in
+  match status with
+  | Unix.WEXITED 0 -> dt
+  | Unix.WEXITED c -> failwith (Printf.sprintf "cold rsj sample exited %d" c)
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> failwith (Printf.sprintf "cold rsj sample killed by signal %d" s)
+
+let connect_with_retry addr =
+  let rec go attempts =
+    match Client.connect addr with
+    | client -> client
+    | exception Failure _ when attempts > 0 ->
+        Unix.sleepf 0.05;
+        go (attempts - 1)
+  in
+  go 100
+
+let run ?(clients = 4) ?(requests_per_client = 25) ?(r = 64) ?(cold_runs = 5)
+    ?(strategy = "stream") ?soak_seconds ?(seed = 0x5EED) ?out () =
+  (if Rsj_core.Strategy.of_name strategy = None then
+     failwith (Printf.sprintf "unknown bench strategy %S" strategy));
+  let clients = max 1 clients in
+  let soak_seconds =
+    match soak_seconds with
+    | Some s -> s
+    | None -> (
+        match Sys.getenv_opt "RSJ_SERVE_SOAK_SECONDS" with
+        | Some s -> ( match float_of_string_opt s with Some v when v >= 0. -> v | _ -> 0.)
+        | None -> 0.)
+  in
+  let scale = Zipf_tables.Scale.from_env () in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "rsj-serve-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let left_csv = Filename.concat dir "t1.csv" and right_csv = Filename.concat dir "t2.csv" in
+  let sock = Filename.concat dir "rsj.sock" in
+  let pair =
+    Zipf_tables.make_pair ~seed ~n1:scale.Zipf_tables.Scale.n1 ~n2:scale.Zipf_tables.Scale.n2
+      ~z1:1. ~z2:1. ~domain:scale.Zipf_tables.Scale.domain ()
+  in
+  Rsj_relation.Csv_io.save ~path:left_csv pair.Zipf_tables.outer;
+  Rsj_relation.Csv_io.save ~path:right_csv pair.Zipf_tables.inner;
+  Fun.protect ~finally:(fun () -> rm_rf_dir dir [ "t1.csv"; "t2.csv"; "rsj.sock" ])
+  @@ fun () ->
+  (* Cold baseline first: no daemon running, nothing shared. *)
+  let cold =
+    List.init cold_runs (fun i -> cold_run ~left_csv ~right_csv ~strategy ~r ~seed:(seed + i))
+  in
+  (* Daemon: a fresh [rsj serve] process on the bench socket. Exec'd,
+     not forked — OCaml 5 forbids fork in a process that has ever
+     spawned a domain, and a real deployment execs the daemon anyway.
+     Its startup banner goes to /dev/null to keep bench output clean. *)
+  let server_pid =
+    devnull_out @@ fun devnull ->
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "serve"; "--socket"; sock |]
+      Unix.stdin devnull devnull
+  in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill server_pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+      try ignore (Unix.waitpid [] server_pid) with Unix.Unix_error (_, _, _) -> ())
+  @@ fun () ->
+  let admin = connect_with_retry (Server.Unix_path sock) in
+  let must what = function
+    | Ok v -> v
+    | Error msg -> failwith (Printf.sprintf "%s failed: %s" what msg)
+  in
+  ignore (must "register t1" (Client.register_path admin ~name:"t1" ~path:left_csv));
+  ignore (must "register t2" (Client.register_path admin ~name:"t2" ~path:right_csv));
+  (* First request pays the builds and fills the cache. *)
+  let warmup =
+    match Client.sample admin ~left:"t1" ~right:"t2" ~r ~strategy ~seed () with
+    | Ok _ -> ()
+    | Error (code, msg) ->
+        failwith (Printf.sprintf "warmup sample failed (%s): %s" (Protocol.error_code_to_string code) msg)
+  in
+  warmup;
+  (* Phase 1 — unloaded warm latency: one blocking request at a time on
+     one connection. This is the like-for-like counterpart of a cold
+     one-shot run (same request, no queueing), so the headline speedup
+     is cold mean over this p50. *)
+  let single = ref [] in
+  for k = 0 to requests_per_client - 1 do
+    let t0 = Clock.now_s () in
+    match Client.sample admin ~left:"t1" ~right:"t2" ~r ~strategy ~seed:(seed + 7000 + k) () with
+    | Ok _ -> single := (Clock.now_s () -. t0) :: !single
+    | Error (code, msg) ->
+        failwith
+          (Printf.sprintf "warm sample failed (%s): %s" (Protocol.error_code_to_string code) msg)
+  done;
+  (* Phase 2 — concurrent load: pipelined rounds across the client
+     pool; latencies here include FIFO queueing behind the round. *)
+  let pool = Array.init clients (fun _ -> connect_with_retry (Server.Unix_path sock)) in
+  Fun.protect ~finally:(fun () -> Array.iter Client.close pool)
+  @@ fun () ->
+  let latencies = ref [] in
+  let total = ref 0 in
+  (* One round = one pipelined request per connection: send all, then
+     collect all, measuring each from its own send. *)
+  let round k =
+    let sent =
+      Array.mapi
+        (fun i client ->
+          let id = Client.fresh_id client in
+          Client.send client
+            (Protocol.Sample
+               {
+                 id;
+                 left = "t1";
+                 right = "t2";
+                 r;
+                 strategy = Some strategy;
+                 seed = seed + (1000 * k) + i;
+                 wor = false;
+                 domains = 1;
+                 on = "col2";
+                 deadline_ms = None;
+               });
+          (id, Clock.now_s ()))
+        pool
+    in
+    Array.iteri
+      (fun i client ->
+        let id, t0 = sent.(i) in
+        match Client.collect client ~id with
+        | Ok _ ->
+            latencies := (Clock.now_s () -. t0) :: !latencies;
+            incr total
+        | Error (code, msg) ->
+            failwith
+              (Printf.sprintf "warm sample failed (%s): %s" (Protocol.error_code_to_string code) msg))
+      pool
+  in
+  let t_start = Clock.now_s () in
+  for k = 0 to requests_per_client - 1 do
+    round k
+  done;
+  let soak_rounds = ref 0 in
+  while Clock.now_s () -. t_start < soak_seconds do
+    round (requests_per_client + !soak_rounds);
+    incr soak_rounds
+  done;
+  let warm_wall = Clock.now_s () -. t_start in
+  let stats = must "cache stats" (Client.cache_stats admin) in
+  must "shutdown" (Client.shutdown admin);
+  Client.close admin;
+  let cold_sorted, cold_mean = summarize cold in
+  let single_sorted, single_mean = summarize !single in
+  let warm_sorted, warm_mean = summarize !latencies in
+  let report =
+    Json.Obj
+      [
+        ( "workload",
+          Json.Obj
+            [
+              ("n1", Json.Int scale.Zipf_tables.Scale.n1);
+              ("n2", Json.Int scale.Zipf_tables.Scale.n2);
+              ("domain", Json.Int scale.Zipf_tables.Scale.domain);
+              ("r", Json.Int r);
+              ("strategy", Json.Str strategy);
+              ("seed", Json.Int seed);
+            ] );
+        ( "cold",
+          Json.Obj
+            [
+              ("runs", Json.Int (List.length cold));
+              ("mean_s", Json.Float cold_mean);
+              ("p50_s", Json.Float (percentile cold_sorted 0.5));
+            ] );
+        ( "warm_single",
+          Json.Obj
+            [
+              ("requests", Json.Int (List.length !single));
+              ("mean_s", Json.Float single_mean);
+              ("p50_s", Json.Float (percentile single_sorted 0.5));
+              ("p99_s", Json.Float (percentile single_sorted 0.99));
+            ] );
+        ( "warm_concurrent",
+          Json.Obj
+            [
+              ("clients", Json.Int clients);
+              ("requests", Json.Int !total);
+              ("mean_s", Json.Float warm_mean);
+              ("p50_s", Json.Float (percentile warm_sorted 0.5));
+              ("p99_s", Json.Float (percentile warm_sorted 0.99));
+              ("qps", Json.Float (float_of_int !total /. warm_wall));
+              ("soak_seconds", Json.Float soak_seconds);
+              ("soak_rounds", Json.Int !soak_rounds);
+            ] );
+        ( "speedup_cold_mean_over_warm_p50",
+          Json.Float (cold_mean /. percentile single_sorted 0.5) );
+        ("cache", Json.Obj stats);
+      ]
+  in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string report);
+      output_string oc "\n";
+      close_out oc
+  | None -> ());
+  report

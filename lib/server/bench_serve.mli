@@ -1,0 +1,40 @@
+(** Cold-vs-warm load harness for the sampling service.
+
+    Measures what the warm structure cache buys end to end:
+
+    - {b cold}: repeated one-shot [rsj sample] subprocesses (CSV load +
+      structure build + sample, a fresh process each time) — the
+      batch workflow the daemon replaces;
+    - {b warm}: the same sample request over the daemon's socket from
+      several concurrent pipelined connections, every structure served
+      from the cache after the first hit.
+
+    Reports p50/p99 request latency and throughput for the warm path,
+    the cold mean/p50, and their ratio. A soak phase
+    ([RSJ_SERVE_SOAK_SECONDS] or [soak_seconds]) keeps the warm load
+    running for a wall-clock budget to surface leaks or drift. The
+    workload is the §8.1 pair at {!Rsj_workload.Zipf_tables.Scale}
+    (environment-overridable). *)
+
+val run :
+  ?clients:int ->
+  ?requests_per_client:int ->
+  ?r:int ->
+  ?cold_runs:int ->
+  ?strategy:string ->
+  ?soak_seconds:float ->
+  ?seed:int ->
+  ?out:string ->
+  unit ->
+  Rsj_obs.Json.t
+(** Runs the whole harness (generates tables in a temp dir, spawns
+    the daemon, drives the load, shuts the daemon down) and returns the
+    report; writes it to [out] when given. [clients] is the number of
+    concurrent connections (default 4, min 1); [requests_per_client]
+    the warm requests per connection (default 25); [r] the sample size
+    per request (default 64); [cold_runs] the number of one-shot
+    subprocess timings (default 5); [strategy] the strategy both sides
+    run (default "stream"); [soak_seconds] the extra warm load
+    duration (default 0, [RSJ_SERVE_SOAK_SECONDS] overrides); [out]
+    where to write the JSON report (default: not written). Raises
+    [Failure] when the daemon cannot be started or a request fails. *)

@@ -1,0 +1,74 @@
+(** Blocking client for the sampling service.
+
+    Wraps one socket connection with line framing, request-id
+    allocation and typed helpers for every {!Protocol} operation. The
+    low-level {!send}/{!next_response} pair is exposed for pipelining
+    (the bench harness keeps several requests in flight per
+    connection); the helpers are strictly request/response. *)
+
+open Rsj_relation
+
+type t
+
+val connect : Server.addr -> t
+(** Raises [Failure] when the server is unreachable. *)
+
+val close : t -> unit
+val fd : t -> Unix.file_descr
+
+val fresh_id : t -> int
+(** Next request id on this connection (monotone). *)
+
+val send : t -> Protocol.request -> unit
+(** Write one request line (blocking). *)
+
+val next_response : t -> Protocol.response
+(** Read one response frame (blocking). Raises [Failure] on EOF or an
+    undecodable frame. *)
+
+type reply = {
+  rows : Value.t list list;  (** Concatenation of the [rows] frames. *)
+  detail : (string * Rsj_obs.Json.t) list;  (** The [ok]/[done] frame's payload. *)
+}
+
+val collect : t -> id:int -> (reply, Protocol.error_code * string) result
+(** Read frames until the terminal frame for [id] arrives. Frames for
+    other ids raise [Failure] (the blocking helpers never interleave). *)
+
+val rpc : t -> Protocol.request -> (reply, Protocol.error_code * string) result
+(** {!send} then {!collect}. *)
+
+(** {1 Typed helpers} *)
+
+val ping : t -> bool
+val register_path : t -> name:string -> path:string -> (int, string) result
+(** Rows loaded, or an error message. *)
+
+val register_rows :
+  t -> name:string -> schema:(string * Value.ty) list -> rows:Value.t list list ->
+  (int, string) result
+
+val sample :
+  t ->
+  left:string ->
+  right:string ->
+  r:int ->
+  ?strategy:string ->
+  ?seed:int ->
+  ?wor:bool ->
+  ?domains:int ->
+  ?on:string ->
+  ?deadline_ms:float ->
+  unit ->
+  (reply, Protocol.error_code * string) result
+
+val query :
+  t -> sql:string -> ?seed:int -> ?deadline_ms:float -> unit ->
+  (reply, Protocol.error_code * string) result
+
+val metrics : t -> (string, string) result
+(** Prometheus text of the server's registry. *)
+
+val cache_stats : t -> ((string * Rsj_obs.Json.t) list, string) result
+val invalidate : t -> name:string -> (unit, string) result
+val shutdown : t -> (unit, string) result

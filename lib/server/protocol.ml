@@ -1,0 +1,307 @@
+open Rsj_relation
+module Json = Rsj_obs.Json
+
+type source =
+  | From_path of string
+  | Inline of (string * Value.ty) list * Value.t list list
+
+type request =
+  | Ping of { id : int }
+  | Register of { id : int; name : string; source : source }
+  | Sample of {
+      id : int;
+      left : string;
+      right : string;
+      r : int;
+      strategy : string option;
+      seed : int;
+      wor : bool;
+      domains : int;
+      on : string;
+      deadline_ms : float option;
+    }
+  | Query of { id : int; sql : string; seed : int; deadline_ms : float option }
+  | Invalidate of { id : int; name : string }
+  | Metrics of { id : int }
+  | Stats of { id : int }
+  | Shutdown of { id : int }
+
+type error_code =
+  | Bad_request
+  | Unknown_relation
+  | Unknown_strategy
+  | Engine_error
+  | Deadline_exceeded
+  | Overloaded
+  | Shutting_down
+
+type response =
+  | Ack of { id : int; detail : (string * Json.t) list }
+  | Rows of { id : int; rows : Value.t list list }
+  | Done of { id : int; detail : (string * Json.t) list }
+  | Failed of { id : int; code : error_code; message : string }
+
+let request_id = function
+  | Ping { id }
+  | Register { id; _ }
+  | Sample { id; _ }
+  | Query { id; _ }
+  | Invalidate { id; _ }
+  | Metrics { id }
+  | Stats { id }
+  | Shutdown { id } ->
+      id
+
+let response_id = function
+  | Ack { id; _ } | Rows { id; _ } | Done { id; _ } | Failed { id; _ } -> id
+
+let request_op = function
+  | Ping _ -> "ping"
+  | Register _ -> "register"
+  | Sample _ -> "sample"
+  | Query _ -> "query"
+  | Invalidate _ -> "invalidate"
+  | Metrics _ -> "metrics"
+  | Stats _ -> "stats"
+  | Shutdown _ -> "shutdown"
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_relation -> "unknown_relation"
+  | Unknown_strategy -> "unknown_strategy"
+  | Engine_error -> "engine_error"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+
+let error_code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "unknown_relation" -> Some Unknown_relation
+  | "unknown_strategy" -> Some Unknown_strategy
+  | "engine_error" -> Some Engine_error
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "overloaded" -> Some Overloaded
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Cell / schema codecs                                                *)
+
+let value_to_json = function
+  | Value.Null -> Json.Null
+  | Value.Int i -> Json.Int i
+  | Value.Float f -> Json.Float f
+  | Value.Str s -> Json.Str s
+
+let value_of_json = function
+  | Json.Null -> Ok Value.Null
+  | Json.Int i -> Ok (Value.Int i)
+  | Json.Float f -> Ok (Value.Float f)
+  | Json.Str s -> Ok (Value.Str s)
+  | Json.Bool _ | Json.List _ | Json.Obj _ -> Error "cell must be null, number or string"
+
+let tuple_to_json t = Json.List (Array.to_list (Array.map value_to_json t))
+
+let ty_to_wire = function Value.T_int -> "int" | Value.T_float -> "float" | Value.T_str -> "str"
+
+let ty_of_wire = function
+  | "int" -> Some Value.T_int
+  | "float" -> Some Value.T_float
+  | "str" -> Some Value.T_str
+  | _ -> None
+
+let schema_to_json cols =
+  Json.List
+    (List.map (fun (name, ty) -> Json.Obj [ ("name", Json.Str name); ("type", Json.Str (ty_to_wire ty)) ]) cols)
+
+(* ------------------------------------------------------------------ *)
+(* Field extraction helpers (decode side)                              *)
+
+exception Bad of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let field name j = match Json.member name j with Some v -> v | None -> failf "missing field %S" name
+
+let opt_field name j = Json.member name j
+
+let as_int name = function Json.Int i -> i | _ -> failf "field %S must be an integer" name
+
+let as_float name = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> failf "field %S must be a number" name
+
+let as_str name = function Json.Str s -> s | _ -> failf "field %S must be a string" name
+
+let as_bool name = function Json.Bool b -> b | _ -> failf "field %S must be a boolean" name
+
+let as_list name = function Json.List l -> l | _ -> failf "field %S must be a list" name
+
+let int_field name j = as_int name (field name j)
+let str_field name j = as_str name (field name j)
+
+let opt_default name conv default j =
+  match opt_field name j with Some Json.Null | None -> default | Some v -> conv name v
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+let encode_request req =
+  let base id op rest = Json.Obj (("op", Json.Str op) :: ("id", Json.Int id) :: rest) in
+  let j =
+    match req with
+    | Ping { id } -> base id "ping" []
+    | Register { id; name; source } ->
+        let src =
+          match source with
+          | From_path p -> [ ("path", Json.Str p) ]
+          | Inline (cols, rows) ->
+              [
+                ("schema", schema_to_json cols);
+                ("rows", Json.List (List.map (fun row -> Json.List (List.map value_to_json row)) rows));
+              ]
+        in
+        base id "register" (("name", Json.Str name) :: src)
+    | Sample { id; left; right; r; strategy; seed; wor; domains; on; deadline_ms } ->
+        base id "sample"
+          ([
+             ("left", Json.Str left);
+             ("right", Json.Str right);
+             ("r", Json.Int r);
+             ("seed", Json.Int seed);
+             ("wor", Json.Bool wor);
+             ("domains", Json.Int domains);
+             ("on", Json.Str on);
+           ]
+          @ (match strategy with Some s -> [ ("strategy", Json.Str s) ] | None -> [])
+          @ match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
+    | Query { id; sql; seed; deadline_ms } ->
+        base id "query"
+          ([ ("sql", Json.Str sql); ("seed", Json.Int seed) ]
+          @ match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
+    | Invalidate { id; name } -> base id "invalidate" [ ("name", Json.Str name) ]
+    | Metrics { id } -> base id "metrics" []
+    | Stats { id } -> base id "stats" []
+    | Shutdown { id } -> base id "shutdown" []
+  in
+  Json.to_string j
+
+let decode_row name j =
+  List.map
+    (fun cell -> match value_of_json cell with Ok v -> v | Error e -> failf "field %S: %s" name e)
+    (as_list name j)
+
+let decode_schema j =
+  List.map
+    (fun col ->
+      let name = str_field "name" col in
+      let ty = str_field "type" col in
+      match ty_of_wire ty with
+      | Some ty -> (name, ty)
+      | None -> failf "unknown column type %S (want int|float|str)" ty)
+    (as_list "schema" j)
+
+let decode_request line =
+  match Json.parse line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok j -> (
+      try
+        let id = int_field "id" j in
+        match str_field "op" j with
+        | "ping" -> Ok (Ping { id })
+        | "register" ->
+            let name = str_field "name" j in
+            let source =
+              match (opt_field "path" j, opt_field "rows" j) with
+              | Some p, None -> From_path (as_str "path" p)
+              | None, Some rows ->
+                  Inline (decode_schema (field "schema" j), List.map (decode_row "row") (as_list "rows" rows))
+              | Some _, Some _ -> failf "register takes path or rows, not both"
+              | None, None -> failf "register needs a path or inline rows"
+            in
+            Ok (Register { id; name; source })
+        | "sample" ->
+            Ok
+              (Sample
+                 {
+                   id;
+                   left = str_field "left" j;
+                   right = str_field "right" j;
+                   r = int_field "r" j;
+                   strategy = Option.map (as_str "strategy") (opt_field "strategy" j);
+                   seed = opt_default "seed" as_int 0x5EED j;
+                   wor = opt_default "wor" as_bool false j;
+                   domains = opt_default "domains" as_int 1 j;
+                   on = opt_default "on" as_str "col2" j;
+                   deadline_ms = Option.map (as_float "deadline_ms") (opt_field "deadline_ms" j);
+                 })
+        | "query" ->
+            Ok
+              (Query
+                 {
+                   id;
+                   sql = str_field "sql" j;
+                   seed = opt_default "seed" as_int 0x5EED j;
+                   deadline_ms = Option.map (as_float "deadline_ms") (opt_field "deadline_ms" j);
+                 })
+        | "invalidate" -> Ok (Invalidate { id; name = str_field "name" j })
+        | "metrics" -> Ok (Metrics { id })
+        | "stats" -> Ok (Stats { id })
+        | "shutdown" -> Ok (Shutdown { id })
+        | op -> Error (Printf.sprintf "unknown op %S" op)
+      with Bad msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let encode_response resp =
+  let j =
+    match resp with
+    | Ack { id; detail } -> Json.Obj (("id", Json.Int id) :: ("type", Json.Str "ok") :: detail)
+    | Rows { id; rows } ->
+        Json.Obj
+          [
+            ("id", Json.Int id);
+            ("type", Json.Str "rows");
+            ("rows", Json.List (List.map (fun row -> Json.List (List.map value_to_json row)) rows));
+          ]
+    | Done { id; detail } -> Json.Obj (("id", Json.Int id) :: ("type", Json.Str "done") :: detail)
+    | Failed { id; code; message } ->
+        Json.Obj
+          [
+            ("id", Json.Int id);
+            ("type", Json.Str "error");
+            ("code", Json.Str (error_code_to_string code));
+            ("message", Json.Str message);
+          ]
+  in
+  Json.to_string j
+
+let decode_response line =
+  match Json.parse line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok j -> (
+      try
+        let id = int_field "id" j in
+        let detail_of j =
+          match j with
+          | Json.Obj fields -> List.filter (fun (k, _) -> k <> "id" && k <> "type") fields
+          | _ -> []
+        in
+        match str_field "type" j with
+        | "ok" -> Ok (Ack { id; detail = detail_of j })
+        | "done" -> Ok (Done { id; detail = detail_of j })
+        | "rows" ->
+            let rows = List.map (decode_row "rows") (as_list "rows" (field "rows" j)) in
+            Ok (Rows { id; rows })
+        | "error" ->
+            let code_s = str_field "code" j in
+            let code =
+              match error_code_of_string code_s with
+              | Some c -> c
+              | None -> failf "unknown error code %S" code_s
+            in
+            Ok (Failed { id; code; message = str_field "message" j })
+        | ty -> Error (Printf.sprintf "unknown response type %S" ty)
+      with Bad msg -> Error msg)

@@ -1,0 +1,89 @@
+(** Wire protocol of the sampling service: newline-delimited JSON.
+
+    One request per line, one or more response frames per request. A
+    request carries a client-chosen [id]; every response frame echoes
+    it, so clients may pipeline. Row-bearing operations stream their
+    result as a sequence of [rows] frames (bounded rows per frame)
+    terminated by one [done] frame; everything else answers with a
+    single [ok] frame. Failures of any operation produce a single
+    [error] frame with a typed code.
+
+    The codec is symmetric (both encode and decode live here) so the
+    server, the client library, and the conformance tests share one
+    definition of the wire format. JSON values use {!Rsj_obs.Json} —
+    no external JSON dependency. *)
+
+open Rsj_relation
+
+(** Where a registered relation's rows come from. *)
+type source =
+  | From_path of string  (** CSV on the server's filesystem (§8.1 schema by default). *)
+  | Inline of (string * Value.ty) list * Value.t list list
+      (** Schema (name, type) pairs plus the rows themselves. *)
+
+type request =
+  | Ping of { id : int }
+  | Register of { id : int; name : string; source : source }
+      (** Bind [name] in the server catalog; re-registering replaces
+          the binding and invalidates the old relation's cache
+          entries. *)
+  | Sample of {
+      id : int;
+      left : string;
+      right : string;
+      r : int;
+      strategy : string option;  (** [None] = cost-based picker. *)
+      seed : int;
+      wor : bool;
+      domains : int;
+      on : string;  (** Join column name (both sides); default "col2". *)
+      deadline_ms : float option;
+          (** Budget from receipt to start of execution; exceeded
+              requests fail with [Deadline_exceeded] instead of
+              running. *)
+    }
+  | Query of { id : int; sql : string; seed : int; deadline_ms : float option }
+  | Invalidate of { id : int; name : string }
+      (** Drop the relation's warm-cache entries (keeps the catalog
+          binding). *)
+  | Metrics of { id : int }  (** Prometheus text of the whole registry. *)
+  | Stats of { id : int }  (** Structure-cache counters. *)
+  | Shutdown of { id : int }  (** Ack, then drain and exit. *)
+
+type error_code =
+  | Bad_request  (** Malformed JSON, unknown op, missing/ill-typed field. *)
+  | Unknown_relation
+  | Unknown_strategy
+  | Engine_error  (** SQL parse/plan/execution failure. *)
+  | Deadline_exceeded
+  | Overloaded  (** Admission controller rejected: queued sample work over budget. *)
+  | Shutting_down
+
+type response =
+  | Ack of { id : int; detail : (string * Rsj_obs.Json.t) list }
+  | Rows of { id : int; rows : Value.t list list }
+  | Done of { id : int; detail : (string * Rsj_obs.Json.t) list }
+  | Failed of { id : int; code : error_code; message : string }
+
+val request_id : request -> int
+val response_id : response -> int
+val request_op : request -> string
+(** Stable operation name ("ping", "register", ... ) for metric labels. *)
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+val value_to_json : Value.t -> Rsj_obs.Json.t
+val value_of_json : Rsj_obs.Json.t -> (Value.t, string) result
+(** Cell codec: [Null]/[Bool]→error/[Int]/[Float]/[Str] map onto
+    {!Rsj_relation.Value.t} losslessly. *)
+
+val tuple_to_json : Tuple.t -> Rsj_obs.Json.t
+
+val encode_request : request -> string
+(** One line, no trailing newline. *)
+
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

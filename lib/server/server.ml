@@ -1,0 +1,599 @@
+open Rsj_relation
+module Json = Rsj_obs.Json
+module Registry = Rsj_obs.Registry
+module Clock = Rsj_obs.Clock
+module Strategy = Rsj_core.Strategy
+module Cache = Rsj_cache.Structure_cache
+module P = Protocol
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let addr_of_string s =
+  match String.split_on_char ':' s with
+  | [ "tcp"; host; port ] -> (
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad TCP port in %S" s))
+  | "tcp" :: _ -> Error (Printf.sprintf "bad TCP address %S (want tcp:HOST:PORT)" s)
+  | [ "unix"; path ] -> Ok (Unix_path path)
+  | _ -> Ok (Unix_path s)
+
+type config = {
+  addr : addr;
+  max_queued_work : int;
+  frame_rows : int;
+  snapshot_path : string option;
+}
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+let default_config addr =
+  {
+    addr;
+    max_queued_work = env_int "RSJ_SERVE_QUEUE_BUDGET" 1_000_000;
+    frame_rows = 256;
+    snapshot_path = Sys.getenv_opt "RSJ_SERVE_SNAPSHOT";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+let m_requests op =
+  Registry.counter ~help:"Requests received by the sampling service" ~labels:[ ("op", op) ]
+    "rsj_serve_requests_total"
+
+let m_errors code =
+  Registry.counter ~help:"Request failures by typed error code"
+    ~labels:[ ("code", P.error_code_to_string code) ]
+    "rsj_serve_errors_total"
+
+let m_connections =
+  lazy (Registry.counter ~help:"Connections accepted" "rsj_serve_connections_total")
+
+let m_request_seconds =
+  lazy (Registry.histogram ~help:"Request execution latency" "rsj_serve_request_seconds")
+
+let m_queue_depth = lazy (Registry.gauge ~help:"Requests waiting in the FIFO" "rsj_serve_queue_depth")
+
+let m_queued_work =
+  lazy (Registry.gauge ~help:"Sample tuples requested by waiting requests" "rsj_serve_queued_work")
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+type mode = M_unknown | M_json | M_http
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  out : string Queue.t;  (** Encoded frames (newline included) not yet fully written. *)
+  mutable out_ofs : int;  (** Bytes of [Queue.peek out] already written. *)
+  mutable mode : mode;
+  mutable eof : bool;  (** Peer stopped sending; flush then close. *)
+  mutable dead : bool;  (** Socket error; discard without flushing. *)
+  mutable queued : int;  (** Requests from this connection still in the FIFO. *)
+}
+
+type pending = { p_conn : conn; p_req : P.request; p_enqueued_s : float; p_work : int }
+
+type state = {
+  config : config;
+  catalog : (string, Relation.t) Hashtbl.t;
+  cache : Cache.t;
+  queue : pending Queue.t;
+  mutable queued_work : int;
+  mutable stopping : bool;
+}
+
+exception Reject of P.error_code * string
+
+let rejectf code fmt = Printf.ksprintf (fun s -> raise (Reject (code, s))) fmt
+
+let lookup st name =
+  match Hashtbl.find_opt st.catalog name with
+  | Some rel -> rel
+  | None -> rejectf P.Unknown_relation "no relation %S registered (use the register op)" name
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (runs on the loop thread, FIFO)                   *)
+
+let frame_rows_of lst n =
+  (* Split [lst] into chunks of [n]. *)
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+        if k = n then go (List.rev cur :: acc) [ x ] 1 tl else go acc (x :: cur) (k + 1) tl
+  in
+  go [] [] 0 lst
+
+let stream_rows ~id ~frame_rows rows done_detail =
+  let frames =
+    List.map (fun chunk -> P.Rows { id; rows = chunk }) (frame_rows_of rows frame_rows)
+  in
+  frames @ [ P.Done { id; detail = done_detail } ]
+
+let exec_register st ~id ~name ~source =
+  let rel =
+    match source with
+    | P.From_path path ->
+        if not (Sys.file_exists path) then rejectf P.Bad_request "no such file %S" path;
+        (try Rsj_relation.Csv_io.load ~path Rsj_workload.Zipf_tables.schema
+         with Failure msg -> rejectf P.Bad_request "cannot load %S: %s" path msg)
+    | P.Inline (cols, rows) -> (
+        if cols = [] then rejectf P.Bad_request "inline register needs a non-empty schema";
+        try Relation.of_rows ~name (Schema.of_list cols) rows
+        with Invalid_argument msg -> rejectf P.Bad_request "bad inline rows: %s" msg)
+  in
+  (match Hashtbl.find_opt st.catalog name with
+  | Some old -> Cache.invalidate st.cache old
+  | None -> ());
+  Hashtbl.replace st.catalog name rel;
+  [
+    P.Ack
+      {
+        id;
+        detail =
+          [ ("name", Json.Str name); ("rows", Json.Int (Relation.cardinality rel)) ];
+      };
+  ]
+
+let exec_sample st ~id ~left ~right ~r ~strategy ~seed ~wor ~domains ~on =
+  if r < 0 then rejectf P.Bad_request "r must be non-negative, got %d" r;
+  if domains < 1 then rejectf P.Bad_request "domains must be at least 1, got %d" domains;
+  let l = lookup st left and rt = lookup st right in
+  let key_of rel =
+    match Schema.column_index_opt (Relation.schema rel) on with
+    | Some i -> i
+    | None -> rejectf P.Bad_request "relation %S has no column %S" (Relation.name rel) on
+  in
+  let left_key = key_of l and right_key = key_of rt in
+  let env = Cache.env st.cache ~seed ~left:l ~right:rt ~left_key ~right_key () in
+  let strategy, picked =
+    match strategy with
+    | Some name -> (
+        match Strategy.of_name name with
+        | Some s -> (s, None)
+        | None ->
+            rejectf P.Unknown_strategy "unknown strategy %S (try: %s)" name
+              (String.concat ", " (List.map Strategy.name Strategy.all)))
+    | None ->
+        let catalog = Rsj_optimizer.Catalog.of_env ~availability:Strategy.all_available env in
+        let s, d =
+          Rsj_optimizer.Picker.choose_counted catalog (Rsj_optimizer.Cost_model.shape ~r)
+        in
+        (s, Some d)
+  in
+  let result =
+    try
+      if wor then Rsj_parallel.run_wor env strategy ~r ~domains
+      else Rsj_parallel.run env strategy ~r ~domains
+    with Failure msg | Invalid_argument msg -> rejectf P.Engine_error "%s" msg
+  in
+  let rows = Array.to_list (Array.map Array.to_list result.Strategy.sample) in
+  let detail =
+    [
+      ("strategy", Json.Str (Strategy.name result.Strategy.strategy));
+      ("tuples", Json.Int (Array.length result.Strategy.sample));
+      ("join_size", Json.Int (Strategy.env_join_size env));
+      ("elapsed_s", Json.Float result.Strategy.elapsed_seconds);
+    ]
+    @
+    match picked with
+    | Some d ->
+        [ ("picker_reason", Json.Str (Rsj_optimizer.Picker.reason_to_string d.Rsj_optimizer.Picker.reason)) ]
+    | None -> []
+  in
+  stream_rows ~id ~frame_rows:st.config.frame_rows rows detail
+
+let exec_query st ~id ~sql ~seed =
+  let catalog = Hashtbl.fold (fun name rel acc -> (name, rel) :: acc) st.catalog [] in
+  match Rsj_sql.Engine.run ~seed catalog sql with
+  | Error msg -> rejectf P.Engine_error "%s" msg
+  | Ok result ->
+      let open Rsj_sql in
+      let rows = List.map Array.to_list result.Engine.rows in
+      let columns =
+        Array.to_list (Schema.columns result.Engine.schema)
+        |> List.map (fun (c : Schema.column) -> Json.Str c.name)
+      in
+      let detail =
+        [
+          ("columns", Json.List columns);
+          ("tuples", Json.Int (List.length rows));
+          ("work", Json.Int (Rsj_exec.Metrics.total_work result.Engine.metrics));
+          ("explained", Json.Bool result.Engine.explained);
+        ]
+        @ (if result.Engine.explained then
+             [ ("plan", Json.Str (Format.asprintf "%a" Rsj_exec.Plan.explain result.Engine.plan)) ]
+           else [])
+        @
+        match result.Engine.decision with
+        | Some d ->
+            [ ("picked", Json.Str (Strategy.name d.Rsj_optimizer.Picker.chosen)) ]
+        | None -> []
+      in
+      stream_rows ~id ~frame_rows:st.config.frame_rows rows detail
+
+let exec_stats st ~id =
+  let s = Cache.stats st.cache in
+  [
+    P.Ack
+      {
+        id;
+        detail =
+          [
+            ("hits", Json.Int s.Cache.hits);
+            ("misses", Json.Int s.Cache.misses);
+            ("evictions", Json.Int s.Cache.evictions);
+            ("invalidations", Json.Int s.Cache.invalidations);
+            ("entries", Json.Int s.Cache.entries);
+            ("bytes", Json.Int s.Cache.bytes);
+            ( "max_bytes",
+              match Cache.max_bytes st.cache with Some b -> Json.Int b | None -> Json.Null );
+          ];
+      };
+  ]
+
+let execute st (req : P.request) =
+  match req with
+  | P.Ping { id } -> [ P.Ack { id; detail = [ ("pong", Json.Bool true) ] } ]
+  | P.Register { id; name; source } -> exec_register st ~id ~name ~source
+  | P.Sample { id; left; right; r; strategy; seed; wor; domains; on; deadline_ms = _ } ->
+      exec_sample st ~id ~left ~right ~r ~strategy ~seed ~wor ~domains ~on
+  | P.Query { id; sql; seed; deadline_ms = _ } -> exec_query st ~id ~sql ~seed
+  | P.Invalidate { id; name } ->
+      Cache.invalidate st.cache (lookup st name);
+      [ P.Ack { id; detail = [ ("name", Json.Str name) ] } ]
+  | P.Metrics { id } ->
+      [ P.Ack { id; detail = [ ("prometheus", Json.Str (Registry.to_prometheus ())) ] } ]
+  | P.Stats { id } -> exec_stats st ~id
+  | P.Shutdown { id } ->
+      st.stopping <- true;
+      [ P.Ack { id; detail = [ ("stopping", Json.Bool true) ] } ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire plumbing                                                       *)
+
+let send_frame conn resp = Queue.add (P.encode_response resp ^ "\n") conn.out
+
+let send_raw conn s = Queue.add s conn.out
+
+let try_flush conn =
+  (* Write as much queued output as the socket accepts right now. *)
+  let again = ref true in
+  while !again && not (Queue.is_empty conn.out) && not conn.dead do
+    let head = Queue.peek conn.out in
+    let len = String.length head - conn.out_ofs in
+    match Unix.write_substring conn.fd head conn.out_ofs len with
+    | n ->
+        if n = len then begin
+          ignore (Queue.pop conn.out);
+          conn.out_ofs <- 0
+        end
+        else begin
+          conn.out_ofs <- conn.out_ofs + n;
+          again := false
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        again := false
+    | exception Unix.Unix_error (_, _, _) ->
+        conn.dead <- true
+  done
+
+(* Pull complete lines off the connection's input buffer, leaving any
+   trailing fragment in place. *)
+let take_lines conn =
+  let s = Buffer.contents conn.inbuf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear conn.inbuf;
+      Buffer.add_string conn.inbuf (String.sub s (last + 1) (String.length s - last - 1));
+      String.split_on_char '\n' (String.sub s 0 last)
+      |> List.map (fun line ->
+             let n = String.length line in
+             if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+      |> List.filter (fun line -> line <> "")
+
+let http_response ~status ~body =
+  Printf.sprintf "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (String.length body) body
+
+(* One HTTP request per connection ("Connection: close"): answer
+   GET /metrics with the Prometheus registry, 404 anything else. *)
+let handle_http conn =
+  let s = Buffer.contents conn.inbuf in
+  let complete =
+    (* Headers end at a blank line; we never read a body. *)
+    let rec find i =
+      if i + 1 >= String.length s then false
+      else if s.[i] = '\n' && (s.[i + 1] = '\n' || (s.[i + 1] = '\r' && i + 2 < String.length s && s.[i + 2] = '\n')) then true
+      else find (i + 1)
+    in
+    find 0
+  in
+  if complete then begin
+    let first_line =
+      match String.index_opt s '\n' with
+      | Some i ->
+          let l = String.sub s 0 i in
+          if l <> "" && l.[String.length l - 1] = '\r' then String.sub l 0 (String.length l - 1) else l
+      | None -> s
+    in
+    let response =
+      match String.split_on_char ' ' first_line with
+      | "GET" :: path :: _ when path = "/metrics" || path = "/metrics/" ->
+          http_response ~status:"200 OK" ~body:(Registry.to_prometheus ())
+      | _ -> http_response ~status:"404 Not Found" ~body:"only GET /metrics is served\n"
+    in
+    Buffer.clear conn.inbuf;
+    send_raw conn response;
+    conn.eof <- true (* flush, then close *)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Admission and the FIFO                                              *)
+
+let work_of (req : P.request) =
+  match req with
+  | P.Sample { r; _ } -> max r 1
+  | P.Query _ -> 64 (* flat charge: the engine resolves its own r *)
+  | _ -> 0
+
+let publish_queue_gauges st =
+  Registry.set_gauge (Lazy.force m_queue_depth) (float_of_int (Queue.length st.queue));
+  Registry.set_gauge (Lazy.force m_queued_work) (float_of_int st.queued_work)
+
+let fail_request conn ~id code message =
+  Registry.incr (m_errors code);
+  send_frame conn (P.Failed { id; code; message })
+
+let admit st conn (req : P.request) =
+  Registry.incr (m_requests (P.request_op req));
+  let id = P.request_id req in
+  if st.stopping then fail_request conn ~id P.Shutting_down "server is draining"
+  else begin
+    let w = work_of req in
+    if w > 0 && not (Queue.is_empty st.queue) && st.queued_work + w > st.config.max_queued_work
+    then
+      fail_request conn ~id P.Overloaded
+        (Printf.sprintf "queued sample work %d + %d exceeds budget %d" st.queued_work w
+           st.config.max_queued_work)
+    else begin
+      conn.queued <- conn.queued + 1;
+      st.queued_work <- st.queued_work + w;
+      Queue.add { p_conn = conn; p_req = req; p_enqueued_s = Clock.now_s (); p_work = w } st.queue;
+      publish_queue_gauges st
+    end
+  end
+
+let deadline_of (req : P.request) =
+  match req with
+  | P.Sample { deadline_ms; _ } | P.Query { deadline_ms; _ } -> deadline_ms
+  | _ -> None
+
+let run_pending st =
+  while not (Queue.is_empty st.queue) do
+    let { p_conn = conn; p_req = req; p_enqueued_s; p_work } = Queue.pop st.queue in
+    st.queued_work <- st.queued_work - p_work;
+    conn.queued <- conn.queued - 1;
+    publish_queue_gauges st;
+    if not conn.dead then begin
+      let id = P.request_id req in
+      let late =
+        match deadline_of req with
+        | Some budget_ms -> (Clock.now_s () -. p_enqueued_s) *. 1000. > budget_ms
+        | None -> false
+      in
+      if late then
+        fail_request conn ~id P.Deadline_exceeded
+          (Printf.sprintf "request waited past its %.0fms deadline"
+             (Option.get (deadline_of req)))
+      else begin
+        let t0 = Clock.now_s () in
+        (match execute st req with
+        | frames -> List.iter (send_frame conn) frames
+        | exception Reject (code, msg) -> fail_request conn ~id code msg
+        | exception (Failure msg | Invalid_argument msg) ->
+            fail_request conn ~id P.Engine_error msg);
+        Registry.observe (Lazy.force m_request_seconds) (Clock.now_s () -. t0)
+      end;
+      try_flush conn
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Listener                                                            *)
+
+let bind_listener addr =
+  match addr with
+  | Unix_path path ->
+      if String.length path >= 100 then
+        failwith
+          (Printf.sprintf "socket path %S too long for a Unix socket (limit ~107 bytes)" path);
+      (* A crashed daemon leaves its socket file behind; a live one is
+         protected only by convention, like most Unix-socket servers. *)
+      (try if (Unix.lstat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+       with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.bind fd (Unix.ADDR_UNIX path)
+       with Unix.Unix_error (e, _, _) ->
+         Unix.close fd;
+         failwith (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e)));
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> failwith (Printf.sprintf "cannot resolve host %S" host)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (try Unix.bind fd (Unix.ADDR_INET (inet, port))
+       with Unix.Unix_error (e, _, _) ->
+         Unix.close fd;
+         failwith (Printf.sprintf "cannot bind port %d: %s" port (Unix.error_message e)));
+      Unix.listen fd 64;
+      fd
+
+let close_listener addr fd =
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  match addr with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | Tcp _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+
+let stop_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let request_stop = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  (try Sys.set_signal Sys.sigterm request_stop with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint request_stop with Invalid_argument _ -> ());
+  (* A client vanishing mid-write must not kill the daemon. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let write_snapshot config =
+  let text = Registry.to_prometheus () in
+  match config.snapshot_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+  | None ->
+      prerr_string "# final metrics snapshot\n";
+      prerr_string text
+
+let handle_input st conn =
+  (match conn.mode with
+  | M_unknown ->
+      let s = Buffer.contents conn.inbuf in
+      if String.length s >= 4 then
+        conn.mode <- (if String.sub s 0 4 = "GET " then M_http else M_json)
+      else if String.length s > 0 && s.[0] <> 'G' then conn.mode <- M_json
+  | M_json | M_http -> ());
+  match conn.mode with
+  | M_http -> handle_http conn
+  | M_json ->
+      List.iter
+        (fun line ->
+          match P.decode_request line with
+          | Ok req -> admit st conn req
+          | Error msg ->
+              Registry.incr (m_errors P.Bad_request);
+              send_frame conn (P.Failed { id = -1; code = P.Bad_request; message = msg }))
+        (take_lines conn)
+  | M_unknown -> ()
+
+let run ?(on_ready = fun () -> ()) config =
+  Atomic.set stop_requested false;
+  install_signal_handlers ();
+  let listener = bind_listener config.addr in
+  Unix.set_nonblock listener;
+  let st =
+    {
+      config;
+      catalog = Hashtbl.create 16;
+      cache = Cache.shared ();
+      queue = Queue.create ();
+      queued_work = 0;
+      stopping = false;
+    }
+  in
+  let conns = ref [] in
+  let listening = ref true in
+  let buf = Bytes.create 65536 in
+  on_ready ();
+  let close_conn conn =
+    (try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ());
+    conns := List.filter (fun c -> c != conn) !conns
+  in
+  let accept_all () =
+    let again = ref true in
+    while !again do
+      match Unix.accept listener with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          Registry.incr (Lazy.force m_connections);
+          conns :=
+            {
+              fd;
+              inbuf = Buffer.create 256;
+              out = Queue.create ();
+              out_ofs = 0;
+              mode = M_unknown;
+              eof = false;
+              dead = false;
+              queued = 0;
+            }
+            :: !conns
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          again := false
+      | exception Unix.Unix_error (_, _, _) -> again := false
+    done
+  in
+  let read_conn conn =
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 -> conn.eof <- true
+    | n -> Buffer.add_subbytes conn.inbuf buf 0 n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> conn.dead <- true
+  in
+  let finished = ref false in
+  while not !finished do
+    if Atomic.get stop_requested then st.stopping <- true;
+    (* Shutdown: release the address first so a replacement can bind,
+       then drain below. *)
+    if st.stopping && !listening then begin
+      close_listener config.addr listener;
+      listening := false
+    end;
+    let reads =
+      (if !listening then [ listener ] else [])
+      @ List.filter_map
+          (fun c -> if c.dead || c.eof then None else Some c.fd)
+          !conns
+    in
+    let writes =
+      List.filter_map (fun c -> if not c.dead && not (Queue.is_empty c.out) then Some c.fd else None) !conns
+    in
+    (match Unix.select reads writes [] 0.2 with
+    | readable, writable, _ ->
+        if !listening && List.mem listener readable then accept_all ();
+        List.iter
+          (fun c ->
+            if List.mem c.fd readable then begin
+              read_conn c;
+              if not c.dead then handle_input st c
+            end;
+            if List.mem c.fd writable then try_flush c)
+          !conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    run_pending st;
+    List.iter (fun c -> if not c.dead then try_flush c) !conns;
+    (* Reap: errored connections immediately; EOF'd ones once their
+       queued requests have answered and the output drained. *)
+    List.iter
+      (fun c ->
+        if c.dead || (c.eof && c.queued = 0 && Queue.is_empty c.out) then close_conn c)
+      (List.filter (fun c -> c.dead || c.eof) !conns);
+    if st.stopping && Queue.is_empty st.queue then begin
+      (* Drained. Give every connection one last flush, then leave. *)
+      List.iter
+        (fun c ->
+          if not c.dead then try_flush c;
+          close_conn c)
+        !conns;
+      finished := true
+    end
+  done;
+  if !listening then close_listener config.addr listener;
+  write_snapshot config

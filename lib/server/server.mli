@@ -1,0 +1,58 @@
+(** The [rsj serve] daemon: a long-running sampling service.
+
+    One process holds the registered relations and the process-wide
+    {!Rsj_cache.Structure_cache}, so the auxiliary structures every
+    strategy needs (paper Table 1) are built once and reused across
+    requests — the warm path. The event loop is a single-threaded
+    [Unix.select] multiplexer: any number of clients connect and
+    pipeline newline-delimited JSON requests ({!Protocol}); requests
+    are executed FIFO on the loop thread, so for a fixed seed a served
+    sample is byte-identical to the same in-process run
+    ({!Rsj_parallel.run} at the requested domain count).
+
+    Operational behavior:
+    - {b Deadlines}: a request carrying [deadline_ms] fails with
+      [Deadline_exceeded] if it is still queued when the budget
+      elapses — it never starts late.
+    - {b Admission control}: queued sample work (the sum of requested
+      [r] over waiting requests) is capped; requests beyond the cap
+      are rejected immediately with [Overloaded] rather than queued.
+      A request is always admitted when the queue is empty, so the
+      service keeps making progress whatever the cap.
+    - {b Metrics}: [GET /metrics] on the same socket answers with the
+      Prometheus text of {!Rsj_obs.Registry} (the listener sniffs the
+      first bytes; JSON clients are unaffected), covering the
+      [rsj_structure_cache_*] and [rsj_serve_*] families.
+    - {b Graceful shutdown}: SIGINT/SIGTERM (or a [shutdown] request)
+      stop the accept path, close and unlink the listening socket
+      {e first} (so a replacement daemon can bind immediately), drain
+      the queued requests, flush every connection, and write a final
+      metrics snapshot. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+
+val addr_of_string : string -> (addr, string) result
+(** ["tcp:HOST:PORT"] is TCP; anything else is a Unix-domain socket
+    path (an explicit ["unix:"] prefix is stripped). *)
+
+type config = {
+  addr : addr;
+  max_queued_work : int;
+      (** Admission cap on queued sample tuples (default 1_000_000;
+          [RSJ_SERVE_QUEUE_BUDGET] overrides). *)
+  frame_rows : int;  (** Rows per streamed [rows] frame (default 256). *)
+  snapshot_path : string option;
+      (** Where the final metrics snapshot goes; [None] = stderr
+          ([RSJ_SERVE_SNAPSHOT] overrides). *)
+}
+
+val default_config : addr -> config
+(** Defaults with the environment overrides applied. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Bind, listen and serve until shutdown. [on_ready] fires once the
+    socket is listening (an embedding can synchronize on it). A stale
+    Unix socket file left by a crashed daemon is unlinked before
+    binding. Raises [Failure] on bind/listen errors. *)

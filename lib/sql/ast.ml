@@ -17,7 +17,13 @@ type select_item =
 
 type direction = Asc | Desc
 
-type sample_clause = { size : int; strategy : string option }
+type sample_size = Abs of int | Pct of float
+
+type sample_clause = { size : sample_size; strategy : string option }
+
+let sample_size_to_string = function
+  | Abs n -> string_of_int n
+  | Pct p -> Printf.sprintf "%g%%" p
 
 type query = {
   explain : bool;  (** [EXPLAIN SELECT ...]: plan, don't execute. *)
@@ -94,7 +100,7 @@ let pp_query ppf q =
             q.order_by));
   (match q.sample with
   | Some s ->
-      Format.fprintf ppf " sample %d%s" s.size
+      Format.fprintf ppf " sample %s%s" (sample_size_to_string s.size)
         (match s.strategy with Some st -> " using " ^ st | None -> "")
   | None -> ());
   match q.limit with Some n -> Format.fprintf ppf " limit %d" n | None -> ()

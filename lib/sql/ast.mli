@@ -28,13 +28,23 @@ type select_item =
 
 type direction = Asc | Desc
 
+(** Requested sample size: an absolute tuple count, or a percentage of
+    the (estimated) join size. The fraction form resolves to an
+    absolute r at planning time, {e before} the cost-based picker runs
+    (the picker's cost formulas take absolute r). *)
+type sample_size =
+  | Abs of int  (** [SAMPLE n] — n tuples, WR semantics. *)
+  | Pct of float  (** [SAMPLE p%] — p in (0, 100], of the join size. *)
+
 type sample_clause = {
-  size : int;  (** Sample size r (WR semantics). *)
+  size : sample_size;
   strategy : string option;
       (** Strategy name after USING; [None] = cost-based picker (or a
           root reservoir when the query shape is not a two-table
           equi-join). *)
 }
+
+val sample_size_to_string : sample_size -> string
 
 type query = {
   explain : bool;  (** [EXPLAIN SELECT ...]: plan (and pick), don't execute. *)

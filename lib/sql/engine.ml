@@ -213,6 +213,19 @@ let picker_shape_ok bindings classified =
   | [ _; _ ], [ _ ], [] -> true
   | _ -> false
 
+(* Resolve a SAMPLE size to an absolute tuple count. The fraction form
+   is a share of the join size, which the env's frequency statistics
+   give exactly (and, routed through the structure cache, cheaply);
+   this happens before the picker runs, so the picker's cost formulas
+   always see absolute r. *)
+let resolve_sample_size env (size : Ast.sample_size) =
+  match size with
+  | Ast.Abs n -> n
+  | Ast.Pct p ->
+      let join_size = Strategy.env_join_size env in
+      if join_size = 0 then 0
+      else max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int join_size)))
+
 let strategy_sample_plan ~seed bindings classified (sample : Ast.sample_clause) route =
   match (bindings, classified.equijoins, classified.residual) with
   | [ b1; b2 ], [ (l, r) ], [] ->
@@ -233,8 +246,17 @@ let strategy_sample_plan ~seed bindings classified (sample : Ast.sample_clause) 
         else (resolve local1 r, resolve local2 l)
       in
       let env =
-        Strategy.make_env ~seed ~left:left_rel ~right:right_rel ~left_key ~right_key ()
+        (* Unfiltered inputs are the caller's own relations: their
+           auxiliary structures are memoized in the shared structure
+           cache, so repeated queries stop rebuilding. A filtered input
+           is a fresh one-shot relation — don't pollute the cache. *)
+        if left_rel == b1.relation && right_rel == b2.relation then
+          Rsj_cache.Structure_cache.env
+            (Rsj_cache.Structure_cache.shared ())
+            ~seed ~left:left_rel ~right:right_rel ~left_key ~right_key ()
+        else Strategy.make_env ~seed ~left:left_rel ~right:right_rel ~left_key ~right_key ()
       in
+      let size = resolve_sample_size env sample.Ast.size in
       let strategy, decision =
         match route with
         | Named s -> (s, None)
@@ -245,16 +267,16 @@ let strategy_sample_plan ~seed bindings classified (sample : Ast.sample_clause) 
             let catalog =
               Rsj_optimizer.Catalog.of_env ~availability:Strategy.all_available env
             in
-            let shape = Rsj_optimizer.Cost_model.shape ~r:sample.Ast.size in
+            let shape = Rsj_optimizer.Cost_model.shape ~r:size in
             let s, d = Rsj_optimizer.Picker.choose_counted catalog shape in
             (s, Some d)
       in
-      let res = Strategy.run env strategy ~r:sample.Ast.size in
+      let res = Strategy.run env strategy ~r:size in
       let schema =
         Schema.concat (Relation.schema left_rel) (Relation.schema right_rel)
       in
       let rows = res.Strategy.sample in
-      ( Plan.source_of_stream ~name:(Printf.sprintf "Sample[%s, r=%d]" (Strategy.name strategy) sample.Ast.size)
+      ( Plan.source_of_stream ~name:(Printf.sprintf "Sample[%s, r=%d]" (Strategy.name strategy) size)
           schema
           (fun () -> Stream0.of_array rows),
         decision )
@@ -407,11 +429,17 @@ let plan_query_exn ?(seed = 0x5EED) catalog (query : Ast.query) =
               Plan.Filter (column_predicate lpos Ast.Eq rpos, acc))
             with_residual unused_joins
         in
-        (* Plain SAMPLE n: reservoir at the root (Naive-Sample). *)
+        (* Plain SAMPLE n: reservoir at the root (Naive-Sample). The
+           fraction form needs a join-size estimate, which only the
+           two-table equi-join shape provides. *)
         (match query.Ast.sample with
-        | Some { Ast.size; strategy = None } ->
+        | Some { Ast.size = Ast.Abs size; strategy = None } ->
             let rng = Rsj_util.Prng.create ~seed () in
             Rsj_core.Sample_op.u2 rng ~r:size with_unused_joins
+        | Some { Ast.size = Ast.Pct _; strategy = None } ->
+            fail
+              "SAMPLE with a percentage requires the two-table equi-join shape (the fraction \
+               resolves against the estimated join size)"
         | Some _ | None -> with_unused_joins)
   in
   let sort_plan keys names plan =

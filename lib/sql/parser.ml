@@ -62,7 +62,7 @@ let tokenize input =
           i := !i + 2
       | _ -> (
           match c with
-          | ',' | '.' | '(' | ')' | '*' | '=' | '<' | '>' ->
+          | ',' | '.' | '(' | ')' | '*' | '=' | '<' | '>' | '%' ->
               push (String.make 1 c);
               incr i
           | _ -> error := Some (Printf.sprintf "unexpected character %C at position %d" c !i))
@@ -278,7 +278,30 @@ let query st =
       once "GROUP BY" group_by (comma_separated st column)
     end
     else if accept_keyword st "sample" then begin
-      let size = positive_int st "SAMPLE" in
+      (* SAMPLE n (absolute) or SAMPLE p% (fraction of the estimated
+         join size, resolved at planning time). The fraction may be
+         non-integral ("sample 2.5%") and must lie in (0, 100]. *)
+      let num =
+        match peek st with
+        | Some tok -> (
+            match float_of_string_opt tok with
+            | Some v when v >= 0. && String.length tok > 0 && is_digit tok.[0] ->
+                advance st;
+                v
+            | _ -> fail "expected non-negative number after SAMPLE, found %S" tok)
+        | None -> fail "expected number after SAMPLE"
+      in
+      let size =
+        match peek st with
+        | Some "%" ->
+            advance st;
+            if num <= 0. || num > 100. then
+              fail "SAMPLE fraction must be in (0, 100], got %g%%" num;
+            Ast.Pct num
+        | _ ->
+            if Float.is_integer num then Ast.Abs (int_of_float num)
+            else fail "SAMPLE size must be an integer (or a percentage), got %g" num
+      in
       let strategy = if accept_keyword st "using" then Some (ident st) else None in
       once "SAMPLE" sample { Ast.size; strategy }
     end

@@ -1,0 +1,32 @@
+(* Daemon helper for the serve suite: [serve_child.exe SOCK SNAPSHOT
+   BUDGET PLANE]. The tests exec this instead of forking because
+   OCaml 5 forbids [Unix.fork] in any process that has ever spawned a
+   domain — and by the time the serve suite runs inside the monolithic
+   test binary, the parallel suites have. BUDGET <= 0 keeps the
+   default admission cap; PLANE ([boxed] or [int]) pins the column
+   data plane before any relation is built, so served samples are
+   byte-comparable to the parent's in-process runs on either plane. *)
+
+module Server = Rsj_server.Server
+module Column = Rsj_relation.Column
+
+let () =
+  match Sys.argv with
+  | [| _; sock; snapshot; budget; plane |] ->
+      Column.set_mode (if plane = "int" then Column.Int_keys else Column.Boxed);
+      let base = Server.default_config (Server.Unix_path sock) in
+      let config =
+        {
+          base with
+          Server.snapshot_path = Some snapshot;
+          Server.max_queued_work =
+            (match int_of_string_opt budget with
+            | Some b when b > 0 -> b
+            | _ -> base.Server.max_queued_work);
+        }
+      in
+      (try Server.run config with _ -> ());
+      exit 0
+  | _ ->
+      prerr_endline "usage: serve_child.exe SOCK SNAPSHOT BUDGET PLANE";
+      exit 2

@@ -1,0 +1,127 @@
+(* The warm structure cache (lib/cache): hit/miss accounting,
+   fingerprint-based staleness, explicit invalidation, the LRU byte
+   budget, and the warm env being a faithful drop-in for
+   Strategy.make_env. *)
+
+open Rsj_relation
+module Cache = Rsj_cache.Structure_cache
+module Strategy = Rsj_core.Strategy
+module Zipf_tables = Rsj_workload.Zipf_tables
+
+let make_pair ?(seed = 0xCAFE) () =
+  Zipf_tables.make_pair ~seed ~n1:60 ~n2:240 ~z1:1. ~z2:1. ~domain:24 ()
+
+let key = Zipf_tables.col2
+
+let test_hit_miss_accounting () =
+  let c = Cache.create () in
+  let pair = make_pair () in
+  let i1 = Cache.hash_index c pair.Zipf_tables.inner ~key in
+  let s0 = Cache.stats c in
+  Alcotest.(check int) "first build is a miss" 1 s0.Cache.misses;
+  Alcotest.(check int) "no hits yet" 0 s0.Cache.hits;
+  let i2 = Cache.hash_index c pair.Zipf_tables.inner ~key in
+  let s1 = Cache.stats c in
+  Alcotest.(check int) "second touch is a hit" 1 s1.Cache.hits;
+  Alcotest.(check int) "still one miss" 1 s1.Cache.misses;
+  Alcotest.(check bool) "the very same structure is served" true (i1 == i2);
+  (* A different structure kind on the same column is its own entry. *)
+  ignore (Cache.frequency c pair.Zipf_tables.inner ~key);
+  let s2 = Cache.stats c in
+  Alcotest.(check int) "frequency is a second miss" 2 s2.Cache.misses;
+  Alcotest.(check int) "two live entries" 2 s2.Cache.entries;
+  Alcotest.(check bool) "footprint is measured" true (s2.Cache.bytes > 0)
+
+(* Mutation bumps the relation's version, so the fingerprint key stops
+   matching: the stale structure can never be served again. *)
+let test_mutation_invalidates () =
+  let c = Cache.create () in
+  let pair = make_pair () in
+  let rel = pair.Zipf_tables.inner in
+  let idx = Cache.hash_index c rel ~key in
+  Relation.append rel [| Value.Int 9999; Value.Int 1; Value.str "pad" |];
+  let idx' = Cache.hash_index c rel ~key in
+  let s = Cache.stats c in
+  Alcotest.(check bool) "post-append structure is a fresh build" true (not (idx == idx'));
+  Alcotest.(check int) "both builds were misses" 2 s.Cache.misses;
+  Alcotest.(check bool) "stale entry dropped as an invalidation" true
+    (s.Cache.invalidations >= 1);
+  Alcotest.(check int) "only the fresh entry lives" 1 s.Cache.entries
+
+let test_explicit_invalidate () =
+  let c = Cache.create () in
+  let pair = make_pair () in
+  let rel = pair.Zipf_tables.inner in
+  ignore (Cache.hash_index c rel ~key);
+  ignore (Cache.frequency c rel ~key);
+  Cache.invalidate c rel;
+  let s = Cache.stats c in
+  Alcotest.(check int) "no live entries" 0 s.Cache.entries;
+  Alcotest.(check int) "zero bytes held" 0 s.Cache.bytes;
+  Alcotest.(check bool) "invalidations counted" true (s.Cache.invalidations >= 2);
+  ignore (Cache.hash_index c rel ~key);
+  Alcotest.(check int) "rebuild after invalidate is a miss" 3 (Cache.stats c).Cache.misses
+
+(* The byte budget: measure one relation's structure footprint with an
+   unbounded cache, then give a bounded cache room for about two of
+   them and insert five. LRU entries must be evicted and the measured
+   footprint must stay within the budget (every entry individually
+   fits, so the invariant is enforceable). *)
+let test_lru_eviction_budget () =
+  let pairs = List.init 5 (fun i -> make_pair ~seed:(0xCAFE + (17 * (i + 1))) ()) in
+  let probe = Cache.create () in
+  ignore (Cache.hash_index probe (List.hd pairs).Zipf_tables.inner ~key);
+  let per_relation = (Cache.stats probe).Cache.bytes in
+  Alcotest.(check bool) "probe measured something" true (per_relation > 0);
+  let budget = 2 * per_relation in
+  let c = Cache.create ~max_bytes:budget () in
+  Alcotest.(check bool) "budget is reported" true (Cache.max_bytes c = Some budget);
+  List.iter (fun p -> ignore (Cache.hash_index c p.Zipf_tables.inner ~key)) pairs;
+  let s = Cache.stats c in
+  Alcotest.(check bool)
+    (Printf.sprintf "evictions happened (%d entries, %d bytes)" s.Cache.entries s.Cache.bytes)
+    true
+    (s.Cache.evictions > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint %d within budget %d" s.Cache.bytes budget)
+    true
+    (s.Cache.bytes <= budget);
+  Alcotest.(check bool) "something still cached" true (s.Cache.entries > 0);
+  (* The most recently inserted relation survived (LRU evicts oldest). *)
+  let last = List.nth pairs 4 in
+  let before = (Cache.stats c).Cache.hits in
+  ignore (Cache.hash_index c last.Zipf_tables.inner ~key);
+  Alcotest.(check int) "newest entry was retained" (before + 1) (Cache.stats c).Cache.hits
+
+(* The warm env must be a faithful drop-in: same seed, same strategy,
+   byte-identical sample — the cache only changes who builds the
+   structures, never what is sampled. *)
+let test_warm_env_identical () =
+  let pair = make_pair () in
+  let left = pair.Zipf_tables.outer and right = pair.Zipf_tables.inner in
+  let sample_of env s =
+    (Rsj_parallel.run env s ~r:24 ~domains:1).Strategy.sample
+    |> Array.map Tuple.to_string |> Array.to_list
+  in
+  let c = Cache.create () in
+  List.iter
+    (fun s ->
+      let cold =
+        Strategy.make_env ~seed:77 ~left ~right ~left_key:key ~right_key:key ()
+      in
+      let warm = Cache.env c ~seed:77 ~left ~right ~left_key:key ~right_key:key () in
+      Alcotest.(check (list string))
+        (Strategy.name s ^ ": warm env samples identically")
+        (sample_of cold s) (sample_of warm s))
+    Strategy.all;
+  Alcotest.(check bool) "repeated envs actually hit the cache" true
+    ((Cache.stats c).Cache.hits > 0)
+
+let suite =
+  [
+    Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss_accounting;
+    Alcotest.test_case "mutation invalidates via fingerprint" `Quick test_mutation_invalidates;
+    Alcotest.test_case "explicit invalidate" `Quick test_explicit_invalidate;
+    Alcotest.test_case "LRU eviction respects the byte budget" `Quick test_lru_eviction_budget;
+    Alcotest.test_case "warm env is sample-identical to cold" `Quick test_warm_env_identical;
+  ]

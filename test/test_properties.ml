@@ -278,7 +278,7 @@ let prop_parser_roundtrip =
           where;
           group_by = [];
           order_by = [];
-          sample = Some { Rsj_sql.Ast.size = 5; strategy = Some "stream" };
+          sample = Some { Rsj_sql.Ast.size = Rsj_sql.Ast.Abs 5; strategy = Some "stream" };
           limit = Some 3;
         }
       in

@@ -1,0 +1,470 @@
+(* The sampling service end to end: a daemon subprocess (the
+   [serve_child.exe] helper, exec'd — OCaml 5 forbids fork once the
+   parallel suites have spawned domains in this binary) driven over
+   its Unix socket. Covers the conformance contract (served
+   samples byte-identical to in-process runs, all eight strategies,
+   both data planes; a chi-square cell through the served path),
+   the operational behavior (deadlines, admission control, graceful
+   SIGTERM shutdown with socket unlink + metrics snapshot, the warm
+   cache's byte budget over the wire) and the HTTP metrics endpoint. *)
+
+open Rsj_relation
+module Server = Rsj_server.Server
+module Client = Rsj_server.Client
+module P = Rsj_server.Protocol
+module Cache = Rsj_cache.Structure_cache
+module Strategy = Rsj_core.Strategy
+module Zipf_tables = Rsj_workload.Zipf_tables
+module Oracle = Rsj_verify.Oracle
+module Kernel = Rsj_verify.Kernel
+module Json = Rsj_obs.Json
+
+let key = Zipf_tables.col2
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---------- plumbing: spawn a daemon, connect, always reap ---------- *)
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rsj-test-serve-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let cleanup_dir dir =
+  (try Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) (Sys.readdir dir)
+   with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ()
+
+let mode_name = function Column.Boxed -> "boxed" | Column.Int_keys -> "int"
+
+(* The daemon helper lives next to this binary in _build. The child
+   inherits our environment (RSJ_CACHE_BYTES etc.) and is told the
+   current column data plane so served samples stay byte-comparable
+   to in-process runs on either plane. *)
+let serve_child_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "serve_child.exe"
+
+let spawn_server ?(max_queued_work = 0) ~sock ~snapshot () =
+  let argv =
+    [| serve_child_exe; sock; snapshot; string_of_int max_queued_work;
+       mode_name (Column.mode ()) |]
+  in
+  Unix.create_process serve_child_exe argv Unix.stdin Unix.stdout Unix.stderr
+
+let connect_with_retry addr =
+  let rec go attempts =
+    match Client.connect addr with
+    | client -> client
+    | exception Failure _ when attempts > 0 ->
+        Unix.sleepf 0.05;
+        go (attempts - 1)
+  in
+  go 100
+
+let with_server ?max_queued_work f =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "rsj.sock" in
+  let snapshot = Filename.concat dir "snapshot.prom" in
+  let pid = spawn_server ?max_queued_work ~sock ~snapshot () in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ());
+      cleanup_dir dir)
+  @@ fun () ->
+  let client = connect_with_retry (Server.Unix_path sock) in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () -> f ~sock ~snapshot client
+
+let must what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s failed: %s" what msg
+
+let must_reply what = function
+  | Ok (reply : Client.reply) -> reply
+  | Error (code, msg) ->
+      Alcotest.failf "%s failed (%s): %s" what (P.error_code_to_string code) msg
+
+let zipf_schema = [ ("rid", Value.T_int); ("col2", Value.T_int); ("pad", Value.T_str) ]
+
+let rows_of rel =
+  let acc = ref [] in
+  Relation.iter rel (fun t -> acc := Array.to_list t :: !acc);
+  List.rev !acc
+
+let make_pair ?(seed = 0xBEEF) () =
+  Zipf_tables.make_pair ~seed ~n1:60 ~n2:240 ~z1:1. ~z2:1. ~domain:24 ()
+
+let register_pair client pair =
+  ignore
+    (must "register t1" (Client.register_rows client ~name:"t1" ~schema:zipf_schema
+                           ~rows:(rows_of pair.Zipf_tables.outer)));
+  ignore
+    (must "register t2" (Client.register_rows client ~name:"t2" ~schema:zipf_schema
+                           ~rows:(rows_of pair.Zipf_tables.inner)))
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* ---------- conformance: served ≡ in-process ---------- *)
+
+let with_mode mode f =
+  let prev = Column.mode () in
+  Column.set_mode mode;
+  Fun.protect ~finally:(fun () -> Column.set_mode prev) f
+
+let local_env' ~seed pair =
+  Strategy.make_env ~seed ~left:pair.Zipf_tables.outer ~right:pair.Zipf_tables.inner
+    ~left_key:key ~right_key:key ()
+
+(* For a fixed seed at domains=1 the daemon must return the very same
+   bytes as the same run in this process: the FIFO loop and the warm
+   cache may change who builds the structures and when, never what is
+   sampled. Checked for every strategy under both data planes (the
+   daemon is told the current column mode), plus the WoR conversion. *)
+let test_served_identical () =
+  List.iter
+    (fun mode ->
+      with_mode mode @@ fun () ->
+      let pair = make_pair () in
+      with_server @@ fun ~sock:_ ~snapshot:_ client ->
+      register_pair client pair;
+      let local_env () =
+        Strategy.make_env ~seed:4242 ~left:pair.Zipf_tables.outer
+          ~right:pair.Zipf_tables.inner ~left_key:key ~right_key:key ()
+      in
+      let strings_of (result : Strategy.result) =
+        result.Strategy.sample |> Array.map Tuple.to_string |> Array.to_list
+      in
+      List.iter
+        (fun s ->
+          let label = mode_name mode ^ "/" ^ Strategy.name s in
+          let served =
+            (must_reply label
+               (Client.sample client ~left:"t1" ~right:"t2" ~r:25
+                  ~strategy:(Strategy.name s) ~seed:4242 ~domains:1 ()))
+              .Client.rows
+            |> List.map (fun row -> Tuple.to_string (Array.of_list row))
+          in
+          let local = strings_of (Rsj_parallel.run (local_env ()) s ~r:25 ~domains:1) in
+          Alcotest.(check (list string)) (label ^ ": served = in-process") local served)
+        Strategy.all;
+      let served_wor =
+        (must_reply "wor"
+           (Client.sample client ~left:"t1" ~right:"t2" ~r:20 ~strategy:"stream" ~seed:99
+              ~wor:true ~domains:1 ()))
+          .Client.rows
+        |> List.map (fun row -> Tuple.to_string (Array.of_list row))
+      in
+      let local_wor =
+        strings_of (Rsj_parallel.run_wor (local_env' ~seed:99 pair) Strategy.Stream ~r:20 ~domains:1)
+      in
+      Alcotest.(check (list string))
+        (mode_name mode ^ "/stream WoR: served = in-process")
+        local_wor served_wor)
+    [ Column.Boxed; Column.Int_keys ]
+
+(* ---------- conformance: a chi-square cell through the socket ---------- *)
+
+(* The daemon's samples must not merely match bytes at one seed — the
+   distribution across seeds must still follow the WR law. Pool many
+   served draws per attempt and run the standard kernel cell against
+   the exact join oracle; Oracle.observe also rejects any served tuple
+   that is not a genuine join row. *)
+let test_served_chi_square () =
+  let pair = Zipf_tables.make_pair ~seed:0xD1CE ~n1:30 ~n2:120 ~z1:1. ~z2:1. ~domain:12 () in
+  let oracle =
+    Oracle.of_relations ~left:pair.Zipf_tables.outer ~right:pair.Zipf_tables.inner
+      ~left_key:key ~right_key:key
+  in
+  with_server @@ fun ~sock:_ ~snapshot:_ client ->
+  register_pair client pair;
+  let r = 40 and reqs = 30 in
+  let outcome =
+    Kernel.run
+      { Kernel.default with Kernel.comparisons = 1 }
+      Kernel.Chi_square
+      ~sample:(fun ~attempt ->
+        let counter = Oracle.counter oracle in
+        for k = 0 to reqs - 1 do
+          let reply =
+            must_reply "served draw"
+              (Client.sample client ~left:"t1" ~right:"t2" ~r ~strategy:"stream"
+                 ~seed:(100_000 + (1_000 * attempt) + k) ())
+          in
+          List.iter (fun row -> Oracle.observe oracle counter (Array.of_list row)) reply.Client.rows
+        done;
+        (Oracle.wr_expected oracle ~draws:(r * reqs), counter))
+  in
+  Alcotest.(check bool) "served WR draws pass the chi-square cell" true outcome.Kernel.passed
+
+(* ---------- SQL and the fraction form over the wire ---------- *)
+
+let test_query_over_wire () =
+  let pair = make_pair () in
+  with_server @@ fun ~sock:_ ~snapshot:_ client ->
+  register_pair client pair;
+  let reply =
+    must_reply "query"
+      (Client.query client
+         ~sql:"select * from t1, t2 where t1.col2 = t2.col2 sample 8 using stream" ())
+  in
+  Alcotest.(check int) "8 sampled rows" 8 (List.length reply.Client.rows);
+  let join_size = Strategy.env_join_size (local_env' ~seed:1 pair) in
+  let expect = max 1 (int_of_float (Float.ceil (0.05 *. float_of_int join_size))) in
+  let frac =
+    must_reply "fraction query"
+      (Client.query client
+         ~sql:"select * from t1, t2 where t1.col2 = t2.col2 sample 5% using stream" ())
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "5%% of |J|=%d resolves to %d rows" join_size expect)
+    expect
+    (List.length frac.Client.rows)
+
+(* ---------- typed errors and explicit invalidation ---------- *)
+
+let stat_int stats field =
+  match List.assoc_opt field stats with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.failf "cache stats carry no integer %S" field
+
+let test_typed_errors_and_invalidate () =
+  let pair = make_pair () in
+  with_server @@ fun ~sock:_ ~snapshot:_ client ->
+  (match Client.sample client ~left:"ghost" ~right:"ghoul" ~r:4 () with
+  | Error (P.Unknown_relation, _) -> ()
+  | Ok _ -> Alcotest.fail "sampling unregistered relations succeeded"
+  | Error (code, _) ->
+      Alcotest.failf "expected unknown_relation, got %s" (P.error_code_to_string code));
+  register_pair client pair;
+  (match Client.sample client ~left:"t1" ~right:"t2" ~r:4 ~strategy:"bogus" () with
+  | Error (P.Unknown_strategy, msg) ->
+      Alcotest.(check bool) "message lists the valid names" true (contains "Olken" msg)
+  | Ok _ -> Alcotest.fail "bogus strategy succeeded"
+  | Error (code, _) ->
+      Alcotest.failf "expected unknown_strategy, got %s" (P.error_code_to_string code));
+  (* Olken forces the R2 index into the warm cache; invalidate drops it. *)
+  ignore
+    (must_reply "olken sample"
+       (Client.sample client ~left:"t1" ~right:"t2" ~r:8 ~strategy:"olken" ~seed:3 ()));
+  let entries0 = stat_int (must "stats" (Client.cache_stats client)) "entries" in
+  Alcotest.(check bool) "structures cached after sampling" true (entries0 > 0);
+  must "invalidate" (Client.invalidate client ~name:"t2");
+  let entries1 = stat_int (must "stats" (Client.cache_stats client)) "entries" in
+  Alcotest.(check bool)
+    (Printf.sprintf "invalidate dropped entries (%d -> %d)" entries0 entries1)
+    true (entries1 < entries0)
+
+(* ---------- deadlines ---------- *)
+
+(* Pipeline three real samples and then one with a 0ms budget in a
+   single write: by the time the FIFO reaches the last request its
+   deadline has passed, so it must fail typed — and never run. *)
+let test_deadline_exceeded () =
+  let pair = make_pair () in
+  with_server @@ fun ~sock:_ ~snapshot:_ client ->
+  register_pair client pair;
+  let sample_req id ~deadline_ms =
+    P.Sample
+      { id; left = "t1"; right = "t2"; r = 64; strategy = Some "stream"; seed = 7 + id;
+        wor = false; domains = 1; on = "col2"; deadline_ms }
+  in
+  let reqs =
+    [ sample_req 100 ~deadline_ms:None; sample_req 101 ~deadline_ms:None;
+      sample_req 102 ~deadline_ms:None; sample_req 103 ~deadline_ms:(Some 0.) ]
+  in
+  write_all (Client.fd client)
+    (String.concat "" (List.map (fun r -> P.encode_request r ^ "\n") reqs));
+  let terminal = Hashtbl.create 4 in
+  while Hashtbl.length terminal < 4 do
+    match Client.next_response client with
+    | P.Rows _ -> ()
+    | P.Ack { id; _ } | P.Done { id; _ } -> Hashtbl.replace terminal id `Ok
+    | P.Failed { id; code; _ } -> Hashtbl.replace terminal id (`Failed code)
+  done;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d completed" id)
+        true
+        (Hashtbl.find terminal id = `Ok))
+    [ 100; 101; 102 ];
+  match Hashtbl.find terminal 103 with
+  | `Failed P.Deadline_exceeded -> ()
+  | `Failed code ->
+      Alcotest.failf "expected deadline_exceeded, got %s" (P.error_code_to_string code)
+  | `Ok -> Alcotest.fail "the 0ms-deadline request ran anyway"
+
+(* ---------- admission control ---------- *)
+
+(* With a 100-tuple work budget, three pipelined r=60 samples in one
+   write must admit exactly the first (the empty-queue guarantee) and
+   reject the other two with the typed overload error. *)
+let test_admission_overloaded () =
+  let pair = make_pair () in
+  with_server ~max_queued_work:100 @@ fun ~sock:_ ~snapshot:_ client ->
+  register_pair client pair;
+  let sample_req id =
+    P.Sample
+      { id; left = "t1"; right = "t2"; r = 60; strategy = Some "stream"; seed = id;
+        wor = false; domains = 1; on = "col2"; deadline_ms = None }
+  in
+  write_all (Client.fd client)
+    (String.concat ""
+       (List.map (fun id -> P.encode_request (sample_req id) ^ "\n") [ 200; 201; 202 ]));
+  let terminal = Hashtbl.create 4 in
+  while Hashtbl.length terminal < 3 do
+    match Client.next_response client with
+    | P.Rows _ -> ()
+    | P.Ack { id; _ } | P.Done { id; _ } -> Hashtbl.replace terminal id `Ok
+    | P.Failed { id; code; _ } -> Hashtbl.replace terminal id (`Failed code)
+  done;
+  Alcotest.(check bool) "first request admitted and served" true
+    (Hashtbl.find terminal 200 = `Ok);
+  List.iter
+    (fun id ->
+      match Hashtbl.find terminal id with
+      | `Failed P.Overloaded -> ()
+      | `Failed code ->
+          Alcotest.failf "request %d: expected overloaded, got %s" id
+            (P.error_code_to_string code)
+      | `Ok -> Alcotest.failf "request %d was admitted over budget" id)
+    [ 201; 202 ]
+
+(* ---------- graceful shutdown and restart ---------- *)
+
+(* SIGTERM must exit 0, unlink the socket path and write the final
+   metrics snapshot — and the unlink must be real: a second daemon on
+   the very same path starts and answers. *)
+let test_sigterm_shutdown_restart () =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "rsj.sock" in
+  let snap n = Filename.concat dir (Printf.sprintf "snap%d.prom" n) in
+  let start n = spawn_server ~sock ~snapshot:(snap n) () in
+  Fun.protect ~finally:(fun () -> cleanup_dir dir) @@ fun () ->
+  let pid1 = start 1 in
+  let c1 = connect_with_retry (Server.Unix_path sock) in
+  Alcotest.(check bool) "first daemon answers" true (Client.ping c1);
+  Unix.kill pid1 Sys.sigterm;
+  let _, status1 = Unix.waitpid [] pid1 in
+  Client.close c1;
+  Alcotest.(check bool) "clean exit on SIGTERM" true (status1 = Unix.WEXITED 0);
+  Alcotest.(check bool) "socket file unlinked" false (Sys.file_exists sock);
+  Alcotest.(check bool) "metrics snapshot written" true (Sys.file_exists (snap 1));
+  let ic = open_in (snap 1) in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Alcotest.(check bool) "snapshot is the Prometheus registry" true
+    (contains "rsj_serve_connections_total" text);
+  let pid2 = start 2 in
+  let c2 = connect_with_retry (Server.Unix_path sock) in
+  Alcotest.(check bool) "replacement daemon on the same path answers" true (Client.ping c2);
+  must "shutdown" (Client.shutdown c2);
+  let _, status2 = Unix.waitpid [] pid2 in
+  Client.close c2;
+  Alcotest.(check bool) "clean exit on shutdown op" true (status2 = Unix.WEXITED 0);
+  Alcotest.(check bool) "replacement unlinked the socket too" false (Sys.file_exists sock)
+
+(* ---------- the byte budget over the wire ---------- *)
+
+(* Measure one join's warm-structure footprint in-process, give the
+   daemon (via RSJ_CACHE_BYTES, read by the child's shared cache at
+   startup) room for about two, then serve five distinct joins: the
+   daemon's cache must evict and stay within its budget. *)
+let test_served_eviction_budget () =
+  let probe_pair k =
+    Zipf_tables.make_pair ~seed:(0xFACE + (31 * k)) ~n1:40 ~n2:200 ~z1:1. ~z2:1. ~domain:20 ()
+  in
+  let probe = Cache.create () in
+  let p0 = probe_pair 0 in
+  let env =
+    Cache.env probe ~seed:5 ~left:p0.Zipf_tables.outer ~right:p0.Zipf_tables.inner
+      ~left_key:key ~right_key:key ()
+  in
+  ignore (Rsj_parallel.run env Strategy.Olken ~r:16 ~domains:1);
+  let per_join = (Cache.stats probe).Cache.bytes in
+  Alcotest.(check bool) "probe measured a footprint" true (per_join > 0);
+  let budget = 2 * per_join in
+  Unix.putenv "RSJ_CACHE_BYTES" (string_of_int budget);
+  Fun.protect ~finally:(fun () -> Unix.putenv "RSJ_CACHE_BYTES" "") @@ fun () ->
+  with_server @@ fun ~sock:_ ~snapshot:_ client ->
+  for k = 0 to 4 do
+    let p = probe_pair k in
+    let l = Printf.sprintf "l%d" k and r = Printf.sprintf "r%d" k in
+    ignore
+      (must ("register " ^ l)
+         (Client.register_rows client ~name:l ~schema:zipf_schema
+            ~rows:(rows_of p.Zipf_tables.outer)));
+    ignore
+      (must ("register " ^ r)
+         (Client.register_rows client ~name:r ~schema:zipf_schema
+            ~rows:(rows_of p.Zipf_tables.inner)));
+    ignore
+      (must_reply ("sample " ^ l)
+         (Client.sample client ~left:l ~right:r ~r:16 ~strategy:"olken" ~seed:5 ()))
+  done;
+  let stats = must "stats" (Client.cache_stats client) in
+  Alcotest.(check int) "daemon runs under the budget" budget (stat_int stats "max_bytes");
+  Alcotest.(check bool)
+    (Printf.sprintf "evictions happened (%d)" (stat_int stats "evictions"))
+    true
+    (stat_int stats "evictions" > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint %d within budget %d" (stat_int stats "bytes") budget)
+    true
+    (stat_int stats "bytes" <= budget)
+
+(* ---------- HTTP metrics on the same socket ---------- *)
+
+let test_http_metrics () =
+  with_server @@ fun ~sock ~snapshot:_ client ->
+  Alcotest.(check bool) "json client works first" true (Client.ping client);
+  let http = Client.connect (Server.Unix_path sock) in
+  write_all (Client.fd http) "GET /metrics HTTP/1.0\r\nHost: rsj\r\n\r\n";
+  let buf = Buffer.create 4096 in
+  let bytes = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read (Client.fd http) bytes 0 (Bytes.length bytes) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf bytes 0 n;
+        drain ()
+  in
+  drain ();
+  Client.close http;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "200 OK" true (contains "HTTP/1.1 200 OK" s);
+  Alcotest.(check bool) "Content-Length present" true (contains "Content-Length:" s);
+  Alcotest.(check bool) "serve metrics exported" true (contains "rsj_serve_requests_total" s);
+  Alcotest.(check bool) "json clients unaffected by the sniff" true (Client.ping client)
+
+let suite =
+  [
+    Alcotest.test_case "served samples byte-identical (8 strategies × 2 planes)" `Slow
+      test_served_identical;
+    Alcotest.test_case "chi-square cell through the served path" `Slow test_served_chi_square;
+    Alcotest.test_case "SQL and SAMPLE p% over the wire" `Quick test_query_over_wire;
+    Alcotest.test_case "typed errors and explicit invalidation" `Quick
+      test_typed_errors_and_invalidate;
+    Alcotest.test_case "queued past the deadline fails typed" `Quick test_deadline_exceeded;
+    Alcotest.test_case "admission control sheds load" `Quick test_admission_overloaded;
+    Alcotest.test_case "SIGTERM: unlink, snapshot, restartable" `Quick
+      test_sigterm_shutdown_restart;
+    Alcotest.test_case "RSJ_CACHE_BYTES bounds the daemon cache" `Quick
+      test_served_eviction_budget;
+    Alcotest.test_case "GET /metrics on the service socket" `Quick test_http_metrics;
+  ]

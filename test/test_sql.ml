@@ -43,12 +43,28 @@ let test_parse_star_join () =
 let test_parse_sample_clause () =
   let q = parse_ok "select * from t1, t2 where t1.a = t2.a sample 100 using stream" in
   (match q.Ast.sample with
-  | Some { Ast.size = 100; strategy = Some "stream" } -> ()
+  | Some { Ast.size = Ast.Abs 100; strategy = Some "stream" } -> ()
   | _ -> Alcotest.fail "sample clause not parsed");
   let q2 = parse_ok "select * from t sample 50" in
   match q2.Ast.sample with
-  | Some { Ast.size = 50; strategy = None } -> ()
+  | Some { Ast.size = Ast.Abs 50; strategy = None } -> ()
   | _ -> Alcotest.fail "plain sample not parsed"
+
+(* SAMPLE p%: the fraction form of the sampling clause. *)
+let test_parse_sample_fraction () =
+  let q = parse_ok "select * from t1, t2 where t1.a = t2.a sample 5% using stream" in
+  (match q.Ast.sample with
+  | Some { Ast.size = Ast.Pct 5.; strategy = Some "stream" } -> ()
+  | _ -> Alcotest.fail "integer percentage not parsed");
+  let q2 = parse_ok "select * from t1, t2 where t1.a = t2.a sample 2.5%" in
+  (match q2.Ast.sample with
+  | Some { Ast.size = Ast.Pct 2.5; strategy = None } -> ()
+  | _ -> Alcotest.fail "fractional percentage not parsed");
+  ignore (parse_err "select * from t sample 0%");
+  ignore (parse_err "select * from t sample 150%");
+  ignore (parse_err "select * from t sample -5%");
+  (* A non-integer count without the % sign stays an error. *)
+  ignore (parse_err "select * from t sample 2.5")
 
 let test_parse_aggregates () =
   let q =
@@ -340,11 +356,55 @@ let test_order_by_unknown_column () =
   let msg = run_err "select oid from orders order by nope" in
   Alcotest.(check bool) "mentions output" true (String.length msg > 0)
 
+(* SAMPLE p% resolves against the exact join size before execution:
+   |orders ⋈ customers| = 4, so 50% is ceil(2) = 2 rows, and a tiny
+   fraction still draws the guaranteed minimum of one. *)
+let test_engine_sample_fraction () =
+  let r =
+    run_ok
+      "select * from orders, customers where orders.cust = customers.cust sample 50% using \
+       stream"
+  in
+  Alcotest.(check int) "50% of |J|=4 is 2 rows" 2 (List.length r.Engine.rows);
+  let r2 = run_ok "select * from orders, customers where orders.cust = customers.cust sample 5%" in
+  Alcotest.(check int) "5% resolves to the minimum single row" 1 (List.length r2.Engine.rows);
+  Alcotest.(check bool) "the fraction form still routes the picker" true
+    (r2.Engine.decision <> None);
+  let msg = run_err "select * from orders sample 50%" in
+  Alcotest.(check bool) ("fraction needs the join shape: " ^ msg) true (contains "equi-join" msg)
+
+(* The engine's auxiliary structures come from the shared warm cache:
+   rerunning a query over the *same* relations rebuilds nothing, while
+   fresh relations (new fingerprints) can never reuse stale entries. *)
+let test_engine_warm_cache_reuse () =
+  let module C = Rsj_cache.Structure_cache in
+  let cache = C.shared () in
+  let cat = catalog () in
+  let q =
+    "select * from orders, customers where orders.cust = customers.cust sample 50% using olken"
+  in
+  let run_q c =
+    match Engine.run c q with Ok _ -> () | Error m -> Alcotest.failf "query failed: %s" m
+  in
+  let s0 = C.stats cache in
+  run_q cat;
+  let s1 = C.stats cache in
+  Alcotest.(check bool) "first run pays the builds" true (s1.C.misses > s0.C.misses);
+  run_q cat;
+  let s2 = C.stats cache in
+  Alcotest.(check int) "second run over the same relations builds nothing" s1.C.misses
+    s2.C.misses;
+  Alcotest.(check bool) "second run is served warm" true (s2.C.hits > s1.C.hits);
+  run_q (catalog ());
+  Alcotest.(check bool) "fresh relations miss (fingerprints differ)" true
+    ((C.stats cache).C.misses > s2.C.misses)
+
 let suite =
   [
     Alcotest.test_case "tokenizer" `Quick test_tokenize;
     Alcotest.test_case "parse: the paper's query" `Quick test_parse_star_join;
     Alcotest.test_case "parse: sample clause" `Quick test_parse_sample_clause;
+    Alcotest.test_case "parse: SAMPLE p%" `Quick test_parse_sample_fraction;
     Alcotest.test_case "parse: aggregates/group by/limit" `Quick test_parse_aggregates;
     Alcotest.test_case "parse: literals and operators" `Quick test_parse_literals_and_ops;
     Alcotest.test_case "parse: error cases" `Quick test_parse_errors;
@@ -372,4 +432,8 @@ let suite =
     Alcotest.test_case "engine: order by" `Quick test_order_by;
     Alcotest.test_case "engine: order by aggregate alias" `Quick test_order_by_aggregate_output;
     Alcotest.test_case "engine: order by unknown column" `Quick test_order_by_unknown_column;
+    Alcotest.test_case "engine: SAMPLE p% resolves against |J|" `Quick
+      test_engine_sample_fraction;
+    Alcotest.test_case "engine: warm cache reuse across runs" `Quick
+      test_engine_warm_cache_reuse;
   ]
