@@ -65,7 +65,9 @@ bench-parallel:
 
 # bench-json = machine-readable perf trajectory: strategy × domains
 # median wall-times over the pooled runtime plus the domain-pool spawn
-# counters, written to BENCH_parallel.json. CI-friendly scale
+# counters, the dataplane (RSJ_DATAPLANE boxed-vs-int) section and the
+# draw_plane (RSJ_DRAW cdf-vs-alias chain-walker kernel + allocation
+# bound) section, written to BENCH_parallel.json. CI-friendly scale
 # (RSJ_PAR_N1 default 100_000; RSJ_REPS medians, default 3).
 bench-json:
 	dune exec bench/main.exe -- --json

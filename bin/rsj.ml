@@ -57,6 +57,32 @@ let with_tracing dest f =
       Fun.protect f ~finally:(fun () -> report_trace path)
 
 (* ------------------------------------------------------------------ *)
+(* --domains resolution. Defaults are each command's preference
+   clamped to Domain.recommended_domain_count (): oversubscribing
+   domains is pure scheduling overhead users should not pay by default
+   (on a 1-core box, Naive WoR at d4 measures ~6x slower than d1 —
+   BENCH_parallel.json). An explicit --domains, or the RSJ_DOMAINS
+   environment variable, is honored as given, with a stderr warning
+   when it exceeds the recommendation. *)
+
+let resolve_domains ~preferred explicit =
+  let recommended = Rsj_parallel.default_domains () in
+  let explicit =
+    match explicit with
+    | Some _ -> explicit
+    | None -> Option.bind (Sys.getenv_opt "RSJ_DOMAINS") (fun s -> int_of_string_opt (String.trim s))
+  in
+  match explicit with
+  | Some n ->
+      if n > recommended then
+        Printf.eprintf
+          "# warning: %d domains requested but this machine recommends %d; the extra \
+           domains add scheduling overhead without parallel speedup\n"
+          n recommended;
+      n
+  | None -> max 1 (min preferred recommended)
+
+(* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 
 let generate_cmd =
@@ -137,16 +163,18 @@ let sample_cmd =
   let domains =
     Arg.(
       value
-      & opt int 1
+      & opt (some int) None
       & info [ "domains" ]
           ~docv:"N"
           ~doc:
-            "Execute across N OCaml domains (default 1). All eight strategies run on the \
-             pooled chunk-scheduled runtime, with or without --without-replacement; for a \
-             fixed --seed the sample is identical at every N (except Olken at N > 1, whose \
-             speculative rounds are timing-dependent).")
+            "Execute across N OCaml domains (default: 1, clamped to this machine's \
+             recommended domain count; RSJ_DOMAINS overrides). All eight strategies run on \
+             the pooled chunk-scheduled runtime, with or without --without-replacement; for \
+             a fixed --seed the sample is identical at every N (except Olken at N > 1, \
+             whose speculative rounds are timing-dependent).")
   in
   let run left right strategy explain r wor show_metrics domains seed trace =
+    let domains = resolve_domains ~preferred:1 domains in
     if r < 0 then `Error (false, "--r must be non-negative")
     else if domains < 1 then `Error (false, "--domains must be at least 1")
     else begin
@@ -456,12 +484,19 @@ let trace_cmd =
   in
   let r = Arg.(value & opt int 256 & info [ "r" ] ~docv:"R" ~doc:"Sample size.") in
   let domains =
-    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"OCaml domains to run across.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "OCaml domains to run across (default: 4, clamped to this machine's \
+             recommended domain count; RSJ_DOMAINS overrides).")
   in
   let wor =
     Arg.(value & flag & info [ "without-replacement" ] ~doc:"Trace the WoR path instead of WR.")
   in
   let run strategy out r domains wor workload seed =
+    let domains = resolve_domains ~preferred:4 domains in
     if r < 0 then `Error (false, "--r must be non-negative")
     else if domains < 1 then `Error (false, "--domains must be at least 1")
     else begin
@@ -496,12 +531,19 @@ let trace_cmd =
 let metrics_cmd =
   let r = Arg.(value & opt int 64 & info [ "r" ] ~docv:"R" ~doc:"Sample size per strategy.") in
   let domains =
-    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc:"OCaml domains to run across.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "OCaml domains to run across (default: 2, clamped to this machine's \
+             recommended domain count; RSJ_DOMAINS overrides).")
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON (with p50/p99) instead of Prometheus text.")
   in
   let run r domains json workload seed =
+    let domains = resolve_domains ~preferred:2 domains in
     if r < 0 then `Error (false, "--r must be non-negative")
     else if domains < 1 then `Error (false, "--domains must be at least 1")
     else begin
@@ -620,7 +662,13 @@ let client_cmd =
     Arg.(value & flag & info [ "without-replacement" ] ~doc:"WoR semantics for the sample op.")
   in
   let domains =
-    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Domains for the sample op.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domains for the sample op (default: 1, clamped to this machine's recommended \
+             domain count; RSJ_DOMAINS overrides).")
   in
   let on =
     Arg.(value & opt string "col2" & info [ "on" ] ~docv:"COL" ~doc:"Join column (sample op).")
@@ -643,6 +691,7 @@ let client_cmd =
       reply.Client.detail
   in
   let run socket args r strategy wor domains on deadline seed =
+    let domains = resolve_domains ~preferred:1 domains in
     match Server.addr_of_string socket with
     | Error e -> `Error (false, e)
     | Ok addr -> (

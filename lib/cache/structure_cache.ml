@@ -6,24 +6,31 @@ module Hash_index = Rsj_index.Hash_index
 
 (* What is stored. The histogram kind carries the threshold fraction
    (as its IEEE bits, so the key stays an immediate) — distinct
-   fractions are distinct structures. *)
+   fractions are distinct structures. The chain kind carries the
+   member uids, the flattened join-key pairs and the draw plane
+   (structural equality/hash apply), keyed under the root relation's
+   uid; its entry fingerprint mixes every member's fingerprint, so a
+   mutation of ANY member relation invalidates the chain. *)
 type kind =
   | K_hash_index of int  (* key column *)
   | K_frequency of int
   | K_histogram of int * int  (* key column, fraction bits *)
   | K_int_view of int
+  | K_chain of int array * int array * int  (* member uids, join keys, plane *)
 
 let kind_name = function
   | K_hash_index _ -> "hash_index"
   | K_frequency _ -> "frequency"
   | K_histogram _ -> "histogram"
   | K_int_view _ -> "int_view"
+  | K_chain _ -> "chain"
 
 type packed =
   | P_hash_index of Hash_index.t
   | P_frequency of Frequency.t
   | P_histogram of Histogram.End_biased.t
   | P_int_view of int array option
+  | P_chain of Rsj_core.Chain_sample.t
 
 type entry = {
   fp : int;  (* Relation.fingerprint at build time *)
@@ -35,6 +42,7 @@ type entry = {
 type t = {
   budget : int option;
   table : (int * kind, entry) Hashtbl.t;  (* key: relation uid × kind *)
+  kind_counts : (string, int ref * int ref) Hashtbl.t;  (* kind -> hits, misses *)
   mutable clock : int;
   mutable total_bytes : int;
   mutable hits : int;
@@ -51,6 +59,7 @@ type stats = {
   invalidations : int;
   entries : int;
   bytes : int;
+  by_kind : (string * (int * int)) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -102,6 +111,7 @@ let create ?max_bytes () =
   {
     budget;
     table = Hashtbl.create 64;
+    kind_counts = Hashtbl.create 8;
     clock = 0;
     total_bytes = 0;
     hits = 0;
@@ -123,10 +133,22 @@ let shared_cell =
 let shared () = Lazy.force shared_cell
 let max_bytes t = t.budget
 
+(* Per-kind hit/miss split for [stats], under [t.lock]. *)
+let bump_kind t kind_s ~hit =
+  let h, m =
+    match Hashtbl.find_opt t.kind_counts kind_s with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref 0, ref 0) in
+        Hashtbl.replace t.kind_counts kind_s cell;
+        cell
+  in
+  if hit then incr h else incr m
+
 (* Measured footprint of [v], excluding everything reachable from
-   [base] (the relation, which the cache does not own): words reachable
-   from the pair minus words reachable from the base alone, minus the
-   pair block itself. *)
+   [base] (the relation(s), which the cache does not own): words
+   reachable from the pair minus words reachable from the base alone,
+   minus the pair block itself. *)
 let bytes_excluding ~base v =
   let together = Obj.reachable_words (Obj.repr (v, base)) in
   let base_only = Obj.reachable_words (Obj.repr base) in
@@ -177,14 +199,21 @@ let enforce_budget t ~keep =
         ()
       done
 
-let find t rel kind ~build ~pack ~unpack =
+(* [fp] defaults to the relation's own fingerprint; multi-relation
+   structures (chains) pass a mix of every member's so a mutation of
+   any member invalidates. [base] defaults to the relation; it is
+   whatever the built structure references but the cache does not own
+   (for chains, the whole member array). *)
+let find t ?fp ?base rel kind ~build ~pack ~unpack =
   let key = (Relation.uid rel, kind) in
-  let fp = Relation.fingerprint rel in
+  let fp = match fp with Some f -> f | None -> Relation.fingerprint rel in
+  let base = match base with Some b -> b | None -> Obj.repr rel in
   let kind_s = kind_name kind in
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.table key with
   | Some entry when entry.fp = fp ->
       t.hits <- t.hits + 1;
+      bump_kind t kind_s ~hit:true;
       Obs.Registry.incr (counter_for "rsj_structure_cache_hits_total" kind_s);
       touch t entry;
       Mutex.unlock t.lock;
@@ -200,12 +229,13 @@ let find t rel kind ~build ~pack ~unpack =
       | Some entry -> remove_entry t key entry ~family:`Invalidation
       | None -> ());
       t.misses <- t.misses + 1;
+      bump_kind t kind_s ~hit:false;
       Obs.Registry.incr (counter_for "rsj_structure_cache_misses_total" kind_s);
       Mutex.unlock t.lock;
       let t0 = Obs.Clock.now_s () in
       let v = build () in
       Obs.Registry.observe (build_seconds kind_s) (Obs.Clock.now_s () -. t0);
-      let bytes = bytes_excluding ~base:rel v in
+      let bytes = bytes_excluding ~base v in
       Mutex.lock t.lock;
       (match Hashtbl.find_opt t.table key with
       | Some racing -> t.total_bytes <- t.total_bytes - racing.bytes
@@ -246,6 +276,32 @@ let int_view t rel ~col =
     ~pack:(fun v -> P_int_view v)
     ~unpack:(function P_int_view v -> v | _ -> assert false)
 
+let chain t (spec : Rsj_core.Chain_sample.spec) =
+  let k = Array.length spec.relations in
+  if k = 0 then invalid_arg "Structure_cache.chain: empty chain";
+  let uids = Array.map Relation.uid spec.relations in
+  let keys = Array.make (max 1 (2 * (k - 1))) 0 in
+  Array.iteri
+    (fun i (a, b) ->
+      keys.(2 * i) <- a;
+      keys.((2 * i) + 1) <- b)
+    spec.join_keys;
+  let plane = match Rsj_util.Dist.draw_plane () with Rsj_util.Dist.Cdf -> 0 | Alias -> 1 in
+  (* The entry lives under the root's uid; the fingerprint mixes every
+     member's, so mutating ANY member relation invalidates on the next
+     lookup. The plane is part of the key — draw tables are baked at
+     prepare time, so a toggled [RSJ_DRAW] builds its own entry. *)
+  let fp =
+    Array.fold_left
+      (fun acc rel -> (acc * 0x9E3779B1) lxor Relation.fingerprint rel)
+      0 spec.relations
+  in
+  find t ~fp ~base:(Obj.repr spec.relations) spec.relations.(0)
+    (K_chain (uids, keys, plane))
+    ~build:(fun () -> Rsj_core.Chain_sample.prepare spec)
+    ~pack:(fun v -> P_chain v)
+    ~unpack:(function P_chain v -> v | _ -> assert false)
+
 let env t ?seed ?(histogram_fraction = 0.05) ~left ~right ~left_key ~right_key () =
   let structures =
     {
@@ -282,6 +338,10 @@ let clear t =
 
 let stats t =
   Mutex.lock t.lock;
+  let by_kind =
+    Hashtbl.fold (fun kind_s (h, m) acc -> (kind_s, (!h, !m)) :: acc) t.kind_counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   let s =
     {
       hits = t.hits;
@@ -290,6 +350,7 @@ let stats t =
       invalidations = t.invalidations;
       entries = Hashtbl.length t.table;
       bytes = t.total_bytes;
+      by_kind;
     }
   in
   Mutex.unlock t.lock;

@@ -68,6 +68,16 @@ val int_view : t -> Relation.t -> col:int -> int array option
 (** The columnar key extraction ({!Column.int_view}); a [None] escape
     (non-int column) is cached too — it is a per-snapshot fact. *)
 
+val chain : t -> Rsj_core.Chain_sample.spec -> Rsj_core.Chain_sample.t
+(** The prepared chain walker (weight tables + per-value alias/CDF draw
+    tables) for the whole spec, keyed under the root relation's uid with
+    a fingerprint mixing {e every} member relation's — mutating any
+    member invalidates on the next lookup. The current [RSJ_DRAW] plane
+    participates in the key, since draw tables are baked at prepare
+    time. This is what makes the alias plane pay off under [rsj serve]:
+    the O(k·Σ|Ri|) build happens once, and every later request on the
+    same chain pays only O(k) per drawn tuple. *)
+
 val env :
   t ->
   ?seed:int ->
@@ -100,6 +110,10 @@ type stats = {
   invalidations : int;
   entries : int;  (** live entries *)
   bytes : int;  (** measured footprint of live entries *)
+  by_kind : (string * (int * int)) list;
+      (** per-kind [(hits, misses)] split, sorted by kind name — the
+          serve bench reads the ["chain"] row to show alias-structure
+          reuse across requests *)
 }
 
 val stats : t -> stats

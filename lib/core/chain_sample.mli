@@ -32,11 +32,16 @@ type spec = {
 }
 
 type t
-(** Prepared sampler (weight tables and per-value alias structures). *)
+(** Prepared sampler (weight tables and per-value draw tables, built
+    on the current [RSJ_DRAW] plane: alias structures for O(1) picks
+    by default, CDF tables under [RSJ_DRAW=cdf]). *)
 
 val prepare : ?metrics:Metrics.t -> spec -> t
 (** Validates the spec and builds the weight tables. Raises
-    [Invalid_argument] on shape errors. *)
+    [Invalid_argument] on shape errors. The per-value pick structures
+    are built on the draw plane current at this call; an r-draw from a
+    k-chain is then O(k·r) on the alias plane against
+    O(r·(log |R1| + Σ log bucket)) on the CDF plane. *)
 
 val join_size : t -> float
 (** Exact |J| as the total root weight (float: chains can overflow
@@ -47,4 +52,14 @@ val draw : t -> Rsj_util.Prng.t -> ?metrics:Metrics.t -> unit -> Tuple.t option
     [None] when the join is empty. *)
 
 val sample : t -> Rsj_util.Prng.t -> ?metrics:Metrics.t -> r:int -> unit -> Tuple.t array
-(** [r] independent draws (WR). [[||]] when the join is empty. *)
+(** [r] independent draws (WR). [[||]] when the join is empty. The
+    root picks are batched through the plane's [draw_many] (one
+    packed-state pass on the alias plane), so the stream differs from
+    [r] successive {!draw}s — each tuple is still an exact independent
+    uniform draw of the join. *)
+
+val sample_rows : t -> Rsj_util.Prng.t -> ?metrics:Metrics.t -> r:int -> unit -> int array
+(** The draw kernel alone: [r] independent WR draws returned as row-id
+    paths — [r] consecutive groups of [k] row ids (group [j] holds the
+    R1..Rk row ids of draw [j]) — with no tuple materialization.
+    [[||]] when the join is empty. *)

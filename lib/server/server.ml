@@ -237,6 +237,16 @@ let exec_stats st ~id =
             ("bytes", Json.Int s.Cache.bytes);
             ( "max_bytes",
               match Cache.max_bytes st.cache with Some b -> Json.Int b | None -> Json.Null );
+            (* Per-kind hit/miss split, so clients can see which
+               structures (chain walkers with their alias tables,
+               indexes, statistics) the warm cache is actually
+               serving. *)
+            ( "by_kind",
+              Json.Obj
+                (List.map
+                   (fun (kind, (h, m)) ->
+                     (kind, Json.Obj [ ("hits", Json.Int h); ("misses", Json.Int m) ]))
+                   s.Cache.by_kind) );
           ];
       };
   ]

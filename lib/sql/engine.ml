@@ -288,6 +288,96 @@ let strategy_sample_plan ~seed bindings classified (sample : Ast.sample_clause) 
         (List.length classified.equijoins)
         (List.length classified.residual)
 
+(* Linear-chain detection for k >= 3 tables: exactly k-1 equi-joins,
+   each pairing two consecutive FROM tables (one per edge, either
+   orientation), and no residual conditions. Returns the columns per
+   edge oriented FROM-order (left table's column first), or [None]
+   when the shape doesn't hold and the query falls through to the
+   reservoir path. *)
+let chain_edges bindings classified =
+  let k = List.length bindings in
+  if k < 3 || classified.residual <> [] || List.length classified.equijoins <> k - 1 then
+    None
+  else begin
+    let arr = Array.of_list bindings in
+    let local i = [ { arr.(i) with offset = 0 } ] in
+    let remaining = ref classified.equijoins in
+    let edges = Array.make (k - 1) None in
+    try
+      for i = 0 to k - 2 do
+        let found =
+          List.find_opt
+            (fun (l, r) ->
+              (resolve_opt (local i) l <> None && resolve_opt (local (i + 1)) r <> None)
+              || (resolve_opt (local i) r <> None && resolve_opt (local (i + 1)) l <> None))
+            !remaining
+        in
+        match found with
+        | None -> raise Exit
+        | Some ((l, r) as j) ->
+            remaining := List.filter (fun x -> x != j) !remaining;
+            let a, b = if resolve_opt (local i) l <> None then (l, r) else (r, l) in
+            edges.(i) <- Some (a, b)
+      done;
+      Some (Array.map Option.get edges)
+    with Exit -> None
+  end
+
+(* Plain SAMPLE over a linear chain: route it into the chain walker —
+   exact WR sampling with no join materialization at all. The prepared
+   walker (weight tables + per-value draw tables on the current
+   RSJ_DRAW plane) is memoized in the shared structure cache whenever
+   every input is unfiltered, so a warm daemon pays only the O(k) walk
+   per drawn tuple. The fraction form resolves against the walker's
+   exact join size (paper §7.2's precomputed-statistics argument,
+   extended along the chain). *)
+let chain_sample_plan ~seed bindings classified (sample : Ast.sample_clause) edges =
+  let conds_for label =
+    List.filter_map
+      (fun (lbl, c) -> if lbl = label then Some c else None)
+      classified.constants
+  in
+  let arr = Array.of_list bindings in
+  let rels = Array.map (fun b -> filtered_relation b (conds_for b.label)) arr in
+  let join_keys =
+    Array.mapi
+      (fun i (a, b) ->
+        let la = [ { arr.(i) with relation = rels.(i); offset = 0 } ] in
+        let lb = [ { arr.(i + 1) with relation = rels.(i + 1); offset = 0 } ] in
+        (resolve la a, resolve lb b))
+      edges
+  in
+  let spec = { Rsj_core.Chain_sample.relations = rels; join_keys } in
+  let unfiltered = ref true in
+  Array.iteri (fun i b -> if rels.(i) != b.relation then unfiltered := false) arr;
+  let cs =
+    if !unfiltered then
+      Rsj_cache.Structure_cache.chain (Rsj_cache.Structure_cache.shared ()) spec
+    else Rsj_core.Chain_sample.prepare spec
+  in
+  let size =
+    match sample.Ast.size with
+    | Ast.Abs n -> n
+    | Ast.Pct p ->
+        let join_size = Rsj_core.Chain_sample.join_size cs in
+        if join_size <= 0. then 0
+        else max 1 (int_of_float (Float.ceil (p /. 100. *. join_size)))
+  in
+  let rng = Rsj_util.Prng.create ~seed () in
+  let rows = Rsj_core.Chain_sample.sample cs rng ~r:size () in
+  let schema =
+    Array.fold_left
+      (fun acc rel ->
+        match acc with
+        | None -> Some (Relation.schema rel)
+        | Some s -> Some (Schema.concat s (Relation.schema rel)))
+      None rels
+    |> Option.get
+  in
+  ( Plan.source_of_stream ~name:(Printf.sprintf "Sample[chain-walk, r=%d]" size) schema
+      (fun () -> Stream0.of_array rows),
+    None )
+
 (* ------------------------------------------------------------------ *)
 (* Aggregation and projection                                          *)
 
@@ -388,10 +478,16 @@ let plan_query_exn ?(seed = 0x5EED) catalog (query : Ast.query) =
     | Some ({ Ast.strategy = None; _ } as sample)
       when picker_shape_ok bindings classified ->
         (* Plain SAMPLE n on the two-table equi-join shape: let the
-           cost-based picker route it into the join. Other shapes fall
-           through to the reservoir below. *)
+           cost-based picker route it into the join. *)
         Some (strategy_sample_plan ~seed bindings classified sample Picked)
-    | Some _ | None -> None
+    | Some ({ Ast.strategy = None; _ } as sample) -> (
+        (* Three or more tables: if the joins form a linear chain,
+           route into the chain walker (no join is ever materialized).
+           Other shapes fall through to the reservoir below. *)
+        match chain_edges bindings classified with
+        | Some edges -> Some (chain_sample_plan ~seed bindings classified sample edges)
+        | None -> None)
+    | None -> None
   in
   let decision = Option.bind sampled_source snd in
   let base_plan =
@@ -438,8 +534,8 @@ let plan_query_exn ?(seed = 0x5EED) catalog (query : Ast.query) =
             Rsj_core.Sample_op.u2 rng ~r:size with_unused_joins
         | Some { Ast.size = Ast.Pct _; strategy = None } ->
             fail
-              "SAMPLE with a percentage requires the two-table equi-join shape (the fraction \
-               resolves against the estimated join size)"
+              "SAMPLE with a percentage requires the two-table equi-join or linear-chain \
+               shape (the fraction resolves against the known join size)"
         | Some _ | None -> with_unused_joins)
   in
   let sort_plan keys names plan =

@@ -98,16 +98,27 @@ let exponential rng ~rate =
   if rate <= 0. then invalid_arg "Dist.exponential: rate <= 0";
   -.log (Prng.unit_float_pos rng) /. rate
 
+(* One validation pass shared by every weighted-draw entry point
+   (categorical, Cdf_table, Alias_table): non-negative, non-NaN,
+   positive sum. Returns the exact sum so builders never rescan. *)
+let validate_weights ~who weights =
+  let total = ref 0. in
+  Array.iter
+    (fun w ->
+      if not (w >= 0.) then invalid_arg (who ^ ": negative weight");
+      total := !total +. w)
+    weights;
+  if not (!total > 0.) then invalid_arg (who ^ ": weights must have positive sum");
+  !total
+
 let categorical rng ~weights =
-  let total = Array.fold_left ( +. ) 0. weights in
-  if total <= 0. then invalid_arg "Dist.categorical: weights must have positive sum";
+  let total = validate_weights ~who:"Dist.categorical" weights in
   let target = Prng.unit_float rng *. total in
   let acc = ref 0. in
   let result = ref (Array.length weights - 1) in
   (try
      Array.iteri
        (fun i w ->
-         if w < 0. then invalid_arg "Dist.categorical: negative weight";
          acc := !acc +. w;
          if target < !acc then begin
            result := i;
@@ -123,13 +134,11 @@ module Cdf_table = struct
   let of_weights weights =
     let k = Array.length weights in
     if k = 0 then invalid_arg "Dist.Cdf_table.of_weights: empty";
-    let total = Array.fold_left ( +. ) 0. weights in
-    if total <= 0. then invalid_arg "Dist.Cdf_table.of_weights: weights must have positive sum";
+    let total = validate_weights ~who:"Dist.Cdf_table.of_weights" weights in
     let cdf = Array.make k 0. in
     let probs = Array.make k 0. in
     let acc = ref 0. in
     for i = 0 to k - 1 do
-      if weights.(i) < 0. then invalid_arg "Dist.Cdf_table.of_weights: negative weight";
       acc := !acc +. (weights.(i) /. total);
       cdf.(i) <- !acc;
       probs.(i) <- weights.(i) /. total
@@ -137,20 +146,116 @@ module Cdf_table = struct
     cdf.(k - 1) <- 1.;
     { cdf; probs }
 
-  let draw t rng =
-    let u = Prng.unit_float rng in
+  let search t u =
     (* Binary search for the first index with cdf >= u. *)
     let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+      if Array.unsafe_get t.cdf mid < u then lo := mid + 1 else hi := mid
     done;
     !lo
 
+  let draw t rng = search t (Prng.unit_float rng)
+
+  (* The unit-float extraction inlined in argument position ([search]
+     takes the float unboxed with flambda off only when the producer
+     is in the same compilation unit). *)
+  let draw_packed t st =
+    Prng.step_packed st;
+    search t
+      (float_of_int (Int64.to_int (Int64.shift_right_logical (Bytes.get_int64_le st 32) 11))
+      *. 0x1.0p-53)
   let prob t i = t.probs.(i)
   let support t = Array.length t.cdf
 end
 
+module Alias_table = struct
+  type t = { core : Alias_int.t; probs : float array }
+
+  let of_weights weights =
+    let total = validate_weights ~who:"Dist.Alias_table.of_weights" weights in
+    {
+      core = Alias_int.of_weights ~total weights;
+      probs = Array.map (fun w -> w /. total) weights;
+    }
+
+  let draw t rng = Alias_int.draw t.core rng
+  let draw_packed t st = Alias_int.draw_packed t.core st
+  let draw_many t rng ~into ~n = Alias_int.draw_many t.core rng ~into ~n
+  let prob t i = t.probs.(i)
+  let support t = Array.length t.probs
+  let expected_counts t ~n = Array.map (fun p -> float_of_int n *. p) t.probs
+end
+
+(* ------------------------------------------------------------------ *)
+(* The draw plane: which table repeated-draw call sites build. Same
+   contract as Column's RSJ_DATAPLANE toggle — read once from the
+   environment, overridable in-process by tests and benches. The two
+   planes are distribution-identical, not draw-for-draw identical (an
+   alias draw consumes cell + threshold randomness, a CDF draw one
+   deviate), so equivalence is gated statistically (@drawplane). *)
+
+type draw_plane = Cdf | Alias
+
+let plane_of_env () =
+  match Sys.getenv_opt "RSJ_DRAW" with
+  | Some "cdf" -> Cdf
+  | Some "alias" | None -> Alias
+  | Some other ->
+      invalid_arg (Printf.sprintf "RSJ_DRAW: expected \"cdf\" or \"alias\", got %S" other)
+
+let current_plane = ref (plane_of_env ())
+let draw_plane () = !current_plane
+let set_draw_plane p = current_plane := p
+let draw_plane_name () = match !current_plane with Cdf -> "cdf" | Alias -> "alias"
+
+module Draw_table = struct
+  type t = T_cdf of Cdf_table.t | T_alias of Alias_table.t
+
+  let of_weights weights =
+    match !current_plane with
+    | Cdf -> T_cdf (Cdf_table.of_weights weights)
+    | Alias -> T_alias (Alias_table.of_weights weights)
+
+  let draw t rng =
+    match t with T_cdf c -> Cdf_table.draw c rng | T_alias a -> Alias_table.draw a rng
+
+  let draw_packed t st =
+    match t with
+    | T_cdf c -> Cdf_table.draw_packed c st
+    | T_alias a -> Alias_table.draw_packed a st
+
+  let draw_many t rng ~into ~n =
+    match t with
+    | T_alias a -> Alias_table.draw_many a rng ~into ~n
+    | T_cdf c ->
+        if n < 0 || n > Array.length into then
+          invalid_arg "Dist.Draw_table.draw_many: bad n";
+        if n > 0 then begin
+          (* Same packed-state discipline as the alias batch: the
+             binary searches run off a dumped state, stream-identical
+             to n single draws. *)
+          let st = Bytes.create 40 in
+          Prng.dump_state rng st;
+          for j = 0 to n - 1 do
+            into.(j) <- Cdf_table.draw_packed c st
+          done;
+          Prng.load_state rng st
+        end
+
+  let prob t i = match t with T_cdf c -> Cdf_table.prob c i | T_alias a -> Alias_table.prob a i
+
+  let support t =
+    match t with T_cdf c -> Cdf_table.support c | T_alias a -> Alias_table.support a
+
+  let plane t = match t with T_cdf _ -> Cdf | T_alias _ -> Alias
+end
+
+(* Zipf stays on Cdf_table unconditionally: it is the *workload
+   generator*, and its draw stream is pinned by every fixed-seed
+   experiment and golden table. Keeping it off the RSJ_DRAW toggle
+   means the two planes sample the byte-identical relations, so any
+   delta between RSJ_DRAW runs is the draw plane alone. *)
 module Zipf = struct
   type t = { z : float; support : int; table : Cdf_table.t }
 

@@ -141,6 +141,51 @@ let load_state t buf =
   t.s2 <- Bytes.get_int64_le buf 16;
   t.s3 <- Bytes.get_int64_le buf 24
 
+(* One xoshiro256** step on the packed state; the output word lands at
+   offset 32. Mirrors bits64 exactly, rotl inlined. The single copy of
+   the packed stepping code — the kernels (Wr_int, Alias_int) run
+   whole inner loops on a dumped state without touching the mutable
+   int64 fields above (stores into which would box). *)
+let step_packed st =
+  let s0 = Bytes.get_int64_le st 0 in
+  let s1 = Bytes.get_int64_le st 8 in
+  let s2 = Bytes.get_int64_le st 16 in
+  let s3 = Bytes.get_int64_le st 24 in
+  let r5 = Int64.mul s1 5L in
+  Bytes.set_int64_le st 32
+    (Int64.mul (Int64.logor (Int64.shift_left r5 7) (Int64.shift_right_logical r5 57)) 9L);
+  let tt = Int64.shift_left s1 17 in
+  let s2 = Int64.logxor s2 s0 in
+  let s3 = Int64.logxor s3 s1 in
+  let s1 = Int64.logxor s1 s2 in
+  let s0 = Int64.logxor s0 s3 in
+  let s2 = Int64.logxor s2 tt in
+  let s3 = Int64.logor (Int64.shift_left s3 45) (Int64.shift_right_logical s3 19) in
+  Bytes.set_int64_le st 0 s0;
+  Bytes.set_int64_le st 8 s1;
+  Bytes.set_int64_le st 16 s2;
+  Bytes.set_int64_le st 24 s3
+
+let packed_mask62 = 0x3FFF_FFFF_FFFF_FFFFL
+let packed_max62 = Int64.to_int packed_mask62
+
+(* [int]'s rejection sampling on the packed state; callers guarantee
+   bound >= 2 ([int] returns 0 without drawing when bound = 1, so a
+   packed caller must skip the call to stay stream-identical). *)
+let rec rand_int_packed st bound =
+  step_packed st;
+  let raw = Int64.to_int (Int64.logand (Bytes.get_int64_le st 32) packed_mask62) in
+  let v = raw mod bound in
+  if raw - v > packed_max62 - bound + 1 then rand_int_packed st bound else v
+
+(* [unit_float]'s 53-bit extraction on the packed state: one step, one
+   scale. The float travels in a register — callers that compare it
+   immediately (the draw kernels) never box it. *)
+let unit_float_packed st =
+  step_packed st;
+  float_of_int (Int64.to_int (Int64.shift_right_logical (Bytes.get_int64_le st 32) 11))
+  *. 0x1.0p-53
+
 let state_fingerprint t =
   let mix acc x = Int64.add (Int64.mul acc 0x100000001B3L) x in
   mix (mix (mix (mix 0xCBF29CE484222325L t.s0) t.s1) t.s2) t.s3

@@ -85,6 +85,23 @@ val load_state : t -> Bytes.t -> unit
 (** [load_state t buf] overwrites [t]'s state from a buffer written by
     {!dump_state} (and possibly advanced by the kernel since). *)
 
+val step_packed : Bytes.t -> unit
+(** One xoshiro256** step on a packed state buffer; the output word is
+    written little-endian at offset 32 ([buf] must hold at least 40
+    bytes). Bit-for-bit the step {!bits64} performs — the single copy
+    of the packed stepping code, shared by the allocation-free kernels
+    ({!Wr_int}, {!Alias_int}). *)
+
+val rand_int_packed : Bytes.t -> int -> int
+(** {!int}'s rejection sampling on a packed state. Callers guarantee
+    [bound >= 2]: {!int} returns 0 without drawing when the bound is 1,
+    so a packed caller must skip the call to stay stream-identical. *)
+
+val unit_float_packed : Bytes.t -> float
+(** {!unit_float}'s 53-bit extraction on a packed state: one step, one
+    scale, stream-identical to the unpacked call. The result travels in
+    a register, so a caller that compares it immediately never boxes. *)
+
 val state_fingerprint : t -> int64
 (** [state_fingerprint t] is a hash of the current state, used by tests to
     check that [copy] and [split] detach state as documented. *)

@@ -81,38 +81,10 @@ let create_linked ?(on_displace = ignore) t ~r =
     on_displace;
   }
 
-(* One xoshiro256** step on the packed state; the output word lands at
-   offset 32. Mirrors Prng.bits64 exactly, rotl inlined. *)
-let step st =
-  let s0 = Bytes.get_int64_le st 0 in
-  let s1 = Bytes.get_int64_le st 8 in
-  let s2 = Bytes.get_int64_le st 16 in
-  let s3 = Bytes.get_int64_le st 24 in
-  let r5 = Int64.mul s1 5L in
-  Bytes.set_int64_le st 32
-    (Int64.mul (Int64.logor (Int64.shift_left r5 7) (Int64.shift_right_logical r5 57)) 9L);
-  let tt = Int64.shift_left s1 17 in
-  let s2 = Int64.logxor s2 s0 in
-  let s3 = Int64.logxor s3 s1 in
-  let s1 = Int64.logxor s1 s2 in
-  let s0 = Int64.logxor s0 s3 in
-  let s2 = Int64.logxor s2 tt in
-  let s3 = Int64.logor (Int64.shift_left s3 45) (Int64.shift_right_logical s3 19) in
-  Bytes.set_int64_le st 0 s0;
-  Bytes.set_int64_le st 8 s1;
-  Bytes.set_int64_le st 16 s2;
-  Bytes.set_int64_le st 24 s3
-
-let mask62 = 0x3FFF_FFFF_FFFF_FFFFL
-let max62 = Int64.to_int mask62
-
-(* Prng.int's rejection sampling on the packed state; callers guarantee
-   bound >= 2 (Prng.int returns 0 without drawing when bound = 1). *)
-let rec rand_int st bound =
-  step st;
-  let raw = Int64.to_int (Int64.logand (Bytes.get_int64_le st 32) mask62) in
-  let v = raw mod bound in
-  if raw - v > max62 - bound + 1 then rand_int st bound else v
+(* The packed xoshiro step and rejection draw live in Prng (the owner
+   of the state layout), shared with Alias_int's batched draw loop. *)
+let step = Prng.step_packed
+let rand_int = Prng.rand_int_packed
 
 (* Rare-regime fallback: hand the stream back to the Prng.t, let
    Dist.binomial do the work, re-pack. *)

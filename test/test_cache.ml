@@ -117,6 +117,45 @@ let test_warm_env_identical () =
   Alcotest.(check bool) "repeated envs actually hit the cache" true
     ((Cache.stats c).Cache.hits > 0)
 
+(* The chain getter: a prepared walker is cached under the root with a
+   fingerprint mixing every member, so a warm lookup serves the very
+   same walker, per-kind counters expose the traffic, and mutating any
+   member — not just the root — forces a rebuild. *)
+let test_chain_entry () =
+  let c = Cache.create () in
+  let pair = make_pair () in
+  let third =
+    Zipf_tables.make ~seed:0xBEEF ~name:"third" ~rows:120 ~z:1. ~domain:24 ()
+  in
+  let spec =
+    {
+      Rsj_core.Chain_sample.relations =
+        [| pair.Zipf_tables.outer; pair.Zipf_tables.inner; third |];
+      join_keys = [| (key, key); (key, key) |];
+    }
+  in
+  let cs1 = Cache.chain c spec in
+  let cs2 = Cache.chain c spec in
+  Alcotest.(check bool) "warm lookup serves the same walker" true (cs1 == cs2);
+  let s = Cache.stats c in
+  Alcotest.(check bool) "by_kind reports chain traffic" true
+    (List.assoc_opt "chain" s.Cache.by_kind = Some (1, 1));
+  (* Mutating a non-root member must invalidate: the mixed fingerprint
+     stops matching even though the root is untouched. *)
+  Relation.append third [| Value.Int 9999; Value.Int 1; Value.str "pad" |];
+  let cs3 = Cache.chain c spec in
+  Alcotest.(check bool) "member mutation rebuilds the walker" true (not (cs2 == cs3));
+  Alcotest.(check bool) "rebuild counted as a chain miss" true
+    (List.assoc_opt "chain" (Cache.stats c).Cache.by_kind = Some (1, 2));
+  (* The cached walker samples identically to a cold prepare. *)
+  let draw w =
+    let rng = Rsj_util.Prng.create ~seed:51 () in
+    Rsj_core.Chain_sample.sample w rng ~r:16 ()
+    |> Array.map Tuple.to_string |> Array.to_list
+  in
+  let cold = Rsj_core.Chain_sample.prepare spec in
+  Alcotest.(check (list string)) "warm walker samples identically" (draw cold) (draw cs3)
+
 let suite =
   [
     Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss_accounting;
@@ -124,4 +163,6 @@ let suite =
     Alcotest.test_case "explicit invalidate" `Quick test_explicit_invalidate;
     Alcotest.test_case "LRU eviction respects the byte budget" `Quick test_lru_eviction_budget;
     Alcotest.test_case "warm env is sample-identical to cold" `Quick test_warm_env_identical;
+    Alcotest.test_case "chain walker entry (by_kind, member invalidation)" `Quick
+      test_chain_entry;
   ]

@@ -122,7 +122,16 @@ let catalog () =
         [| Value.Int 20; Value.str "kyoto-east" |];
       ]
   in
-  [ ("orders", orders); ("customers", customers) ]
+  let regions =
+    Relation.of_tuples ~name:"regions"
+      (Schema.of_list [ ("city", Value.T_str); ("region", Value.T_str) ])
+      [
+        [| Value.str "oslo"; Value.str "north" |];
+        [| Value.str "kyoto"; Value.str "east" |];
+        [| Value.str "kyoto"; Value.str "west" |];
+      ]
+  in
+  [ ("orders", orders); ("customers", customers); ("regions", regions) ]
 
 let run_ok q =
   match Engine.run (catalog ()) q with
@@ -399,6 +408,52 @@ let test_engine_warm_cache_reuse () =
   Alcotest.(check bool) "fresh relations miss (fingerprints differ)" true
     ((C.stats cache).C.misses > s2.C.misses)
 
+(* A linear three-table chain with plain SAMPLE routes to the
+   chain-walker: exactly r rows, both key pairs equal on every row, no
+   picker decision (the walker is the only k>=3 strategy, so there is
+   nothing to pick between), and the plan names the walk. *)
+let test_chain_sample () =
+  let r =
+    run_ok
+      "select * from orders, customers, regions where orders.cust = customers.cust and \
+       customers.city = regions.city sample 5"
+  in
+  Alcotest.(check int) "5 rows" 5 (List.length r.Engine.rows);
+  Alcotest.(check int) "arity 3+2+2" 7 (Schema.arity r.Engine.schema);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "cust keys equal" true
+        (Value.equal (Tuple.get row 1) (Tuple.get row 3));
+      Alcotest.(check bool) "city keys equal" true
+        (Value.equal (Tuple.get row 4) (Tuple.get row 5)))
+    r.Engine.rows;
+  Alcotest.(check bool) "no picker decision on the chain path" true (r.Engine.decision = None);
+  let s = Format.asprintf "%a" Rsj_exec.Plan.explain r.Engine.plan in
+  Alcotest.(check bool) ("plan names the walker: " ^ s) true (contains "chain-walk" s)
+
+(* SAMPLE p% on the chain resolves against the exact three-way join
+   size: |orders ⋈ customers ⋈ regions| = 4 (orders 1,2 → oslo →
+   north; order 3 → kyoto → {east,west}), so 50% is 2 rows. Constant
+   predicates still push below the walk. *)
+let test_chain_sample_fraction_and_filter () =
+  let r =
+    run_ok
+      "select * from orders, customers, regions where orders.cust = customers.cust and \
+       customers.city = regions.city sample 50%"
+  in
+  Alcotest.(check int) "50% of |J|=4 is 2 rows" 2 (List.length r.Engine.rows);
+  let r2 =
+    run_ok
+      "select * from orders, customers, regions where orders.cust = customers.cust and \
+       customers.city = regions.city and amount > 6 sample 4"
+  in
+  Alcotest.(check int) "4 rows" 4 (List.length r2.Engine.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "filter pushed below the walk" true
+        (Value.to_float_exn (Tuple.get row 2) > 6.))
+    r2.Engine.rows
+
 let suite =
   [
     Alcotest.test_case "tokenizer" `Quick test_tokenize;
@@ -436,4 +491,8 @@ let suite =
       test_engine_sample_fraction;
     Alcotest.test_case "engine: warm cache reuse across runs" `Quick
       test_engine_warm_cache_reuse;
+    Alcotest.test_case "engine: 3-table chain SAMPLE routes to the walker" `Quick
+      test_chain_sample;
+    Alcotest.test_case "engine: chain SAMPLE p% + filter pushdown" `Quick
+      test_chain_sample_fraction_and_filter;
   ]
