@@ -23,8 +23,23 @@
 #                      Chrome Trace Event JSON on exit
 #   RSJ_TRACE_CAP      per-domain trace ring capacity in events
 #                      (default 32768; overflow counts as dropped)
+#   RSJ_LOG            daemon request log: RSJ_LOG=path.ndjson appends
+#                      one JSON line per served request (id, strategy,
+#                      picker reason, cache hit/miss, deadline verdict,
+#                      latency, allocated words)
+#   RSJ_SLOW_MS        slow-request threshold for the exemplar counter
+#                      and trace instants (default 100)
+#   RSJ_QUALITY_WINDOW draws per online quality chi-square window
+#                      (default 512)
+#   RSJ_QUALITY_ALPHA  lifetime false-alert budget per quality stream
+#                      (default 0.01, alpha-spending across windows)
+#   RSJ_SERVE_BIAS=1   serve deliberately biased draws (negative
+#                      control: the quality monitor must catch it)
+#   RSJ_SERVE_DRAIN_LINGER_MS  keep the drain loop alive this long
+#                      after SIGTERM so probes can see the 503
+#                      /healthz verdict (default 0)
 
-.PHONY: all build check test smoke bench bench-parallel bench-json pool conformance obs trace serve serve-test serve-bench clean
+.PHONY: all build check test smoke bench bench-parallel bench-json pool conformance obs quality trace serve serve-test serve-bench clean
 
 all: build
 
@@ -82,6 +97,12 @@ pool:
 # inside `make test`.
 obs:
 	dune build @obs
+
+# quality = the online statistical-quality monitor: unit FP/TP cells
+# plus the served biased/unbiased verdicts (also runs inside
+# `make test`).
+quality:
+	dune build @quality
 
 # trace = record a parallel run and write trace.json for Perfetto
 # (ui.perfetto.dev) or chrome://tracing. Pick the strategy with

@@ -542,19 +542,76 @@ let metrics_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON (with p50/p99) instead of Prometheus text.")
   in
-  let run r domains json workload seed =
+  let watch =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:
+            "Polling mode: re-render the snapshot in place every SECONDS (local registry, or \
+             a live daemon's with $(b,--socket)). Ctrl-C to stop.")
+  in
+  let watch_count =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "watch-count" ] ~docv:"N"
+          ~doc:"With $(b,--watch): stop after N refreshes (0 = run until interrupted).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"ADDR"
+          ~doc:
+            "Scrape a running rsj serve daemon's registry over its socket instead of running \
+             the local workload.")
+  in
+  let run r domains json watch watch_count socket workload seed =
     let domains = resolve_domains ~preferred:2 domains in
     if r < 0 then `Error (false, "--r must be non-negative")
     else if domains < 1 then `Error (false, "--domains must be at least 1")
     else begin
       try
-        let pair = make_workload ~seed workload in
-        Obs.set_enabled true;
-        List.iter
-          (fun strategy -> ignore (run_strategy ~seed ~wor:false ~r ~domains pair strategy))
-          Strategy.all;
-        if json then print_endline (Obs.Json.to_string (Obs.Registry.to_json ()))
-        else print_string (Obs.Registry.to_prometheus ());
+        let snapshot =
+          match socket with
+          | Some s -> (
+              let addr =
+                match Rsj_server.Server.addr_of_string s with
+                | Ok a -> a
+                | Error e -> failwith e
+              in
+              fun () ->
+                let client = Rsj_server.Client.connect addr in
+                Fun.protect ~finally:(fun () -> Rsj_server.Client.close client) @@ fun () ->
+                match Rsj_server.Client.metrics client with
+                | Ok text -> text
+                | Error e -> failwith ("metrics rpc failed: " ^ e))
+          | None ->
+              let pair = make_workload ~seed workload in
+              Obs.set_enabled true;
+              fun () ->
+                List.iter
+                  (fun strategy ->
+                    ignore (run_strategy ~seed ~wor:false ~r ~domains pair strategy))
+                  Strategy.all;
+                if json then Obs.Json.to_string (Obs.Registry.to_json ()) ^ "\n"
+                else Obs.Registry.to_prometheus ()
+        in
+        (match watch with
+        | None -> print_string (snapshot ())
+        | Some period ->
+            let period = Float.max 0.05 period in
+            let k = ref 0 in
+            let continue () = watch_count <= 0 || !k < watch_count in
+            while continue () do
+              incr k;
+              (* Clear screen + home, like watch(1). *)
+              print_string "\027[2J\027[H";
+              print_string (snapshot ());
+              Printf.printf "# refresh %d, every %gs\n%!" !k period;
+              if continue () then Unix.sleepf period
+            done);
         `Ok ()
       with
       | Failure msg -> `Error (false, msg)
@@ -566,9 +623,84 @@ let metrics_cmd =
       ~doc:
         "Run all eight strategies on a synthetic \xc2\xa78.1 workload with telemetry on and \
          print the metric registry: pool/chunk/strategy counters and histograms, in \
-         Prometheus text exposition format (or JSON with $(b,--json))."
+         Prometheus text exposition format (or JSON with $(b,--json)). With $(b,--watch), \
+         re-render in place; with $(b,--socket), scrape a live daemon instead."
   in
-  Cmd.v info Term.(ret (const run $ r $ domains $ json $ workload_args $ seed_arg))
+  Cmd.v info
+    Term.(ret (const run $ r $ domains $ json $ watch $ watch_count $ socket $ workload_args $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* logs                                                                *)
+
+let logs_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"NDJSON request log written by the daemon (RSJ_LOG).")
+  in
+  let tail =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tail" ] ~docv:"N" ~doc:"Only pretty-print the last N log lines.")
+  in
+  let pretty line =
+    match Obs.Json.parse line with
+    | Error _ -> Printf.printf "?? %s\n" line
+    | Ok j ->
+        let str k = match Obs.Json.member k j with Some (Obs.Json.Str s) -> Some s | _ -> None in
+        let num k =
+          match Obs.Json.member k j with
+          | Some (Obs.Json.Float f) -> Some f
+          | Some (Obs.Json.Int i) -> Some (float_of_int i)
+          | _ -> None
+        in
+        let field name render = function Some v -> " " ^ name ^ "=" ^ render v | None -> "" in
+        Printf.printf "%s %s %s%s%s%s%s%s%s%s\n"
+          (match num "ts" with Some t -> Printf.sprintf "%.3f" t | None -> "-")
+          (Option.value (str "req") ~default:"-")
+          (Option.value (str "op") ~default:"-")
+          (field "strategy" Fun.id (str "strategy"))
+          (field "picker" Fun.id (str "picker_reason"))
+          (field "cache" Fun.id (str "cache"))
+          (field "deadline" Fun.id (str "deadline"))
+          (field "status" Fun.id (str "status"))
+          (field "latency_ms" (fun v -> Printf.sprintf "%.2f" (v *. 1000.)) (num "latency_s"))
+          (field "alloc_words" (fun v -> Printf.sprintf "%.0f" v) (num "alloc_words"));
+        match str "sql" with Some q -> Printf.printf "      sql: %s\n" q | None -> ()
+  in
+  let run file tail =
+    if not (Sys.file_exists file) then `Error (false, Printf.sprintf "no such file %S" file)
+    else begin
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           let l = input_line ic in
+           if String.trim l <> "" then lines := l :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let all = List.rev !lines in
+      let shown =
+        match tail with
+        | Some n when n >= 0 ->
+            let len = List.length all in
+            List.filteri (fun i _ -> i >= len - n) all
+        | _ -> all
+      in
+      List.iter pretty shown;
+      `Ok ()
+    end
+  in
+  let info =
+    Cmd.info "logs"
+      ~doc:
+        "Pretty-print a structured NDJSON request log written by rsj serve with RSJ_LOG set: \
+         one line per request with its id, operation, strategy, picker reason, cache \
+         outcome, deadline verdict, latency and allocation."
+  in
+  Cmd.v info Term.(ret (const run $ file $ tail))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -828,6 +960,7 @@ let main =
       verify_cmd;
       trace_cmd;
       metrics_cmd;
+      logs_cmd;
       explain_cmd;
       serve_cmd;
       client_cmd;

@@ -1,0 +1,24 @@
+(* Ambient request context: a per-domain (Domain.DLS) slot holding the
+   id of the request currently being served, if any. The server mints
+   an id per request and wraps execution in [with_request]; every
+   Trace span recorded underneath then carries the id automatically
+   (Trace consults [current] at record time), as does the request log.
+
+   Like the trace rings, the slot is domain-local: spans recorded by
+   pool worker domains do not see the caller's context (documented in
+   DESIGN.md §14). The serve loop runs requests on the loop thread, so
+   in practice every serve-path span is covered.
+
+   The slot is a plain ref inside DLS — no locking, no allocation on
+   read — so [current] is cheap enough to consult on every record even
+   when no request is in flight. *)
+
+let key : string option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Domain.DLS.get key)
+
+let with_request id f =
+  let slot = Domain.DLS.get key in
+  let saved = !slot in
+  slot := Some id;
+  Fun.protect ~finally:(fun () -> slot := saved) f

@@ -1,0 +1,13 @@
+(** Ambient request context (Domain.DLS): the id of the request the
+    current domain is serving, if any. Trace spans and request-log
+    lines recorded while a context is set carry the id automatically.
+    Domain-local — pool worker domains do not inherit the caller's
+    context (see DESIGN.md §14). *)
+
+val current : unit -> string option
+(** The request id set by the nearest enclosing [with_request] on this
+    domain, or [None]. Allocation-free on the [None] path. *)
+
+val with_request : string -> (unit -> 'a) -> 'a
+(** [with_request id f] runs [f] with [current () = Some id], restoring
+    the previous context (supports nesting) even if [f] raises. *)

@@ -9,6 +9,9 @@ module Json = Json
 module Clock = Clock
 module Registry = Registry
 module Trace = Trace
+module Context = Context
+module Reqlog = Reqlog
+module Runtime = Runtime
 
 let enabled = Control.enabled
 let set_enabled = Control.set_enabled

@@ -1,0 +1,36 @@
+(* Runtime telemetry: OCaml GC quick-stat gauges and per-request
+   allocation deltas. Everything here reads [Gc.quick_stat] only — the
+   cheap counters-and-words view — never [Gc.stat], which walks the
+   heap. [allocated_words] is the standard allocation meter
+   (minor + major - promoted, so promoted words are not double
+   counted); the server logs the delta across each request. *)
+
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let g name help = Registry.gauge ~help name
+
+let publish_gc () =
+  let s = Gc.quick_stat () in
+  Registry.set_gauge
+    (g "rsj_gc_minor_words" "Cumulative words allocated in the minor heap")
+    s.Gc.minor_words;
+  Registry.set_gauge
+    (g "rsj_gc_major_words" "Cumulative words allocated in the major heap")
+    s.Gc.major_words;
+  Registry.set_gauge
+    (g "rsj_gc_promoted_words" "Cumulative words promoted minor->major")
+    s.Gc.promoted_words;
+  Registry.set_gauge
+    (g "rsj_gc_minor_collections" "Number of minor collections")
+    (float_of_int s.Gc.minor_collections);
+  Registry.set_gauge
+    (g "rsj_gc_major_collections" "Number of major collection cycles")
+    (float_of_int s.Gc.major_collections);
+  Registry.set_gauge
+    (g "rsj_gc_compactions" "Number of heap compactions")
+    (float_of_int s.Gc.compactions);
+  Registry.set_gauge
+    (g "rsj_gc_heap_words" "Total size of the major heap, in words")
+    (float_of_int s.Gc.heap_words)

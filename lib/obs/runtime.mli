@@ -1,0 +1,11 @@
+(** Runtime (GC) telemetry built on [Gc.quick_stat] — never the
+    heap-walking [Gc.stat]. *)
+
+val allocated_words : unit -> float
+(** Cumulative words allocated by this domain's program:
+    minor + major - promoted. Take a delta around a request to get its
+    allocation cost. *)
+
+val publish_gc : unit -> unit
+(** Refresh the [rsj_gc_*] gauges (minor/major/promoted words,
+    minor/major collections, compactions, heap words) in the registry. *)

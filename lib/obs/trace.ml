@@ -62,14 +62,30 @@ let record ev =
 (* ------------------------------------------------------------------ *)
 (* Recording API (all gated on Control.enabled)                        *)
 
+(* Ambient request context: when the serving path has set a request id
+   (Context.with_request), every span recorded underneath carries it as
+   a "req" arg, so a whole request can be filtered out of a trace. *)
+let tagged args =
+  match Context.current () with
+  | Some id when not (List.mem_assoc "req" args) -> ("req", Json.Str id) :: args
+  | _ -> args
+
 let complete ?(cat = "") ?(args = []) name ~ts ~dur =
   if Control.enabled () then
-    record { name; cat; ph = 'X'; ts; dur; tid = (Domain.self () :> int); args }
+    record { name; cat; ph = 'X'; ts; dur; tid = (Domain.self () :> int); args = tagged args }
 
 let instant ?(cat = "") ?(args = []) name =
   if Control.enabled () then
     record
-      { name; cat; ph = 'i'; ts = Clock.now_us (); dur = 0.; tid = (Domain.self () :> int); args }
+      {
+        name;
+        cat;
+        ph = 'i';
+        ts = Clock.now_us ();
+        dur = 0.;
+        tid = (Domain.self () :> int);
+        args = tagged args;
+      }
 
 let with_span ?(cat = "") ?(args = []) name f =
   if not (Control.enabled ()) then f ()
@@ -86,7 +102,7 @@ let with_span ?(cat = "") ?(args = []) name f =
             ts = t0;
             dur = Float.max 0. (t1 -. t0);
             tid = (Domain.self () :> int);
-            args;
+            args = tagged args;
           })
       f
   end

@@ -93,9 +93,17 @@ let choose catalog shape =
   (decision.chosen, decision)
 
 let choose_counted catalog shape =
-  let chosen, decision = choose catalog shape in
-  count_choice decision;
-  (chosen, decision)
+  Rsj_obs.Trace.with_span ~cat:"picker" "picker.choose" (fun () ->
+      let chosen, decision = choose catalog shape in
+      count_choice decision;
+      Rsj_obs.Trace.instant ~cat:"picker"
+        ~args:
+          [
+            ("strategy", Rsj_obs.Json.Str (Strategy.name chosen));
+            ("reason", Rsj_obs.Json.Str (reason_to_string decision.reason));
+          ]
+        "picker.decision";
+      (chosen, decision))
 
 let pp ppf d =
   Format.fprintf ppf "picker: %s (%s), r=%d@," (Strategy.name d.chosen)

@@ -23,13 +23,17 @@
    the domain count, so the chunk cut — and with it every split
    generator — is identical at any pool size.
 
-   Telemetry: with tracing on, every chunk claim→merge becomes a span
-   tagged with the claiming domain — in Perfetto a skewed scan shows up
-   directly as one domain's lane filling with long chunk spans while
-   the others' stay short, the static-vs-chunk-queue rebalancing
-   evidence ROADMAP defers to a multi-core host for wall-clock. The
-   registry gets a per-chunk service-time histogram and per-domain
-   claim counters. Disabled cost: one branch per scan. *)
+   Telemetry: with tracing on and more than one domain, every chunk
+   claim→merge becomes a span tagged with the claiming domain — in
+   Perfetto a skewed scan shows up directly as one domain's lane
+   filling with long chunk spans while the others' stay short, the
+   static-vs-chunk-queue rebalancing evidence ROADMAP defers to a
+   multi-core host for wall-clock. The registry gets a per-chunk
+   service-time histogram and per-domain claim counters. Single-domain
+   scans record only the whole-scan span: their chunks run inline and
+   back to back, so per-chunk spans would add two clock reads per
+   chunk to the serving path's latency without showing any
+   interleaving. Disabled cost: one branch per scan. *)
 
 module Obs = Rsj_obs
 
@@ -64,7 +68,7 @@ let run ?pool ~domains ~chunks ~task () =
   let cursor = Atomic.make 0 in
   (* One enabled check per scan; the traced worker pays its clock reads
      per chunk, the untraced one stays the bare claim loop. *)
-  let traced = Obs.enabled () in
+  let traced = Obs.enabled () && domains > 1 in
   let claim_counters =
     if traced then
       Array.init domains (fun k ->

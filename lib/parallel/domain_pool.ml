@@ -61,6 +61,17 @@ let wake_latency =
   Obs.Registry.histogram ~help:"Pool job submit-to-start latency (condvar wake), seconds"
     "rsj_pool_wake_latency_seconds"
 
+(* Utilization gauges: how many worker domains are parked alive, and
+   how many are claimed by an in-flight run. With the single-claimant
+   pool, busy is 0 or (domains - 1) — still enough for a scrape to tell
+   an idle daemon from a saturated one. *)
+let workers_live_g =
+  Obs.Registry.gauge ~help:"Worker domains currently alive in the pool" "rsj_pool_workers_live"
+
+let workers_busy_g =
+  Obs.Registry.gauge ~help:"Worker domains claimed by an in-flight parallel job"
+    "rsj_pool_workers_busy"
+
 type counters = {
   spawned : int;
   parallel_jobs : int;
@@ -124,7 +135,8 @@ let ensure t n =
   if n > have then begin
     let fresh = Array.init (n - have) (fun _ -> spawn_worker ()) in
     t.workers <- Array.append t.workers (Array.map fst fresh);
-    t.handles <- t.handles @ Array.to_list (Array.map snd fresh)
+    t.handles <- t.handles @ Array.to_list (Array.map snd fresh);
+    Obs.Registry.set_gauge workers_live_g (float_of_int (Array.length t.workers))
   end
 
 let submit w f =
@@ -194,6 +206,7 @@ let run t ~domains f =
           else begin
             ensure t (domains - 1);
             t.in_use <- true;
+            Obs.Registry.set_gauge workers_busy_g (float_of_int (domains - 1));
             Some (Array.sub t.workers 0 (domains - 1))
           end)
     in
@@ -211,6 +224,7 @@ let run t ~domains f =
           ~finally:(fun () ->
             Mutex.lock t.lock;
             t.in_use <- false;
+            Obs.Registry.set_gauge workers_busy_g 0.;
             Mutex.unlock t.lock)
           (fun () ->
             Obs.Trace.with_span ~cat:"pool"
@@ -240,6 +254,7 @@ let shutdown t =
     let ws = t.workers and hs = t.handles in
     t.workers <- [||];
     t.handles <- [];
+    Obs.Registry.set_gauge workers_live_g 0.;
     Mutex.unlock t.lock;
     Array.iter
       (fun w ->

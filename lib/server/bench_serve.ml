@@ -49,6 +49,32 @@ let connect_with_retry addr =
   in
   go 100
 
+(* Spawn an [rsj serve] daemon on [sock], optionally with extra
+   environment entries ("KEY=VALUE") overriding the inherited ones. *)
+let spawn_daemon ?(extra_env = []) sock =
+  devnull_out @@ fun devnull ->
+  let keys =
+    List.filter_map
+      (fun kv -> Option.map (fun i -> String.sub kv 0 i) (String.index_opt kv '='))
+      extra_env
+  in
+  let inherited =
+    List.filter
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | Some i -> not (List.mem (String.sub kv 0 i) keys)
+        | None -> true)
+      (Array.to_list (Unix.environment ()))
+  in
+  Unix.create_process_env Sys.executable_name
+    [| Sys.executable_name; "serve"; "--socket"; sock |]
+    (Array.of_list (inherited @ extra_env))
+    Unix.stdin devnull devnull
+
+let kill_daemon pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ()
+
 let run ?(clients = 4) ?(requests_per_client = 25) ?(r = 64) ?(cold_runs = 5)
     ?(strategy = "stream") ?soak_seconds ?(seed = 0x5EED) ?out () =
   (if Rsj_core.Strategy.of_name strategy = None then
@@ -83,7 +109,13 @@ let run ?(clients = 4) ?(requests_per_client = 25) ?(r = 64) ?(cold_runs = 5)
       ~domain:scale.Zipf_tables.Scale.domain ()
   in
   Rsj_relation.Csv_io.save ~path:chain_csv t3;
-  Fun.protect ~finally:(fun () -> rm_rf_dir dir [ "t1.csv"; "t2.csv"; "t3.csv"; "rsj.sock" ])
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf_dir dir
+        [
+          "t1.csv"; "t2.csv"; "t3.csv"; "rsj.sock"; "rsj-off.sock"; "rsj-on.sock";
+          "trace-serve.json"; "requests.ndjson";
+        ])
   @@ fun () ->
   (* Cold baseline first: no daemon running, nothing shared. *)
   let cold =
@@ -93,15 +125,8 @@ let run ?(clients = 4) ?(requests_per_client = 25) ?(r = 64) ?(cold_runs = 5)
      not forked — OCaml 5 forbids fork in a process that has ever
      spawned a domain, and a real deployment execs the daemon anyway.
      Its startup banner goes to /dev/null to keep bench output clean. *)
-  let server_pid =
-    devnull_out @@ fun devnull ->
-    Unix.create_process Sys.executable_name
-      [| Sys.executable_name; "serve"; "--socket"; sock |]
-      Unix.stdin devnull devnull
-  in
-  Fun.protect ~finally:(fun () ->
-      (try Unix.kill server_pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
-      try ignore (Unix.waitpid [] server_pid) with Unix.Unix_error (_, _, _) -> ())
+  let server_pid = spawn_daemon sock in
+  Fun.protect ~finally:(fun () -> kill_daemon server_pid)
   @@ fun () ->
   let admin = connect_with_retry (Server.Unix_path sock) in
   let must what = function
@@ -158,6 +183,7 @@ let run ?(clients = 4) ?(requests_per_client = 25) ?(r = 64) ?(cold_runs = 5)
                  domains = 1;
                  on = "col2";
                  deadline_ms = None;
+                 rid = None;
                });
           (id, Clock.now_s ()))
         pool
@@ -207,10 +233,65 @@ let run ?(clients = 4) ?(requests_per_client = 25) ?(r = 64) ?(cold_runs = 5)
   let stats = must "cache stats" (Client.cache_stats admin) in
   must "shutdown" (Client.shutdown admin);
   Client.close admin;
+  (try ignore (Unix.waitpid [] server_pid) with Unix.Unix_error (_, _, _) -> ());
+  (* Phase 4 — request-telemetry overhead: the same warm
+     single-connection request with the full request observability
+     plane off vs on (RSJ_TRACE spans + request ids + RSJ_LOG NDJSON
+     per request). Both daemons run at once and the timed requests
+     alternate between them: a sequential off-phase-then-on-phase run
+     measures host drift as much as telemetry (back-to-back identical
+     phases on this class of host disagree by >10%), while
+     interleaving puts every drift epoch on both sides of the ratio.
+     The p99 ratio is the number the <3% envelope from PR 5 is checked
+     against on the serve path. *)
+  let telemetry_requests = 400 in
+  let trace_path = Filename.concat dir "trace-serve.json" in
+  let log_path = Filename.concat dir "requests.ndjson" in
+  let telemetry_daemon ~extra_env ~sock f =
+    let pid = spawn_daemon ~extra_env sock in
+    Fun.protect ~finally:(fun () -> kill_daemon pid)
+    @@ fun () ->
+    let c = connect_with_retry (Server.Unix_path sock) in
+    Fun.protect ~finally:(fun () -> Client.close c)
+    @@ fun () ->
+    ignore (must "register t1" (Client.register_path c ~name:"t1" ~path:left_csv));
+    ignore (must "register t2" (Client.register_path c ~name:"t2" ~path:right_csv));
+    f c
+  in
+  let timed_sample c k =
+    let t0 = Clock.now_s () in
+    match Client.sample c ~left:"t1" ~right:"t2" ~r ~strategy ~seed:(seed + 20000 + k) () with
+    | Ok _ -> Clock.now_s () -. t0
+    | Error (code, msg) ->
+        failwith
+          (Printf.sprintf "telemetry sample failed (%s): %s"
+             (Protocol.error_code_to_string code) msg)
+  in
+  let obs_off, obs_on =
+    telemetry_daemon ~extra_env:[] ~sock:(Filename.concat dir "rsj-off.sock")
+    @@ fun c_off ->
+    telemetry_daemon
+      ~extra_env:[ "RSJ_TRACE=" ^ trace_path; "RSJ_LOG=" ^ log_path ]
+      ~sock:(Filename.concat dir "rsj-on.sock")
+    @@ fun c_on ->
+    ignore (timed_sample c_off (-1));
+    ignore (timed_sample c_on (-2));
+    (* warmups: pay the builds on both daemons *)
+    let off = ref [] and on = ref [] in
+    for k = 0 to telemetry_requests - 1 do
+      off := timed_sample c_off (2 * k) :: !off;
+      on := timed_sample c_on ((2 * k) + 1) :: !on
+    done;
+    must "shutdown off" (Client.shutdown c_off);
+    must "shutdown on" (Client.shutdown c_on);
+    (!off, !on)
+  in
   let cold_sorted, cold_mean = summarize cold in
   let single_sorted, single_mean = summarize !single in
   let warm_sorted, warm_mean = summarize !latencies in
   let chain_sorted, chain_mean = summarize chain_warm in
+  let off_sorted, off_mean = summarize obs_off in
+  let on_sorted, on_mean = summarize obs_on in
   let report =
     Json.Obj
       [
@@ -264,6 +345,29 @@ let run ?(clients = 4) ?(requests_per_client = 25) ?(r = 64) ?(cold_runs = 5)
                 Json.Float (chain_first /. percentile chain_sorted 0.5) );
             ] );
         ("cache", Json.Obj stats);
+        ( "request_telemetry",
+          Json.Obj
+            [
+              ("requests_each", Json.Int telemetry_requests);
+              ( "obs_off",
+                Json.Obj
+                  [
+                    ("mean_s", Json.Float off_mean);
+                    ("p50_s", Json.Float (percentile off_sorted 0.5));
+                    ("p99_s", Json.Float (percentile off_sorted 0.99));
+                  ] );
+              ( "obs_on",
+                Json.Obj
+                  [
+                    ("mean_s", Json.Float on_mean);
+                    ("p50_s", Json.Float (percentile on_sorted 0.5));
+                    ("p99_s", Json.Float (percentile on_sorted 0.99));
+                  ] );
+              ( "p50_overhead_ratio",
+                Json.Float (percentile on_sorted 0.5 /. percentile off_sorted 0.5) );
+              ( "p99_overhead_ratio",
+                Json.Float (percentile on_sorted 0.99 /. percentile off_sorted 0.99) );
+            ] );
       ]
   in
   (match out with

@@ -105,12 +105,13 @@ let register_rows t ~name ~schema ~rows =
   rows_detail (simple t (P.Register { id = fresh_id t; name; source = P.Inline (schema, rows) }))
 
 let sample t ~left ~right ~r ?strategy ?(seed = 0x5EED) ?(wor = false) ?(domains = 1)
-    ?(on = "col2") ?deadline_ms () =
+    ?(on = "col2") ?deadline_ms ?rid () =
   rpc t
-    (P.Sample { id = fresh_id t; left; right; r; strategy; seed; wor; domains; on; deadline_ms })
+    (P.Sample
+       { id = fresh_id t; left; right; r; strategy; seed; wor; domains; on; deadline_ms; rid })
 
-let query t ~sql ?(seed = 0x5EED) ?deadline_ms () =
-  rpc t (P.Query { id = fresh_id t; sql; seed; deadline_ms })
+let query t ~sql ?(seed = 0x5EED) ?deadline_ms ?rid () =
+  rpc t (P.Query { id = fresh_id t; sql; seed; deadline_ms; rid })
 
 let metrics t =
   match simple t (P.Metrics { id = fresh_id t }) with

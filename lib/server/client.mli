@@ -59,11 +59,12 @@ val sample :
   ?domains:int ->
   ?on:string ->
   ?deadline_ms:float ->
+  ?rid:string ->
   unit ->
   (reply, Protocol.error_code * string) result
 
 val query :
-  t -> sql:string -> ?seed:int -> ?deadline_ms:float -> unit ->
+  t -> sql:string -> ?seed:int -> ?deadline_ms:float -> ?rid:string -> unit ->
   (reply, Protocol.error_code * string) result
 
 val metrics : t -> (string, string) result

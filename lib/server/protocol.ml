@@ -19,8 +19,15 @@ type request =
       domains : int;
       on : string;
       deadline_ms : float option;
+      rid : string option;
     }
-  | Query of { id : int; sql : string; seed : int; deadline_ms : float option }
+  | Query of {
+      id : int;
+      sql : string;
+      seed : int;
+      deadline_ms : float option;
+      rid : string option;
+    }
   | Invalidate of { id : int; name : string }
   | Metrics of { id : int }
   | Stats of { id : int }
@@ -54,6 +61,10 @@ let request_id = function
 
 let response_id = function
   | Ack { id; _ } | Rows { id; _ } | Done { id; _ } | Failed { id; _ } -> id
+
+let request_rid = function
+  | Sample { rid; _ } | Query { rid; _ } -> rid
+  | Ping _ | Register _ | Invalidate _ | Metrics _ | Stats _ | Shutdown _ -> None
 
 let request_op = function
   | Ping _ -> "ping"
@@ -144,6 +155,20 @@ let str_field name j = as_str name (field name j)
 let opt_default name conv default j =
   match opt_field name j with Some Json.Null | None -> default | Some v -> conv name v
 
+(* deadline_ms is validated at the protocol boundary: a zero, negative
+   or NaN budget can never be met and must not reach admission control
+   (where "elapsed > budget" arithmetic on NaN silently never fires). *)
+let deadline_field j =
+  match opt_field "deadline_ms" j with
+  | None | Some Json.Null -> None
+  | Some v ->
+      let d = as_float "deadline_ms" v in
+      if Float.is_nan d || d <= 0. then
+        failf "field \"deadline_ms\" must be a positive number of milliseconds"
+      else Some d
+
+let rid_field j = Option.map (as_str "rid") (opt_field "rid" j)
+
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
@@ -163,7 +188,7 @@ let encode_request req =
               ]
         in
         base id "register" (("name", Json.Str name) :: src)
-    | Sample { id; left; right; r; strategy; seed; wor; domains; on; deadline_ms } ->
+    | Sample { id; left; right; r; strategy; seed; wor; domains; on; deadline_ms; rid } ->
         base id "sample"
           ([
              ("left", Json.Str left);
@@ -175,11 +200,13 @@ let encode_request req =
              ("on", Json.Str on);
            ]
           @ (match strategy with Some s -> [ ("strategy", Json.Str s) ] | None -> [])
-          @ match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
-    | Query { id; sql; seed; deadline_ms } ->
+          @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
+          @ match rid with Some r -> [ ("rid", Json.Str r) ] | None -> [])
+    | Query { id; sql; seed; deadline_ms; rid } ->
         base id "query"
           ([ ("sql", Json.Str sql); ("seed", Json.Int seed) ]
-          @ match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
+          @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
+          @ match rid with Some r -> [ ("rid", Json.Str r) ] | None -> [])
     | Invalidate { id; name } -> base id "invalidate" [ ("name", Json.Str name) ]
     | Metrics { id } -> base id "metrics" []
     | Stats { id } -> base id "stats" []
@@ -234,7 +261,8 @@ let decode_request line =
                    wor = opt_default "wor" as_bool false j;
                    domains = opt_default "domains" as_int 1 j;
                    on = opt_default "on" as_str "col2" j;
-                   deadline_ms = Option.map (as_float "deadline_ms") (opt_field "deadline_ms" j);
+                   deadline_ms = deadline_field j;
+                   rid = rid_field j;
                  })
         | "query" ->
             Ok
@@ -243,7 +271,8 @@ let decode_request line =
                    id;
                    sql = str_field "sql" j;
                    seed = opt_default "seed" as_int 0x5EED j;
-                   deadline_ms = Option.map (as_float "deadline_ms") (opt_field "deadline_ms" j);
+                   deadline_ms = deadline_field j;
+                   rid = rid_field j;
                  })
         | "invalidate" -> Ok (Invalidate { id; name = str_field "name" j })
         | "metrics" -> Ok (Metrics { id })

@@ -40,9 +40,21 @@ type request =
       deadline_ms : float option;
           (** Budget from receipt to start of execution; exceeded
               requests fail with [Deadline_exceeded] instead of
-              running. *)
+              running. Validated at decode: zero, negative or NaN
+              budgets are rejected with [Bad_request]. *)
+      rid : string option;
+          (** Client-supplied request id for end-to-end tracing; the
+              server mints one when absent, and either way echoes it in
+              the [done] frame, every trace span and the request-log
+              line. Optional on the wire — old clients still parse. *)
     }
-  | Query of { id : int; sql : string; seed : int; deadline_ms : float option }
+  | Query of {
+      id : int;
+      sql : string;
+      seed : int;
+      deadline_ms : float option;
+      rid : string option;
+    }
   | Invalidate of { id : int; name : string }
       (** Drop the relation's warm-cache entries (keeps the catalog
           binding). *)
@@ -69,6 +81,9 @@ val request_id : request -> int
 val response_id : response -> int
 val request_op : request -> string
 (** Stable operation name ("ping", "register", ... ) for metric labels. *)
+
+val request_rid : request -> string option
+(** The client-supplied request id, when the operation carries one. *)
 
 val error_code_to_string : error_code -> string
 val error_code_of_string : string -> error_code option

@@ -27,11 +27,19 @@ type config = {
   max_queued_work : int;
   frame_rows : int;
   snapshot_path : string option;
+  drain_linger_ms : float;
+  slow_ms : float;
+  log_path : string option;
 }
 
 let env_int name default =
   match Sys.getenv_opt name with
   | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some v when v >= 0. -> v | _ -> default)
   | None -> default
 
 let default_config addr =
@@ -40,6 +48,9 @@ let default_config addr =
     max_queued_work = env_int "RSJ_SERVE_QUEUE_BUDGET" 1_000_000;
     frame_rows = 256;
     snapshot_path = Sys.getenv_opt "RSJ_SERVE_SNAPSHOT";
+    drain_linger_ms = env_float "RSJ_SERVE_DRAIN_LINGER_MS" 0.;
+    slow_ms = env_float "RSJ_SLOW_MS" 100.;
+    log_path = Sys.getenv_opt "RSJ_LOG";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -59,6 +70,20 @@ let m_connections =
 
 let m_request_seconds =
   lazy (Registry.histogram ~help:"Request execution latency" "rsj_serve_request_seconds")
+
+(* Per-request latency broken out by operation kind, strategy actually
+   run, and whether the warm cache served the request's structures.
+   Label values are small closed sets (ops × 8 strategies × hit/miss/
+   none), so the family stays scrapeable. *)
+let m_request_kind ~kind ~strategy ~cache =
+  Registry.histogram ~help:"Request execution latency by kind/strategy/cache outcome"
+    ~labels:[ ("kind", kind); ("strategy", strategy); ("cache", cache) ]
+    "rsj_request_seconds"
+
+let m_slow_requests =
+  lazy
+    (Registry.counter ~help:"Requests slower than the RSJ_SLOW_MS exemplar threshold"
+       "rsj_serve_slow_requests_total")
 
 let m_queue_depth = lazy (Registry.gauge ~help:"Requests waiting in the FIFO" "rsj_serve_queue_depth")
 
@@ -83,6 +108,15 @@ type conn = {
 
 type pending = { p_conn : conn; p_req : P.request; p_enqueued_s : float; p_work : int }
 
+(* Scratch the executors fill in so the request plane (run_pending) can
+   label the latency histogram and the log line without re-deriving the
+   decision. Reset per request. *)
+type note = {
+  mutable n_strategy : string;
+  mutable n_reason : string;
+  mutable n_sql : string option;
+}
+
 type state = {
   config : config;
   catalog : (string, Relation.t) Hashtbl.t;
@@ -90,6 +124,13 @@ type state = {
   queue : pending Queue.t;
   mutable queued_work : int;
   mutable stopping : bool;
+  quality : Rsj_verify.Online.t;
+  laws : (int * int, Rsj_verify.Online.law option) Hashtbl.t;
+      (* join-value marginal per (left fp, right fp); None = empty join *)
+  biased : bool;  (* RSJ_SERVE_BIAS: serve deliberately biased WR draws *)
+  bias_universes : (int * int, Tuple.t array) Hashtbl.t;
+  note : note;
+  mutable rid_serial : int;
 }
 
 exception Reject of P.error_code * string
@@ -144,6 +185,51 @@ let exec_register st ~id ~name ~source =
       };
   ]
 
+(* The join-value marginal the quality monitor tests against, derived
+   from the warm frequency tables and memoized per fingerprint pair
+   (a mutation changes the fingerprint, so stale laws age out as new
+   keys). *)
+let quality_law st ~l ~rt ~left_key ~right_key =
+  let fp = (Relation.fingerprint l, Relation.fingerprint rt) in
+  match Hashtbl.find_opt st.laws fp with
+  | Some law -> (fp, law)
+  | None ->
+      let law =
+        Rsj_verify.Online.law_of_frequencies
+          ~left:(Cache.frequency st.cache l ~key:left_key)
+          ~right:(Cache.frequency st.cache rt ~key:right_key)
+      in
+      Hashtbl.replace st.laws fp law;
+      (fp, law)
+
+(* RSJ_SERVE_BIAS: replace the strategy's output with the negative
+   control's deliberately biased WR draws (Negative.biased_wr_draw) —
+   the daemon keeps claiming success while serving a wrong law. Exists
+   so the quality monitor's true-positive cell exercises the real
+   served path end to end. *)
+let biased_sample st ~l ~rt ~left_key ~right_key ~seed ~r =
+  let fp = (Relation.fingerprint l, Relation.fingerprint rt) in
+  let universe =
+    match Hashtbl.find_opt st.bias_universes fp with
+    | Some u -> u
+    | None ->
+        let u =
+          Array.copy
+            (Rsj_verify.Oracle.universe
+               (Rsj_verify.Oracle.of_relations ~left:l ~right:rt ~left_key ~right_key))
+        in
+        (* Sort by join value so the draw's positional 4:1 tilt (first
+           half of the array) lands on whole value groups: the bias the
+           monitor watches for is in the join-value marginal, and an
+           enumeration-ordered universe would split each value's
+           tuples evenly across both halves and hide it. *)
+        Array.sort (fun a b -> Value.compare a.(left_key) b.(left_key)) u;
+        Hashtbl.replace st.bias_universes fp u;
+        u
+  in
+  if Array.length universe = 0 then [||]
+  else Rsj_core.Negative.biased_wr_draw (Rsj_util.Prng.create ~seed ()) ~universe ~r
+
 let exec_sample st ~id ~left ~right ~r ~strategy ~seed ~wor ~domains ~on =
   if r < 0 then rejectf P.Bad_request "r must be non-negative, got %d" r;
   if domains < 1 then rejectf P.Bad_request "domains must be at least 1, got %d" domains;
@@ -154,7 +240,10 @@ let exec_sample st ~id ~left ~right ~r ~strategy ~seed ~wor ~domains ~on =
     | None -> rejectf P.Bad_request "relation %S has no column %S" (Relation.name rel) on
   in
   let left_key = key_of l and right_key = key_of rt in
-  let env = Cache.env st.cache ~seed ~left:l ~right:rt ~left_key ~right_key () in
+  let env =
+    Rsj_obs.Trace.with_span ~cat:"serve" "cache.env" (fun () ->
+        Cache.env st.cache ~seed ~left:l ~right:rt ~left_key ~right_key ())
+  in
   let strategy, picked =
     match strategy with
     | Some name -> (
@@ -170,17 +259,37 @@ let exec_sample st ~id ~left ~right ~r ~strategy ~seed ~wor ~domains ~on =
         in
         (s, Some d)
   in
+  st.note.n_strategy <- Strategy.name strategy;
+  (match picked with
+  | Some d -> st.note.n_reason <- Rsj_optimizer.Picker.reason_to_string d.Rsj_optimizer.Picker.reason
+  | None -> st.note.n_reason <- "explicit");
   let result =
     try
       if wor then Rsj_parallel.run_wor env strategy ~r ~domains
       else Rsj_parallel.run env strategy ~r ~domains
     with Failure msg | Invalid_argument msg -> rejectf P.Engine_error "%s" msg
   in
-  let rows = Array.to_list (Array.map Array.to_list result.Strategy.sample) in
+  let sample =
+    if st.biased then biased_sample st ~l ~rt ~left_key ~right_key ~seed ~r
+    else result.Strategy.sample
+  in
+  (* Feed the served output — biased or not — to the quality monitor:
+     the monitor watches what actually left the daemon. *)
+  (let (fp_l, fp_r), law = quality_law st ~l ~rt ~left_key ~right_key in
+   match law with
+   | Some law when Array.length sample > 0 ->
+       let key =
+         Printf.sprintf "%x-%x/%s/%s" fp_l fp_r (Strategy.name strategy)
+           (if wor then "wor" else "wr")
+       in
+       Rsj_verify.Online.observe st.quality ~key ~law
+         (Array.map (fun t -> t.(left_key)) sample)
+   | _ -> ());
+  let rows = Array.to_list (Array.map Array.to_list sample) in
   let detail =
     [
       ("strategy", Json.Str (Strategy.name result.Strategy.strategy));
-      ("tuples", Json.Int (Array.length result.Strategy.sample));
+      ("tuples", Json.Int (Array.length sample));
       ("join_size", Json.Int (Strategy.env_join_size env));
       ("elapsed_s", Json.Float result.Strategy.elapsed_seconds);
     ]
@@ -193,11 +302,17 @@ let exec_sample st ~id ~left ~right ~r ~strategy ~seed ~wor ~domains ~on =
   stream_rows ~id ~frame_rows:st.config.frame_rows rows detail
 
 let exec_query st ~id ~sql ~seed =
+  st.note.n_sql <- Some sql;
   let catalog = Hashtbl.fold (fun name rel acc -> (name, rel) :: acc) st.catalog [] in
   match Rsj_sql.Engine.run ~seed catalog sql with
   | Error msg -> rejectf P.Engine_error "%s" msg
   | Ok result ->
       let open Rsj_sql in
+      (match result.Engine.decision with
+      | Some d ->
+          st.note.n_strategy <- Strategy.name d.Rsj_optimizer.Picker.chosen;
+          st.note.n_reason <- Rsj_optimizer.Picker.reason_to_string d.Rsj_optimizer.Picker.reason
+      | None -> ());
       let rows = List.map Array.to_list result.Engine.rows in
       let columns =
         Array.to_list (Schema.columns result.Engine.schema)
@@ -247,6 +362,26 @@ let exec_stats st ~id =
                    (fun (kind, (h, m)) ->
                      (kind, Json.Obj [ ("hits", Json.Int h); ("misses", Json.Int m) ]))
                    s.Cache.by_kind) );
+            (* The online quality monitor's verdicts: one entry per
+               served (fingerprint-pair, strategy, semantics) stream,
+               plus the latched aggregate alert. *)
+            ("quality_alert", Json.Bool (Rsj_verify.Online.any_alert st.quality));
+            ( "quality",
+              Json.List
+                (List.map
+                   (fun (q : Rsj_verify.Online.stream_stats) ->
+                     Json.Obj
+                       [
+                         ("stream", Json.Str q.Rsj_verify.Online.st_key);
+                         ("seen", Json.Int q.st_seen);
+                         ("foreign", Json.Int q.st_foreign);
+                         ("windows", Json.Int q.st_windows);
+                         ( "last_p",
+                           if Float.is_nan q.st_last_p then Json.Null
+                           else Json.Float q.st_last_p );
+                         ("alert", Json.Bool q.st_alert);
+                       ])
+                   (Rsj_verify.Online.stats st.quality)) );
           ];
       };
   ]
@@ -255,13 +390,15 @@ let execute st (req : P.request) =
   match req with
   | P.Ping { id } -> [ P.Ack { id; detail = [ ("pong", Json.Bool true) ] } ]
   | P.Register { id; name; source } -> exec_register st ~id ~name ~source
-  | P.Sample { id; left; right; r; strategy; seed; wor; domains; on; deadline_ms = _ } ->
+  | P.Sample { id; left; right; r; strategy; seed; wor; domains; on; deadline_ms = _; rid = _ }
+    ->
       exec_sample st ~id ~left ~right ~r ~strategy ~seed ~wor ~domains ~on
-  | P.Query { id; sql; seed; deadline_ms = _ } -> exec_query st ~id ~sql ~seed
+  | P.Query { id; sql; seed; deadline_ms = _; rid = _ } -> exec_query st ~id ~sql ~seed
   | P.Invalidate { id; name } ->
       Cache.invalidate st.cache (lookup st name);
       [ P.Ack { id; detail = [ ("name", Json.Str name) ] } ]
   | P.Metrics { id } ->
+      Rsj_obs.Runtime.publish_gc ();
       [ P.Ack { id; detail = [ ("prometheus", Json.Str (Registry.to_prometheus ())) ] } ]
   | P.Stats { id } -> exec_stats st ~id
   | P.Shutdown { id } ->
@@ -317,8 +454,9 @@ let http_response ~status ~body =
     status (String.length body) body
 
 (* One HTTP request per connection ("Connection: close"): answer
-   GET /metrics with the Prometheus registry, 404 anything else. *)
-let handle_http conn =
+   GET /metrics with the Prometheus registry, GET /healthz with the
+   load-balancer view of the drain state, 404 anything else. *)
+let handle_http st conn =
   let s = Buffer.contents conn.inbuf in
   let complete =
     (* Headers end at a blank line; we never read a body. *)
@@ -340,8 +478,15 @@ let handle_http conn =
     let response =
       match String.split_on_char ' ' first_line with
       | "GET" :: path :: _ when path = "/metrics" || path = "/metrics/" ->
+          Rsj_obs.Runtime.publish_gc ();
           http_response ~status:"200 OK" ~body:(Registry.to_prometheus ())
-      | _ -> http_response ~status:"404 Not Found" ~body:"only GET /metrics is served\n"
+      | "GET" :: path :: _ when path = "/healthz" || path = "/healthz/" ->
+          (* 503 the moment drain starts, so load balancers rotate the
+             replica before the listener disappears. *)
+          if st.stopping then http_response ~status:"503 Service Unavailable" ~body:"draining\n"
+          else http_response ~status:"200 OK" ~body:"ok\n"
+      | _ ->
+          http_response ~status:"404 Not Found" ~body:"only GET /metrics and /healthz are served\n"
     in
     Buffer.clear conn.inbuf;
     send_raw conn response;
@@ -389,6 +534,27 @@ let deadline_of (req : P.request) =
   | P.Sample { deadline_ms; _ } | P.Query { deadline_ms; _ } -> deadline_ms
   | _ -> None
 
+(* Mint a server-side request id: unique per process, cheap, and
+   greppable ("req-<pid>-<serial>"). A client-supplied rid wins, so
+   callers can stitch daemon telemetry into their own traces. *)
+let mint_rid st req =
+  match P.request_rid req with
+  | Some rid -> rid
+  | None ->
+      st.rid_serial <- st.rid_serial + 1;
+      Printf.sprintf "req-%d-%d" (Unix.getpid ()) st.rid_serial
+
+(* Echo the request id in terminal ok/done frames so the wire response
+   carries the same id as the spans and the log line. *)
+let tag_frames rid frames =
+  List.map
+    (function
+      | P.Done { id; detail } ->
+          P.Done { id; detail = detail @ [ ("request_id", Json.Str rid) ] }
+      | P.Ack { id; detail } -> P.Ack { id; detail = detail @ [ ("request_id", Json.Str rid) ] }
+      | f -> f)
+    frames
+
 let run_pending st =
   while not (Queue.is_empty st.queue) do
     let { p_conn = conn; p_req = req; p_enqueued_s; p_work } = Queue.pop st.queue in
@@ -397,24 +563,87 @@ let run_pending st =
     publish_queue_gauges st;
     if not conn.dead then begin
       let id = P.request_id req in
+      let op = P.request_op req in
+      let rid = mint_rid st req in
       let late =
         match deadline_of req with
         | Some budget_ms -> (Clock.now_s () -. p_enqueued_s) *. 1000. > budget_ms
         | None -> false
       in
-      if late then
-        fail_request conn ~id P.Deadline_exceeded
-          (Printf.sprintf "request waited past its %.0fms deadline"
-             (Option.get (deadline_of req)))
-      else begin
-        let t0 = Clock.now_s () in
-        (match execute st req with
-        | frames -> List.iter (send_frame conn) frames
-        | exception Reject (code, msg) -> fail_request conn ~id code msg
-        | exception (Failure msg | Invalid_argument msg) ->
-            fail_request conn ~id P.Engine_error msg);
-        Registry.observe (Lazy.force m_request_seconds) (Clock.now_s () -. t0)
-      end;
+      st.note.n_strategy <- "none";
+      st.note.n_reason <- "none";
+      st.note.n_sql <- None;
+      Rsj_obs.Context.with_request rid (fun () ->
+          if late then begin
+            fail_request conn ~id P.Deadline_exceeded
+              (Printf.sprintf "request waited past its %.0fms deadline"
+                 (Option.get (deadline_of req)));
+            Rsj_obs.Reqlog.write
+              [
+                ("op", Json.Str op);
+                ("client_id", Json.Int id);
+                ("status", Json.Str "deadline_exceeded");
+                ("deadline", Json.Str "late");
+                ("queued_s", Json.Float (Clock.now_s () -. p_enqueued_s));
+              ]
+          end
+          else begin
+            let t0 = Clock.now_s () in
+            let alloc0 = Rsj_obs.Runtime.allocated_words () in
+            let cache0 = Cache.stats st.cache in
+            let status = ref "ok" in
+            Rsj_obs.Trace.with_span ~cat:"serve"
+              ~args:[ ("op", Json.Str op); ("client_id", Json.Int id) ]
+              "request"
+              (fun () ->
+                match execute st req with
+                | frames -> List.iter (send_frame conn) (tag_frames rid frames)
+                | exception Reject (code, msg) ->
+                    status := P.error_code_to_string code;
+                    fail_request conn ~id code msg
+                | exception (Failure msg | Invalid_argument msg) ->
+                    status := "engine_error";
+                    fail_request conn ~id P.Engine_error msg);
+            let dt = Clock.now_s () -. t0 in
+            let alloc = Rsj_obs.Runtime.allocated_words () -. alloc0 in
+            let cache1 = Cache.stats st.cache in
+            let cache_label =
+              if cache1.Cache.misses > cache0.Cache.misses then "miss"
+              else if cache1.Cache.hits > cache0.Cache.hits then "hit"
+              else "none"
+            in
+            Registry.observe (Lazy.force m_request_seconds) dt;
+            Registry.observe
+              (m_request_kind ~kind:op ~strategy:st.note.n_strategy ~cache:cache_label)
+              dt;
+            if dt *. 1000. > st.config.slow_ms then begin
+              Registry.incr (Lazy.force m_slow_requests);
+              (* Exemplar: the slow request's id and shape, as a trace
+                 instant — jump from the histogram tail to the exact
+                 request in the trace. *)
+              Rsj_obs.Trace.instant ~cat:"serve"
+                ~args:
+                  [
+                    ("op", Json.Str op);
+                    ("strategy", Json.Str st.note.n_strategy);
+                    ("latency_s", Json.Float dt);
+                  ]
+                "request.slow"
+            end;
+            Rsj_obs.Reqlog.write
+              ([ ("op", Json.Str op); ("client_id", Json.Int id) ]
+              @ (match st.note.n_sql with Some q -> [ ("sql", Json.Str q) ] | None -> [])
+              @ [
+                  ("strategy", Json.Str st.note.n_strategy);
+                  ("picker_reason", Json.Str st.note.n_reason);
+                  ("cache", Json.Str cache_label);
+                  ( "deadline",
+                    Json.Str (match deadline_of req with Some _ -> "met" | None -> "none") );
+                  ("status", Json.Str !status);
+                  ("latency_s", Json.Float dt);
+                  ("alloc_words", Json.Float alloc);
+                ])
+          end);
       try_flush conn
     end
   done
@@ -491,7 +720,7 @@ let handle_input st conn =
       else if String.length s > 0 && s.[0] <> 'G' then conn.mode <- M_json
   | M_json | M_http -> ());
   match conn.mode with
-  | M_http -> handle_http conn
+  | M_http -> handle_http st conn
   | M_json ->
       List.iter
         (fun line ->
@@ -508,6 +737,7 @@ let run ?(on_ready = fun () -> ()) config =
   install_signal_handlers ();
   let listener = bind_listener config.addr in
   Unix.set_nonblock listener;
+  Rsj_obs.Reqlog.set_path config.log_path;
   let st =
     {
       config;
@@ -516,6 +746,15 @@ let run ?(on_ready = fun () -> ()) config =
       queue = Queue.create ();
       queued_work = 0;
       stopping = false;
+      quality = Rsj_verify.Online.create ();
+      laws = Hashtbl.create 8;
+      biased =
+        (match Sys.getenv_opt "RSJ_SERVE_BIAS" with
+        | Some s when String.trim s <> "" && String.trim s <> "0" -> true
+        | _ -> false);
+      bias_universes = Hashtbl.create 8;
+      note = { n_strategy = "none"; n_reason = "none"; n_sql = None };
+      rid_serial = 0;
     }
   in
   let conns = ref [] in
@@ -558,6 +797,11 @@ let run ?(on_ready = fun () -> ()) config =
     | exception Unix.Unix_error (_, _, _) -> conn.dead <- true
   in
   let finished = ref false in
+  (* Drain linger: once stopping, keep the loop alive until this
+     deadline so pre-existing connections can still observe the 503
+     /healthz state (how a load balancer learns to rotate). Zero by
+     default — drains exit as soon as the queue empties. *)
+  let drain_deadline = ref None in
   while not !finished do
     if Atomic.get stop_requested then st.stopping <- true;
     (* Shutdown: release the address first so a replacement can bind,
@@ -566,6 +810,8 @@ let run ?(on_ready = fun () -> ()) config =
       close_listener config.addr listener;
       listening := false
     end;
+    if st.stopping && !drain_deadline = None then
+      drain_deadline := Some (Clock.now_s () +. (config.drain_linger_ms /. 1000.));
     let reads =
       (if !listening then [ listener ] else [])
       @ List.filter_map
@@ -595,7 +841,10 @@ let run ?(on_ready = fun () -> ()) config =
       (fun c ->
         if c.dead || (c.eof && c.queued = 0 && Queue.is_empty c.out) then close_conn c)
       (List.filter (fun c -> c.dead || c.eof) !conns);
-    if st.stopping && Queue.is_empty st.queue then begin
+    let linger_over =
+      match !drain_deadline with Some d -> Clock.now_s () >= d | None -> true
+    in
+    if st.stopping && Queue.is_empty st.queue && linger_over then begin
       (* Drained. Give every connection one last flush, then leave. *)
       List.iter
         (fun c ->
@@ -606,4 +855,12 @@ let run ?(on_ready = fun () -> ()) config =
     end
   done;
   if !listening then close_listener config.addr listener;
+  Rsj_obs.Runtime.publish_gc ();
+  (* The daemon's spans go to the RSJ_TRACE destination at exit —
+     the serve-path analogue of with_tracing in bin/rsj.ml. *)
+  (if Rsj_obs.enabled () then
+     match Rsj_obs.env_trace_path () with
+     | Some path -> Rsj_obs.Trace.write_file path
+     | None -> ());
+  Rsj_obs.Reqlog.close ();
   write_snapshot config

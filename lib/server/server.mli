@@ -46,6 +46,20 @@ type config = {
   snapshot_path : string option;
       (** Where the final metrics snapshot goes; [None] = stderr
           ([RSJ_SERVE_SNAPSHOT] overrides). *)
+  drain_linger_ms : float;
+      (** After SIGTERM/shutdown, keep the loop alive this long past
+          the drain so pre-existing connections can observe the 503
+          [GET /healthz] state (default 0;
+          [RSJ_SERVE_DRAIN_LINGER_MS] overrides). *)
+  slow_ms : float;
+      (** Requests slower than this emit a [request.slow] trace
+          exemplar and bump [rsj_serve_slow_requests_total] (default
+          100; [RSJ_SLOW_MS] overrides). *)
+  log_path : string option;
+      (** NDJSON request log destination; [None] = disabled ([RSJ_LOG]
+          overrides). One line per request: id, op, sql/strategy,
+          picker reason, cache hit/miss, deadline verdict, latency,
+          GC words allocated. *)
 }
 
 val default_config : addr -> config

@@ -1,0 +1,248 @@
+(* Online statistical-quality monitor for the serving path.
+
+   The paper's guarantees are distributional: a served WR sample of the
+   join is only correct if the join-attribute value of each drawn tuple
+   follows the marginal law
+
+       P(A = v) = m1(v) * m2(v) / |J|
+
+   where m1/m2 are the relations' frequency tables and
+   |J| = sum_v m1(v) m2(v). The daemon already keeps those tables warm
+   in the structure cache, so the expected law is free; this module
+   folds the *served* sample output into streaming per-stream counters
+   and periodically runs the Kernel chi-square of observed window
+   counts against that law.
+
+   One stream per (fingerprint-pair, strategy, semantics): different
+   strategies (and WoR/CF semantics) are monitored separately so a
+   regression in one draw path cannot hide in another's traffic. WoR
+   and CF windows are tested against the same WR marginal — exact for
+   WR, and the per-draw expectation under WoR/CF for the r << |J|
+   regime the daemon serves; the monitor is a drift detector, not a
+   proof.
+
+   Alert policy:
+   - A join-attribute value outside the join support (m1*m2 = 0) is a
+     correctness bug, not noise: the stream alerts immediately.
+   - Chi-square windows use alpha spending over the unbounded window
+     sequence: window k (1-based) is tested at
+     significance / (k * (k + 1)), whose sum over all k is exactly
+     [significance] — the lifetime false-alert budget per stream holds
+     no matter how long the daemon runs.
+   - Alerts latch: once tripped, a stream stays red until [reset]
+     (operators should treat an alert as "drain and investigate", not
+     as a transient). *)
+
+open Rsj_relation
+module Frequency = Rsj_stats.Frequency
+module Obs = Rsj_obs
+
+type law = {
+  index : (Value.t, int) Hashtbl.t;  (* join value -> cell *)
+  probs : float array;  (* P(A = v) per cell, sums to 1 *)
+  join_size : float;  (* |J| = sum m1*m2 *)
+}
+
+let law_of_frequencies ~left ~right =
+  let cells = ref [] in
+  let total = ref 0. in
+  Frequency.iter left (fun v m1 ->
+      let m2 = Frequency.frequency right v in
+      if m2 > 0 then begin
+        let w = float_of_int m1 *. float_of_int m2 in
+        cells := (v, w) :: !cells;
+        total := !total +. w
+      end);
+  if !total <= 0. then None
+  else begin
+    let arr = Array.of_list (List.rev !cells) in
+    let index = Hashtbl.create (Array.length arr) in
+    let probs =
+      Array.mapi
+        (fun i (v, w) ->
+          Hashtbl.replace index v i;
+          w /. !total)
+        arr
+    in
+    Some { index; probs; join_size = !total }
+  end
+
+let support_size law = Array.length law.probs
+let join_size law = law.join_size
+
+type stream = {
+  key : string;
+  law : law;
+  counts : int array;  (* current window's observed cells *)
+  mutable in_window : int;  (* draws accumulated in current window *)
+  mutable seen : int;  (* lifetime draws *)
+  mutable foreign : int;  (* lifetime draws outside the join support *)
+  mutable windows : int;  (* chi-square windows completed *)
+  mutable last_p : float;  (* p-value of the last completed window; nan before *)
+  mutable alert : bool;  (* latched *)
+  pvalue_g : Obs.Registry.gauge;
+  alert_g : Obs.Registry.gauge;
+}
+
+type t = {
+  window : int;  (* draws per chi-square window *)
+  significance : float;  (* lifetime false-alert budget per stream *)
+  min_expected : float;  (* Kernel bucketing floor *)
+  streams : (string, stream) Hashtbl.t;
+  any_alert_g : Obs.Registry.gauge;
+}
+
+let default_window = 512
+let default_significance = 0.01
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s when String.trim s <> "" -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> v
+      | _ -> invalid_arg (Printf.sprintf "%s must be a positive integer, got %S" name s))
+  | _ -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s when String.trim s <> "" -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when v > 0. && v < 1. -> v
+      | _ -> invalid_arg (Printf.sprintf "%s must be in (0,1), got %S" name s))
+  | _ -> default
+
+let create ?window ?significance ?(min_expected = 5.) () =
+  let window =
+    match window with Some w -> w | None -> env_int "RSJ_QUALITY_WINDOW" default_window
+  in
+  let significance =
+    match significance with
+    | Some s -> s
+    | None -> env_float "RSJ_QUALITY_ALPHA" default_significance
+  in
+  {
+    window;
+    significance;
+    min_expected;
+    streams = Hashtbl.create 8;
+    any_alert_g =
+      Obs.Registry.gauge ~help:"1 when any quality stream has a latched alert" "rsj_quality_alert";
+  }
+
+let window t = t.window
+
+let stream_for t ~key ~law =
+  match Hashtbl.find_opt t.streams key with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          key;
+          law;
+          counts = Array.make (Array.length law.probs) 0;
+          in_window = 0;
+          seen = 0;
+          foreign = 0;
+          windows = 0;
+          last_p = Float.nan;
+          alert = false;
+          pvalue_g =
+            Obs.Registry.gauge ~help:"Last window's chi-square p-value per quality stream"
+              ~labels:[ ("stream", key) ] "rsj_quality_pvalue";
+          alert_g =
+            Obs.Registry.gauge ~help:"1 when the quality stream's alert is latched"
+              ~labels:[ ("stream", key) ] "rsj_quality_stream_alert";
+        }
+      in
+      Hashtbl.replace t.streams key s;
+      s
+
+let any_alert t = Hashtbl.fold (fun _ s acc -> acc || s.alert) t.streams false
+
+let publish_any t =
+  Obs.Registry.set_gauge t.any_alert_g (if any_alert t then 1. else 0.)
+
+let trip s =
+  s.alert <- true;
+  Obs.Registry.set_gauge s.alert_g 1.
+
+(* Alpha spending: window k (1-based) gets significance / (k*(k+1));
+   sum over all k is exactly the lifetime budget. *)
+let window_threshold t k = t.significance /. (float_of_int k *. float_of_int (k + 1))
+
+let close_window t s =
+  s.windows <- s.windows + 1;
+  let total = s.in_window in
+  let expected = Array.map (fun p -> p *. float_of_int total) s.law.probs in
+  let cfg =
+    {
+      Kernel.significance = t.significance;
+      comparisons = 1;
+      retries = 0;
+      min_expected = t.min_expected;
+    }
+  in
+  let r = Kernel.goodness_of_fit cfg Kernel.Chi_square ~expected ~observed:s.counts in
+  s.last_p <- r.Rsj_util.Stats_math.p_value;
+  Obs.Registry.set_gauge s.pvalue_g s.last_p;
+  if s.last_p < window_threshold t s.windows then trip s;
+  Array.fill s.counts 0 (Array.length s.counts) 0;
+  s.in_window <- 0
+
+(* Fold one served sample's join-attribute values into the stream for
+   [key], closing (and testing) windows as they fill. *)
+let observe t ~key ~law values =
+  let s = stream_for t ~key ~law in
+  Array.iter
+    (fun v ->
+      s.seen <- s.seen + 1;
+      match Hashtbl.find_opt s.law.index v with
+      | Some cell ->
+          s.counts.(cell) <- s.counts.(cell) + 1;
+          s.in_window <- s.in_window + 1;
+          if s.in_window >= t.window then close_window t s
+      | None ->
+          (* Outside the join support: cannot be produced by a correct
+             sampler — alert immediately, don't wait for a window. *)
+          s.foreign <- s.foreign + 1;
+          trip s)
+    values;
+  publish_any t
+
+type stream_stats = {
+  st_key : string;
+  st_seen : int;
+  st_foreign : int;
+  st_windows : int;
+  st_last_p : float;
+  st_alert : bool;
+}
+
+let stats t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      {
+        st_key = s.key;
+        st_seen = s.seen;
+        st_foreign = s.foreign;
+        st_windows = s.windows;
+        st_last_p = s.last_p;
+        st_alert = s.alert;
+      }
+      :: acc)
+    t.streams []
+  |> List.sort (fun a b -> compare a.st_key b.st_key)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ s ->
+      Array.fill s.counts 0 (Array.length s.counts) 0;
+      s.in_window <- 0;
+      s.seen <- 0;
+      s.foreign <- 0;
+      s.windows <- 0;
+      s.last_p <- Float.nan;
+      s.alert <- false;
+      Obs.Registry.set_gauge s.alert_g 0.)
+    t.streams;
+  publish_any t

@@ -1,0 +1,54 @@
+(** Online statistical-quality monitor for the serving path.
+
+    Streams served join-attribute values into per-stream window
+    counters and periodically chi-squares each window against the
+    expected marginal P(A = v) = m1(v) m2(v) / |J| derived from the
+    cached frequency tables. One stream per (fingerprint-pair,
+    strategy, semantics) key. Alerts latch; the lifetime false-alert
+    budget per stream is bounded by [significance] via alpha spending
+    (window k tested at significance / (k (k+1))). Draws outside the
+    join support alert immediately.
+
+    Exports [rsj_quality_pvalue{stream}] /
+    [rsj_quality_stream_alert{stream}] gauges plus the aggregate
+    [rsj_quality_alert]. *)
+
+open Rsj_relation
+
+type t
+type law
+
+val create : ?window:int -> ?significance:float -> ?min_expected:float -> unit -> t
+(** Defaults: window from RSJ_QUALITY_WINDOW (512 draws), significance
+    from RSJ_QUALITY_ALPHA (0.01), min_expected 5.0. *)
+
+val window : t -> int
+
+val law_of_frequencies :
+  left:Rsj_stats.Frequency.t -> right:Rsj_stats.Frequency.t -> law option
+(** The WR join-value marginal from the two frequency tables; [None]
+    when the join is empty (nothing to monitor). *)
+
+val support_size : law -> int
+val join_size : law -> float
+
+val observe : t -> key:string -> law:law -> Value.t array -> unit
+(** Fold one served sample's join-attribute values into stream [key],
+    closing and testing windows as they fill. *)
+
+val any_alert : t -> bool
+
+type stream_stats = {
+  st_key : string;
+  st_seen : int;
+  st_foreign : int;
+  st_windows : int;
+  st_last_p : float;  (** nan before the first completed window *)
+  st_alert : bool;
+}
+
+val stats : t -> stream_stats list
+(** Sorted by stream key. *)
+
+val reset : t -> unit
+(** Zero all streams and unlatch alerts (test hook). *)

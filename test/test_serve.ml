@@ -280,11 +280,13 @@ let test_deadline_exceeded () =
   let sample_req id ~deadline_ms =
     P.Sample
       { id; left = "t1"; right = "t2"; r = 64; strategy = Some "stream"; seed = 7 + id;
-        wor = false; domains = 1; on = "col2"; deadline_ms }
+        wor = false; domains = 1; on = "col2"; deadline_ms; rid = None }
   in
+  (* 0.001ms: the smallest budget the protocol accepts (0 and below are
+     rejected at decode since the deadline validation landed). *)
   let reqs =
     [ sample_req 100 ~deadline_ms:None; sample_req 101 ~deadline_ms:None;
-      sample_req 102 ~deadline_ms:None; sample_req 103 ~deadline_ms:(Some 0.) ]
+      sample_req 102 ~deadline_ms:None; sample_req 103 ~deadline_ms:(Some 0.001) ]
   in
   write_all (Client.fd client)
     (String.concat "" (List.map (fun r -> P.encode_request r ^ "\n") reqs));
@@ -320,7 +322,7 @@ let test_admission_overloaded () =
   let sample_req id =
     P.Sample
       { id; left = "t1"; right = "t2"; r = 60; strategy = Some "stream"; seed = id;
-        wor = false; domains = 1; on = "col2"; deadline_ms = None }
+        wor = false; domains = 1; on = "col2"; deadline_ms = None; rid = None }
   in
   write_all (Client.fd client)
     (String.concat ""
@@ -452,6 +454,217 @@ let test_http_metrics () =
   Alcotest.(check bool) "serve metrics exported" true (contains "rsj_serve_requests_total" s);
   Alcotest.(check bool) "json clients unaffected by the sniff" true (Client.ping client)
 
+(* ---------- protocol: rid round-trip, deadline validation ---------- *)
+
+let test_protocol_rid_and_deadline () =
+  let sample ?rid ?deadline_ms () =
+    P.Sample
+      { id = 7; left = "t1"; right = "t2"; r = 4; strategy = None; seed = 1; wor = false;
+        domains = 1; on = "col2"; deadline_ms; rid }
+  in
+  let redecode req =
+    match P.decode_request (P.encode_request req) with
+    | Ok req' -> req'
+    | Error e -> Alcotest.failf "re-decode failed: %s" e
+  in
+  Alcotest.(check (option string))
+    "sample rid round-trips" (Some "abc-1")
+    (P.request_rid (redecode (sample ~rid:"abc-1" ())));
+  Alcotest.(check (option string))
+    "query rid round-trips" (Some "q-9")
+    (P.request_rid
+       (redecode
+          (P.Query { id = 3; sql = "select 1"; seed = 2; deadline_ms = Some 5.; rid = Some "q-9" })));
+  (* Absent rid must be absent on the wire, and a line from a client
+     that predates the field must still parse. *)
+  Alcotest.(check bool)
+    "absent rid leaves the wire unchanged" false
+    (contains "\"rid\"" (P.encode_request (sample ())));
+  (match P.decode_request {|{"op":"sample","id":11,"left":"t1","right":"t2","r":8}|} with
+  | Ok (P.Sample { rid = None; deadline_ms = None; _ }) -> ()
+  | Ok _ -> Alcotest.fail "old-client line decoded with a phantom rid or deadline"
+  | Error e -> Alcotest.failf "old-client line rejected: %s" e);
+  (* deadline_ms: zero and negative budgets are rejected at decode with
+     a speaking message; positive budgets and explicit null pass. *)
+  List.iter
+    (fun bad ->
+      let line =
+        Printf.sprintf {|{"op":"query","id":1,"sql":"select 1","deadline_ms":%s}|} bad
+      in
+      match P.decode_request line with
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "deadline_ms=%s names the field" bad)
+            true (contains "deadline_ms" msg)
+      | Ok _ -> Alcotest.failf "deadline_ms=%s was accepted" bad)
+    [ "0"; "0.0"; "-3"; "-0.5" ];
+  (match P.decode_request {|{"op":"query","id":1,"sql":"select 1","deadline_ms":2.5}|} with
+  | Ok (P.Query { deadline_ms = Some d; _ }) ->
+      Alcotest.(check (float 1e-9)) "positive budget kept" 2.5 d
+  | Ok _ -> Alcotest.fail "positive budget lost"
+  | Error e -> Alcotest.failf "positive budget rejected: %s" e);
+  match P.decode_request {|{"op":"query","id":1,"sql":"select 1","deadline_ms":null}|} with
+  | Ok (P.Query { deadline_ms = None; _ }) -> ()
+  | Ok _ -> Alcotest.fail "null deadline not treated as absent"
+  | Error e -> Alcotest.failf "null deadline rejected: %s" e
+
+(* ---------- health endpoint: 200 serving, 503 while draining ---------- *)
+
+let http_get fd path =
+  write_all fd (Printf.sprintf "GET %s HTTP/1.0\r\nHost: rsj\r\n\r\n" path);
+  let buf = Buffer.create 1024 in
+  let bytes = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd bytes 0 (Bytes.length bytes) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf bytes 0 n;
+        drain ()
+  in
+  drain ();
+  Buffer.contents buf
+
+let test_healthz_serving () =
+  with_server @@ fun ~sock ~snapshot:_ client ->
+  Alcotest.(check bool) "json client works" true (Client.ping client);
+  let http = Client.connect (Server.Unix_path sock) in
+  let s = http_get (Client.fd http) "/healthz" in
+  Client.close http;
+  Alcotest.(check bool) "200 while serving" true (contains "HTTP/1.1 200 OK" s);
+  Alcotest.(check bool) "body says ok" true (contains "ok" s);
+  Alcotest.(check bool) "json clients unaffected" true (Client.ping client)
+
+(* A load balancer learns about a drain from /healthz flipping to 503:
+   RSJ_SERVE_DRAIN_LINGER_MS keeps the loop alive past SIGTERM so a
+   probe connection accepted before the signal can still ask. *)
+let test_healthz_draining () =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "rsj.sock" in
+  let snapshot = Filename.concat dir "snap.prom" in
+  Unix.putenv "RSJ_SERVE_DRAIN_LINGER_MS" "2000";
+  Fun.protect ~finally:(fun () -> Unix.putenv "RSJ_SERVE_DRAIN_LINGER_MS" "") @@ fun () ->
+  let pid = spawn_server ~sock ~snapshot () in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ());
+      cleanup_dir dir)
+  @@ fun () ->
+  let client = connect_with_retry (Server.Unix_path sock) in
+  Alcotest.(check bool) "daemon answers before SIGTERM" true (Client.ping client);
+  let probe = Client.connect (Server.Unix_path sock) in
+  (* Give the select loop a beat to accept the probe — the listener
+     closes the moment the drain begins. *)
+  Unix.sleepf 0.3;
+  Unix.kill pid Sys.sigterm;
+  Unix.sleepf 0.3;
+  let s = http_get (Client.fd probe) "/healthz" in
+  Client.close probe;
+  Client.close client;
+  Alcotest.(check bool) "503 while draining" true (contains "HTTP/1.1 503" s);
+  Alcotest.(check bool) "body says draining" true (contains "draining" s);
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "drained daemon exits clean" true (status = Unix.WEXITED 0)
+
+(* ---------- one id across response, trace and request log ---------- *)
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Drive one picker-routed query with a client-chosen rid under
+   RSJ_TRACE + RSJ_LOG: the very same id must come back in the done
+   frame, tag the request/picker spans in the trace the daemon writes
+   at exit, and key the NDJSON request-log line. *)
+let test_request_id_end_to_end () =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "rsj.sock" in
+  let snapshot = Filename.concat dir "snap.prom" in
+  let trace = Filename.concat dir "trace.json" in
+  let log = Filename.concat dir "requests.ndjson" in
+  let rid = "e2e-rid-42" in
+  Unix.putenv "RSJ_TRACE" trace;
+  Unix.putenv "RSJ_LOG" log;
+  Fun.protect ~finally:(fun () ->
+      Unix.putenv "RSJ_TRACE" "";
+      Unix.putenv "RSJ_LOG" "";
+      cleanup_dir dir)
+  @@ fun () ->
+  let pair = make_pair () in
+  let pid = spawn_server ~sock ~snapshot () in
+  let detail =
+    Fun.protect ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error (_, _, _) -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ()))
+    @@ fun () ->
+    let client = connect_with_retry (Server.Unix_path sock) in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    register_pair client pair;
+    let reply =
+      must_reply "traced query"
+        (Client.query client ~sql:"select * from t1, t2 where t1.col2 = t2.col2 sample 8"
+           ~rid ())
+    in
+    reply.Client.detail
+  in
+  (* 1. The done frame echoes the id. *)
+  (match List.assoc_opt "request_id" detail with
+  | Some (Json.Str s) -> Alcotest.(check string) "response echoes the rid" rid s
+  | _ -> Alcotest.fail "done frame carries no request_id");
+  (* 2. The trace the daemon wrote at exit tags its spans with it. *)
+  Alcotest.(check bool) "trace file written at exit" true (Sys.file_exists trace);
+  (match Json.parse (read_whole trace) with
+  | Error e -> Alcotest.failf "trace is not JSON: %s" e
+  | Ok j ->
+      let events =
+        match Json.member "traceEvents" j with Some (Json.List l) -> l | _ -> []
+      in
+      let tagged name ev =
+        match (Json.member "name" ev, Json.member "args" ev) with
+        | Some (Json.Str n), Some args when n = name -> (
+            match Json.member "req" args with Some (Json.Str s) -> s = rid | _ -> false)
+        | _ -> false
+      in
+      Alcotest.(check bool) "the request span carries the rid" true
+        (List.exists (tagged "request") events);
+      Alcotest.(check bool) "the picker decision carries the rid" true
+        (List.exists (tagged "picker.decision") events));
+  (* 3. The request log has exactly one line keyed by it, with the
+     fields an operator greps for. *)
+  Alcotest.(check bool) "request log written" true (Sys.file_exists log);
+  let lines =
+    String.split_on_char '\n' (read_whole log) |> List.filter (fun l -> l <> "")
+  in
+  let parsed =
+    List.filter_map
+      (fun l -> match Json.parse l with Ok j -> Some j | Error _ -> None)
+      lines
+  in
+  let mine =
+    List.filter
+      (fun j -> match Json.member "req" j with Some (Json.Str s) -> s = rid | _ -> false)
+      parsed
+  in
+  Alcotest.(check int) "exactly one log line for the rid" 1 (List.length mine);
+  let line = List.hd mine in
+  let str k =
+    match Json.member k line with
+    | Some (Json.Str s) -> s
+    | _ -> Alcotest.failf "log line carries no string %S" k
+  in
+  Alcotest.(check string) "log op" "query" (str "op");
+  Alcotest.(check string) "log status" "ok" (str "status");
+  Alcotest.(check bool) "log names the picked strategy" true (str "strategy" <> "none");
+  Alcotest.(check bool) "log carries the sql" true (contains "sample 8" (str "sql"));
+  Alcotest.(check bool) "log times the request" true
+    (match Json.member "latency_s" line with Some (Json.Float _) -> true | _ -> false);
+  Alcotest.(check bool) "log counts allocation" true
+    (match Json.member "alloc_words" line with
+    | Some (Json.Float _) | Some (Json.Int _) -> true
+    | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "served samples byte-identical (8 strategies × 2 planes)" `Slow
@@ -467,4 +680,11 @@ let suite =
     Alcotest.test_case "RSJ_CACHE_BYTES bounds the daemon cache" `Quick
       test_served_eviction_budget;
     Alcotest.test_case "GET /metrics on the service socket" `Quick test_http_metrics;
+    Alcotest.test_case "rid round-trips; bad deadlines rejected at decode" `Quick
+      test_protocol_rid_and_deadline;
+    Alcotest.test_case "GET /healthz answers 200 while serving" `Quick test_healthz_serving;
+    Alcotest.test_case "GET /healthz answers 503 during the drain" `Quick
+      test_healthz_draining;
+    Alcotest.test_case "one request id across response, trace and log" `Quick
+      test_request_id_end_to_end;
   ]
